@@ -1,0 +1,109 @@
+// Command sweep runs convergence and cost studies of the WaMPDE solver on
+// the paper's vacuum VCO, complementing the figure harnesses:
+//
+//   - t2-step refinement: accumulated-phase error vs step count (the
+//     trapezoidal rule's second order, and the absolute phase accuracy
+//     behind Figure 12's bounded-error behaviour);
+//   - warped-axis resolution: cost and initial-frequency consistency vs N1
+//     (spectral convergence of the t1 collocation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	wampde "repro"
+	"repro/internal/core"
+	"repro/internal/textplot"
+)
+
+func main() {
+	flag.Parse()
+
+	vco, err := wampde.NewPaperVCO(false)
+	fatal(err)
+	t2End := 60e-6
+	u0 := vco.StaticDisplacement(vco.Params.VCtl(0))
+
+	fmt.Println("== t2-step refinement (N1 = 25, trapezoidal) ==")
+	ic, w0, err := core.InitialCondition(vco, []float64{0.5, 0, u0, 0}, 1/wampde.VCONominalFreq, core.ICOptions{N1: 25})
+	fatal(err)
+	type row struct {
+		steps int
+		phi   float64
+		wall  time.Duration
+	}
+	var rows []row
+	for _, steps := range []int{100, 200, 400, 800, 1600} {
+		start := time.Now()
+		res, err := core.Envelope(vco, ic, w0, t2End, core.EnvelopeOptions{
+			N1: 25, H2: t2End / float64(steps), Trap: true,
+		})
+		fatal(err)
+		rows = append(rows, row{steps, res.Phi[len(res.Phi)-1], time.Since(start)})
+	}
+	ref := rows[len(rows)-1].phi
+	var table [][]string
+	for i, r := range rows[:len(rows)-1] {
+		e := math.Abs(r.phi - ref)
+		ratio := "-"
+		if i > 0 {
+			prev := math.Abs(rows[i-1].phi - ref)
+			ratio = fmt.Sprintf("%.2f", prev/e)
+		}
+		table = append(table, []string{
+			fmt.Sprintf("%d", r.steps),
+			fmt.Sprintf("%.1f", r.phi),
+			fmt.Sprintf("%.2e", e),
+			ratio,
+			r.wall.Round(time.Millisecond).String(),
+		})
+	}
+	fmt.Print(textplot.Table(
+		[]string{"t2 steps", "total phase (cycles)", "|phase err| vs 1600", "ratio", "wall"},
+		table))
+	fmt.Println("(ratio ≈ 4 per halving = the trapezoidal rule's order 2)")
+
+	fmt.Println("\n== warped-axis resolution N1 (400 t2 steps) ==")
+	var t2 [][]string
+	var omegaRef float64
+	for _, n1 := range []int{9, 13, 17, 25, 33} {
+		icN, w0N, err := core.InitialCondition(vco, []float64{0.5, 0, u0, 0}, 1/wampde.VCONominalFreq, core.ICOptions{N1: n1})
+		fatal(err)
+		start := time.Now()
+		res, err := core.Envelope(vco, icN, w0N, t2End, core.EnvelopeOptions{
+			N1: n1, H2: t2End / 400, Trap: true,
+		})
+		fatal(err)
+		wall := time.Since(start)
+		omegaEnd := res.Omega[len(res.Omega)-1]
+		if n1 == 33 {
+			omegaRef = omegaEnd
+		}
+		t2 = append(t2, []string{
+			fmt.Sprintf("%d", n1),
+			fmt.Sprintf("%.6f", omegaEnd/1e6),
+			wall.Round(time.Millisecond).String(),
+		})
+	}
+	for i := range t2 {
+		v := 0.0
+		fmt.Sscanf(t2[i][1], "%f", &v)
+		t2[i] = append(t2[i], fmt.Sprintf("%.2e", math.Abs(v*1e6-omegaRef)/omegaRef))
+	}
+	fmt.Print(textplot.Table(
+		[]string{"N1", "ω(t2End) (MHz)", "wall", "rel diff vs N1=33"},
+		t2))
+	fmt.Println("(spectral collocation: already converged by N1 ≈ 17 for this waveform;")
+	fmt.Println(" cost grows ≈ N1³ through the per-step factorization)")
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,439 @@
+package circuit
+
+import "math"
+
+// vAt reads a node voltage, treating index -1 as ground (0 V).
+func vAt(x []float64, idx int) float64 {
+	if idx < 0 {
+		return 0
+	}
+	return x[idx]
+}
+
+// accum adds v into vec[idx] unless idx is ground.
+func accum(vec []float64, idx int, v float64) {
+	if idx >= 0 {
+		vec[idx] += v
+	}
+}
+
+// twoNode carries the shared bookkeeping of two-terminal devices.
+type twoNode struct {
+	name   string
+	na, nb string
+	ia, ib int
+}
+
+func (d *twoNode) Name() string    { return d.name }
+func (d *twoNode) Nodes() []string { return []string{d.na, d.nb} }
+
+// Resistor is a linear resistor between two nodes.
+type Resistor struct {
+	twoNode
+	R float64
+}
+
+// NewResistor creates a resistor; R must be positive.
+func NewResistor(name, n1, n2 string, r float64) *Resistor {
+	return &Resistor{twoNode{name, n1, n2, 0, 0}, r}
+}
+
+// NumExtra implements Device.
+func (d *Resistor) NumExtra() int { return 0 }
+
+// NumInputs implements Device.
+func (d *Resistor) NumInputs() int { return 0 }
+
+// Bind implements Device.
+func (d *Resistor) Bind(nodes []int, extraBase, inputBase int) { d.ia, d.ib = nodes[0], nodes[1] }
+
+// StampQ implements Device (no charge).
+func (d *Resistor) StampQ(x, q []float64) {}
+
+// StampF implements Device.
+func (d *Resistor) StampF(x, u, f []float64) {
+	i := (vAt(x, d.ia) - vAt(x, d.ib)) / d.R
+	accum(f, d.ia, i)
+	accum(f, d.ib, -i)
+}
+
+// StampJQ implements Device.
+func (d *Resistor) StampJQ(x []float64, add Stamper) {}
+
+// StampJF implements Device.
+func (d *Resistor) StampJF(x, u []float64, add Stamper) {
+	g := 1 / d.R
+	add(d.ia, d.ia, g)
+	add(d.ia, d.ib, -g)
+	add(d.ib, d.ia, -g)
+	add(d.ib, d.ib, g)
+}
+
+// Inputs implements Device.
+func (d *Resistor) Inputs(t float64, u []float64) {}
+
+// Capacitor is a linear capacitor between two nodes.
+type Capacitor struct {
+	twoNode
+	C float64
+}
+
+// NewCapacitor creates a capacitor.
+func NewCapacitor(name, n1, n2 string, c float64) *Capacitor {
+	return &Capacitor{twoNode{name, n1, n2, 0, 0}, c}
+}
+
+// NumExtra implements Device.
+func (d *Capacitor) NumExtra() int { return 0 }
+
+// NumInputs implements Device.
+func (d *Capacitor) NumInputs() int { return 0 }
+
+// Bind implements Device.
+func (d *Capacitor) Bind(nodes []int, extraBase, inputBase int) { d.ia, d.ib = nodes[0], nodes[1] }
+
+// StampQ implements Device.
+func (d *Capacitor) StampQ(x, q []float64) {
+	qc := d.C * (vAt(x, d.ia) - vAt(x, d.ib))
+	accum(q, d.ia, qc)
+	accum(q, d.ib, -qc)
+}
+
+// StampF implements Device.
+func (d *Capacitor) StampF(x, u, f []float64) {}
+
+// StampJQ implements Device.
+func (d *Capacitor) StampJQ(x []float64, add Stamper) {
+	add(d.ia, d.ia, d.C)
+	add(d.ia, d.ib, -d.C)
+	add(d.ib, d.ia, -d.C)
+	add(d.ib, d.ib, d.C)
+}
+
+// StampJF implements Device.
+func (d *Capacitor) StampJF(x, u []float64, add Stamper) {}
+
+// Inputs implements Device.
+func (d *Capacitor) Inputs(t float64, u []float64) {}
+
+// Inductor is a linear inductor with optional series resistance (ESR). It
+// owns one extra variable: its branch current, with the branch equation
+// L·di/dt + ESR·i − (v1−v2) = 0.
+type Inductor struct {
+	twoNode
+	L, ESR float64
+	ibr    int
+}
+
+// NewInductor creates an inductor with series resistance esr (0 for ideal).
+func NewInductor(name, n1, n2 string, l, esr float64) *Inductor {
+	return &Inductor{twoNode: twoNode{name, n1, n2, 0, 0}, L: l, ESR: esr}
+}
+
+// NumExtra implements Device.
+func (d *Inductor) NumExtra() int { return 1 }
+
+// NumInputs implements Device.
+func (d *Inductor) NumInputs() int { return 0 }
+
+// Bind implements Device.
+func (d *Inductor) Bind(nodes []int, extraBase, inputBase int) {
+	d.ia, d.ib = nodes[0], nodes[1]
+	d.ibr = extraBase
+}
+
+// Current returns the state index of the branch current.
+func (d *Inductor) Current() int { return d.ibr }
+
+// StampQ implements Device.
+func (d *Inductor) StampQ(x, q []float64) { q[d.ibr] += d.L * x[d.ibr] }
+
+// StampF implements Device.
+func (d *Inductor) StampF(x, u, f []float64) {
+	i := x[d.ibr]
+	accum(f, d.ia, i)
+	accum(f, d.ib, -i)
+	f[d.ibr] += d.ESR*i - (vAt(x, d.ia) - vAt(x, d.ib))
+}
+
+// StampJQ implements Device.
+func (d *Inductor) StampJQ(x []float64, add Stamper) { add(d.ibr, d.ibr, d.L) }
+
+// StampJF implements Device.
+func (d *Inductor) StampJF(x, u []float64, add Stamper) {
+	add(d.ia, d.ibr, 1)
+	add(d.ib, d.ibr, -1)
+	add(d.ibr, d.ibr, d.ESR)
+	add(d.ibr, d.ia, -1)
+	add(d.ibr, d.ib, 1)
+}
+
+// Inputs implements Device.
+func (d *Inductor) Inputs(t float64, u []float64) {}
+
+// CubicConductor is the paper's nonlinear resistor: i(v) = G1·v + G3·v³
+// with G1 < 0 < G3, "negative in a region about zero and positive
+// elsewhere" (§5), which gives the tank a stable limit cycle.
+type CubicConductor struct {
+	twoNode
+	G1, G3 float64
+}
+
+// NewCubicConductor creates the nonlinear negative-resistance element.
+func NewCubicConductor(name, n1, n2 string, g1, g3 float64) *CubicConductor {
+	return &CubicConductor{twoNode{name, n1, n2, 0, 0}, g1, g3}
+}
+
+// NumExtra implements Device.
+func (d *CubicConductor) NumExtra() int { return 0 }
+
+// NumInputs implements Device.
+func (d *CubicConductor) NumInputs() int { return 0 }
+
+// Bind implements Device.
+func (d *CubicConductor) Bind(nodes []int, extraBase, inputBase int) {
+	d.ia, d.ib = nodes[0], nodes[1]
+}
+
+// StampQ implements Device.
+func (d *CubicConductor) StampQ(x, q []float64) {}
+
+// StampF implements Device.
+func (d *CubicConductor) StampF(x, u, f []float64) {
+	v := vAt(x, d.ia) - vAt(x, d.ib)
+	i := d.G1*v + d.G3*v*v*v
+	accum(f, d.ia, i)
+	accum(f, d.ib, -i)
+}
+
+// StampJQ implements Device.
+func (d *CubicConductor) StampJQ(x []float64, add Stamper) {}
+
+// StampJF implements Device.
+func (d *CubicConductor) StampJF(x, u []float64, add Stamper) {
+	v := vAt(x, d.ia) - vAt(x, d.ib)
+	g := d.G1 + 3*d.G3*v*v
+	add(d.ia, d.ia, g)
+	add(d.ia, d.ib, -g)
+	add(d.ib, d.ia, -g)
+	add(d.ib, d.ib, g)
+}
+
+// Inputs implements Device.
+func (d *CubicConductor) Inputs(t float64, u []float64) {}
+
+// Diode is an exponential junction diode i = Is·(exp(v/Vt) − 1), with the
+// exponent clamped for numerical robustness (gradient continued linearly
+// beyond the clamp).
+type Diode struct {
+	twoNode
+	Is, Vt float64
+}
+
+// NewDiode creates a diode; typical Is=1e-14, Vt=0.02585.
+func NewDiode(name, n1, n2 string, is, vt float64) *Diode {
+	return &Diode{twoNode{name, n1, n2, 0, 0}, is, vt}
+}
+
+const diodeExpMax = 80.0
+
+func (d *Diode) currentAndG(v float64) (i, g float64) {
+	a := v / d.Vt
+	if a > diodeExpMax {
+		e := math.Exp(diodeExpMax)
+		i = d.Is * (e*(1+(a-diodeExpMax)) - 1)
+		g = d.Is * e / d.Vt
+		return
+	}
+	e := math.Exp(a)
+	return d.Is * (e - 1), d.Is * e / d.Vt
+}
+
+// NumExtra implements Device.
+func (d *Diode) NumExtra() int { return 0 }
+
+// NumInputs implements Device.
+func (d *Diode) NumInputs() int { return 0 }
+
+// Bind implements Device.
+func (d *Diode) Bind(nodes []int, extraBase, inputBase int) { d.ia, d.ib = nodes[0], nodes[1] }
+
+// StampQ implements Device.
+func (d *Diode) StampQ(x, q []float64) {}
+
+// StampF implements Device.
+func (d *Diode) StampF(x, u, f []float64) {
+	i, _ := d.currentAndG(vAt(x, d.ia) - vAt(x, d.ib))
+	accum(f, d.ia, i)
+	accum(f, d.ib, -i)
+}
+
+// StampJQ implements Device.
+func (d *Diode) StampJQ(x []float64, add Stamper) {}
+
+// StampJF implements Device.
+func (d *Diode) StampJF(x, u []float64, add Stamper) {
+	_, g := d.currentAndG(vAt(x, d.ia) - vAt(x, d.ib))
+	add(d.ia, d.ia, g)
+	add(d.ia, d.ib, -g)
+	add(d.ib, d.ia, -g)
+	add(d.ib, d.ib, g)
+}
+
+// Inputs implements Device.
+func (d *Diode) Inputs(t float64, u []float64) {}
+
+// ISource is an independent current source driving current from node n2
+// into node n1 (i.e. it raises v(n1)).
+type ISource struct {
+	twoNode
+	W    Waveform
+	uIdx int
+}
+
+// NewISource creates a current source with the given waveform.
+func NewISource(name, n1, n2 string, w Waveform) *ISource {
+	return &ISource{twoNode{name, n1, n2, 0, 0}, w, 0}
+}
+
+// NumExtra implements Device.
+func (d *ISource) NumExtra() int { return 0 }
+
+// NumInputs implements Device.
+func (d *ISource) NumInputs() int { return 1 }
+
+// Bind implements Device.
+func (d *ISource) Bind(nodes []int, extraBase, inputBase int) {
+	d.ia, d.ib = nodes[0], nodes[1]
+	d.uIdx = inputBase
+}
+
+// StampQ implements Device.
+func (d *ISource) StampQ(x, q []float64) {}
+
+// StampF implements Device.
+func (d *ISource) StampF(x, u, f []float64) {
+	accum(f, d.ia, -u[d.uIdx])
+	accum(f, d.ib, u[d.uIdx])
+}
+
+// StampJQ implements Device.
+func (d *ISource) StampJQ(x []float64, add Stamper) {}
+
+// StampJF implements Device.
+func (d *ISource) StampJF(x, u []float64, add Stamper) {}
+
+// Inputs implements Device.
+func (d *ISource) Inputs(t float64, u []float64) { u[d.uIdx] = d.W(t) }
+
+// VSource is an independent voltage source between n1 (+) and n2 (−),
+// owning one extra variable: its branch current (flowing n1→n2 inside the
+// source's MNA convention).
+type VSource struct {
+	twoNode
+	W    Waveform
+	ibr  int
+	uIdx int
+}
+
+// NewVSource creates a voltage source with the given waveform.
+func NewVSource(name, n1, n2 string, w Waveform) *VSource {
+	return &VSource{twoNode: twoNode{name, n1, n2, 0, 0}, W: w}
+}
+
+// NumExtra implements Device.
+func (d *VSource) NumExtra() int { return 1 }
+
+// NumInputs implements Device.
+func (d *VSource) NumInputs() int { return 1 }
+
+// Bind implements Device.
+func (d *VSource) Bind(nodes []int, extraBase, inputBase int) {
+	d.ia, d.ib = nodes[0], nodes[1]
+	d.ibr = extraBase
+	d.uIdx = inputBase
+}
+
+// Current returns the state index of the source branch current.
+func (d *VSource) Current() int { return d.ibr }
+
+// StampQ implements Device.
+func (d *VSource) StampQ(x, q []float64) {}
+
+// StampF implements Device.
+func (d *VSource) StampF(x, u, f []float64) {
+	i := x[d.ibr]
+	accum(f, d.ia, i)
+	accum(f, d.ib, -i)
+	f[d.ibr] += vAt(x, d.ia) - vAt(x, d.ib) - u[d.uIdx]
+}
+
+// StampJQ implements Device.
+func (d *VSource) StampJQ(x []float64, add Stamper) {}
+
+// StampJF implements Device.
+func (d *VSource) StampJF(x, u []float64, add Stamper) {
+	add(d.ia, d.ibr, 1)
+	add(d.ib, d.ibr, -1)
+	add(d.ibr, d.ia, 1)
+	add(d.ibr, d.ib, -1)
+}
+
+// Inputs implements Device.
+func (d *VSource) Inputs(t float64, u []float64) { u[d.uIdx] = d.W(t) }
+
+// VCCS is a voltage-controlled current source: i(out) = Gm·(v(c1) − v(c2)),
+// driven from node o2 into node o1.
+type VCCS struct {
+	name           string
+	o1, o2, c1, c2 string
+	io1, io2       int
+	ic1, ic2       int
+	Gm             float64
+}
+
+// NewVCCS creates a transconductor.
+func NewVCCS(name, out1, out2, ctrl1, ctrl2 string, gm float64) *VCCS {
+	return &VCCS{name: name, o1: out1, o2: out2, c1: ctrl1, c2: ctrl2, Gm: gm}
+}
+
+// Name implements Device.
+func (d *VCCS) Name() string { return d.name }
+
+// Nodes implements Device.
+func (d *VCCS) Nodes() []string { return []string{d.o1, d.o2, d.c1, d.c2} }
+
+// NumExtra implements Device.
+func (d *VCCS) NumExtra() int { return 0 }
+
+// NumInputs implements Device.
+func (d *VCCS) NumInputs() int { return 0 }
+
+// Bind implements Device.
+func (d *VCCS) Bind(nodes []int, extraBase, inputBase int) {
+	d.io1, d.io2, d.ic1, d.ic2 = nodes[0], nodes[1], nodes[2], nodes[3]
+}
+
+// StampQ implements Device.
+func (d *VCCS) StampQ(x, q []float64) {}
+
+// StampF implements Device.
+func (d *VCCS) StampF(x, u, f []float64) {
+	i := d.Gm * (vAt(x, d.ic1) - vAt(x, d.ic2))
+	accum(f, d.io1, i)
+	accum(f, d.io2, -i)
+}
+
+// StampJQ implements Device.
+func (d *VCCS) StampJQ(x []float64, add Stamper) {}
+
+// StampJF implements Device.
+func (d *VCCS) StampJF(x, u []float64, add Stamper) {
+	add(d.io1, d.ic1, d.Gm)
+	add(d.io1, d.ic2, -d.Gm)
+	add(d.io2, d.ic1, -d.Gm)
+	add(d.io2, d.ic2, d.Gm)
+}
+
+// Inputs implements Device.
+func (d *VCCS) Inputs(t float64, u []float64) {}

@@ -1,0 +1,132 @@
+package circuit
+
+// MOSFET is a three-terminal square-law (level-1, Shichman–Hodges) MOS
+// transistor without charge storage: enough device realism for oscillator
+// cores (cross-coupled pairs, Colpitts) while keeping the DAE charge terms
+// in the reactive elements where the multi-time analyses expect them.
+//
+//	cutoff     Vgs ≤ Vt:          Id = 0
+//	triode     Vds < Vgs − Vt:    Id = K·((Vgs−Vt)·Vds − Vds²/2)·(1+λVds)
+//	saturation Vds ≥ Vgs − Vt:    Id = (K/2)·(Vgs−Vt)²·(1+λVds)
+//
+// Drain–source symmetry is honoured by terminal swapping for Vds < 0.
+// PMOS devices are modelled by polarity reversal (set PMOS).
+type MOSFET struct {
+	name       string
+	nd, ng, ns string
+	id, ig, is int
+
+	K      float64 // transconductance parameter (A/V²)
+	Vt     float64 // threshold voltage
+	Lambda float64 // channel-length modulation (1/V)
+	PMOS   bool
+}
+
+// NewNMOS creates an n-channel square-law transistor (drain, gate, source).
+func NewNMOS(name, d, g, s string, k, vt, lambda float64) *MOSFET {
+	return &MOSFET{name: name, nd: d, ng: g, ns: s, K: k, Vt: vt, Lambda: lambda}
+}
+
+// NewPMOS creates a p-channel square-law transistor.
+func NewPMOS(name, d, g, s string, k, vt, lambda float64) *MOSFET {
+	m := NewNMOS(name, d, g, s, k, vt, lambda)
+	m.PMOS = true
+	return m
+}
+
+// Name implements Device.
+func (m *MOSFET) Name() string { return m.name }
+
+// Nodes implements Device.
+func (m *MOSFET) Nodes() []string { return []string{m.nd, m.ng, m.ns} }
+
+// NumExtra implements Device.
+func (m *MOSFET) NumExtra() int { return 0 }
+
+// NumInputs implements Device.
+func (m *MOSFET) NumInputs() int { return 0 }
+
+// Bind implements Device.
+func (m *MOSFET) Bind(nodes []int, extraBase, inputBase int) {
+	m.id, m.ig, m.is = nodes[0], nodes[1], nodes[2]
+}
+
+// ids evaluates the drain current (positive into the drain for NMOS with
+// Vds ≥ 0) and its partial derivatives w.r.t. the *swapped, polarity-
+// corrected* Vgs and Vds.
+func (m *MOSFET) ids(vgs, vds float64) (id, gm, gds float64) {
+	vov := vgs - m.Vt
+	if vov <= 0 {
+		return 0, 0, 0
+	}
+	clm := 1 + m.Lambda*vds
+	if vds < vov {
+		// Triode.
+		id = m.K * (vov*vds - vds*vds/2) * clm
+		gm = m.K * vds * clm
+		gds = m.K*(vov-vds)*clm + m.K*(vov*vds-vds*vds/2)*m.Lambda
+		return
+	}
+	// Saturation.
+	id = 0.5 * m.K * vov * vov * clm
+	gm = m.K * vov * clm
+	gds = 0.5 * m.K * vov * vov * m.Lambda
+	return
+}
+
+// terminal evaluates the current into the drain terminal and the Jacobian
+// entries, handling polarity and drain/source swap.
+func (m *MOSFET) terminal(x []float64) (iD float64, dID [3]float64) {
+	vd, vg, vs := vAt(x, m.id), vAt(x, m.ig), vAt(x, m.is)
+	if m.PMOS {
+		vd, vg, vs = -vd, -vg, -vs
+	}
+	swap := false
+	if vd < vs {
+		vd, vs = vs, vd
+		swap = true
+	}
+	id, gm, gds := m.ids(vg-vs, vd-vs)
+	// Derivatives w.r.t. the (possibly negated) original (vd, vg, vs).
+	dd := gds
+	dg := gm
+	ds := -gm - gds
+	if swap {
+		// The device conducts source→drain; roles of d and s exchange.
+		id = -id
+		dd, ds = gm+gds, -gds
+		dg = -gm
+	}
+	if m.PMOS {
+		// i_P(v) = −i_N(−v): the current flips sign, and the two sign
+		// flips cancel in the derivatives, which pass through unchanged.
+		id = -id
+	}
+	return id, [3]float64{dd, dg, ds}
+}
+
+// StampQ implements Device (no charge storage).
+func (m *MOSFET) StampQ(x, q []float64) {}
+
+// StampF implements Device.
+func (m *MOSFET) StampF(x, u, f []float64) {
+	iD, _ := m.terminal(x)
+	accum(f, m.id, iD)
+	accum(f, m.is, -iD)
+}
+
+// StampJQ implements Device.
+func (m *MOSFET) StampJQ(x []float64, add Stamper) {}
+
+// StampJF implements Device.
+func (m *MOSFET) StampJF(x, u []float64, add Stamper) {
+	_, d := m.terminal(x)
+	nodes := [3]int{m.id, m.ig, m.is}
+	for c, idx := range nodes {
+		add(m.id, idx, d[c])
+		add(m.is, idx, -d[c])
+	}
+}
+
+// Inputs implements Device.
+func (m *MOSFET) Inputs(t float64, u []float64) {}

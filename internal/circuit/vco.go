@@ -1,0 +1,122 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+)
+
+// VCOParams collects the component values of the paper's §5 VCO: an LC tank
+// in parallel with a cubic negative-resistance conductor and the MEMS
+// varactor. The defaults are calibrated (see DESIGN.md, EXPERIMENTS.md) so
+// that at the initial control voltage of 1.5 V the oscillator runs at about
+// 0.75 MHz, and the sinusoidal control sweep modulates the local frequency
+// by a factor of ≈3 in the vacuum configuration — Figure 7's behaviour.
+type VCOParams struct {
+	L     float64 // tank inductance
+	ESR   float64 // inductor series resistance (makes amplitude track ω, Figure 8)
+	G1    float64 // negative small-signal conductance of the nonlinear resistor
+	G3    float64 // cubic coefficient
+	C0    float64 // varactor capacitance at rest
+	D0    float64 // varactor rest gap (displacement scale)
+	M     float64 // plate mass
+	B     float64 // plate damping (vacuum vs air knob)
+	K     float64 // plate spring constant
+	Gamma float64 // control force coefficient, F = Gamma·Vc²
+	VCtl  Waveform
+}
+
+// VCONominalFreq is the target unforced oscillation frequency at the
+// initial 1.5 V control, per §5 ("initial frequency of about 0.75 MHz").
+const VCONominalFreq = 0.75e6
+
+// vcoMechRes is the plate's mechanical resonance. It is kept well above
+// the control rate so the lightly damped vacuum plate tracks the control
+// quasi-statically instead of ringing toward gap collapse.
+const vcoMechRes = 500e3
+
+// DefaultVCOParams returns the vacuum-cavity configuration of Figures 7–9:
+// lightly damped plate, control period 30× the nominal oscillation period.
+func DefaultVCOParams() VCOParams {
+	const (
+		l     = 10e-6
+		fMin  = 0.55e6 // oscillation frequency at u = 0 (C = C0)
+		zeta  = 0.1    // vacuum damping ratio
+		k     = 1.0
+		d0    = 1.0
+		gamma = 0.382 // calibrated: u(1.5 V) gives 0.75 MHz
+	)
+	wMin := 2 * math.Pi * fMin
+	c0 := 1 / (wMin * wMin * l)
+	m := k / math.Pow(2*math.Pi*vcoMechRes, 2)
+	b := 2 * zeta * math.Sqrt(k*m)
+	ctlPeriod := 30.0 / VCONominalFreq // §5: control period 30× nominal cycle
+	return VCOParams{
+		L: l, ESR: 5, G1: -10e-3, G3: 3.3e-3,
+		C0: c0, D0: d0, M: m, B: b, K: k, Gamma: gamma,
+		VCtl: Sine(1.5, 3.3, 1/ctlPeriod, 0),
+	}
+}
+
+// AirVCOParams returns the modified VCO of Figures 10–12: the cavity is
+// air-filled (overdamped plate, settling time ≈0.2 ms) and the control
+// voltage is swept about 1000× slower than the nominal oscillation (1 ms
+// period, §5).
+func AirVCOParams() VCOParams {
+	p := DefaultVCOParams()
+	p.B = 2e-4 // overdamped: slow mechanical pole K/B = 5·10³ s⁻¹
+	p.VCtl = Sine(1.5, 3.3, 1e3, 0)
+	return p
+}
+
+// VCO is the compiled paper circuit with handles to the interesting
+// quantities.
+type VCO struct {
+	*System
+	Params   VCOParams
+	TankNode int // state index of the capacitor (tank) voltage
+	Varactor *MEMSVaractor
+	Ind      *Inductor
+}
+
+// NewVCO builds the §5 VCO from the given parameters.
+func NewVCO(p VCOParams) (*VCO, error) {
+	if p.VCtl == nil {
+		return nil, fmt.Errorf("circuit: VCO needs a control waveform")
+	}
+	c := New()
+	ind := NewInductor("L1", "tank", Ground, p.L, p.ESR)
+	if err := c.Add(ind); err != nil {
+		return nil, err
+	}
+	if err := c.Add(NewCubicConductor("GN1", "tank", Ground, p.G1, p.G3)); err != nil {
+		return nil, err
+	}
+	varac := NewMEMSVaractor("CV1", "tank", Ground, p.C0, p.D0, p.M, p.B, p.K, p.Gamma, p.VCtl)
+	if err := c.Add(varac); err != nil {
+		return nil, err
+	}
+	c.SetOscVar("tank")
+	sys, err := c.Build()
+	if err != nil {
+		return nil, err
+	}
+	tank, err := sys.NodeIndex("tank")
+	if err != nil {
+		return nil, err
+	}
+	return &VCO{System: sys, Params: p, TankNode: tank, Varactor: varac, Ind: ind}, nil
+}
+
+// FreqAtDisplacement returns the small-signal LC resonance frequency for a
+// plate displacement u — the design-equation estimate of the local
+// frequency, f(u) ≈ 1/(2π·sqrt(L·C(u))).
+func (v *VCO) FreqAtDisplacement(u float64) float64 {
+	c := v.Varactor.Capacitance(u)
+	return 1 / (2 * math.Pi * math.Sqrt(v.Params.L*c))
+}
+
+// StaticDisplacement returns the equilibrium plate displacement for a DC
+// control voltage: u = Gamma·Vc²/K.
+func (v *VCO) StaticDisplacement(vc float64) float64 {
+	return v.Params.Gamma * vc * vc / v.Params.K
+}

@@ -1,0 +1,68 @@
+package circuit
+
+import (
+	"math"
+	"sort"
+)
+
+// Waveform is a scalar source waveform.
+type Waveform func(t float64) float64
+
+// DC returns a constant waveform.
+func DC(v float64) Waveform { return func(float64) float64 { return v } }
+
+// Sine returns offset + amp·sin(2πf·t + phase).
+func Sine(offset, amp, freq, phase float64) Waveform {
+	return func(t float64) float64 {
+		return offset + amp*math.Sin(2*math.Pi*freq*t+phase)
+	}
+}
+
+// Pulse returns a periodic trapezoidal pulse: v1 base, v2 top, with the
+// given delay, rise, width (of the top), fall and period.
+func Pulse(v1, v2, delay, rise, width, fall, period float64) Waveform {
+	return func(t float64) float64 {
+		if t < delay {
+			return v1
+		}
+		tt := math.Mod(t-delay, period)
+		switch {
+		case tt < rise:
+			if rise == 0 {
+				return v2
+			}
+			return v1 + (v2-v1)*tt/rise
+		case tt < rise+width:
+			return v2
+		case tt < rise+width+fall:
+			if fall == 0 {
+				return v1
+			}
+			return v2 + (v1-v2)*(tt-rise-width)/fall
+		default:
+			return v1
+		}
+	}
+}
+
+// PWL returns a piecewise-linear waveform through (t_i, v_i) points,
+// clamping outside the range. Times must be strictly increasing.
+func PWL(ts, vs []float64) Waveform {
+	t := append([]float64(nil), ts...)
+	v := append([]float64(nil), vs...)
+	return func(x float64) float64 {
+		n := len(t)
+		if n == 0 {
+			return 0
+		}
+		if x <= t[0] {
+			return v[0]
+		}
+		if x >= t[n-1] {
+			return v[n-1]
+		}
+		i := sort.SearchFloat64s(t, x)
+		w := (x - t[i-1]) / (t[i] - t[i-1])
+		return (1-w)*v[i-1] + w*v[i]
+	}
+}

@@ -1,0 +1,544 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dae"
+	"repro/internal/fourier"
+	"repro/internal/krylov"
+	"repro/internal/la"
+	"repro/internal/newton"
+)
+
+// LinearKind selects the linear solver used inside the per-step Newton
+// iterations.
+type LinearKind int
+
+const (
+	// LinearDenseLU assembles the dense bordered Jacobian and factors it
+	// (the right default at the paper's problem sizes).
+	LinearDenseLU LinearKind = iota
+	// LinearGMRES solves the Jacobian system with restarted GMRES and a
+	// block-Jacobi preconditioner — the paper's §1/§4 "iterative linear
+	// techniques [Saa96]" path for large systems.
+	LinearGMRES
+)
+
+// EnvelopeOptions configures the envelope-following WaMPDE solver.
+type EnvelopeOptions struct {
+	N1       int        // t1 collocation points, default 25
+	H2       float64    // t2 step (required)
+	Trap     bool       // trapezoidal (instead of BE) t2 integration
+	Phase    PhaseKind  // default PhaseDerivativeZero
+	Anchor   float64    // value for PhaseFixValue
+	Linear   LinearKind // default LinearDenseLU
+	Newton   newton.Options
+	GMRESTol float64 // default 1e-10
+	// Adaptive enables local-error control of the t2 step: H2 becomes the
+	// initial (and maximum) step, shrunk and regrown against RelTol/AbsTol.
+	Adaptive bool
+	RelTol   float64 // default 1e-4
+	AbsTol   float64 // default 1e-7
+	// OnStep, if non-nil, observes each accepted t2 point; returning false
+	// stops the run early.
+	OnStep func(t2, omega float64, xhat []float64) bool
+}
+
+func (o EnvelopeOptions) withDefaults() EnvelopeOptions {
+	if o.N1 <= 0 {
+		o.N1 = 25
+	}
+	if o.Newton.MaxIter <= 0 {
+		o.Newton.MaxIter = 30
+	}
+	if o.Newton.TolF <= 0 {
+		// Residual rows are normalized by their own scale (see stepScales),
+		// so this is a relative tolerance.
+		o.Newton.TolF = 1e-8
+	}
+	if o.GMRESTol <= 0 {
+		o.GMRESTol = 1e-10
+	}
+	if o.RelTol <= 0 {
+		o.RelTol = 1e-4
+	}
+	if o.AbsTol <= 0 {
+		o.AbsTol = 1e-7
+	}
+	// Newton damping is cheap insurance against waveform reshaping within a
+	// step; the full step is still taken first when it already reduces the
+	// residual.
+	o.Newton.Damping = true
+	return o
+}
+
+// Envelope integrates the WaMPDE (16) in t2 from the initial bivariate
+// waveform xhat0 (N1·n samples, x̂(t1_j, 0)) and initial frequency omega0,
+// over t2 ∈ [0, t2End]. The system must be autonomous (its OscVar picks the
+// phase-condition variable k); inputs are evaluated at t2, per eq. (16)'s
+// b(t2).
+func Envelope(sys dae.Autonomous, xhat0 []float64, omega0, t2End float64, opt EnvelopeOptions) (*EnvelopeResult, error) {
+	opt = opt.withDefaults()
+	n := sys.Dim()
+	n1 := opt.N1
+	if len(xhat0) != n1*n {
+		return nil, fmt.Errorf("core: len(xhat0)=%d, want N1·n=%d", len(xhat0), n1*n)
+	}
+	if opt.H2 <= 0 {
+		return nil, errors.New("core: EnvelopeOptions.H2 must be positive")
+	}
+	if t2End <= 0 {
+		return nil, errors.New("core: t2End must be positive")
+	}
+	if omega0 <= 0 {
+		return nil, errors.New("core: omega0 must be positive")
+	}
+	k := sys.OscVar()
+	if k < 0 || k >= n {
+		return nil, ErrNeedOscillation
+	}
+	w, c, err := phaseRow(opt.Phase, n1, opt.Anchor)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Phase == PhaseFixValue {
+		// Anchor must be consistent with the IC to avoid a phase jump.
+		c = xhat0[0*n+k]
+	}
+
+	asm := newEnvAssembler(sys, n1, n, k, w, c, opt)
+	res := &EnvelopeResult{N1: n1, N: n}
+	record := func(t2, omega float64, x []float64) bool {
+		res.T2 = append(res.T2, t2)
+		res.Omega = append(res.Omega, omega)
+		res.X = append(res.X, append([]float64(nil), x...))
+		if len(res.Phi) == 0 {
+			res.Phi = append(res.Phi, 0)
+		} else {
+			kk := len(res.T2) - 1
+			h := res.T2[kk] - res.T2[kk-1]
+			res.Phi = append(res.Phi, res.Phi[kk-1]+h*(res.Omega[kk]+res.Omega[kk-1])/2)
+		}
+		if opt.OnStep != nil {
+			return opt.OnStep(t2, omega, x)
+		}
+		return true
+	}
+
+	t2 := 0.0
+	x := append([]float64(nil), xhat0...)
+	omega := omega0
+	if !record(t2, omega, x) {
+		return res, nil
+	}
+	h := opt.H2
+	hMin := opt.H2 / 1024
+	endTol := 1e-12 * t2End
+	stepIdx := 0
+	sinceGrow := 0
+	// Previous accepted point, for the adaptive predictor.
+	var t2Prev, omegaPrev float64
+	var xPrev []float64
+	havePrev := false
+	for t2End-t2 > endTol {
+		if t2+h > t2End {
+			h = t2End - t2
+		}
+		xNew := append([]float64(nil), x...)
+		omegaNew := omega
+		// Damp startup with Backward Euler: if the initial waveform does
+		// not satisfy the phase condition exactly, the snap would otherwise
+		// seed an undamped even/odd ringing of ω under the trapezoidal rule.
+		useTrap := opt.Trap && stepIdx >= 2
+		iters, err := asm.step(t2, h, x, omega, xNew, &omegaNew, useTrap)
+		res.NewtonIterTotal += iters
+		res.LinearSolves += iters
+		if err != nil {
+			// Newton can stall when the waveform reshapes quickly within
+			// one step (e.g. the control sweeping through its extreme);
+			// halve the step and retry, growing back gradually afterwards.
+			if h <= hMin {
+				return res, fmt.Errorf("core: envelope step at t2=%.6g failed at minimum step: %w", t2, err)
+			}
+			h /= 2
+			sinceGrow = 0
+			continue
+		}
+		if opt.Adaptive && havePrev && stepIdx >= 2 {
+			errNorm := envelopeLTE(x, xNew, xPrev, omega, omegaNew, omegaPrev,
+				t2, t2Prev, h, opt.AbsTol, opt.RelTol)
+			if errNorm > 1 && h > hMin {
+				res.Rejected++
+				fac := 0.9 * math.Pow(1/errNorm, 1.0/3)
+				h = math.Max(h*math.Max(fac, 0.2), hMin)
+				sinceGrow = 0
+				continue
+			}
+			// Accept; propose the next step within [hMin, H2].
+			fac := 2.0
+			if errNorm > 0 {
+				fac = math.Min(0.9*math.Pow(1/errNorm, 1.0/3), 2)
+			}
+			if xPrev == nil {
+				xPrev = make([]float64, len(x))
+			}
+			copy(xPrev, x)
+			t2Prev, omegaPrev = t2, omega
+			havePrev = true
+			t2 += h
+			stepIdx++
+			copy(x, xNew)
+			omega = omegaNew
+			if !record(t2, omega, x) {
+				return res, nil
+			}
+			h = math.Min(math.Max(h*fac, hMin), opt.H2)
+			continue
+		}
+		if xPrev == nil {
+			xPrev = make([]float64, len(x))
+		}
+		copy(xPrev, x)
+		t2Prev, omegaPrev = t2, omega
+		havePrev = true
+		t2 += h
+		stepIdx++
+		copy(x, xNew)
+		omega = omegaNew
+		if !record(t2, omega, x) {
+			return res, nil
+		}
+		if h < opt.H2 {
+			sinceGrow++
+			if sinceGrow >= 4 {
+				h = math.Min(2*h, opt.H2)
+				sinceGrow = 0
+			}
+		}
+	}
+	return res, nil
+}
+
+// envelopeLTE estimates the local truncation error of an accepted step by
+// comparing the implicit solution with linear extrapolation through the two
+// previous points, weighted by AbsTol/RelTol (≤1 accepts). ω is included as
+// an additional component: frequency error is what integrates into phase
+// error, the quantity the WaMPDE exists to control.
+func envelopeLTE(xOld, xNew, xPrev []float64, omegaOld, omegaNew, omegaPrev,
+	t2, t2Prev, h, atol, rtol float64) float64 {
+	r := h / (t2 - t2Prev)
+	worst := 0.0
+	acc := 0.0
+	cnt := 0
+	for i := range xNew {
+		pred := xOld[i] + r*(xOld[i]-xPrev[i])
+		w := atol + rtol*math.Abs(xNew[i])
+		d := (xNew[i] - pred) / w
+		acc += d * d
+		cnt++
+	}
+	predW := omegaOld + r*(omegaOld-omegaPrev)
+	dw := (omegaNew - predW) / (atol + rtol*math.Abs(omegaNew))
+	acc += dw * dw
+	cnt++
+	worst = math.Sqrt(acc/float64(cnt)) / 2 // ÷2: the predictor is first order
+	return worst
+}
+
+// envAssembler evaluates and solves one implicit t2 step of the WaMPDE.
+// Unknowns z = [x̂ samples (N1·n); ω]; equations: N1·n collocation rows
+// plus the phase row. Collocation row (j, i), Backward Euler:
+//
+//	ω·Σ_m D[j,m]·q_i(x_m) + (q_i(x_j) − q_i(x_jᵖʳᵉᵛ))/h + f_i(x_j, u) = 0
+//
+// and for trapezoidal t2 integration the ω·D·q and f terms are averaged
+// between the two time levels.
+type envAssembler struct {
+	sys    dae.Autonomous
+	n1     int
+	n      int
+	k      int
+	w      []float64 // phase-row weights
+	c      float64
+	opt    EnvelopeOptions
+	d      []float64 // spectral differentiation matrix (period 1)
+	u      []float64
+	qPrev  []float64 // q at the previous time level
+	rhsOld []float64 // ω·D·q + f at the previous level (Trap)
+	scale  []float64 // per-row residual scales
+	jq     *la.Dense
+	jf     *la.Dense
+
+	// Reused per-step scratch (hot path).
+	qBuf   []float64
+	fBuf   []float64
+	z      []float64
+	qNew   []float64
+	rhsNew []float64
+	jj     *la.Dense
+}
+
+func newEnvAssembler(sys dae.Autonomous, n1, n, k int, w []float64, c float64, opt EnvelopeOptions) *envAssembler {
+	return &envAssembler{
+		sys: sys, n1: n1, n: n, k: k, w: w, c: c, opt: opt,
+		d:      fourier.DiffMatrix(n1),
+		u:      make([]float64, sys.NumInputs()),
+		qPrev:  make([]float64, n1*n),
+		rhsOld: make([]float64, n1*n),
+		scale:  make([]float64, n1*n+1),
+		jq:     la.NewDense(n, n),
+		jf:     la.NewDense(n, n),
+		qBuf:   make([]float64, n1*n),
+		fBuf:   make([]float64, n),
+		z:      make([]float64, n1*n+1),
+		qNew:   make([]float64, n1*n),
+		rhsNew: make([]float64, n1*n),
+		jj:     la.NewDense(n1*n+1, n1*n+1),
+	}
+}
+
+// sampleQ evaluates q at all collocation points into out.
+func (a *envAssembler) sampleQ(z, out []float64) {
+	for j := 0; j < a.n1; j++ {
+		a.sys.Q(z[j*a.n:(j+1)*a.n], out[j*a.n:(j+1)*a.n])
+	}
+}
+
+// dTimesQ computes (D⊗I)·q into out given sampled q.
+func (a *envAssembler) dTimesQ(q, out []float64) {
+	n1, n := a.n1, a.n
+	for j := 0; j < n1; j++ {
+		row := a.d[j*n1 : (j+1)*n1]
+		for i := 0; i < n; i++ {
+			out[j*n+i] = 0
+		}
+		for m, wgt := range row {
+			if wgt == 0 {
+				continue
+			}
+			qm := q[m*n : (m+1)*n]
+			dst := out[j*n : (j+1)*n]
+			for i := 0; i < n; i++ {
+				dst[i] += wgt * qm[i]
+			}
+		}
+	}
+}
+
+// rhs computes ω·D·q(x) + f(x,u) into out.
+func (a *envAssembler) rhs(z []float64, omega float64, out []float64) {
+	n1, n := a.n1, a.n
+	a.sampleQ(z, a.qBuf)
+	a.dTimesQ(a.qBuf, out)
+	f := a.fBuf
+	for j := 0; j < n1; j++ {
+		a.sys.F(z[j*n:(j+1)*n], a.u, f)
+		for i := 0; i < n; i++ {
+			out[j*n+i] = omega*out[j*n+i] + f[i]
+		}
+	}
+}
+
+// step solves for (xNew, omegaNew) at t2+h given the previous level.
+func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNew []float64, omegaNew *float64, useTrap bool) (int, error) {
+	n1, n := a.n1, a.n
+	total := n1*n + 1
+	a.sys.Input(t2, a.u)
+	a.sampleQ(xOld, a.qPrev)
+	theta := 1.0 // BE
+	if useTrap {
+		theta = 0.5
+		a.rhs(xOld, omegaOld, a.rhsOld)
+	}
+	a.sys.Input(t2+h, a.u)
+
+	// Residual scales from the previous level, so the Newton tolerance is
+	// effectively relative per row.
+	rhsNow := make([]float64, n1*n)
+	a.rhs(xOld, omegaOld, rhsNow)
+	maxScale := 0.0
+	for j := 0; j < n1*n; j++ {
+		s := abs(a.qPrev[j])/h + abs(rhsNow[j])
+		a.scale[j] = s
+		if s > maxScale {
+			maxScale = s
+		}
+	}
+	// Relative floor: algebraic rows (KCL at chargeless nodes, source
+	// branches) have near-zero residual at the previous solution; scaling
+	// them by that residual would make the relative tolerance unreachable.
+	floor := 1e-6 * maxScale
+	if floor == 0 {
+		floor = 1
+	}
+	for j := 0; j < n1*n; j++ {
+		if a.scale[j] < floor {
+			a.scale[j] = floor
+		}
+	}
+	sPhase := 0.0
+	for j := 0; j < n1; j++ {
+		sPhase += abs(a.w[j]) * (1 + abs(xOld[j*n+a.k]))
+	}
+	if sPhase == 0 {
+		sPhase = 1
+	}
+	a.scale[n1*n] = sPhase
+
+	z := a.z
+	copy(z, xNew)
+	z[n1*n] = *omegaNew
+
+	qNew := a.qNew
+	rhsNew := a.rhsNew
+	eval := func(z, r []float64) error {
+		omega := z[n1*n]
+		a.sampleQ(z[:n1*n], qNew)
+		a.rhs(z[:n1*n], omega, rhsNew)
+		for j := 0; j < n1*n; j++ {
+			v := (qNew[j]-a.qPrev[j])/h + theta*rhsNew[j]
+			if useTrap {
+				v += (1 - theta) * a.rhsOld[j]
+			}
+			r[j] = v / a.scale[j]
+		}
+		ph := -a.c
+		for j := 0; j < n1; j++ {
+			ph += a.w[j] * z[j*n+a.k]
+		}
+		r[n1*n] = ph / a.scale[n1*n]
+		return nil
+	}
+	jac := func(z []float64) (newton.LinearSolve, error) {
+		jj := a.assembleJacobian(z, h, theta)
+		switch a.opt.Linear {
+		case LinearGMRES:
+			// Harmonic (averaged-Jacobian, block-circulant) preconditioner:
+			// the frequency-domain workhorse that makes the iterative path
+			// scale — see internal/core/precond.go.
+			prec, err := a.newHarmonicPrec(z[:n1*n], z[n1*n], h, theta)
+			if err != nil {
+				return nil, err
+			}
+			return gmresSolver{op: krylov.DenseOp{M: jj}, prec: prec, tol: a.opt.GMRESTol}, nil
+		default:
+			return la.FactorLU(jj)
+		}
+	}
+	// Modified Newton: the Jacobian changes little within one t2 step, so
+	// factor once per step and reuse the factors for every iteration. If
+	// the chord iteration stalls (waveform reshaping quickly), retry with a
+	// fresh factorization per iteration before giving up.
+	var cached newton.LinearSolve
+	jacCached := func(z []float64) (newton.LinearSolve, error) {
+		if cached != nil {
+			return cached, nil
+		}
+		lin, err := jac(z)
+		if err != nil {
+			return nil, err
+		}
+		cached = lin
+		return lin, nil
+	}
+	chordOpts := a.opt.Newton
+	chordOpts.MaxIter = 3 * a.opt.Newton.MaxIter
+	resN, err := newton.Solve(newton.Problem{N: total, Eval: eval, Jacobian: jacCached}, z, chordOpts)
+	iters := resN.Iterations
+	if err != nil {
+		copy(z, xNew)
+		z[n1*n] = *omegaNew
+		resN, err = newton.Solve(newton.Problem{N: total, Eval: eval, Jacobian: jac}, z, a.opt.Newton)
+		iters += resN.Iterations
+	}
+	if err != nil {
+		return iters, err
+	}
+	if z[n1*n] <= 0 {
+		return iters, errors.New("core: local frequency went non-positive")
+	}
+	copy(xNew, z[:n1*n])
+	*omegaNew = z[n1*n]
+	return iters, nil
+}
+
+// assembleJacobian builds the scaled, bordered Jacobian of the step system.
+func (a *envAssembler) assembleJacobian(z []float64, h, theta float64) *la.Dense {
+	n1, n := a.n1, a.n
+	total := n1*n + 1
+	omega := z[n1*n]
+	jj := a.jj
+	jj.Zero()
+	q := a.qBuf
+	a.sampleQ(z[:n1*n], q)
+	dq := a.rhsNew // reused as D·q scratch; rewritten on the next eval
+	a.dTimesQ(q, dq)
+
+	for m := 0; m < n1; m++ {
+		xm := z[m*n : (m+1)*n]
+		a.sys.JQ(xm, a.jq)
+		a.sys.JF(xm, a.u, a.jf)
+		// ω·D coupling: rows (j,·) pick up θ·ω·D[j,m]·JQ(x_m).
+		for j := 0; j < n1; j++ {
+			wgt := theta * omega * a.d[j*n1+m]
+			if wgt == 0 {
+				continue
+			}
+			for r := 0; r < n; r++ {
+				row := jj.Row(j*n + r)
+				jqRow := a.jq.Row(r)
+				for cc := 0; cc < n; cc++ {
+					row[m*n+cc] += wgt * jqRow[cc]
+				}
+			}
+		}
+		// Diagonal block: JQ/h + θ·JF.
+		for r := 0; r < n; r++ {
+			row := jj.Row(m*n + r)
+			jqRow := a.jq.Row(r)
+			jfRow := a.jf.Row(r)
+			for cc := 0; cc < n; cc++ {
+				row[m*n+cc] += jqRow[cc]/h + theta*jfRow[cc]
+			}
+		}
+	}
+	// ∂/∂ω column: θ·D·q.
+	for j := 0; j < n1*n; j++ {
+		jj.Set(j, n1*n, theta*dq[j])
+	}
+	// Phase row.
+	for j := 0; j < n1; j++ {
+		jj.Set(n1*n, j*n+a.k, a.w[j])
+	}
+	// Row scaling to match the scaled residual.
+	for r := 0; r < total; r++ {
+		row := jj.Row(r)
+		s := a.scale[r]
+		for cc := range row {
+			row[cc] /= s
+		}
+	}
+	return jj
+}
+
+// gmresSolver adapts GMRES to the newton.LinearSolve interface.
+type gmresSolver struct {
+	op   krylov.Operator
+	prec krylov.Preconditioner
+	tol  float64
+}
+
+func (g gmresSolver) Solve(b, x []float64) {
+	la.Fill(x, 0)
+	// Best effort: Newton treats a poor direction as any other and damps.
+	_, _ = krylov.GMRES(g.op, b, x, krylov.Options{Tol: g.tol, Prec: g.prec, MaxIter: 400})
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dae"
+	"repro/internal/fourier"
+	"repro/internal/la"
+	"repro/internal/newton"
+)
+
+// QPOptions configures the quasiperiodic WaMPDE solver of §4.1.
+type QPOptions struct {
+	N1, N2 int       // grid sizes, defaults 15×15
+	Phase  PhaseKind // default PhaseDerivativeZero
+	Anchor float64
+	Newton newton.Options
+}
+
+func (o QPOptions) withDefaults() QPOptions {
+	if o.N1 <= 0 {
+		o.N1 = 15
+	}
+	if o.N2 <= 0 {
+		o.N2 = 15
+	}
+	if o.Newton.MaxIter <= 0 {
+		o.Newton.MaxIter = 40
+	}
+	if o.Newton.TolF <= 0 {
+		o.Newton.TolF = 1e-8
+	}
+	return o
+}
+
+// QPGuess is the initial iterate for Quasiperiodic: the bivariate grid and
+// the slow-time frequency samples.
+type QPGuess struct {
+	X     [][][]float64 // [N2][N1][n]
+	Omega []float64     // [N2]
+}
+
+// GuessFromEnvelope builds a QP guess by sampling the trailing T2-long
+// window of an envelope run (which, after its transient settles, is the
+// quasiperiodic solution).
+func GuessFromEnvelope(res *EnvelopeResult, t2Period float64, n1, n2 int) (*QPGuess, error) {
+	if len(res.T2) < 2 {
+		return nil, errors.New("core: envelope result too short for a QP guess")
+	}
+	tEnd := res.T2[len(res.T2)-1]
+	t0 := tEnd - t2Period
+	if t0 < res.T2[0] {
+		return nil, fmt.Errorf("core: envelope run (%.3g) shorter than one slow period (%.3g)", tEnd-res.T2[0], t2Period)
+	}
+	g := &QPGuess{X: make([][][]float64, n2), Omega: make([]float64, n2)}
+	n := res.N
+	for j2 := 0; j2 < n2; j2++ {
+		tt := t0 + t2Period*float64(j2)/float64(n2)
+		g.Omega[j2] = res.OmegaAt(tt)
+		g.X[j2] = make([][]float64, n1)
+		// Align phases: shift each slice so the envelope's warping phase at
+		// tt maps t1=0 consistently (the phase condition re-pins it anyway).
+		k := res.segment(tt)
+		s := (tt - res.T2[k]) / (res.T2[k+1] - res.T2[k])
+		for j1 := 0; j1 < n1; j1++ {
+			tau := float64(j1) / float64(n1)
+			g.X[j2][j1] = make([]float64, n)
+			for i := 0; i < n; i++ {
+				v0 := fourier.Interpolate(res.Slice(k, i), tau)
+				v1 := fourier.Interpolate(res.Slice(k+1, i), tau)
+				g.X[j2][j1][i] = (1-s)*v0 + s*v1
+			}
+		}
+	}
+	return g, nil
+}
+
+// Quasiperiodic solves the WaMPDE with periodic boundary conditions on both
+// axes (§4.1): x̂ is (1, T2)-periodic and ω(t2) is T2-periodic. The forcing
+// inputs must be T2-periodic. guess supplies the initial iterate (required:
+// the trivial equilibrium always solves the system).
+func Quasiperiodic(sys dae.Autonomous, t2Period float64, guess *QPGuess, opt QPOptions) (*QPResult, error) {
+	opt = opt.withDefaults()
+	if t2Period <= 0 {
+		return nil, errors.New("core: T2 must be positive")
+	}
+	if guess == nil {
+		return nil, errors.New("core: Quasiperiodic requires an initial guess")
+	}
+	n := sys.Dim()
+	N1, N2 := opt.N1, opt.N2
+	if len(guess.X) != N2 || len(guess.X[0]) != N1 || len(guess.Omega) != N2 {
+		return nil, fmt.Errorf("core: guess shape mismatch (want %dx%d grid with %d omegas)", N1, N2, N2)
+	}
+	k := sys.OscVar()
+	if k < 0 || k >= n {
+		return nil, ErrNeedOscillation
+	}
+	w, c, err := phaseRow(opt.Phase, N1, opt.Anchor)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Phase == PhaseFixValue {
+		c = guess.X[0][0][k]
+	}
+
+	nx := N1 * N2 * n // state unknowns; then N2 omegas
+	total := nx + N2
+	z := make([]float64, total)
+	for j2 := 0; j2 < N2; j2++ {
+		for j1 := 0; j1 < N1; j1++ {
+			copy(z[qpIdx(j1, j2, 0, n, N1):qpIdx(j1, j2, 0, n, N1)+n], guess.X[j2][j1])
+		}
+		z[nx+j2] = guess.Omega[j2]
+	}
+
+	us := make([][]float64, N2)
+	for j2 := 0; j2 < N2; j2++ {
+		us[j2] = make([]float64, sys.NumInputs())
+		sys.Input(t2Period*float64(j2)/float64(N2), us[j2])
+	}
+	d1 := fourier.DiffMatrix(N1)
+	d2 := fourier.DiffMatrix(N2)
+
+	q := make([]float64, nx)
+	scr := make([]float64, n)
+	computeQ := func(z []float64) {
+		for p := 0; p < N1*N2; p++ {
+			sys.Q(z[p*n:(p+1)*n], q[p*n:(p+1)*n])
+		}
+	}
+
+	rawResidual := func(z, r []float64) {
+		computeQ(z)
+		for j2 := 0; j2 < N2; j2++ {
+			omega := z[nx+j2]
+			for j1 := 0; j1 < N1; j1++ {
+				base := qpIdx(j1, j2, 0, n, N1)
+				sys.F(z[base:base+n], us[j2], scr)
+				for i := 0; i < n; i++ {
+					acc := scr[i]
+					for m := 0; m < N1; m++ {
+						if wgt := d1[j1*N1+m]; wgt != 0 {
+							acc += omega * wgt * q[qpIdx(m, j2, i, n, N1)]
+						}
+					}
+					for m := 0; m < N2; m++ {
+						if wgt := d2[j2*N2+m]; wgt != 0 {
+							acc += wgt / t2Period * q[qpIdx(j1, m, i, n, N1)]
+						}
+					}
+					r[base+i] = acc
+				}
+			}
+			ph := -c
+			for j1 := 0; j1 < N1; j1++ {
+				ph += w[j1] * z[qpIdx(j1, j2, k, n, N1)]
+			}
+			r[nx+j2] = ph
+		}
+	}
+
+	// Row scales from the guess, making Newton's tolerance relative.
+	scale := make([]float64, total)
+	{
+		r0 := make([]float64, total)
+		rawResidual(z, r0)
+		computeQ(z)
+		maxScale := 0.0
+		for j2 := 0; j2 < N2; j2++ {
+			omega := z[nx+j2]
+			for j1 := 0; j1 < N1; j1++ {
+				base := qpIdx(j1, j2, 0, n, N1)
+				for i := 0; i < n; i++ {
+					s := abs(r0[base+i]) + abs(omega*q[base+i])*float64(N1)/2
+					scale[base+i] = s
+					if s > maxScale {
+						maxScale = s
+					}
+				}
+			}
+			s := 0.0
+			for j1 := 0; j1 < N1; j1++ {
+				s += abs(w[j1]) * (1 + abs(z[qpIdx(j1, j2, k, n, N1)]))
+			}
+			if s == 0 {
+				s = 1
+			}
+			scale[nx+j2] = s
+		}
+		// Relative floor for algebraic rows (see the envelope solver).
+		floor := 1e-6 * maxScale
+		if floor == 0 {
+			floor = 1
+		}
+		for i := 0; i < nx; i++ {
+			if scale[i] < floor {
+				scale[i] = floor
+			}
+		}
+	}
+
+	jq := la.NewDense(n, n)
+	jf := la.NewDense(n, n)
+	eval := func(z, r []float64) error {
+		rawResidual(z, r)
+		for i := range r {
+			r[i] /= scale[i]
+		}
+		return nil
+	}
+	jac := func(z []float64) (newton.LinearSolve, error) {
+		jj := la.NewDense(total, total)
+		computeQ(z)
+		for j2 := 0; j2 < N2; j2++ {
+			for j1 := 0; j1 < N1; j1++ {
+				base := qpIdx(j1, j2, 0, n, N1)
+				x := z[base : base+n]
+				sys.JQ(x, jq)
+				sys.JF(x, us[j2], jf)
+				// This point's q enters rows along its t1 line (weight
+				// ω_{j2}·D1, same slow index) and its t2 line (D2/T2).
+				for m := 0; m < N1; m++ {
+					wgt := z[nx+j2] * d1[m*N1+j1]
+					if wgt == 0 {
+						continue
+					}
+					addScaledBlock(jj, qpIdx(m, j2, 0, n, N1), base, jq, wgt)
+				}
+				for m := 0; m < N2; m++ {
+					wgt := d2[m*N2+j2] / t2Period
+					if wgt == 0 {
+						continue
+					}
+					addScaledBlock(jj, qpIdx(j1, m, 0, n, N1), base, jq, wgt)
+				}
+				addScaledBlock(jj, base, base, jf, 1)
+				// ∂/∂ω_{j2} column: D1·q along this t2 line.
+				for m := 0; m < N1; m++ {
+					rowBase := qpIdx(m, j2, 0, n, N1)
+					wgt := d1[m*N1+j1]
+					if wgt == 0 {
+						continue
+					}
+					for i := 0; i < n; i++ {
+						jj.Add(rowBase+i, nx+j2, wgt*q[base+i])
+					}
+				}
+			}
+			for j1 := 0; j1 < N1; j1++ {
+				jj.Set(nx+j2, qpIdx(j1, j2, k, n, N1), w[j1])
+			}
+		}
+		for r := 0; r < total; r++ {
+			row := jj.Row(r)
+			s := scale[r]
+			for ccc := range row {
+				row[ccc] /= s
+			}
+		}
+		return la.FactorLU(jj)
+	}
+
+	if _, err := newton.Solve(newton.Problem{N: total, Eval: eval, Jacobian: jac}, z, opt.Newton); err != nil {
+		return nil, fmt.Errorf("core: quasiperiodic solve: %w", err)
+	}
+	res := &QPResult{N1: N1, N2: N2, N: n, T2: t2Period, X: make([][][]float64, N2), Omega: make([]float64, N2)}
+	for j2 := 0; j2 < N2; j2++ {
+		res.X[j2] = make([][]float64, N1)
+		for j1 := 0; j1 < N1; j1++ {
+			base := qpIdx(j1, j2, 0, n, N1)
+			res.X[j2][j1] = append([]float64(nil), z[base:base+n]...)
+		}
+		res.Omega[j2] = z[nx+j2]
+	}
+	return res, nil
+}
+
+func qpIdx(j1, j2, i, n, N1 int) int { return (j2*N1+j1)*n + i }
+
+func addScaledBlock(jj *la.Dense, rowBase, colBase int, blk *la.Dense, w float64) {
+	for r := 0; r < blk.Rows; r++ {
+		row := jj.Row(rowBase + r)
+		brow := blk.Row(r)
+		for c := 0; c < blk.Cols; c++ {
+			row[colBase+c] += w * brow[c]
+		}
+	}
+}

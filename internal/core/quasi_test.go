@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fourier"
+)
+
+func TestQPSpectrumIsTwoToneGrid(t *testing.T) {
+	// Eq. (24): the quasiperiodic solution's spectrum consists of lines at
+	// i·ω0 + k·ω2. Fit the reconstructed waveform with the APFT on that
+	// grid and check almost nothing is left over.
+	T2 := 80.0
+	sys := testVCO(T2)
+	xhat0, omega0 := solveIC(t, sys, 15)
+	env, err := Envelope(sys, xhat0, omega0, 3*T2, EnvelopeOptions{N1: 15, H2: T2 / 150, Trap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guess, err := GuessFromEnvelope(env, T2, 15, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := Quasiperiodic(sys, T2, guess, QPOptions{N1: 15, N2: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample the reconstruction over several slow periods.
+	nS := 6000
+	ts := make([]float64, nS)
+	ys := make([]float64, nS)
+	for i := range ts {
+		ts[i] = 4 * T2 * float64(i) / float64(nS)
+		ys[i] = qp.At(0, ts[i])
+	}
+	f0 := qp.OmegaMean() // carrier line
+	f2 := 1 / T2         // slow line
+	grid := fourier.TwoToneGrid(f0, f2, 3, 25)
+	ap := fourier.NewAPFT(grid)
+	if err := ap.Fit(ts, ys); err != nil {
+		t.Fatal(err)
+	}
+	// The two-tone grid should capture nearly all signal energy.
+	total := 0.0
+	for _, v := range ys {
+		total += v * v
+	}
+	rms := math.Sqrt(total / float64(nS))
+	if resid := ap.Residual(ts, ys); resid > 0.06*rms {
+		t.Fatalf("APFT residual %v vs signal RMS %v — spectrum not on the i·ω0+k·ω2 grid", resid, rms)
+	}
+	// The carrier (i=1, k=0) line must dominate.
+	carrier := 0.0
+	for j, f := range grid {
+		if math.Abs(f-f0) < 1e-9*f0 {
+			carrier = ap.Amplitude(j)
+		}
+	}
+	if carrier < 0.5*rms {
+		t.Fatalf("carrier line amplitude %v too small vs RMS %v", carrier, rms)
+	}
+}

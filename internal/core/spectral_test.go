@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/fourier"
+)
+
+func TestSpectralMatchesCollocation(t *testing.T) {
+	// The frequency-domain formulation (eq. (19)-(20)) and the time-domain
+	// collocation are unitarily equivalent; their ω(t2) must agree.
+	T2 := 100.0
+	sys := testVCO(T2)
+	m := 12
+	n1 := 2*m + 1
+	xhat0, omega0 := solveIC(t, sys, n1)
+	// Align the IC onto Im X1 = 0 so both runs start from the same point
+	// (otherwise the collocation run's first-step phase snap leaves a
+	// slowly decaying startup difference).
+	{
+		samples := make([]float64, n1)
+		for j := 0; j < n1; j++ {
+			samples[j] = xhat0[j*sys.Dim()]
+		}
+		c := fourier.Coefficients(samples)
+		shift := -cmplx.Phase(c[(n1-1)/2+1]) / (2 * math.Pi)
+		xhat0 = ShiftBivariate(xhat0, n1, sys.Dim(), shift)
+	}
+	coll, err := Envelope(sys, xhat0, omega0, T2, EnvelopeOptions{
+		N1: n1, H2: T2 / 200, Trap: true, Phase: PhaseSpectralImag,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := SpectralEnvelope(sys, xhat0, omega0, T2, SpectralOptions{
+		M: m, H2: T2 / 200, Trap: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.T2) != len(coll.T2) {
+		t.Fatalf("step counts differ: %d vs %d", len(spec.T2), len(coll.T2))
+	}
+	// The startup differs slightly (the spectral run pre-rotates its IC
+	// onto Im X1 = 0, the collocation run snaps on its first BE step);
+	// past it the trajectories must coincide.
+	for k := 20; k < len(spec.T2); k += 20 {
+		if math.Abs(spec.Omega[k]-coll.Omega[k]) > 5e-4*coll.Omega[k] {
+			t.Fatalf("ω differs at step %d: spectral %v vs collocation %v",
+				k, spec.Omega[k], coll.Omega[k])
+		}
+	}
+}
+
+func TestSpectralPhaseConditionHolds(t *testing.T) {
+	T2 := 80.0
+	sys := testVCO(T2)
+	m := 10
+	xhat0, omega0 := solveIC(t, sys, 2*m+1)
+	res, err := SpectralEnvelope(sys, xhat0, omega0, T2/2, SpectralOptions{M: m, H2: T2 / 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < len(res.T2); k++ {
+		c1 := res.Harmonic(k, 0, 1)
+		if math.Abs(imag(c1)) > 1e-6*(1+cmplx.Abs(c1)) {
+			t.Fatalf("phase condition Im X1 = 0 violated at step %d: %v", k, c1)
+		}
+	}
+}
+
+func TestSpectralConjugateSymmetry(t *testing.T) {
+	T2 := 80.0
+	sys := testVCO(T2)
+	m := 8
+	xhat0, omega0 := solveIC(t, sys, 2*m+1)
+	res, err := SpectralEnvelope(sys, xhat0, omega0, T2/4, SpectralOptions{M: m, H2: T2 / 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.T2) - 1
+	for i := 0; i < res.N; i++ {
+		for h := 1; h <= m; h++ {
+			cp := res.Harmonic(last, i, h)
+			cm := res.Harmonic(last, i, -h)
+			if cmplx.Abs(cp-cmplx.Conj(cm)) > 1e-10*(1+cmplx.Abs(cp)) {
+				t.Fatalf("conjugate symmetry broken at state %d harmonic %d", i, h)
+			}
+		}
+		if math.Abs(imag(res.Harmonic(last, i, 0))) > 1e-12 {
+			t.Fatal("DC harmonic must be real")
+		}
+	}
+}
+
+func TestSpectralWaveformReconstruction(t *testing.T) {
+	T2 := 80.0
+	sys := testVCO(T2)
+	m := 10
+	n1 := 2*m + 1
+	xhat0, omega0 := solveIC(t, sys, n1)
+	res, err := SpectralEnvelope(sys, xhat0, omega0, T2/4, SpectralOptions{M: m, H2: T2 / 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reconstructed waveform at the first step should resemble the IC
+	// (up to the phase rotation onto the spectral condition).
+	w := res.Waveform(0, 0, 64)
+	peak := 0.0
+	for _, v := range w {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	if peak < 1.5 || peak > 2.5 {
+		t.Fatalf("waveform amplitude %v, want ≈2", peak)
+	}
+}
+
+func TestSpectralFundamentalDominates(t *testing.T) {
+	// The near-sinusoidal test VCO must have |c1| >> |c3| >> |c5|,
+	// harmonics decaying — a physical sanity check on the spectrum.
+	T2 := 80.0
+	sys := testVCO(T2)
+	m := 10
+	xhat0, omega0 := solveIC(t, sys, 2*m+1)
+	res, err := SpectralEnvelope(sys, xhat0, omega0, T2/4, SpectralOptions{M: m, H2: T2 / 160})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.T2) - 1
+	c1 := cmplx.Abs(res.Harmonic(last, 0, 1))
+	c3 := cmplx.Abs(res.Harmonic(last, 0, 3))
+	c5 := cmplx.Abs(res.Harmonic(last, 0, 5))
+	if !(c1 > 10*c3 && c3 > c5) {
+		t.Fatalf("harmonic decay violated: |c1|=%v |c3|=%v |c5|=%v", c1, c3, c5)
+	}
+	// Even harmonics vanish for the odd-symmetric cubic nonlinearity.
+	c2 := cmplx.Abs(res.Harmonic(last, 0, 2))
+	if c2 > 1e-6*c1 {
+		t.Fatalf("even harmonic should vanish: |c2|=%v vs |c1|=%v", c2, c1)
+	}
+}
+
+func TestSpectralBadArgs(t *testing.T) {
+	sys := testVCO(10)
+	x := make([]float64, 21*3)
+	if _, err := SpectralEnvelope(sys, x[:5], 1, 10, SpectralOptions{M: 10, H2: 1}); err == nil {
+		t.Fatal("bad IC length should fail")
+	}
+	if _, err := SpectralEnvelope(sys, x, 1, 10, SpectralOptions{M: 10}); err == nil {
+		t.Fatal("missing H2 should fail")
+	}
+	if _, err := SpectralEnvelope(sys, x, -1, 10, SpectralOptions{M: 10, H2: 1}); err == nil {
+		t.Fatal("bad omega0 should fail")
+	}
+}

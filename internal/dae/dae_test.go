@@ -1,0 +1,203 @@
+package dae
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/la"
+)
+
+func TestLinearRCJacobians(t *testing.T) {
+	s := &LinearRC{C: 1e-6, R: 1e3, IFunc: func(t float64) float64 { return math.Sin(t) }}
+	worst, err := CheckJacobians(s, 0.3, []float64{0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1e-6 {
+		t.Fatalf("Jacobian mismatch %v", worst)
+	}
+}
+
+func TestVanDerPolJacobiansProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := &VanDerPol{Mu: 0.1 + rng.Float64()*5}
+		x := []float64{rng.NormFloat64() * 2, rng.NormFloat64() * 2}
+		worst, err := CheckJacobians(s, 0, x)
+		return err == nil && worst < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearLCJacobians(t *testing.T) {
+	s := &LinearLC{L: 1e-6, C: 1e-9, R: 50}
+	worst, err := CheckJacobians(s, 0, []float64{1.2, -0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1e-6 {
+		t.Fatalf("Jacobian mismatch %v", worst)
+	}
+}
+
+func TestLinearLCOmegaNatural(t *testing.T) {
+	s := &LinearLC{L: 1e-6, C: 1e-6}
+	if math.Abs(s.OmegaNatural()-1e6) > 1 {
+		t.Fatalf("OmegaNatural = %v, want 1e6", s.OmegaNatural())
+	}
+}
+
+func TestResidualVanDerPolOnManifold(t *testing.T) {
+	// On a consistent trajectory point, the residual with the true xdot is 0.
+	s := &VanDerPol{Mu: 1}
+	x := []float64{1.5, -0.2}
+	xdot := []float64{
+		x[1],
+		s.Mu*(1-x[0]*x[0])*x[1] - x[0],
+	}
+	r := make([]float64, 2)
+	if err := Residual(s, 0, x, xdot, r); err != nil {
+		t.Fatal(err)
+	}
+	if la.NormInf(r) > 1e-12 {
+		t.Fatalf("residual = %v, want 0", r)
+	}
+}
+
+func TestResidualDimensionError(t *testing.T) {
+	s := &VanDerPol{Mu: 1}
+	if err := Residual(s, 0, []float64{1}, []float64{1, 2}, make([]float64, 2)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestCheckJacobiansDimensionError(t *testing.T) {
+	s := &VanDerPol{Mu: 1}
+	if _, err := CheckJacobians(s, 0, []float64{1}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestCheckJacobiansCatchesWrongJacobian(t *testing.T) {
+	s := &brokenSystem{}
+	worst, err := CheckJacobians(s, 0, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst < 0.1 {
+		t.Fatalf("broken Jacobian should be detected, worst = %v", worst)
+	}
+}
+
+// brokenSystem deliberately returns a wrong JF to validate CheckJacobians.
+type brokenSystem struct{}
+
+func (brokenSystem) Dim() int                       { return 1 }
+func (brokenSystem) NumInputs() int                 { return 0 }
+func (brokenSystem) Q(x, q []float64)               { q[0] = x[0] }
+func (brokenSystem) F(x, u, f []float64)            { f[0] = x[0] * x[0] }
+func (brokenSystem) Input(t float64, u []float64)   {}
+func (brokenSystem) JQ(x []float64, j *la.Dense)    { j.Zero(); j.Set(0, 0, 1) }
+func (brokenSystem) JF(x, u []float64, j *la.Dense) { j.Zero(); j.Set(0, 0, 99) }
+
+func TestInputDefaultsZero(t *testing.T) {
+	u := make([]float64, 1)
+	(&VanDerPol{Mu: 1}).Input(5, u)
+	if u[0] != 0 {
+		t.Fatal("nil Force should give zero input")
+	}
+	(&LinearRC{C: 1, R: 1}).Input(5, u)
+	if u[0] != 0 {
+		t.Fatal("nil IFunc should give zero input")
+	}
+	(&LinearLC{L: 1, C: 1}).Input(5, u)
+	if u[0] != 0 {
+		t.Fatal("nil IFunc should give zero input")
+	}
+}
+
+func TestStateNames(t *testing.T) {
+	var n Named = &VanDerPol{}
+	if n.StateName(0) != "x" || n.StateName(1) != "y" {
+		t.Fatal("VanDerPol names wrong")
+	}
+	if (&LinearLC{}).StateName(1) != "iL" {
+		t.Fatal("LinearLC names wrong")
+	}
+	if (&LinearRC{}).StateName(0) != "v" {
+		t.Fatal("LinearRC names wrong")
+	}
+}
+
+func TestOscVar(t *testing.T) {
+	var a Autonomous = &VanDerPol{Mu: 1}
+	if a.OscVar() != 0 {
+		t.Fatal("VanDerPol OscVar should be 0")
+	}
+}
+
+func TestSimpleVCOJacobians(t *testing.T) {
+	s := &SimpleVCO{L: 1, C0: 1, G1: -0.2, G3: 0.2 / 3, TauM: 10, Gamma: 1,
+		Ctl: func(t float64) float64 { return 1.5 }}
+	for _, x := range [][]float64{{1.5, -0.2, 0.8}, {-2, 0.3, 2.2}, {0.1, 0, 0}} {
+		worst, err := CheckJacobians(s, 0, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst > 1e-5 {
+			t.Fatalf("SimpleVCO Jacobian mismatch %v at %v", worst, x)
+		}
+	}
+}
+
+func TestSimpleVCOFreqAndCapacitance(t *testing.T) {
+	s := &SimpleVCO{L: 1, C0: 1}
+	if math.Abs(s.Capacitance(0)-1) > 1e-15 {
+		t.Fatal("C(0) should be C0")
+	}
+	if math.Abs(s.Capacitance(3)-0.25) > 1e-15 {
+		t.Fatal("C(3) should be C0/4")
+	}
+	f0 := 1 / (2 * math.Pi)
+	if math.Abs(s.FreqAt(0)-f0) > 1e-12 {
+		t.Fatalf("FreqAt(0) = %v, want %v", s.FreqAt(0), f0)
+	}
+	if math.Abs(s.FreqAt(3)-2*f0) > 1e-12 {
+		t.Fatal("FreqAt(3) should double the base frequency")
+	}
+}
+
+func TestSimpleVCODefaults(t *testing.T) {
+	s := &SimpleVCO{L: 1, C0: 1, TauM: 1, Gamma: 1}
+	u := make([]float64, 1)
+	s.Input(5, u)
+	if u[0] != 0 {
+		t.Fatal("nil Ctl should give zero input")
+	}
+	if s.OscVar() != 0 {
+		t.Fatal("OscVar should be the tank voltage")
+	}
+	if s.StateName(2) != "u" {
+		t.Fatal("state names wrong")
+	}
+	if s.Dim() != 3 || s.NumInputs() != 1 {
+		t.Fatal("shape wrong")
+	}
+}
+
+func TestSimpleVCOEquilibriumTracksControl(t *testing.T) {
+	// With the oscillator quenched (v=iL=0), u relaxes to Gamma·Vc².
+	s := &SimpleVCO{L: 1, C0: 1, G1: -0.2, G3: 0.2 / 3, TauM: 2, Gamma: 0.5,
+		Ctl: func(t float64) float64 { return 2 }}
+	f := make([]float64, 3)
+	u := make([]float64, 1)
+	s.Input(0, u)
+	s.F([]float64{0, 0, 2}, u, f)
+	if math.Abs(f[2]) > 1e-12 {
+		t.Fatalf("u=Gamma*Vc²=2 should be an actuator equilibrium, f[2]=%v", f[2])
+	}
+}

@@ -1,0 +1,250 @@
+package dae
+
+import (
+	"math"
+
+	"repro/internal/la"
+)
+
+// This file provides canonical analytic systems in DAE form. They serve as
+// oracles across the whole test suite and as ready-made models for the
+// examples: the van der Pol oscillator is the classical self-oscillator the
+// paper's lineage starts from ([vdP22] in the references).
+
+// LinearRC is the one-state system C·dv/dt + v/R = i(t) with a single
+// current input. Its step and sinusoidal responses are known analytically.
+type LinearRC struct {
+	C, R float64
+	// IFunc is the input current waveform; nil means zero input.
+	IFunc func(t float64) float64
+}
+
+// Dim returns 1.
+func (s *LinearRC) Dim() int { return 1 }
+
+// NumInputs returns 1.
+func (s *LinearRC) NumInputs() int { return 1 }
+
+// Q evaluates the capacitor charge.
+func (s *LinearRC) Q(x, q []float64) { q[0] = s.C * x[0] }
+
+// F evaluates the resistive current minus the source.
+func (s *LinearRC) F(x, u, f []float64) { f[0] = x[0]/s.R - u[0] }
+
+// Input evaluates the source current.
+func (s *LinearRC) Input(t float64, u []float64) {
+	if s.IFunc != nil {
+		u[0] = s.IFunc(t)
+	} else {
+		u[0] = 0
+	}
+}
+
+// JQ is the constant capacitance.
+func (s *LinearRC) JQ(x []float64, j *la.Dense) { j.Zero(); j.Set(0, 0, s.C) }
+
+// JF is the constant conductance.
+func (s *LinearRC) JF(x, u []float64, j *la.Dense) { j.Zero(); j.Set(0, 0, 1/s.R) }
+
+// StateName implements Named.
+func (s *LinearRC) StateName(i int) string { return "v" }
+
+// VanDerPol is the van der Pol oscillator
+//
+//	x' = y
+//	y' = Mu (1 - x²) y − x + u(t)
+//
+// written as a DAE. For small Mu its limit cycle approaches amplitude 2 and
+// angular frequency 1 (period 2π) — the classical perturbation results used
+// as oracles. The optional Force input enables injection/entrainment
+// experiments.
+type VanDerPol struct {
+	Mu    float64
+	Force func(t float64) float64 // additive forcing on y'; nil = unforced
+}
+
+// Dim returns 2.
+func (s *VanDerPol) Dim() int { return 2 }
+
+// NumInputs returns 1.
+func (s *VanDerPol) NumInputs() int { return 1 }
+
+// Q is the identity map (ODE in standard form).
+func (s *VanDerPol) Q(x, q []float64) { q[0], q[1] = x[0], x[1] }
+
+// F evaluates the algebraic part.
+func (s *VanDerPol) F(x, u, f []float64) {
+	f[0] = -x[1]
+	f[1] = x[0] - s.Mu*(1-x[0]*x[0])*x[1] - u[0]
+}
+
+// Input evaluates the forcing.
+func (s *VanDerPol) Input(t float64, u []float64) {
+	if s.Force != nil {
+		u[0] = s.Force(t)
+	} else {
+		u[0] = 0
+	}
+}
+
+// JQ is the identity.
+func (s *VanDerPol) JQ(x []float64, j *la.Dense) {
+	j.Zero()
+	j.Set(0, 0, 1)
+	j.Set(1, 1, 1)
+}
+
+// JF evaluates the analytic Jacobian of F.
+func (s *VanDerPol) JF(x, u []float64, j *la.Dense) {
+	j.Zero()
+	j.Set(0, 1, -1)
+	j.Set(1, 0, 1+2*s.Mu*x[0]*x[1])
+	j.Set(1, 1, -s.Mu*(1-x[0]*x[0]))
+}
+
+// OscVar marks x (index 0) as the oscillating phase-condition variable.
+func (s *VanDerPol) OscVar() int { return 0 }
+
+// StateName implements Named.
+func (s *VanDerPol) StateName(i int) string { return [2]string{"x", "y"}[i] }
+
+// LinearLC is the lossy LC oscillator C·v' + v/R + iL = i(t), L·iL' = v.
+// With R = ∞ (set R <= 0) it is the lossless tank with angular frequency
+// 1/sqrt(LC); with finite R its decay rate is 1/(2RC). Used as an analytic
+// oracle for transient accuracy and Floquet tests.
+type LinearLC struct {
+	L, C, R float64
+	IFunc   func(t float64) float64
+}
+
+// Dim returns 2.
+func (s *LinearLC) Dim() int { return 2 }
+
+// NumInputs returns 1.
+func (s *LinearLC) NumInputs() int { return 1 }
+
+// Q evaluates charge and flux.
+func (s *LinearLC) Q(x, q []float64) { q[0] = s.C * x[0]; q[1] = s.L * x[1] }
+
+// F evaluates the resistive terms.
+func (s *LinearLC) F(x, u, f []float64) {
+	g := 0.0
+	if s.R > 0 {
+		g = 1 / s.R
+	}
+	f[0] = g*x[0] + x[1] - u[0]
+	f[1] = -x[0]
+}
+
+// Input evaluates the source current.
+func (s *LinearLC) Input(t float64, u []float64) {
+	if s.IFunc != nil {
+		u[0] = s.IFunc(t)
+	} else {
+		u[0] = 0
+	}
+}
+
+// JQ holds C and L.
+func (s *LinearLC) JQ(x []float64, j *la.Dense) {
+	j.Zero()
+	j.Set(0, 0, s.C)
+	j.Set(1, 1, s.L)
+}
+
+// JF holds the constant conductance matrix.
+func (s *LinearLC) JF(x, u []float64, j *la.Dense) {
+	j.Zero()
+	g := 0.0
+	if s.R > 0 {
+		g = 1 / s.R
+	}
+	j.Set(0, 0, g)
+	j.Set(0, 1, 1)
+	j.Set(1, 0, -1)
+}
+
+// OmegaNatural returns the undamped natural angular frequency 1/sqrt(LC).
+func (s *LinearLC) OmegaNatural() float64 { return 1 / math.Sqrt(s.L*s.C) }
+
+// StateName implements Named.
+func (s *LinearLC) StateName(i int) string { return [2]string{"v", "iL"}[i] }
+
+// SimpleVCO is a compact three-state voltage-controlled oscillator for
+// algorithm tests and examples: an LC tank with cubic negative-resistance
+// (like the paper's §5 circuit) whose capacitance C(u) = C0/(1 + u) is set
+// by a first-order "actuator" state u that relaxes toward Gamma·Vc(t)²
+// with time constant TauM. Its small-signal oscillation frequency is
+// f(u) ≈ f0·sqrt(1+u) with f0 = 1/(2π·sqrt(L·C0)).
+//
+// States: x = [v (tank voltage), iL (inductor current), u (actuator)].
+type SimpleVCO struct {
+	L, C0  float64
+	G1, G3 float64 // i_nl(v) = G1·v + G3·v³, G1 < 0 < G3
+	TauM   float64 // actuator time constant
+	Gamma  float64 // u_eq = Gamma·Vc²
+	Ctl    func(t float64) float64
+}
+
+// Dim returns 3.
+func (s *SimpleVCO) Dim() int { return 3 }
+
+// NumInputs returns 1 (the control voltage).
+func (s *SimpleVCO) NumInputs() int { return 1 }
+
+// Capacitance returns C(u).
+func (s *SimpleVCO) Capacitance(u float64) float64 { return s.C0 / (1 + u) }
+
+// FreqAt returns the small-signal resonance frequency at actuator state u.
+func (s *SimpleVCO) FreqAt(u float64) float64 {
+	return math.Sqrt(1+u) / (2 * math.Pi * math.Sqrt(s.L*s.C0))
+}
+
+// Q evaluates the charges: [C(u)·v, L·iL, TauM·u].
+func (s *SimpleVCO) Q(x, q []float64) {
+	q[0] = s.Capacitance(x[2]) * x[0]
+	q[1] = s.L * x[1]
+	q[2] = s.TauM * x[2]
+}
+
+// F evaluates the resistive part.
+func (s *SimpleVCO) F(x, u, f []float64) {
+	v := x[0]
+	f[0] = s.G1*v + s.G3*v*v*v + x[1]
+	f[1] = -v
+	f[2] = x[2] - s.Gamma*u[0]*u[0]
+}
+
+// Input evaluates the control voltage.
+func (s *SimpleVCO) Input(t float64, u []float64) {
+	if s.Ctl != nil {
+		u[0] = s.Ctl(t)
+	} else {
+		u[0] = 0
+	}
+}
+
+// JQ evaluates dq/dx.
+func (s *SimpleVCO) JQ(x []float64, j *la.Dense) {
+	j.Zero()
+	c := s.Capacitance(x[2])
+	j.Set(0, 0, c)
+	j.Set(0, 2, -s.C0*x[0]/((1+x[2])*(1+x[2])))
+	j.Set(1, 1, s.L)
+	j.Set(2, 2, s.TauM)
+}
+
+// JF evaluates df/dx.
+func (s *SimpleVCO) JF(x, u []float64, j *la.Dense) {
+	j.Zero()
+	j.Set(0, 0, s.G1+3*s.G3*x[0]*x[0])
+	j.Set(0, 1, 1)
+	j.Set(1, 0, -1)
+	j.Set(2, 2, 1)
+}
+
+// OscVar marks the tank voltage for phase conditions.
+func (s *SimpleVCO) OscVar() int { return 0 }
+
+// StateName implements Named.
+func (s *SimpleVCO) StateName(i int) string { return [3]string{"v", "iL", "u"}[i] }

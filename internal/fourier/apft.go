@@ -1,0 +1,122 @@
+package fourier
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/la"
+)
+
+// APFT is the almost-periodic Fourier transform: the least-squares
+// projection of a sampled signal onto a prescribed set of (generally
+// incommensurate) frequencies. It is the standard tool for reading the
+// spectrum of quasiperiodic steady states — e.g. the k1·f1 + k2·f2 lines of
+// a two-tone (AM or FM) response — where no single DFT grid fits.
+type APFT struct {
+	Freqs []float64 // the analysis frequencies (Hz); 0 = DC
+	// Coefficients after Fit: DC and per-frequency (cos, sin) pairs.
+	DC       float64
+	Cos, Sin []float64
+}
+
+// NewAPFT prepares an APFT for the given frequencies. Frequency 0 need not
+// be listed; DC is always included.
+func NewAPFT(freqs []float64) *APFT {
+	return &APFT{Freqs: append([]float64(nil), freqs...)}
+}
+
+// TwoToneGrid returns the truncated box of intermodulation frequencies
+// |k1·f1 + k2·f2| for |k1| ≤ m1, |k2| ≤ m2 (positive representatives,
+// deduplicated, DC excluded) — the classical analysis set for two-tone
+// quasiperiodic signals.
+func TwoToneGrid(f1, f2 float64, m1, m2 int) []float64 {
+	seen := map[int64]bool{}
+	var out []float64
+	const quantum = 1e-9 // dedupe resolution relative to f2
+	for k1 := -m1; k1 <= m1; k1++ {
+		for k2 := -m2; k2 <= m2; k2++ {
+			f := float64(k1)*f1 + float64(k2)*f2
+			if f < 0 {
+				f = -f
+			}
+			if f == 0 {
+				continue
+			}
+			key := int64(math.Round(f / (quantum * (f1 + f2))))
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Fit solves the least-squares projection of samples (t, y) onto the
+// analysis frequencies. Needs len(t) ≥ 2·len(Freqs)+1 samples; sample times
+// should cover several periods of the slowest line for a well-conditioned
+// fit.
+func (a *APFT) Fit(t, y []float64) error {
+	if len(t) != len(y) {
+		return errors.New("fourier: APFT sample length mismatch")
+	}
+	nf := len(a.Freqs)
+	cols := 1 + 2*nf
+	if len(t) < cols {
+		return fmt.Errorf("fourier: APFT needs ≥ %d samples, got %d", cols, len(t))
+	}
+	m := la.NewDense(len(t), cols)
+	for i, tv := range t {
+		m.Set(i, 0, 1)
+		for j, f := range a.Freqs {
+			ang := 2 * math.Pi * f * tv
+			m.Set(i, 1+2*j, math.Cos(ang))
+			m.Set(i, 2+2*j, math.Sin(ang))
+		}
+	}
+	qr, err := la.FactorQR(m)
+	if err != nil {
+		return fmt.Errorf("fourier: APFT design matrix rank-deficient (aliased frequencies or too-short window): %w", err)
+	}
+	coef := make([]float64, cols)
+	qr.SolveLS(y, coef)
+	a.DC = coef[0]
+	a.Cos = make([]float64, nf)
+	a.Sin = make([]float64, nf)
+	for j := 0; j < nf; j++ {
+		a.Cos[j] = coef[1+2*j]
+		a.Sin[j] = coef[2+2*j]
+	}
+	return nil
+}
+
+// Amplitude returns the magnitude of line j after Fit.
+func (a *APFT) Amplitude(j int) float64 {
+	return math.Hypot(a.Cos[j], a.Sin[j])
+}
+
+// Eval reconstructs the fitted almost-periodic signal at time t.
+func (a *APFT) Eval(t float64) float64 {
+	s := a.DC
+	for j, f := range a.Freqs {
+		ang := 2 * math.Pi * f * t
+		s += a.Cos[j]*math.Cos(ang) + a.Sin[j]*math.Sin(ang)
+	}
+	return s
+}
+
+// Residual returns the RMS misfit of the fitted model on (t, y) — how much
+// of the signal is NOT captured by the analysis frequencies.
+func (a *APFT) Residual(t, y []float64) float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, tv := range t {
+		d := y[i] - a.Eval(tv)
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(t)))
+}

@@ -1,0 +1,126 @@
+package fourier
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAPFTRecoversTwoToneExactly(t *testing.T) {
+	// Incommensurate tones: y = 0.5 + 2cos(2πf1 t) + 0.7sin(2πf2 t).
+	f1, f2 := 1.0, math.Sqrt2/3
+	a := NewAPFT([]float64{f1, f2})
+	n := 400
+	ts := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range ts {
+		ts[i] = 20 * float64(i) / float64(n)
+		ys[i] = 0.5 + 2*math.Cos(2*math.Pi*f1*ts[i]) + 0.7*math.Sin(2*math.Pi*f2*ts[i])
+	}
+	if err := a.Fit(ts, ys); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.DC-0.5) > 1e-9 {
+		t.Fatalf("DC = %v", a.DC)
+	}
+	if math.Abs(a.Amplitude(0)-2) > 1e-9 {
+		t.Fatalf("|A(f1)| = %v", a.Amplitude(0))
+	}
+	if math.Abs(a.Amplitude(1)-0.7) > 1e-9 {
+		t.Fatalf("|A(f2)| = %v", a.Amplitude(1))
+	}
+	if r := a.Residual(ts, ys); r > 1e-9 {
+		t.Fatalf("residual = %v", r)
+	}
+}
+
+func TestAPFTResidualDetectsMissingLine(t *testing.T) {
+	f1 := 1.0
+	a := NewAPFT([]float64{f1})
+	n := 300
+	ts := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range ts {
+		ts[i] = 10 * float64(i) / float64(n)
+		ys[i] = math.Cos(2*math.Pi*f1*ts[i]) + 0.5*math.Cos(2*math.Pi*2.7182*ts[i])
+	}
+	if err := a.Fit(ts, ys); err != nil {
+		t.Fatal(err)
+	}
+	if r := a.Residual(ts, ys); r < 0.2 {
+		t.Fatalf("residual %v should expose the unmodelled 0.5-amplitude line", r)
+	}
+}
+
+func TestAPFTEvalMatchesModel(t *testing.T) {
+	a := NewAPFT([]float64{2})
+	a.DC = 1
+	a.Cos = []float64{3}
+	a.Sin = []float64{4}
+	want := 1 + 3*math.Cos(2*math.Pi*2*0.1) + 4*math.Sin(2*math.Pi*2*0.1)
+	if math.Abs(a.Eval(0.1)-want) > 1e-12 {
+		t.Fatalf("Eval = %v, want %v", a.Eval(0.1), want)
+	}
+}
+
+func TestAPFTErrors(t *testing.T) {
+	a := NewAPFT([]float64{1, 2, 3})
+	if err := a.Fit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if err := a.Fit([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Fatal("too few samples should fail")
+	}
+	// Duplicated frequencies make the design matrix rank-deficient.
+	dup := NewAPFT([]float64{1, 1})
+	ts := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range ts {
+		ts[i] = float64(i) * 0.1
+		ys[i] = math.Sin(ts[i])
+	}
+	if err := dup.Fit(ts, ys); err == nil {
+		t.Fatal("aliased frequencies should fail")
+	}
+}
+
+func TestTwoToneGrid(t *testing.T) {
+	g := TwoToneGrid(10, 1, 1, 1)
+	// |k1*10 + k2| for k in {-1,0,1}²: 1, 9, 10, 11 (deduplicated, no DC).
+	want := map[float64]bool{1: true, 9: true, 10: true, 11: true}
+	if len(g) != len(want) {
+		t.Fatalf("grid = %v", g)
+	}
+	for _, f := range g {
+		if !want[f] {
+			t.Fatalf("unexpected line %v", f)
+		}
+	}
+}
+
+func TestAPFTOnQuasiperiodicProduct(t *testing.T) {
+	// sin(a)sin(b) = ½cos(a−b) − ½cos(a+b): the APFT on the intermod grid
+	// must find exactly the two mixing products.
+	f1, f2 := 50.0, 1.0
+	grid := TwoToneGrid(f1, f2, 1, 1)
+	a := NewAPFT(grid)
+	n := 3000
+	ts := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range ts {
+		ts[i] = 2 * float64(i) / float64(n)
+		ys[i] = math.Sin(2*math.Pi*f1*ts[i]) * math.Sin(2*math.Pi*f2*ts[i])
+	}
+	if err := a.Fit(ts, ys); err != nil {
+		t.Fatal(err)
+	}
+	for j, f := range grid {
+		amp := a.Amplitude(j)
+		want := 0.0
+		if f == f1-f2 || f == f1+f2 {
+			want = 0.5
+		}
+		if math.Abs(amp-want) > 1e-6 {
+			t.Fatalf("line %v: amplitude %v, want %v", f, amp, want)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package krylov implements matrix-free iterative linear solvers — GMRES(m)
+// and BiCGStab — with Jacobi, block-Jacobi and ILU(0) preconditioners.
+// Paper §1/§4 (citing Saad): "the use of iterative linear techniques enables
+// large systems to be handled efficiently"; these solvers back the
+// large-system path of the WaMPDE Newton iterations.
+package krylov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/la"
+)
+
+// Operator applies a linear map y = A x. Implemented by dense and CSR
+// matrices via adapters, and matrix-free by the WaMPDE Jacobian.
+type Operator interface {
+	Dim() int
+	Apply(x, y []float64)
+}
+
+// Preconditioner applies an approximate inverse z = M^{-1} r.
+type Preconditioner interface {
+	Precondition(r, z []float64)
+}
+
+// identityPrec is the trivial preconditioner.
+type identityPrec struct{}
+
+func (identityPrec) Precondition(r, z []float64) { copy(z, r) }
+
+// Identity returns the no-op preconditioner.
+func Identity() Preconditioner { return identityPrec{} }
+
+// Options configures an iterative solve.
+type Options struct {
+	Tol     float64        // relative residual target (default 1e-10)
+	MaxIter int            // total iteration cap (default 10*n)
+	Restart int            // GMRES restart length m (default min(n, 50))
+	Prec    Preconditioner // default Identity()
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10 * n
+		if o.MaxIter < 100 {
+			o.MaxIter = 100
+		}
+	}
+	if o.Restart <= 0 {
+		o.Restart = 50
+	}
+	if o.Restart > n {
+		o.Restart = n
+	}
+	if o.Prec == nil {
+		o.Prec = Identity()
+	}
+	return o
+}
+
+// Result reports convergence data for an iterative solve.
+type Result struct {
+	Iterations int
+	Residual   float64 // final relative residual estimate
+	Converged  bool
+}
+
+// ErrNoConvergence is returned when the iteration cap is reached before the
+// tolerance; the best iterate found is still written to x.
+var ErrNoConvergence = errors.New("krylov: iteration did not converge")
+
+// GMRES solves A x = b by restarted, left-preconditioned GMRES(m), writing
+// the solution into x (whose initial content is the starting guess).
+func GMRES(a Operator, b, x []float64, opt Options) (Result, error) {
+	n := a.Dim()
+	if len(b) != n || len(x) != n {
+		return Result{}, fmt.Errorf("krylov: GMRES dims: n=%d len(b)=%d len(x)=%d", n, len(b), len(x))
+	}
+	opt = opt.withDefaults(n)
+	if n == 0 {
+		return Result{Converged: true}, nil
+	}
+	m := opt.Restart
+
+	// Preconditioned RHS norm for the relative criterion.
+	pb := make([]float64, n)
+	opt.Prec.Precondition(b, pb)
+	bnorm := la.Norm2(pb)
+	if bnorm == 0 {
+		la.Fill(x, 0)
+		return Result{Converged: true}, nil
+	}
+
+	r := make([]float64, n)
+	pr := make([]float64, n)
+	w := make([]float64, n)
+	v := make([][]float64, m+1)
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	h := la.NewDense(m+1, m)
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	g := make([]float64, m+1)
+	ym := make([]float64, m)
+
+	total := 0
+	res := math.Inf(1)
+	for total < opt.MaxIter {
+		// r = M^{-1}(b - A x)
+		a.Apply(x, r)
+		la.Sub(r, b, r)
+		opt.Prec.Precondition(r, pr)
+		beta := la.Norm2(pr)
+		res = beta / bnorm
+		if res <= opt.Tol {
+			return Result{Iterations: total, Residual: res, Converged: true}, nil
+		}
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+		la.Copy(v[0], pr)
+		la.Scal(1/beta, v[0])
+
+		k := 0
+		for ; k < m && total < opt.MaxIter; k++ {
+			total++
+			a.Apply(v[k], w)
+			opt.Prec.Precondition(w, w)
+			// Modified Gram-Schmidt.
+			for i := 0; i <= k; i++ {
+				hik := la.Dot(w, v[i])
+				h.Set(i, k, hik)
+				la.Axpy(-hik, v[i], w)
+			}
+			wn := la.Norm2(w)
+			h.Set(k+1, k, wn)
+			if wn > 1e-300 {
+				la.Copy(v[k+1], w)
+				la.Scal(1/wn, v[k+1])
+			}
+			// Apply existing Givens rotations to the new column.
+			for i := 0; i < k; i++ {
+				t1 := cs[i]*h.At(i, k) + sn[i]*h.At(i+1, k)
+				t2 := -sn[i]*h.At(i, k) + cs[i]*h.At(i+1, k)
+				h.Set(i, k, t1)
+				h.Set(i+1, k, t2)
+			}
+			// New rotation to zero h(k+1,k).
+			d := math.Hypot(h.At(k, k), h.At(k+1, k))
+			if d == 0 {
+				cs[k], sn[k] = 1, 0
+			} else {
+				cs[k] = h.At(k, k) / d
+				sn[k] = h.At(k+1, k) / d
+			}
+			h.Set(k, k, cs[k]*h.At(k, k)+sn[k]*h.At(k+1, k))
+			h.Set(k+1, k, 0)
+			g[k+1] = -sn[k] * g[k]
+			g[k] = cs[k] * g[k]
+			res = math.Abs(g[k+1]) / bnorm
+			if res <= opt.Tol || wn <= 1e-300 {
+				k++
+				break
+			}
+		}
+		// Solve the small triangular system and update x.
+		for i := k - 1; i >= 0; i-- {
+			s := g[i]
+			for j := i + 1; j < k; j++ {
+				s -= h.At(i, j) * ym[j]
+			}
+			ym[i] = s / h.At(i, i)
+		}
+		for i := 0; i < k; i++ {
+			la.Axpy(ym[i], v[i], x)
+		}
+		if res <= opt.Tol {
+			return Result{Iterations: total, Residual: res, Converged: true}, nil
+		}
+	}
+	return Result{Iterations: total, Residual: res, Converged: false}, ErrNoConvergence
+}
+
+// BiCGStab solves A x = b by the preconditioned BiCGStab iteration.
+func BiCGStab(a Operator, b, x []float64, opt Options) (Result, error) {
+	n := a.Dim()
+	if len(b) != n || len(x) != n {
+		return Result{}, fmt.Errorf("krylov: BiCGStab dims: n=%d len(b)=%d len(x)=%d", n, len(b), len(x))
+	}
+	opt = opt.withDefaults(n)
+	if n == 0 {
+		return Result{Converged: true}, nil
+	}
+	bnorm := la.Norm2(b)
+	if bnorm == 0 {
+		la.Fill(x, 0)
+		return Result{Converged: true}, nil
+	}
+	r := make([]float64, n)
+	a.Apply(x, r)
+	la.Sub(r, b, r)
+	rhat := make([]float64, n)
+	la.Copy(rhat, r)
+	p := make([]float64, n)
+	v := make([]float64, n)
+	s := make([]float64, n)
+	t := make([]float64, n)
+	ph := make([]float64, n)
+	sh := make([]float64, n)
+
+	rho, alpha, omega := 1.0, 1.0, 1.0
+	res := la.Norm2(r) / bnorm
+	for it := 1; it <= opt.MaxIter; it++ {
+		rhoNew := la.Dot(rhat, r)
+		if rhoNew == 0 {
+			return Result{Iterations: it, Residual: res, Converged: false}, ErrNoConvergence
+		}
+		beta := (rhoNew / rho) * (alpha / omega)
+		rho = rhoNew
+		for i := range p {
+			p[i] = r[i] + beta*(p[i]-omega*v[i])
+		}
+		opt.Prec.Precondition(p, ph)
+		a.Apply(ph, v)
+		den := la.Dot(rhat, v)
+		if den == 0 {
+			return Result{Iterations: it, Residual: res, Converged: false}, ErrNoConvergence
+		}
+		alpha = rho / den
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		if res = la.Norm2(s) / bnorm; res <= opt.Tol {
+			la.Axpy(alpha, ph, x)
+			return Result{Iterations: it, Residual: res, Converged: true}, nil
+		}
+		opt.Prec.Precondition(s, sh)
+		a.Apply(sh, t)
+		tt := la.Dot(t, t)
+		if tt == 0 {
+			return Result{Iterations: it, Residual: res, Converged: false}, ErrNoConvergence
+		}
+		omega = la.Dot(t, s) / tt
+		la.Axpy(alpha, ph, x)
+		la.Axpy(omega, sh, x)
+		for i := range r {
+			r[i] = s[i] - omega*t[i]
+		}
+		if res = la.Norm2(r) / bnorm; res <= opt.Tol {
+			return Result{Iterations: it, Residual: res, Converged: true}, nil
+		}
+		if omega == 0 {
+			return Result{Iterations: it, Residual: res, Converged: false}, ErrNoConvergence
+		}
+	}
+	return Result{Iterations: opt.MaxIter, Residual: res, Converged: false}, ErrNoConvergence
+}

@@ -1,0 +1,311 @@
+package krylov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/la"
+	"repro/internal/sparse"
+)
+
+func randomSPDish(rng *rand.Rand, n int) *la.Dense {
+	a := la.NewDense(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(2*n))
+	}
+	return a
+}
+
+func residual(a Operator, x, b []float64) float64 {
+	r := make([]float64, len(b))
+	a.Apply(x, r)
+	la.Sub(r, b, r)
+	return la.Norm2(r) / (1 + la.Norm2(b))
+}
+
+func TestGMRESSolvesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 30
+	a := DenseOp{randomSPDish(rng, n)}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	res, err := GMRES(a, b, x, Options{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	if r := residual(a, x, b); r > 1e-10 {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestGMRESRestartedConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 40
+	a := DenseOp{randomSPDish(rng, n)}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	res, err := GMRES(a, b, x, Options{Tol: 1e-10, Restart: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || residual(a, x, b) > 1e-8 {
+		t.Fatalf("restarted GMRES failed: %+v residual %v", res, residual(a, x, b))
+	}
+}
+
+func TestGMRESMatchesDirectProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		m := randomSPDish(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		xd, err := la.SolveDense(m, b)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		if _, err := GMRES(DenseOp{m}, b, x, Options{Tol: 1e-13}); err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-xd[i]) > 1e-8*(1+math.Abs(xd[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGMRESZeroRHS(t *testing.T) {
+	a := DenseOp{la.Identity(3)}
+	x := []float64{5, 5, 5}
+	res, err := GMRES(a, make([]float64, 3), x, Options{})
+	if err != nil || !res.Converged {
+		t.Fatalf("zero RHS: %v %+v", err, res)
+	}
+	if la.Norm2(x) != 0 {
+		t.Fatal("solution of Ax=0 should be 0")
+	}
+}
+
+func TestGMRESWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 15
+	m := randomSPDish(rng, n)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	exact, err := la.SolveDense(m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := append([]float64(nil), exact...)
+	res, err := GMRES(DenseOp{m}, b, x, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 0 {
+		t.Fatalf("warm start from exact solution should take 0 iterations, took %d", res.Iterations)
+	}
+}
+
+func TestGMRESNonConvergenceReported(t *testing.T) {
+	// Strongly non-normal system with a tiny iteration budget.
+	n := 50
+	m := la.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1e-6)
+		if i+1 < n {
+			m.Set(i, i+1, 1)
+		}
+	}
+	b := make([]float64, n)
+	b[n-1] = 1
+	x := make([]float64, n)
+	_, err := GMRES(DenseOp{m}, b, x, Options{Tol: 1e-14, MaxIter: 3, Restart: 2})
+	if err == nil {
+		t.Fatal("expected ErrNoConvergence")
+	}
+}
+
+func TestBiCGStabSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 25
+	a := DenseOp{randomSPDish(rng, n)}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	res, err := BiCGStab(a, b, x, Options{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || residual(a, x, b) > 1e-9 {
+		t.Fatalf("BiCGStab failed: %+v residual %v", res, residual(a, x, b))
+	}
+}
+
+func TestJacobiPreconditionerHelps(t *testing.T) {
+	// Badly scaled diagonal system: Jacobi should fix it almost instantly.
+	n := 40
+	m := la.NewDense(n, n)
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d := math.Pow(10, float64(i%8))
+		m.Set(i, i, d)
+		diag[i] = d
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	xPlain := make([]float64, n)
+	resPlain, _ := GMRES(DenseOp{m}, b, xPlain, Options{Tol: 1e-10, MaxIter: 200})
+	xPrec := make([]float64, n)
+	resPrec, err := GMRES(DenseOp{m}, b, xPrec, Options{Tol: 1e-10, Prec: NewJacobi(diag)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resPrec.Converged {
+		t.Fatal("preconditioned solve did not converge")
+	}
+	if resPrec.Iterations > resPlain.Iterations && resPlain.Converged {
+		t.Fatalf("Jacobi should not be slower: %d vs %d", resPrec.Iterations, resPlain.Iterations)
+	}
+}
+
+func TestBlockJacobiPreconditioner(t *testing.T) {
+	// Block-diagonal matrix: block-Jacobi is an exact inverse -> 1 iteration.
+	n, bs := 12, 3
+	m := la.NewDense(n, n)
+	rng := rand.New(rand.NewSource(5))
+	for s := 0; s < n; s += bs {
+		for i := 0; i < bs; i++ {
+			for j := 0; j < bs; j++ {
+				v := rng.NormFloat64()
+				if i == j {
+					v += 5
+				}
+				m.Set(s+i, s+j, v)
+			}
+		}
+	}
+	prec, err := NewBlockJacobi(m, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	res, err := GMRES(DenseOp{m}, b, x, Options{Tol: 1e-12, Prec: prec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 2 {
+		t.Fatalf("block-Jacobi on block-diagonal matrix took %d iterations", res.Iterations)
+	}
+}
+
+func TestBlockJacobiRejectsBadInput(t *testing.T) {
+	if _, err := NewBlockJacobi(la.NewDense(2, 3), 1); err == nil {
+		t.Fatal("expected error for non-square")
+	}
+	if _, err := NewBlockJacobi(la.Identity(2), 0); err == nil {
+		t.Fatal("expected error for zero block size")
+	}
+}
+
+func buildPoisson1D(n int) *sparse.CSR {
+	tr := sparse.NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		tr.Add(i, i, 2)
+		if i > 0 {
+			tr.Add(i, i-1, -1)
+		}
+		if i+1 < n {
+			tr.Add(i, i+1, -1)
+		}
+	}
+	return tr.ToCSR()
+}
+
+func TestILU0OnPoisson(t *testing.T) {
+	n := 64
+	c := buildPoisson1D(n)
+	prec, err := NewILU0(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	// For a tridiagonal matrix ILU(0) is a complete LU: one GMRES iteration.
+	x := make([]float64, n)
+	res, err := GMRES(CSROp{c}, b, x, Options{Tol: 1e-10, Prec: prec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > 2 {
+		t.Fatalf("ILU(0) on tridiagonal should converge in ~1 iter, took %d", res.Iterations)
+	}
+	if r := residual(CSROp{c}, x, b); r > 1e-9 {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestILU0MissingDiagonal(t *testing.T) {
+	tr := sparse.NewTriplet(2, 2)
+	tr.Add(0, 1, 1)
+	tr.Add(1, 0, 1)
+	if _, err := NewILU0(tr.ToCSR()); err == nil {
+		t.Fatal("expected missing-diagonal error")
+	}
+}
+
+func TestFuncOp(t *testing.T) {
+	op := FuncOp{N: 2, F: func(x, y []float64) { y[0], y[1] = 2*x[0], 3*x[1] }}
+	x := make([]float64, 2)
+	if _, err := GMRES(op, []float64{4, 9}, x, Options{Tol: 1e-13}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-10 || math.Abs(x[1]-3) > 1e-10 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestBiCGStabZeroRHS(t *testing.T) {
+	a := DenseOp{la.Identity(3)}
+	x := []float64{1, 2, 3}
+	res, err := BiCGStab(a, make([]float64, 3), x, Options{})
+	if err != nil || !res.Converged {
+		t.Fatalf("%v %+v", err, res)
+	}
+	if la.Norm2(x) != 0 {
+		t.Fatal("expected zero solution")
+	}
+}

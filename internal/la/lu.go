@@ -1,0 +1,175 @@
+package la
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization encounters an (exactly or
+// numerically) singular matrix.
+var ErrSingular = errors.New("la: matrix is singular")
+
+// LU holds an LU factorization with partial pivoting: P A = L U.
+type LU struct {
+	lu    *Dense // L (unit diagonal, below) and U (on/above diagonal) packed
+	piv   []int  // row i of the factors came from row piv[i] of A
+	signP int    // determinant sign of the permutation
+}
+
+// FactorLU computes the LU factorization of a (square) with partial pivoting.
+// a is not modified.
+func FactorLU(a *Dense) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("la: FactorLU needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	f := &LU{lu: a.Clone(), piv: make([]int, n), signP: 1}
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	lu := f.lu.Data
+	for k := 0; k < n; k++ {
+		// Pivot: largest |entry| in column k at or below the diagonal.
+		p, pmax := k, math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu[i*n+k]); a > pmax {
+				p, pmax = i, a
+			}
+		}
+		if pmax == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			rk, rp := lu[k*n:(k+1)*n], lu[p*n:(p+1)*n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+			f.signP = -f.signP
+		}
+		pivVal := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / pivVal
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			ri, rk := lu[i*n:(i+1)*n], lu[k*n:(k+1)*n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// N returns the factored dimension.
+func (f *LU) N() int { return f.lu.Rows }
+
+// Solve solves A x = b, writing the solution into x. b and x may alias.
+func (f *LU) Solve(b, x []float64) {
+	n := f.lu.Rows
+	if len(b) != n || len(x) != n {
+		panic("la: LU.Solve length mismatch")
+	}
+	lu := f.lu.Data
+	// Apply permutation: y = P b.
+	tmp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		tmp[i] = b[f.piv[i]]
+	}
+	// Forward substitution L y = P b (L unit lower).
+	for i := 1; i < n; i++ {
+		s := tmp[i]
+		row := lu[i*n : i*n+i]
+		for j, l := range row {
+			s -= l * tmp[j]
+		}
+		tmp[i] = s
+	}
+	// Back substitution U x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := tmp[i]
+		for j := i + 1; j < n; j++ {
+			s -= lu[i*n+j] * tmp[j]
+		}
+		tmp[i] = s / lu[i*n+i]
+	}
+	copy(x, tmp)
+}
+
+// SolveMatrix solves A X = B column-wise, returning X.
+func (f *LU) SolveMatrix(b *Dense) *Dense {
+	n := f.lu.Rows
+	if b.Rows != n {
+		panic("la: SolveMatrix dimension mismatch")
+	}
+	x := NewDense(n, b.Cols)
+	col := make([]float64, n)
+	sol := make([]float64, n)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.At(i, j)
+		}
+		f.Solve(col, sol)
+		for i := 0; i < n; i++ {
+			x.Set(i, j, sol[i])
+		}
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	n := f.lu.Rows
+	d := float64(f.signP)
+	for i := 0; i < n; i++ {
+		d *= f.lu.Data[i*n+i]
+	}
+	return d
+}
+
+// CondEstimate returns a cheap lower bound on the infinity-norm condition
+// number using the factor diagonals: max|u_ii| / min|u_ii|. It is a
+// diagnostic, not a rigorous estimate.
+func (f *LU) CondEstimate() float64 {
+	n := f.lu.Rows
+	if n == 0 {
+		return 1
+	}
+	min, max := math.Inf(1), 0.0
+	for i := 0; i < n; i++ {
+		a := math.Abs(f.lu.Data[i*n+i])
+		if a < min {
+			min = a
+		}
+		if a > max {
+			max = a
+		}
+	}
+	if min == 0 {
+		return math.Inf(1)
+	}
+	return max / min
+}
+
+// SolveDense is a convenience: factor a and solve a single right-hand side.
+func SolveDense(a *Dense, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, len(b))
+	f.Solve(b, x)
+	return x, nil
+}
+
+// Inverse returns A^{-1} (for tests and small diagnostics only).
+func Inverse(a *Dense) (*Dense, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveMatrix(Identity(a.Rows)), nil
+}

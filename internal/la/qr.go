@@ -1,0 +1,108 @@
+package la
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization A = Q R of an m-by-n matrix with
+// m >= n. Q is stored implicitly as Householder reflectors.
+type QR struct {
+	qr    *Dense    // reflectors below the diagonal, R on/above
+	rdiag []float64 // diagonal of R
+}
+
+// FactorQR computes the QR factorization of a (m >= n). a is not modified.
+func FactorQR(a *Dense) (*QR, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, fmt.Errorf("la: FactorQR needs rows >= cols, got %dx%d", m, n)
+	}
+	f := &QR{qr: a.Clone(), rdiag: make([]float64, n)}
+	qr := f.qr.Data
+	// Scale for the relative rank test: the largest original column norm.
+	scale := 0.0
+	for k := 0; k < n; k++ {
+		nrm := 0.0
+		for i := 0; i < m; i++ {
+			nrm = math.Hypot(nrm, qr[i*n+k])
+		}
+		if nrm > scale {
+			scale = nrm
+		}
+	}
+	for k := 0; k < n; k++ {
+		// Norm of column k below diagonal.
+		nrm := 0.0
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr[i*n+k])
+		}
+		if nrm <= 1e-12*scale {
+			return nil, fmt.Errorf("%w: rank-deficient at column %d", ErrSingular, k)
+		}
+		if qr[k*n+k] < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr[i*n+k] /= nrm
+		}
+		qr[k*n+k]++
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += qr[i*n+k] * qr[i*n+j]
+			}
+			s = -s / qr[k*n+k]
+			for i := k; i < m; i++ {
+				qr[i*n+j] += s * qr[i*n+k]
+			}
+		}
+		f.rdiag[k] = -nrm
+	}
+	return f, nil
+}
+
+// SolveLS solves the least-squares problem min ||A x - b||_2, writing the
+// n-vector solution into x. len(b) must equal the row count.
+func (f *QR) SolveLS(b, x []float64) {
+	m, n := f.qr.Rows, f.qr.Cols
+	if len(b) != m || len(x) != n {
+		panic("la: QR.SolveLS length mismatch")
+	}
+	qr := f.qr.Data
+	y := make([]float64, m)
+	copy(y, b)
+	// Compute Q^T b.
+	for k := 0; k < n; k++ {
+		s := 0.0
+		for i := k; i < m; i++ {
+			s += qr[i*n+k] * y[i]
+		}
+		s = -s / qr[k*n+k]
+		for i := k; i < m; i++ {
+			y[i] += s * qr[i*n+k]
+		}
+	}
+	// Back substitution R x = (Q^T b)[0:n].
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= qr[i*n+j] * x[j]
+		}
+		x[i] = s / f.rdiag[i]
+	}
+}
+
+// R returns the upper-triangular factor as a dense n-by-n matrix.
+func (f *QR) R() *Dense {
+	n := f.qr.Cols
+	r := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		r.Set(i, i, f.rdiag[i])
+		for j := i + 1; j < n; j++ {
+			r.Set(i, j, f.qr.At(i, j))
+		}
+	}
+	return r
+}

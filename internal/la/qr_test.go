@@ -1,0 +1,114 @@
+package la
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRSquareSolve(t *testing.T) {
+	a := DenseFromRows([][]float64{{2, 1}, {1, 3}})
+	f, err := FactorQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 2)
+	f.SolveLS([]float64{5, 10}, x)
+	r := make([]float64, 2)
+	a.MulVec(x, r)
+	if !almostEq(r[0], 5, 1e-12) || !almostEq(r[1], 10, 1e-12) {
+		t.Fatalf("QR square solve residual: %v", r)
+	}
+}
+
+func TestQRLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2 + 3 t through noisy-free samples: exact recovery.
+	ts := []float64{0, 1, 2, 3, 4}
+	a := NewDense(len(ts), 2)
+	b := make([]float64, len(ts))
+	for i, tv := range ts {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, tv)
+		b[i] = 2 + 3*tv
+	}
+	f, err := FactorQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 2)
+	f.SolveLS(b, x)
+	if !almostEq(x[0], 2, 1e-12) || !almostEq(x[1], 3, 1e-12) {
+		t.Fatalf("LS fit = %v, want [2 3]", x)
+	}
+}
+
+func TestQRNormalEquationsProperty(t *testing.T) {
+	// The LS residual must be orthogonal to the column space: A^T (Ax-b) = 0.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 3 + rng.Intn(8)
+		n := 1 + rng.Intn(3)
+		if n > m {
+			n = m
+		}
+		a := NewDense(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			a.Add(i, i, 2) // keep full column rank with high probability
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		qr, err := FactorQR(a)
+		if err != nil {
+			return true // rank-deficient draw, skip
+		}
+		x := make([]float64, n)
+		qr.SolveLS(b, x)
+		r := make([]float64, m)
+		a.MulVec(x, r)
+		Axpy(-1, b, r)
+		atr := make([]float64, n)
+		a.T().MulVec(r, atr)
+		return Norm2(atr) <= 1e-8*(1+Norm2(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQRUnderdeterminedRejected(t *testing.T) {
+	if _, err := FactorQR(NewDense(2, 3)); err == nil {
+		t.Fatal("expected error for underdetermined system")
+	}
+}
+
+func TestQRRankDeficientDetected(t *testing.T) {
+	a := DenseFromRows([][]float64{{1, 1}, {1, 1}, {1, 1}})
+	if _, err := FactorQR(a); err == nil {
+		t.Fatal("expected rank deficiency to be detected")
+	}
+}
+
+func TestQRRFactorUpperTriangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := NewDense(5, 3)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	f, err := FactorQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.R()
+	for i := 1; i < r.Rows; i++ {
+		for j := 0; j < i; j++ {
+			if r.At(i, j) != 0 {
+				t.Fatalf("R not upper triangular at %d,%d", i, j)
+			}
+		}
+	}
+}

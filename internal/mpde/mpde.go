@@ -1,0 +1,257 @@
+// Package mpde implements the (unwarped) Multirate Partial Differential
+// Equation of [BWLBG96, Roy97, Roy99] — the prior art the WaMPDE
+// generalizes (§2–§3). For a non-autonomous system with two widely
+// separated input rates, the MPDE
+//
+//	∂q(x̂)/∂t1 + ∂q(x̂)/∂t2 + f(x̂) = b̂(t1, t2)
+//
+// is solved with doubly periodic boundary conditions by spectral
+// collocation on an N1×N2 grid, yielding the compact bivariate forms of
+// Figures 1–3. The univariate solution is recovered along the sawtooth
+// characteristic x(t) = x̂(t mod T1, t mod T2).
+//
+// The package deliberately has no warped time scale and no frequency
+// unknown: applied to FM problems it exhibits exactly the representation
+// blow-up of Figure 5, which is the motivation for the WaMPDE in
+// internal/core.
+package mpde
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dae"
+	"repro/internal/fourier"
+	"repro/internal/la"
+	"repro/internal/newton"
+)
+
+// System is a DAE whose inputs live on the two-time torus: Input2 evaluates
+// the input waveforms at bivariate time (t1, t2).
+type System interface {
+	dae.System
+	// Input2 evaluates the inputs at fast time t1 and slow time t2.
+	// Consistency requires Input(t) == Input2(t, t).
+	Input2(t1, t2 float64, u []float64)
+}
+
+// Options tunes the quasiperiodic MPDE solve.
+type Options struct {
+	N1, N2  int     // grid sizes (defaults 15×15, the paper's Figure 2 grid)
+	MaxIter int     // Newton cap, default 60
+	Tol     float64 // residual tolerance, default 1e-9
+	Damping bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.N1 <= 0 {
+		o.N1 = 15
+	}
+	if o.N2 <= 0 {
+		o.N2 = 15
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 60
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	return o
+}
+
+// Solution is the bivariate steady state on the N1×N2 grid:
+// X[j2][j1] is the state vector at (t1, t2) = (j1·T1/N1, j2·T2/N2).
+type Solution struct {
+	T1, T2 float64
+	X      [][][]float64
+}
+
+// N1 returns the fast-axis grid size.
+func (s *Solution) N1() int { return len(s.X[0]) }
+
+// N2 returns the slow-axis grid size.
+func (s *Solution) N2() int { return len(s.X) }
+
+// Eval returns state component i at (t1, t2) by trigonometric interpolation
+// along t1 and linear (periodic) interpolation along t2.
+func (s *Solution) Eval(i int, t1, t2 float64) float64 {
+	n2 := s.N2()
+	f2 := math.Mod(t2/s.T2, 1)
+	if f2 < 0 {
+		f2++
+	}
+	y := f2 * float64(n2)
+	j0 := int(y) % n2
+	j1 := (j0 + 1) % n2
+	w := y - math.Floor(y)
+	return (1-w)*s.evalRow(i, j0, t1) + w*s.evalRow(i, j1, t1)
+}
+
+func (s *Solution) evalRow(i, j2 int, t1 float64) float64 {
+	n1 := s.N1()
+	samples := make([]float64, n1)
+	for j1 := 0; j1 < n1; j1++ {
+		samples[j1] = s.X[j2][j1][i]
+	}
+	return fourier.Interpolate(samples, t1/s.T1)
+}
+
+// Univariate reconstructs the one-dimensional solution along the sawtooth
+// characteristic: x_i(t) = x̂_i(t mod T1, t mod T2).
+func (s *Solution) Univariate(i int, t float64) float64 {
+	return s.Eval(i, math.Mod(t, s.T1), math.Mod(t, s.T2))
+}
+
+// Quasiperiodic solves the MPDE with (T1, T2)-periodic boundary conditions.
+// x0, if non-nil, provides the initial guess on the same grid layout as
+// Solution.X.
+func Quasiperiodic(sys System, t1p, t2p float64, x0 [][][]float64, opt Options) (*Solution, error) {
+	opt = opt.withDefaults()
+	if t1p <= 0 || t2p <= 0 {
+		return nil, errors.New("mpde: periods must be positive")
+	}
+	n := sys.Dim()
+	N1, N2 := opt.N1, opt.N2
+	total := N1 * N2 * n
+
+	// Inputs on the grid.
+	us := make([][][]float64, N2)
+	for j2 := 0; j2 < N2; j2++ {
+		us[j2] = make([][]float64, N1)
+		for j1 := 0; j1 < N1; j1++ {
+			us[j2][j1] = make([]float64, sys.NumInputs())
+			sys.Input2(t1p*float64(j1)/float64(N1), t2p*float64(j2)/float64(N2), us[j2][j1])
+		}
+	}
+	d1 := fourier.DiffMatrix(N1) // d/dτ1 for period 1; scale by 1/T1
+	d2 := fourier.DiffMatrix(N2)
+
+	z := make([]float64, total)
+	if x0 != nil {
+		if len(x0) != N2 || len(x0[0]) != N1 {
+			return nil, fmt.Errorf("mpde: guess grid %dx%d, want %dx%d", len(x0[0]), len(x0), N1, N2)
+		}
+		for j2 := 0; j2 < N2; j2++ {
+			for j1 := 0; j1 < N1; j1++ {
+				copy(z[idx(j1, j2, 0, n, N1):idx(j1, j2, 0, n, N1)+n], x0[j2][j1])
+			}
+		}
+	}
+
+	q := make([]float64, total)
+	scr := make([]float64, n)
+	jq := la.NewDense(n, n)
+	jf := la.NewDense(n, n)
+
+	computeQ := func(z []float64) {
+		for p := 0; p < N1*N2; p++ {
+			sys.Q(z[p*n:(p+1)*n], q[p*n:(p+1)*n])
+		}
+	}
+	eval := func(z, f []float64) error {
+		computeQ(z)
+		for j2 := 0; j2 < N2; j2++ {
+			for j1 := 0; j1 < N1; j1++ {
+				base := idx(j1, j2, 0, n, N1)
+				sys.F(z[base:base+n], us[j2][j1], scr)
+				for i := 0; i < n; i++ {
+					acc := scr[i]
+					for m := 0; m < N1; m++ {
+						if w := d1[j1*N1+m]; w != 0 {
+							acc += w / t1p * q[idx(m, j2, i, n, N1)]
+						}
+					}
+					for m := 0; m < N2; m++ {
+						if w := d2[j2*N2+m]; w != 0 {
+							acc += w / t2p * q[idx(j1, m, i, n, N1)]
+						}
+					}
+					f[base+i] = acc
+				}
+			}
+		}
+		return nil
+	}
+	jac := func(z []float64) (newton.LinearSolve, error) {
+		jj := la.NewDense(total, total)
+		for j2 := 0; j2 < N2; j2++ {
+			for j1 := 0; j1 < N1; j1++ {
+				base := idx(j1, j2, 0, n, N1)
+				x := z[base : base+n]
+				sys.JQ(x, jq)
+				sys.JF(x, us[j2][j1], jf)
+				// Derivative couplings: this point's q appears in rows of
+				// every point sharing its row or column of the grid.
+				for m := 0; m < N1; m++ {
+					w := d1[m*N1+j1] / t1p
+					if w == 0 {
+						continue
+					}
+					rowBase := idx(m, j2, 0, n, N1)
+					addBlock(jj, rowBase, base, jq, w)
+				}
+				for m := 0; m < N2; m++ {
+					w := d2[m*N2+j2] / t2p
+					if w == 0 {
+						continue
+					}
+					rowBase := idx(j1, m, 0, n, N1)
+					addBlock(jj, rowBase, base, jq, w)
+				}
+				addBlock(jj, base, base, jf, 1)
+			}
+		}
+		return la.FactorLU(jj)
+	}
+	if _, err := newton.Solve(newton.Problem{N: total, Eval: eval, Jacobian: jac}, z,
+		newton.Options{MaxIter: opt.MaxIter, TolF: opt.Tol, Damping: opt.Damping}); err != nil {
+		return nil, fmt.Errorf("mpde: quasiperiodic solve: %w", err)
+	}
+	sol := &Solution{T1: t1p, T2: t2p, X: make([][][]float64, N2)}
+	for j2 := 0; j2 < N2; j2++ {
+		sol.X[j2] = make([][]float64, N1)
+		for j1 := 0; j1 < N1; j1++ {
+			base := idx(j1, j2, 0, n, N1)
+			sol.X[j2][j1] = append([]float64(nil), z[base:base+n]...)
+		}
+	}
+	return sol, nil
+}
+
+func idx(j1, j2, i, n, N1 int) int { return (j2*N1+j1)*n + i }
+
+func addBlock(jj *la.Dense, rowBase, colBase int, blk *la.Dense, w float64) {
+	for r := 0; r < blk.Rows; r++ {
+		row := jj.Row(rowBase + r)
+		brow := blk.Row(r)
+		for c := 0; c < blk.Cols; c++ {
+			row[colBase+c] += w * brow[c]
+		}
+	}
+}
+
+// TwoTone adapts a dae.System whose input waveforms factor into fast and
+// slow parts: input k is fast[k](t1)·slow[k](t2) (either may be nil for 1).
+type TwoTone struct {
+	dae.System
+	Fast []func(t float64) float64
+	Slow []func(t float64) float64
+}
+
+// Input2 implements System.
+func (s *TwoTone) Input2(t1, t2 float64, u []float64) {
+	for k := range u {
+		v := 1.0
+		if s.Fast != nil && s.Fast[k] != nil {
+			v *= s.Fast[k](t1)
+		}
+		if s.Slow != nil && s.Slow[k] != nil {
+			v *= s.Slow[k](t2)
+		}
+		u[k] = v
+	}
+}
+
+// Input implements dae.System consistently with Input2.
+func (s *TwoTone) Input(t float64, u []float64) { s.Input2(t, t, u) }

@@ -1,0 +1,406 @@
+// Package netlist parses a SPICE-flavoured text format into circuit
+// netlists, making the simulator usable as a standalone tool (cmd/circuitsim).
+//
+// Grammar (one element per line, '*' or ';' comments, case-insensitive
+// element keys, engineering suffixes f p n u m k meg g t):
+//
+//	R<name> n1 n2 <value>
+//	C<name> n1 n2 <value>
+//	L<name> n1 n2 <value> [esr=<value>]
+//	D<name> n1 n2 [is=<value>] [vt=<value>]
+//	V<name> n+ n- <source>
+//	I<name> n+ n- <source>
+//	G<name> out+ out- ctrl+ ctrl- <gm>         (VCCS)
+//	T<name> d g s [type=n|p] [k=<value>] [vt=<value>] [lambda=<value>]
+//	N<name> n1 n2 g1=<value> g3=<value>        (cubic negative conductor)
+//	M<name> n1 n2 c0= d0= m= b= k= gamma= ctl=<source>  (MEMS varactor)
+//	.oscvar <node>
+//
+// Sources: DC(<v>) | SIN(<offset> <amp> <freq> [phase]) |
+// PULSE(<v1> <v2> <delay> <rise> <width> <fall> <period>) |
+// PWL(<t1> <v1> <t2> <v2> ...). A bare number means DC.
+package netlist
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// Parse builds a circuit from netlist text.
+func Parse(src string) (*circuit.Circuit, error) {
+	ckt := circuit.New()
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexAny(line, ";"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" || strings.HasPrefix(line, "*") {
+			continue
+		}
+		if err := parseLine(ckt, line); err != nil {
+			return nil, fmt.Errorf("netlist: line %d: %w", ln+1, err)
+		}
+	}
+	return ckt, nil
+}
+
+func parseLine(ckt *circuit.Circuit, line string) error {
+	fields := tokenize(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	head := fields[0]
+	if strings.HasPrefix(head, ".") {
+		switch strings.ToLower(head) {
+		case ".oscvar":
+			if len(fields) != 2 {
+				return fmt.Errorf(".oscvar wants one node, got %d args", len(fields)-1)
+			}
+			ckt.SetOscVar(fields[1])
+			return nil
+		default:
+			return fmt.Errorf("unknown directive %q", head)
+		}
+	}
+	kind := strings.ToUpper(head[:1])
+	name := head
+	switch kind {
+	case "R":
+		n1, n2, rest, err := twoNodes(fields)
+		if err != nil {
+			return err
+		}
+		if len(rest) != 1 {
+			return fmt.Errorf("resistor %s wants one value", name)
+		}
+		r, err := ParseValue(rest[0])
+		if err != nil {
+			return err
+		}
+		if r <= 0 {
+			return fmt.Errorf("resistor %s must be positive", name)
+		}
+		return ckt.Add(circuit.NewResistor(name, n1, n2, r))
+	case "C":
+		n1, n2, rest, err := twoNodes(fields)
+		if err != nil {
+			return err
+		}
+		if len(rest) != 1 {
+			return fmt.Errorf("capacitor %s wants one value", name)
+		}
+		c, err := ParseValue(rest[0])
+		if err != nil {
+			return err
+		}
+		return ckt.Add(circuit.NewCapacitor(name, n1, n2, c))
+	case "L":
+		n1, n2, rest, err := twoNodes(fields)
+		if err != nil {
+			return err
+		}
+		if len(rest) < 1 {
+			return fmt.Errorf("inductor %s wants a value", name)
+		}
+		l, err := ParseValue(rest[0])
+		if err != nil {
+			return err
+		}
+		kv, err := keyValues(rest[1:])
+		if err != nil {
+			return err
+		}
+		esr := kv["esr"]
+		return ckt.Add(circuit.NewInductor(name, n1, n2, l, esr))
+	case "D":
+		n1, n2, rest, err := twoNodes(fields)
+		if err != nil {
+			return err
+		}
+		kv, err := keyValues(rest)
+		if err != nil {
+			return err
+		}
+		is, vt := kv["is"], kv["vt"]
+		if is == 0 {
+			is = 1e-14
+		}
+		if vt == 0 {
+			vt = 0.02585
+		}
+		return ckt.Add(circuit.NewDiode(name, n1, n2, is, vt))
+	case "V", "I":
+		n1, n2, rest, err := twoNodes(fields)
+		if err != nil {
+			return err
+		}
+		w, err := ParseSource(strings.Join(rest, " "))
+		if err != nil {
+			return err
+		}
+		if kind == "V" {
+			return ckt.Add(circuit.NewVSource(name, n1, n2, w))
+		}
+		return ckt.Add(circuit.NewISource(name, n1, n2, w))
+	case "G":
+		if len(fields) != 6 {
+			return fmt.Errorf("VCCS %s wants out+ out- ctrl+ ctrl- gm", name)
+		}
+		gm, err := ParseValue(fields[5])
+		if err != nil {
+			return err
+		}
+		return ckt.Add(circuit.NewVCCS(name, fields[1], fields[2], fields[3], fields[4], gm))
+	case "T":
+		if len(fields) < 4 {
+			return fmt.Errorf("MOSFET %s wants d g s", name)
+		}
+		d, g, src := fields[1], fields[2], fields[3]
+		pmos := false
+		var kvFields []string
+		for _, f := range fields[4:] {
+			if strings.HasPrefix(strings.ToLower(f), "type=") {
+				switch strings.ToLower(f[5:]) {
+				case "n":
+				case "p":
+					pmos = true
+				default:
+					return fmt.Errorf("MOSFET %s: unknown type %q", name, f[5:])
+				}
+			} else {
+				kvFields = append(kvFields, f)
+			}
+		}
+		kv, err := keyValues(kvFields)
+		if err != nil {
+			return err
+		}
+		k, vt, lambda := kv["k"], kv["vt"], kv["lambda"]
+		if k == 0 {
+			k = 1e-3
+		}
+		if vt == 0 {
+			vt = 0.7
+		}
+		if pmos {
+			return ckt.Add(circuit.NewPMOS(name, d, g, src, k, vt, lambda))
+		}
+		return ckt.Add(circuit.NewNMOS(name, d, g, src, k, vt, lambda))
+	case "N":
+		n1, n2, rest, err := twoNodes(fields)
+		if err != nil {
+			return err
+		}
+		kv, err := keyValues(rest)
+		if err != nil {
+			return err
+		}
+		if _, ok := kv["g1"]; !ok {
+			return fmt.Errorf("cubic conductor %s wants g1=", name)
+		}
+		if _, ok := kv["g3"]; !ok {
+			return fmt.Errorf("cubic conductor %s wants g3=", name)
+		}
+		return ckt.Add(circuit.NewCubicConductor(name, n1, n2, kv["g1"], kv["g3"]))
+	case "M":
+		n1, n2, rest, err := twoNodes(fields)
+		if err != nil {
+			return err
+		}
+		var ctl circuit.Waveform
+		var kvFields []string
+		for _, f := range rest {
+			if strings.HasPrefix(strings.ToLower(f), "ctl=") {
+				w, err := ParseSource(f[4:])
+				if err != nil {
+					return err
+				}
+				ctl = w
+			} else {
+				kvFields = append(kvFields, f)
+			}
+		}
+		kv, err := keyValues(kvFields)
+		if err != nil {
+			return err
+		}
+		if ctl == nil {
+			return fmt.Errorf("MEMS varactor %s wants ctl=<source>", name)
+		}
+		for _, req := range []string{"c0", "d0", "m", "b", "k", "gamma"} {
+			if _, ok := kv[req]; !ok {
+				return fmt.Errorf("MEMS varactor %s wants %s=", name, req)
+			}
+		}
+		return ckt.Add(circuit.NewMEMSVaractor(name, n1, n2,
+			kv["c0"], kv["d0"], kv["m"], kv["b"], kv["k"], kv["gamma"], ctl))
+	default:
+		return fmt.Errorf("unknown element kind %q", head)
+	}
+}
+
+// tokenize splits on whitespace but keeps parenthesized groups attached to
+// their prefix: "SIN(1 2 3)" stays one token even with inner spaces.
+func tokenize(line string) []string {
+	var out []string
+	depth := 0
+	cur := strings.Builder{}
+	for _, r := range line {
+		switch {
+		case r == '(':
+			depth++
+			cur.WriteRune(r)
+		case r == ')':
+			depth--
+			cur.WriteRune(r)
+		case (r == ' ' || r == '\t') && depth == 0:
+			if cur.Len() > 0 {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+func twoNodes(fields []string) (n1, n2 string, rest []string, err error) {
+	if len(fields) < 3 {
+		return "", "", nil, fmt.Errorf("%s wants two nodes", fields[0])
+	}
+	return fields[1], fields[2], fields[3:], nil
+}
+
+func keyValues(fields []string) (map[string]float64, error) {
+	kv := map[string]float64{}
+	for _, f := range fields {
+		i := strings.IndexByte(f, '=')
+		if i <= 0 {
+			return nil, fmt.Errorf("expected key=value, got %q", f)
+		}
+		v, err := ParseValue(f[i+1:])
+		if err != nil {
+			return nil, err
+		}
+		kv[strings.ToLower(f[:i])] = v
+	}
+	return kv, nil
+}
+
+// ParseValue parses a number with an optional engineering suffix
+// (f p n u m k meg g t, case-insensitive).
+func ParseValue(s string) (float64, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(t, "meg"):
+		mult, t = 1e6, t[:len(t)-3]
+	case strings.HasSuffix(t, "f"):
+		mult, t = 1e-15, t[:len(t)-1]
+	case strings.HasSuffix(t, "p"):
+		mult, t = 1e-12, t[:len(t)-1]
+	case strings.HasSuffix(t, "n"):
+		mult, t = 1e-9, t[:len(t)-1]
+	case strings.HasSuffix(t, "u"):
+		mult, t = 1e-6, t[:len(t)-1]
+	case strings.HasSuffix(t, "m"):
+		mult, t = 1e-3, t[:len(t)-1]
+	case strings.HasSuffix(t, "k"):
+		mult, t = 1e3, t[:len(t)-1]
+	case strings.HasSuffix(t, "g"):
+		mult, t = 1e9, t[:len(t)-1]
+	case strings.HasSuffix(t, "t"):
+		mult, t = 1e12, t[:len(t)-1]
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v * mult, nil
+}
+
+// ParseSource parses a source expression (see the package comment).
+func ParseSource(s string) (circuit.Waveform, error) {
+	t := strings.TrimSpace(s)
+	up := strings.ToUpper(t)
+	switch {
+	case strings.HasPrefix(up, "DC(") || strings.HasPrefix(up, "DC "):
+		args, err := sourceArgs(t, 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		return circuit.DC(args[0]), nil
+	case strings.HasPrefix(up, "SIN"):
+		args, err := sourceArgs(t, 3, 4)
+		if err != nil {
+			return nil, err
+		}
+		phase := 0.0
+		if len(args) == 4 {
+			phase = args[3]
+		}
+		return circuit.Sine(args[0], args[1], args[2], phase), nil
+	case strings.HasPrefix(up, "PULSE"):
+		args, err := sourceArgs(t, 7, 7)
+		if err != nil {
+			return nil, err
+		}
+		return circuit.Pulse(args[0], args[1], args[2], args[3], args[4], args[5], args[6]), nil
+	case strings.HasPrefix(up, "PWL"):
+		args, err := sourceArgs(t, 2, 1<<20)
+		if err != nil {
+			return nil, err
+		}
+		if len(args)%2 != 0 {
+			return nil, fmt.Errorf("PWL wants time/value pairs")
+		}
+		ts := make([]float64, len(args)/2)
+		vs := make([]float64, len(args)/2)
+		for i := range ts {
+			ts[i], vs[i] = args[2*i], args[2*i+1]
+			if i > 0 && ts[i] <= ts[i-1] {
+				return nil, fmt.Errorf("PWL times must increase")
+			}
+		}
+		return circuit.PWL(ts, vs), nil
+	default:
+		v, err := ParseValue(t)
+		if err != nil {
+			return nil, fmt.Errorf("bad source %q", s)
+		}
+		return circuit.DC(v), nil
+	}
+}
+
+func sourceArgs(s string, minArgs, maxArgs int) ([]float64, error) {
+	open := strings.IndexByte(s, '(')
+	closeIdx := strings.LastIndexByte(s, ')')
+	var body string
+	if open >= 0 && closeIdx > open {
+		body = s[open+1 : closeIdx]
+	} else {
+		// "DC 5" style.
+		parts := strings.Fields(s)
+		body = strings.Join(parts[1:], " ")
+	}
+	fields := strings.FieldsFunc(body, func(r rune) bool { return r == ' ' || r == ',' || r == '\t' })
+	args := make([]float64, 0, len(fields))
+	for _, f := range fields {
+		v, err := ParseValue(f)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+	}
+	if len(args) < minArgs || len(args) > maxArgs {
+		return nil, fmt.Errorf("source %q wants %d..%d args, got %d", s, minArgs, maxArgs, len(args))
+	}
+	return args, nil
+}

@@ -1,0 +1,203 @@
+// Package newton implements the damped Newton–Raphson iteration shared by
+// every nonlinear solve in the repository: DC operating points, implicit
+// integration steps, shooting, harmonic balance, and the per-step WaMPDE
+// systems (paper §4.1: "solved with any numerical method for nonlinear
+// equations, such as Newton-Raphson or continuation").
+package newton
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/la"
+)
+
+// LinearSolve abstracts the factored linear system used for Newton updates.
+// Both *la.LU and *sparse.LU satisfy it, as do GMRES adapters.
+type LinearSolve interface {
+	Solve(b, x []float64)
+}
+
+// Problem defines F(x) = 0.
+type Problem struct {
+	// N is the number of unknowns.
+	N int
+	// Eval writes F(x) into f.
+	Eval func(x, f []float64) error
+	// Jacobian returns a solver for the Jacobian J(x); called once per
+	// Newton iteration.
+	Jacobian func(x []float64) (LinearSolve, error)
+}
+
+// Options tunes the iteration.
+type Options struct {
+	MaxIter   int     // default 50
+	TolF      float64 // residual inf-norm target, default 1e-10
+	TolX      float64 // relative step target, default 1e-12
+	Damping   bool    // enable residual-halving line search
+	MaxHalves int     // damping depth, default 10
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 50
+	}
+	if o.TolF <= 0 {
+		o.TolF = 1e-10
+	}
+	if o.TolX <= 0 {
+		o.TolX = 1e-12
+	}
+	if o.MaxHalves <= 0 {
+		o.MaxHalves = 10
+	}
+	return o
+}
+
+// Result reports the outcome of a Newton solve.
+type Result struct {
+	Iterations int
+	ResidualF  float64 // final ||F||_inf
+	Converged  bool
+}
+
+// ErrNoConvergence is returned when the iteration budget is exhausted. The
+// best iterate seen is left in x.
+var ErrNoConvergence = errors.New("newton: iteration did not converge")
+
+// Solve runs damped Newton on p starting from x (updated in place).
+func Solve(p Problem, x []float64, opt Options) (Result, error) {
+	if len(x) != p.N {
+		return Result{}, fmt.Errorf("newton: len(x)=%d, want %d", len(x), p.N)
+	}
+	opt = opt.withDefaults()
+	n := p.N
+	f := make([]float64, n)
+	fTrial := make([]float64, n)
+	dx := make([]float64, n)
+	xTrial := make([]float64, n)
+
+	if err := p.Eval(x, f); err != nil {
+		return Result{}, fmt.Errorf("newton: initial evaluation: %w", err)
+	}
+	normF := la.NormInf(f)
+	best := append([]float64(nil), x...)
+	bestNorm := normF
+
+	for it := 1; it <= opt.MaxIter; it++ {
+		if normF <= opt.TolF {
+			return Result{Iterations: it - 1, ResidualF: normF, Converged: true}, nil
+		}
+		if math.IsNaN(normF) || math.IsInf(normF, 0) {
+			copy(x, best)
+			return Result{Iterations: it - 1, ResidualF: bestNorm}, fmt.Errorf("newton: residual became non-finite: %w", ErrNoConvergence)
+		}
+		lin, err := p.Jacobian(x)
+		if err != nil {
+			copy(x, best)
+			return Result{Iterations: it - 1, ResidualF: bestNorm}, fmt.Errorf("newton: jacobian: %w", err)
+		}
+		lin.Solve(f, dx) // J dx = F  => x_new = x - dx
+		step := 1.0
+		accepted := false
+		for h := 0; ; h++ {
+			for i := range x {
+				xTrial[i] = x[i] - step*dx[i]
+			}
+			if err := p.Eval(xTrial, fTrial); err == nil {
+				nf := la.NormInf(fTrial)
+				if !opt.Damping || nf < normF || nf <= opt.TolF {
+					copy(x, xTrial)
+					copy(f, fTrial)
+					normF = nf
+					accepted = true
+					break
+				}
+			}
+			if h >= opt.MaxHalves {
+				break
+			}
+			step /= 2
+		}
+		if !accepted {
+			// Take the full step anyway; sometimes the residual must rise
+			// transiently (e.g. crossing a device-model knee).
+			for i := range x {
+				xTrial[i] = x[i] - dx[i]
+			}
+			if err := p.Eval(xTrial, fTrial); err != nil {
+				copy(x, best)
+				return Result{Iterations: it, ResidualF: bestNorm}, fmt.Errorf("newton: evaluation failed: %w", ErrNoConvergence)
+			}
+			copy(x, xTrial)
+			copy(f, fTrial)
+			normF = la.NormInf(f)
+		}
+		if normF < bestNorm {
+			bestNorm = normF
+			copy(best, x)
+		}
+		// Small-step stopping criterion. The residual must still be close
+		// to tolerance: with modified (chord) Newton the per-iteration step
+		// shrinks linearly and is no proxy for the remaining error.
+		if la.NormInf(dx)*step <= opt.TolX*(1+la.NormInf(x)) && normF <= 10*opt.TolF {
+			return Result{Iterations: it, ResidualF: normF, Converged: true}, nil
+		}
+	}
+	if normF <= opt.TolF {
+		return Result{Iterations: opt.MaxIter, ResidualF: normF, Converged: true}, nil
+	}
+	copy(x, best)
+	return Result{Iterations: opt.MaxIter, ResidualF: bestNorm}, ErrNoConvergence
+}
+
+// DenseProblem builds a Problem whose Jacobian is assembled densely and
+// factored with LU — the common case for the small-to-medium systems in this
+// repository.
+func DenseProblem(n int, eval func(x, f []float64) error, jac func(x []float64, j *la.Dense) error) Problem {
+	j := la.NewDense(n, n)
+	return Problem{
+		N:    n,
+		Eval: eval,
+		Jacobian: func(x []float64) (LinearSolve, error) {
+			if err := jac(x, j); err != nil {
+				return nil, err
+			}
+			return la.FactorLU(j)
+		},
+	}
+}
+
+// Homotopy solves F(x; λ=1) = 0 by continuation from an easy problem at
+// λ = 0, adapting the λ step: on failure the step halves, on success it
+// grows. make(λ) must return the problem at that continuation parameter.
+// Used for source-stepping DC operating points of oscillators whose Newton
+// basin at full bias is small.
+func Homotopy(make func(lambda float64) Problem, x []float64, opt Options) (Result, error) {
+	lambda, step := 0.0, 0.25
+	var last Result
+	xSave := append([]float64(nil), x...)
+	for lambda < 1 {
+		next := lambda + step
+		if next > 1 {
+			next = 1
+		}
+		res, err := Solve(make(next), x, opt)
+		if err != nil {
+			copy(x, xSave)
+			step /= 2
+			if step < 1e-6 {
+				return res, fmt.Errorf("newton: homotopy stalled at λ=%.6f: %w", lambda, err)
+			}
+			continue
+		}
+		lambda = next
+		copy(xSave, x)
+		last = res
+		if step < 0.5 {
+			step *= 2
+		}
+	}
+	return last, nil
+}

@@ -1,0 +1,256 @@
+// Package shooting computes periodic steady states of DAE systems by the
+// shooting method — one of the boundary-value prior arts the paper reviews
+// in §2 ([AT72, Ske80, TKW95]). Both the forced variant (known period) and
+// the autonomous variant (unknown period, with a phase condition) are
+// provided; the latter supplies the WaMPDE's natural initial condition
+// ("the solution of (12) with no forcing", §4.1).
+package shooting
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/dae"
+	"repro/internal/la"
+	"repro/internal/newton"
+	"repro/internal/transient"
+)
+
+// Options tunes the shooting iteration.
+type Options struct {
+	PointsPerPeriod int // transient resolution, default 256
+	Method          transient.Method
+	MaxIter         int     // Newton iterations, default 30
+	Tol             float64 // residual tolerance on ||Φ_T(x)−x||, default 1e-8
+	FrozenInputTime float64 // autonomous runs freeze inputs at this time
+}
+
+func (o Options) withDefaults() Options {
+	if o.PointsPerPeriod <= 0 {
+		o.PointsPerPeriod = 256
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 30
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	return o
+}
+
+// PSS is a periodic steady state.
+type PSS struct {
+	X0        []float64         // state at the period start
+	T         float64           // period
+	Monodromy *la.Dense         // state-transition matrix over one period
+	Orbit     *transient.Result // one period of the converged solution
+}
+
+// Floquet returns the Floquet (characteristic) multipliers, the eigenvalues
+// of the monodromy matrix, sorted by descending magnitude.
+func (p *PSS) Floquet() ([]complex128, error) {
+	if p.Monodromy == nil {
+		return nil, errors.New("shooting: no monodromy available")
+	}
+	return la.Eigenvalues(p.Monodromy)
+}
+
+// frozenInput wraps a system, freezing its inputs at a fixed time — the
+// "b(t) constant" condition for unforced-oscillator analysis.
+type frozenInput struct {
+	dae.System
+	at float64
+}
+
+func (f frozenInput) Input(t float64, u []float64) { f.System.Input(f.at, u) }
+
+// Freeze returns sys with inputs pinned to their value at time at.
+func Freeze(sys dae.System, at float64) dae.System { return frozenInput{sys, at} }
+
+// flow integrates sys over [0, T] from x0 and returns the final state.
+func flow(sys dae.System, x0 []float64, T float64, opt Options) ([]float64, *transient.Result, error) {
+	res, err := transient.Simulate(sys, x0, 0, T, transient.Options{
+		Method: opt.Method,
+		H:      T / float64(opt.PointsPerPeriod),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.X[len(res.X)-1], res, nil
+}
+
+// monodromy estimates dΦ_T/dx0 by central finite differences. The 2n
+// perturbed transients are independent, so they run on parallel workers
+// (one per column; each flow carries its own state).
+func monodromy(sys dae.System, x0 []float64, T float64, opt Options) (*la.Dense, error) {
+	n := len(x0)
+	m := la.NewDense(n, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for j := 0; j < n; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			xp := append([]float64(nil), x0...)
+			h := 1e-6 * (1 + math.Abs(x0[j]))
+			xp[j] = x0[j] + h
+			fp, _, err := flow(sys, xp, T, opt)
+			if err != nil {
+				errs[j] = err
+				return
+			}
+			xp[j] = x0[j] - h
+			fm, _, err := flow(sys, xp, T, opt)
+			if err != nil {
+				errs[j] = err
+				return
+			}
+			for i := 0; i < n; i++ {
+				m.Set(i, j, (fp[i]-fm[i])/(2*h))
+			}
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Forced computes the periodic steady state of a T-periodic forced system
+// by Newton on the shooting map Φ_T(x0) − x0 = 0, starting from x0.
+func Forced(sys dae.System, x0 []float64, T float64, opt Options) (*PSS, error) {
+	opt = opt.withDefaults()
+	n := sys.Dim()
+	if len(x0) != n {
+		return nil, fmt.Errorf("shooting: len(x0)=%d, want %d", len(x0), n)
+	}
+	if T <= 0 {
+		return nil, errors.New("shooting: period must be positive")
+	}
+	x := append([]float64(nil), x0...)
+	p := newton.Problem{
+		N: n,
+		Eval: func(x, f []float64) error {
+			xT, _, err := flow(sys, x, T, opt)
+			if err != nil {
+				return err
+			}
+			la.Sub(f, xT, x)
+			return nil
+		},
+		Jacobian: func(x []float64) (newton.LinearSolve, error) {
+			m, err := monodromy(sys, x, T, opt)
+			if err != nil {
+				return nil, err
+			}
+			j := m.Clone()
+			for i := 0; i < n; i++ {
+				j.Add(i, i, -1)
+			}
+			return la.FactorLU(j)
+		},
+	}
+	if _, err := newton.Solve(p, x, newton.Options{MaxIter: opt.MaxIter, TolF: opt.Tol, Damping: true}); err != nil {
+		return nil, fmt.Errorf("shooting: forced PSS: %w", err)
+	}
+	m, err := monodromy(sys, x, T, opt)
+	if err != nil {
+		return nil, err
+	}
+	_, orbit, err := flow(sys, x, T, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &PSS{X0: x, T: T, Monodromy: m, Orbit: orbit}, nil
+}
+
+// Autonomous computes the periodic steady state and period of an unforced
+// oscillator. Inputs are frozen at opt.FrozenInputTime. The phase ambiguity
+// is removed by anchoring the oscillation variable: x0[k] is held at its
+// initial-guess value (which must lie within the limit cycle's swing).
+// x0 and T0 are the initial guesses.
+func Autonomous(sys dae.Autonomous, x0 []float64, T0 float64, opt Options) (*PSS, error) {
+	opt = opt.withDefaults()
+	n := sys.Dim()
+	if len(x0) != n {
+		return nil, fmt.Errorf("shooting: len(x0)=%d, want %d", len(x0), n)
+	}
+	if T0 <= 0 {
+		return nil, errors.New("shooting: period guess must be positive")
+	}
+	frozen := Freeze(sys, opt.FrozenInputTime)
+	k := sys.OscVar()
+	anchor := x0[k]
+
+	// Unknowns z = [x0; T].
+	z := make([]float64, n+1)
+	copy(z, x0)
+	z[n] = T0
+
+	eval := func(z, f []float64) error {
+		T := z[n]
+		if T <= 0 {
+			return errors.New("shooting: period went non-positive")
+		}
+		xT, _, err := flow(frozen, z[:n], T, opt)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			f[i] = xT[i] - z[i]
+		}
+		f[n] = z[k] - anchor
+		return nil
+	}
+	jac := func(z []float64) (newton.LinearSolve, error) {
+		T := z[n]
+		m, err := monodromy(frozen, z[:n], T, opt)
+		if err != nil {
+			return nil, err
+		}
+		j := la.NewDense(n+1, n+1)
+		for i := 0; i < n; i++ {
+			for jj := 0; jj < n; jj++ {
+				j.Set(i, jj, m.At(i, jj))
+			}
+			j.Add(i, i, -1)
+		}
+		// dΦ_T/dT by finite differences: robust for true DAEs (singular
+		// dq/dx), where the endpoint state derivative cannot be obtained by
+		// inverting JQ.
+		dT := 1e-6 * T
+		xT2, _, err := flow(frozen, z[:n], T+dT, opt)
+		if err != nil {
+			return nil, err
+		}
+		xT, _, err := flow(frozen, z[:n], T, opt)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			j.Set(i, n, (xT2[i]-xT[i])/dT)
+		}
+		j.Set(n, k, 1)
+		return la.FactorLU(j)
+	}
+	if _, err := newton.Solve(newton.Problem{N: n + 1, Eval: eval, Jacobian: jac}, z,
+		newton.Options{MaxIter: opt.MaxIter, TolF: opt.Tol, Damping: true}); err != nil {
+		return nil, fmt.Errorf("shooting: autonomous PSS: %w", err)
+	}
+	x := append([]float64(nil), z[:n]...)
+	T := z[n]
+	m, err := monodromy(frozen, x, T, opt)
+	if err != nil {
+		return nil, err
+	}
+	_, orbit, err := flow(frozen, x, T, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &PSS{X0: x, T: T, Monodromy: m, Orbit: orbit}, nil
+}

@@ -1,0 +1,159 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when the factorization hits a zero pivot column.
+var ErrSingular = errors.New("sparse: matrix is singular")
+
+// LU is a sparse LU factorization with partial pivoting, computed by the
+// left-looking (Gilbert–Peierls style) column algorithm with a dense work
+// column. Row permutation only; no fill-reducing column ordering — adequate
+// for the banded/block-structured Jacobians the multi-time solvers produce.
+type LU struct {
+	n       int
+	lcol    [][]int     // L row indices per column (below diagonal, in elimination order)
+	lval    [][]float64 // L values (unit diagonal implied)
+	ucol    [][]int     // U row indices per column (at/above diagonal)
+	uval    [][]float64 // U values; last entry is the pivot (diagonal)
+	perm    []int       // perm[newRow] = oldRow
+	permInv []int       // permInv[oldRow] = newRow
+}
+
+// FactorLU factorizes a square CSR matrix.
+func FactorLU(a *CSR) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("sparse: FactorLU needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	at := a.Transpose() // column access
+	f := &LU{
+		n:       n,
+		lcol:    make([][]int, n),
+		lval:    make([][]float64, n),
+		ucol:    make([][]int, n),
+		uval:    make([][]float64, n),
+		perm:    make([]int, n),
+		permInv: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		f.perm[i] = -1
+		f.permInv[i] = -1
+	}
+	work := make([]float64, n)   // dense accumulator indexed by *original* row
+	touched := make([]int, 0, n) // original rows with nonzero work entries
+
+	for col := 0; col < n; col++ {
+		// Scatter column col of A into work (original row indices).
+		for k := at.RowPtr[col]; k < at.RowPtr[col+1]; k++ {
+			r := at.ColIdx[k]
+			if work[r] == 0 {
+				touched = append(touched, r)
+			}
+			work[r] += at.Val[k]
+		}
+		// Left-looking update: for each prior column j whose U entry in this
+		// column is nonzero, subtract U(j,col) * L(:,j).
+		for j := 0; j < col; j++ {
+			pr := f.perm[j] // original row pivoted into position j
+			uj := work[pr]
+			if uj == 0 {
+				continue
+			}
+			for k, r := range f.lcol[j] {
+				if work[r] == 0 {
+					touched = append(touched, r)
+				}
+				work[r] -= uj * f.lval[j][k]
+			}
+		}
+		// Choose pivot: the largest |work| among not-yet-pivoted rows.
+		pivRow, pivAbs := -1, 0.0
+		for _, r := range touched {
+			if f.permInv[r] >= 0 {
+				continue
+			}
+			if a := math.Abs(work[r]); a > pivAbs {
+				pivRow, pivAbs = r, a
+			}
+		}
+		if pivRow < 0 || pivAbs == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, col)
+		}
+		f.perm[col] = pivRow
+		f.permInv[pivRow] = col
+		pivVal := work[pivRow]
+		// Split work into U (already-pivoted rows) and L (remaining rows).
+		for _, r := range touched {
+			v := work[r]
+			work[r] = 0
+			if v == 0 {
+				continue
+			}
+			if p := f.permInv[r]; p >= 0 && p < col {
+				f.ucol[col] = append(f.ucol[col], p)
+				f.uval[col] = append(f.uval[col], v)
+			} else if r != pivRow {
+				f.lcol[col] = append(f.lcol[col], r)
+				f.lval[col] = append(f.lval[col], v/pivVal)
+			}
+		}
+		work[pivRow] = 0
+		f.ucol[col] = append(f.ucol[col], col)
+		f.uval[col] = append(f.uval[col], pivVal)
+		touched = touched[:0]
+	}
+	return f, nil
+}
+
+// N returns the factored dimension.
+func (f *LU) N() int { return f.n }
+
+// Solve solves A x = b. b and x may alias.
+func (f *LU) Solve(b, x []float64) {
+	n := f.n
+	if len(b) != n || len(x) != n {
+		panic("sparse: LU.Solve length mismatch")
+	}
+	// y in pivoted order: L y = P b, where row order is perm.
+	y := make([]float64, n)
+	for j := 0; j < n; j++ {
+		y[j] = b[f.perm[j]]
+	}
+	// Forward: subtract L columns as we go (column-oriented forward solve).
+	for j := 0; j < n; j++ {
+		yj := y[j]
+		if yj == 0 {
+			continue
+		}
+		for k, r := range f.lcol[j] {
+			y[f.permInv[r]] -= yj * f.lval[j][k]
+		}
+	}
+	// Backward: U is stored by column; solve U x = y.
+	for j := n - 1; j >= 0; j-- {
+		ucol, uval := f.ucol[j], f.uval[j]
+		// Last entry of column j is the pivot (row j).
+		pivot := uval[len(uval)-1]
+		xj := y[j] / pivot
+		x2 := xj
+		for k := 0; k < len(ucol)-1; k++ {
+			y[ucol[k]] -= uval[k] * x2
+		}
+		y[j] = xj
+	}
+	copy(x, y)
+}
+
+// FillIn returns the number of stored entries in L and U combined (including
+// the unit diagonal of L), a measure of factorization fill.
+func (f *LU) FillIn() int {
+	nnz := f.n // unit diagonal of L
+	for j := 0; j < f.n; j++ {
+		nnz += len(f.lcol[j]) + len(f.ucol[j])
+	}
+	return nnz
+}

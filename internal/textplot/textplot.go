@@ -1,0 +1,223 @@
+// Package textplot renders experiment outputs without external plotting
+// dependencies: CSV series writers (for real plotting tools) and ASCII
+// raster plots (for immediate terminal inspection). Every figure harness in
+// cmd/ uses both, so each paper figure is regenerated as data plus a
+// terminal rendering.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteCSV writes columns as CSV with a header row. All columns must share
+// one length.
+func WriteCSV(w io.Writer, headers []string, cols ...[]float64) error {
+	if len(headers) != len(cols) {
+		return fmt.Errorf("textplot: %d headers for %d columns", len(headers), len(cols))
+	}
+	n := -1
+	for _, c := range cols {
+		if n < 0 {
+			n = len(c)
+		} else if len(c) != n {
+			return fmt.Errorf("textplot: ragged columns (%d vs %d)", len(c), n)
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		parts := make([]string, len(cols))
+		for j, c := range cols {
+			parts[j] = fmt.Sprintf("%.10g", c[i])
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Plot is an ASCII scatter/line raster.
+type Plot struct {
+	Width, Height int
+	Title         string
+	XLabel        string
+	YLabel        string
+
+	series []series
+}
+
+type series struct {
+	x, y []float64
+	mark byte
+}
+
+// NewPlot creates a plot with the given raster size (sensible minimums are
+// enforced).
+func NewPlot(title string, width, height int) *Plot {
+	if width < 20 {
+		width = 20
+	}
+	if height < 6 {
+		height = 6
+	}
+	return &Plot{Width: width, Height: height, Title: title}
+}
+
+// Add appends a series drawn with the given mark character.
+func (p *Plot) Add(x, y []float64, mark byte) {
+	if len(x) != len(y) {
+		panic("textplot: series length mismatch")
+	}
+	p.series = append(p.series, series{x: x, y: y, mark: mark})
+}
+
+// Render draws the raster with axes and ranges.
+func (p *Plot) Render() string {
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.x {
+			if !math.IsNaN(s.x[i]) && !math.IsInf(s.x[i], 0) {
+				xmin = math.Min(xmin, s.x[i])
+				xmax = math.Max(xmax, s.x[i])
+			}
+			if !math.IsNaN(s.y[i]) && !math.IsInf(s.y[i], 0) {
+				ymin = math.Min(ymin, s.y[i])
+				ymax = math.Max(ymax, s.y[i])
+			}
+		}
+	}
+	if math.IsInf(xmin, 0) {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, p.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", p.Width))
+	}
+	for _, s := range p.series {
+		for i := range s.x {
+			if math.IsNaN(s.x[i]) || math.IsNaN(s.y[i]) {
+				continue
+			}
+			cx := int((s.x[i] - xmin) / (xmax - xmin) * float64(p.Width-1))
+			cy := int((s.y[i] - ymin) / (ymax - ymin) * float64(p.Height-1))
+			if cx < 0 || cx >= p.Width || cy < 0 || cy >= p.Height {
+				continue
+			}
+			grid[p.Height-1-cy][cx] = s.mark
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	fmt.Fprintf(&b, "%-10.4g +%s+\n", ymax, strings.Repeat("-", p.Width))
+	for r, row := range grid {
+		label := "          "
+		if r == p.Height-1 {
+			label = fmt.Sprintf("%-10.4g", ymin)
+		}
+		fmt.Fprintf(&b, "%s|%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s+\n", "", strings.Repeat("-", p.Width))
+	fmt.Fprintf(&b, "%10s %-10.4g%s%10.4g\n", "", xmin,
+		strings.Repeat(" ", maxInt(1, p.Width-20)), xmax)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%10s x: %s   y: %s\n", "", p.XLabel, p.YLabel)
+	}
+	return b.String()
+}
+
+// Heatmap renders a matrix (rows×cols, row 0 at the top) as an ASCII
+// density map using a ramp of characters — used for the bivariate
+// waveform "surface" figures (2, 5, 6, 8, 11).
+func Heatmap(title string, val [][]float64) string {
+	ramp := []byte(" .:-=+*#%@")
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, row := range val {
+		for _, v := range row {
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+	}
+	if math.IsInf(min, 0) {
+		return title + "\n(empty)\n"
+	}
+	if max == min {
+		max = min + 1
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s  [%.3g .. %.3g]\n", title, min, max)
+	}
+	for _, row := range val {
+		line := make([]byte, len(row))
+		for i, v := range row {
+			idx := int((v - min) / (max - min) * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			line[i] = ramp[idx]
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table renders aligned rows with a header — used for the speedup and
+// sweep summaries the paper reports in prose.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i >= len(widths) {
+				break
+			}
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,114 @@
+package textplot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	var b bytes.Buffer
+	err := WriteCSV(&b, []string{"t", "v"}, []float64{0, 1}, []float64{2.5, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "t,v" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0,2.5" || lines[2] != "1,-3" {
+		t.Fatalf("rows = %q %q", lines[1], lines[2])
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteCSV(&b, []string{"a"}, []float64{1}, []float64{2}); err == nil {
+		t.Fatal("header/column mismatch should fail")
+	}
+	if err := WriteCSV(&b, []string{"a", "b"}, []float64{1}, []float64{2, 3}); err == nil {
+		t.Fatal("ragged columns should fail")
+	}
+}
+
+func TestPlotRenderContainsMarks(t *testing.T) {
+	p := NewPlot("demo", 40, 10)
+	x := make([]float64, 50)
+	y := make([]float64, 50)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = math.Sin(float64(i) / 8)
+	}
+	p.Add(x, y, '*')
+	out := p.Render()
+	if !strings.Contains(out, "demo") {
+		t.Fatal("missing title")
+	}
+	if strings.Count(out, "*") < 20 {
+		t.Fatalf("too few marks rendered:\n%s", out)
+	}
+}
+
+func TestPlotEmptyAndDegenerate(t *testing.T) {
+	p := NewPlot("", 30, 8)
+	if out := p.Render(); out == "" {
+		t.Fatal("empty plot should still render axes")
+	}
+	p.Add([]float64{1, 1}, []float64{2, 2}, 'x') // degenerate ranges
+	if out := p.Render(); !strings.Contains(out, "x") {
+		t.Fatal("degenerate-range point not rendered")
+	}
+}
+
+func TestPlotMismatchedSeriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPlot("", 30, 8).Add([]float64{1}, []float64{1, 2}, '*')
+}
+
+func TestPlotSkipsNonFinite(t *testing.T) {
+	p := NewPlot("", 30, 8)
+	p.Add([]float64{0, 1, 2}, []float64{0, math.NaN(), 1}, 'o')
+	out := p.Render()
+	if strings.Count(out, "o") != 2 {
+		t.Fatalf("NaN point should be skipped:\n%s", out)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap("hm", [][]float64{{0, 0.5}, {1, 0.25}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[1][0] != ' ' {
+		t.Fatal("minimum should map to the lightest mark")
+	}
+	if lines[2][0] != '@' {
+		t.Fatal("maximum should map to the darkest mark")
+	}
+}
+
+func TestHeatmapDegenerate(t *testing.T) {
+	if out := Heatmap("x", nil); !strings.Contains(out, "empty") {
+		t.Fatal("empty heatmap should say so")
+	}
+	if out := Heatmap("c", [][]float64{{3, 3}}); out == "" {
+		t.Fatal("constant heatmap should render")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"method", "cost"}, [][]string{{"WaMPDE", "1"}, {"transient", "187"}})
+	if !strings.Contains(out, "WaMPDE") || !strings.Contains(out, "187") {
+		t.Fatalf("table missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+}

@@ -1,0 +1,441 @@
+// Package transient implements direct numerical integration of DAE systems
+// ("transient simulation" in the paper) with Backward Euler, Trapezoidal
+// and BDF2 methods, fixed or adaptive time steps, and DC operating-point
+// analysis. This is the conventional technique the WaMPDE is benchmarked
+// against in §5: accurate for short runs but with unbounded phase-error
+// growth on oscillators (Figure 12).
+package transient
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dae"
+	"repro/internal/la"
+	"repro/internal/newton"
+)
+
+// Method selects the integration formula.
+type Method int
+
+// Supported integration methods.
+const (
+	BE   Method = iota // Backward Euler (order 1, L-stable)
+	Trap               // Trapezoidal (order 2, A-stable; the paper's workhorse)
+	BDF2               // 2nd-order backward differentiation (variable step)
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case BE:
+		return "BE"
+	case Trap:
+		return "TRAP"
+	case BDF2:
+		return "BDF2"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options configures a transient run.
+type Options struct {
+	Method   Method
+	H        float64 // initial (or fixed) step; required
+	Adaptive bool    // enable local-error step control
+	RelTol   float64 // default 1e-6
+	AbsTol   float64 // default 1e-9
+	HMin     float64 // default H*1e-6
+	HMax     float64 // default (t1-t0)/10
+	MaxSteps int     // default 50e6/n safeguard
+	Newton   newton.Options
+	// OnStep, if non-nil, is called after each accepted step; returning
+	// false aborts the run (Result holds the points so far).
+	OnStep func(t float64, x []float64) bool
+	// Store disables waveform storage when false only if OnStep is set.
+	NoStore bool
+}
+
+// Result holds the accepted time points and states of a transient run.
+type Result struct {
+	T          []float64
+	X          [][]float64 // X[i] is the state at T[i]
+	Steps      int         // accepted steps
+	Rejected   int         // rejected (error-controlled) steps
+	NewtonIter int         // cumulative Newton iterations
+}
+
+// At returns the state component k linearly interpolated at time t.
+func (r *Result) At(t float64, k int) float64 {
+	n := len(r.T)
+	if n == 0 {
+		return 0
+	}
+	if t <= r.T[0] {
+		return r.X[0][k]
+	}
+	if t >= r.T[n-1] {
+		return r.X[n-1][k]
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if r.T[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	w := (t - r.T[lo]) / (r.T[hi] - r.T[lo])
+	return (1-w)*r.X[lo][k] + w*r.X[hi][k]
+}
+
+// Component extracts the time series of state k.
+func (r *Result) Component(k int) []float64 {
+	out := make([]float64, len(r.X))
+	for i, x := range r.X {
+		out[i] = x[k]
+	}
+	return out
+}
+
+// Simulate integrates sys from x0 at t0 to t1.
+func Simulate(sys dae.System, x0 []float64, t0, t1 float64, opt Options) (*Result, error) {
+	n := sys.Dim()
+	if len(x0) != n {
+		return nil, fmt.Errorf("transient: len(x0)=%d, want %d", len(x0), n)
+	}
+	if opt.H <= 0 {
+		return nil, errors.New("transient: Options.H must be positive")
+	}
+	if t1 <= t0 {
+		return nil, errors.New("transient: t1 must exceed t0")
+	}
+	if opt.RelTol <= 0 {
+		opt.RelTol = 1e-6
+	}
+	if opt.AbsTol <= 0 {
+		opt.AbsTol = 1e-9
+	}
+	if opt.HMin <= 0 {
+		opt.HMin = opt.H * 1e-6
+	}
+	if opt.HMax <= 0 {
+		opt.HMax = (t1 - t0) / 10
+		if opt.HMax < opt.H {
+			opt.HMax = opt.H
+		}
+	}
+	if opt.MaxSteps <= 0 {
+		opt.MaxSteps = 50_000_000 / (n + 1)
+	}
+
+	st := &stepper{sys: sys, n: n, opt: opt}
+	st.init()
+
+	res := &Result{}
+	store := !(opt.NoStore && opt.OnStep != nil)
+	record := func(t float64, x []float64) bool {
+		if store {
+			res.T = append(res.T, t)
+			res.X = append(res.X, append([]float64(nil), x...))
+		}
+		if opt.OnStep != nil {
+			return opt.OnStep(t, x)
+		}
+		return true
+	}
+
+	t := t0
+	x := append([]float64(nil), x0...)
+	if !record(t, x) {
+		return res, nil
+	}
+	h := opt.H
+	// Previous points for BDF2 and the LTE predictor (filled as steps land).
+	var tPrev, tPrev2 float64
+	var xPrev, xPrev2 []float64
+	havePrev, havePrev2 := false, false
+
+	endTol := 1e-12 * (t1 - t0)
+	for t1-t > endTol && res.Steps < opt.MaxSteps {
+		if t+h > t1 {
+			h = t1 - t
+		}
+		xNew := append([]float64(nil), x...)
+		iters, err := st.step(t, h, x, xPrev, tPrev, havePrev, xNew)
+		res.NewtonIter += iters
+		if err != nil {
+			if !opt.Adaptive || h <= opt.HMin {
+				return res, fmt.Errorf("transient: step at t=%.6g h=%.3g failed: %w", t, h, err)
+			}
+			res.Rejected++
+			h = math.Max(h/4, opt.HMin)
+			continue
+		}
+		advance := func() bool {
+			if xPrev2 == nil {
+				xPrev2 = make([]float64, n)
+			}
+			if havePrev {
+				copy(xPrev2, xPrev)
+				tPrev2 = tPrev
+				havePrev2 = true
+			}
+			if xPrev == nil {
+				xPrev = make([]float64, n)
+			}
+			copy(xPrev, x)
+			tPrev = t
+			havePrev = true
+			t += h
+			copy(x, xNew)
+			res.Steps++
+			return record(t, x)
+		}
+		if opt.Adaptive {
+			errNorm := st.lteEstimate(h, x, xNew, xPrev, xPrev2, t, tPrev, tPrev2, havePrev, havePrev2, opt)
+			if errNorm > 1 && h > opt.HMin {
+				res.Rejected++
+				fac := 0.9 * math.Pow(1/errNorm, 1.0/float64(st.order()+1))
+				h = math.Max(h*math.Max(fac, 0.2), opt.HMin)
+				continue
+			}
+			// Accept and propose the next step.
+			fac := 5.0
+			if errNorm > 0 {
+				fac = 0.9 * math.Pow(1/errNorm, 1.0/float64(st.order()+1))
+			}
+			fac = math.Min(math.Max(fac, 0.2), 5)
+			if !advance() {
+				return res, nil
+			}
+			h = math.Min(h*fac, opt.HMax)
+			continue
+		}
+		// Fixed step.
+		if !advance() {
+			return res, nil
+		}
+	}
+	if t1-t > endTol {
+		return res, fmt.Errorf("transient: step budget (%d) exhausted at t=%.6g", opt.MaxSteps, t)
+	}
+	return res, nil
+}
+
+// stepper holds scratch space for implicit steps.
+type stepper struct {
+	sys dae.System
+	n   int
+	opt Options
+
+	u    []float64
+	qOld []float64
+	qPrv []float64
+	fOld []float64
+	jq   *la.Dense
+	jf   *la.Dense
+	jac  *la.Dense
+}
+
+func (st *stepper) init() {
+	n := st.n
+	st.u = make([]float64, st.sys.NumInputs())
+	st.qOld = make([]float64, n)
+	st.qPrv = make([]float64, n)
+	st.fOld = make([]float64, n)
+	st.jq = la.NewDense(n, n)
+	st.jf = la.NewDense(n, n)
+	st.jac = la.NewDense(n, n)
+}
+
+func (st *stepper) order() int {
+	if st.opt.Method == BE {
+		return 1
+	}
+	return 2
+}
+
+// step solves the implicit equations for the state at t+h into xNew
+// (which enters holding the predictor/old state).
+func (st *stepper) step(t, h float64, xOld, xPrev []float64, tPrev float64, havePrev bool, xNew []float64) (int, error) {
+	sys, n := st.sys, st.n
+	tNew := t + h
+	sys.Input(tNew, st.u)
+	sys.Q(xOld, st.qOld)
+
+	method := st.opt.Method
+	if method == BDF2 && !havePrev {
+		method = BE // bootstrap the multistep formula
+	}
+
+	var a0, a1, a2 float64 // q-derivative weights: (a0 q(x) + a1 q_old + a2 q_prev)/h
+	var fMix float64       // weight of f(x_new); (1-fMix) applies to f(x_old)
+	switch method {
+	case BE:
+		a0, a1, a2, fMix = 1, -1, 0, 1
+	case Trap:
+		a0, a1, a2, fMix = 1, -1, 0, 0.5 // (q-qold)/h = -(f+fold)/2
+	case BDF2:
+		r := h / (t - tPrev)
+		a0 = (1 + 2*r) / (1 + r)
+		a1 = -(1 + r)
+		a2 = r * r / (1 + r)
+		fMix = 1
+	}
+	if method == Trap {
+		uOld := make([]float64, sys.NumInputs())
+		sys.Input(t, uOld)
+		sys.F(xOld, uOld, st.fOld)
+	}
+	if method == BDF2 {
+		sys.Q(xPrev, st.qPrv)
+	}
+
+	// Per-row residual scales from the entry state: circuit rows can span
+	// many orders of magnitude (charges vs mechanical momenta), so Newton's
+	// tolerance must act relatively per row.
+	scale := make([]float64, n)
+	{
+		fEntry := make([]float64, n)
+		sys.F(xOld, st.u, fEntry)
+		for i := 0; i < n; i++ {
+			scale[i] = math.Abs(st.qOld[i])/h + math.Abs(fEntry[i])
+		}
+		smax := 0.0
+		for _, s := range scale {
+			if s > smax {
+				smax = s
+			}
+		}
+		floor := 1e-9 * smax
+		if floor == 0 {
+			floor = 1
+		}
+		for i := range scale {
+			if scale[i] < floor {
+				scale[i] = floor
+			}
+		}
+	}
+
+	eval := func(x, f []float64) error {
+		q := make([]float64, n)
+		sys.Q(x, q)
+		ff := make([]float64, n)
+		sys.F(x, st.u, ff)
+		for i := 0; i < n; i++ {
+			f[i] = (a0*q[i]+a1*st.qOld[i]+a2*st.qPrv[i])/h + fMix*ff[i]
+			if method == Trap {
+				f[i] += (1 - fMix) * st.fOld[i]
+			}
+			f[i] /= scale[i]
+		}
+		return nil
+	}
+	jac := func(x []float64, j *la.Dense) error {
+		sys.JQ(x, st.jq)
+		sys.JF(x, st.u, st.jf)
+		for r := 0; r < n; r++ {
+			row := j.Row(r)
+			jqRow := st.jq.Row(r)
+			jfRow := st.jf.Row(r)
+			for c := 0; c < n; c++ {
+				row[c] = (a0/h*jqRow[c] + fMix*jfRow[c]) / scale[r]
+			}
+		}
+		return nil
+	}
+	p := newton.DenseProblem(n, eval, jac)
+	resN, err := newton.Solve(p, xNew, st.opt.Newton)
+	return resN.Iterations, err
+}
+
+// lteEstimate returns the weighted local-truncation-error norm (<=1 accepts)
+// from the difference between the implicit solution and a polynomial
+// predictor through the previous points. With two history points the
+// predictor is quadratic, so the difference scales like the order-2
+// correctors' true local error.
+func (st *stepper) lteEstimate(h float64, xOld, xNew, xPrev, xPrev2 []float64, t, tPrev, tPrev2 float64, havePrev, havePrev2 bool, opt Options) float64 {
+	n := st.n
+	pred := make([]float64, n)
+	tNew := t + h
+	switch {
+	case havePrev2 && st.order() >= 2:
+		// Quadratic Lagrange extrapolation through (tPrev2, tPrev, t).
+		l0 := (tNew - tPrev) * (tNew - t) / ((tPrev2 - tPrev) * (tPrev2 - t))
+		l1 := (tNew - tPrev2) * (tNew - t) / ((tPrev - tPrev2) * (tPrev - t))
+		l2 := (tNew - tPrev2) * (tNew - tPrev) / ((t - tPrev2) * (t - tPrev))
+		for i := 0; i < n; i++ {
+			pred[i] = l0*xPrev2[i] + l1*xPrev[i] + l2*xOld[i]
+		}
+	case havePrev:
+		r := h / (t - tPrev)
+		for i := 0; i < n; i++ {
+			pred[i] = xOld[i] + r*(xOld[i]-xPrev[i])
+		}
+	default:
+		copy(pred, xOld)
+	}
+	diff := make([]float64, n)
+	la.Sub(diff, xNew, pred)
+	la.Scal(0.5, diff)
+	return la.WeightedRMS(diff, xNew, opt.AbsTol, opt.RelTol)
+}
+
+// DCOptions configures operating-point analysis.
+type DCOptions struct {
+	Newton newton.Options
+	// GminMax is the initial added conductance for gmin stepping when the
+	// plain Newton solve fails (default 1e-3).
+	GminMax float64
+}
+
+// DCOperatingPoint solves f(x, u(t0)) = 0. If the direct Newton solve fails
+// it falls back to gmin-stepping continuation: f(x) + g·x = 0 with g ramped
+// from GminMax to 0.
+func DCOperatingPoint(sys dae.System, t0 float64, x []float64, opt DCOptions) error {
+	n := sys.Dim()
+	if len(x) != n {
+		return fmt.Errorf("transient: len(x)=%d, want %d", len(x), n)
+	}
+	if opt.GminMax <= 0 {
+		opt.GminMax = 1e-3
+	}
+	u := make([]float64, sys.NumInputs())
+	sys.Input(t0, u)
+
+	mk := func(g float64) newton.Problem {
+		return newton.DenseProblem(n,
+			func(x, f []float64) error {
+				sys.F(x, u, f)
+				for i := range f {
+					f[i] += g * x[i]
+				}
+				return nil
+			},
+			func(x []float64, j *la.Dense) error {
+				sys.JF(x, u, j)
+				for i := 0; i < n; i++ {
+					j.Add(i, i, g)
+				}
+				return nil
+			})
+	}
+	nopt := opt.Newton
+	nopt.Damping = true
+	if _, err := newton.Solve(mk(0), x, nopt); err == nil {
+		return nil
+	}
+	// Gmin stepping: λ=0 -> g=GminMax, λ=1 -> g=0.
+	_, err := newton.Homotopy(func(lambda float64) newton.Problem {
+		return mk(opt.GminMax * (1 - lambda))
+	}, x, nopt)
+	if err != nil {
+		return fmt.Errorf("transient: DC operating point: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+// Package warp contains the analytic multi-time and warped-time machinery
+// of the paper's §3: the two-tone AM example (eqs. (1)–(2), Figures 1–2),
+// the prototypical FM signal (eqs. (3)–(4), Figure 4), its unwarped and
+// warped bivariate representations (eqs. (5)–(7), Figures 5–6), the
+// alternative phase-conditioned representation (eqs. (9)–(11)), and the
+// sampling-cost measurements that motivate the WaMPDE.
+package warp
+
+import "math"
+
+// AMSignal is the two-tone quasiperiodic signal of eq. (1):
+//
+//	y(t) = sin(2π·t/T1)·sin(2π·t/T2).
+type AMSignal struct {
+	T1, T2 float64 // fast and slow periods (paper: 0.02 s and 1 s)
+}
+
+// Eval returns y(t).
+func (s AMSignal) Eval(t float64) float64 {
+	return math.Sin(2*math.Pi*t/s.T1) * math.Sin(2*math.Pi*t/s.T2)
+}
+
+// Bivariate returns the two-periodic bivariate form ŷ(t1,t2) of eq. (2).
+func (s AMSignal) Bivariate(t1, t2 float64) float64 {
+	return math.Sin(2*math.Pi*t1/s.T1) * math.Sin(2*math.Pi*t2/s.T2)
+}
+
+// FMSignal is the prototypical FM signal of eq. (3):
+//
+//	x(t) = cos(2π·F0·t + K·cos(2π·F2·t)),  F0 ≫ F2,
+//
+// with modulation index K (the paper uses F0=1 MHz, F2=20 kHz, K=8π).
+type FMSignal struct {
+	F0, F2, K float64
+}
+
+// Eval returns x(t).
+func (s FMSignal) Eval(t float64) float64 {
+	return math.Cos(2*math.Pi*s.F0*t + s.K*math.Cos(2*math.Pi*s.F2*t))
+}
+
+// InstFreq returns the instantaneous frequency of eq. (4):
+//
+//	f(t) = F0 − K·F2·sin(2π·F2·t).
+func (s FMSignal) InstFreq(t float64) float64 {
+	return s.F0 - s.K*s.F2*math.Sin(2*math.Pi*s.F2*t)
+}
+
+// Unwarped returns the naive bivariate form x̂1(t1,t2) of eq. (5):
+//
+//	x̂1 = cos(2π·F0·t1 + K·cos(2π·F2·t2)).
+//
+// It is quasiperiodic but has ≈K/2π undulations along t2 (Figure 5), so it
+// cannot be sampled compactly.
+func (s FMSignal) Unwarped(t1, t2 float64) float64 {
+	return math.Cos(2*math.Pi*s.F0*t1 + s.K*math.Cos(2*math.Pi*s.F2*t2))
+}
+
+// Warped returns the warped bivariate form x̂2(t1,t2) of eq. (6),
+//
+//	x̂2 = cos(2π·t1),
+//
+// which together with the warping function Phi recovers x(t) and is
+// trivially compact (Figure 6).
+func (s FMSignal) Warped(t1, t2 float64) float64 {
+	return math.Cos(2 * math.Pi * t1)
+}
+
+// Phi is the warping function of eq. (7):
+//
+//	φ(t) = F0·t + (K/2π)·cos(2π·F2·t).
+//
+// Its derivative is the instantaneous frequency of eq. (4).
+func (s FMSignal) Phi(t float64) float64 {
+	return s.F0*t + s.K/(2*math.Pi)*math.Cos(2*math.Pi*s.F2*t)
+}
+
+// LocalFreq is dφ/dt, the local frequency attached to Phi.
+func (s FMSignal) LocalFreq(t float64) float64 { return s.InstFreq(t) }
+
+// Warped3 returns the alternative representation x̂3 of eq. (11),
+//
+//	x̂3(t1,t2) = cos(2π·t1 + 2π·F2·t2),
+//
+// obtained from the phase condition of eq. (9). It is equally compact; the
+// pair (x̂3, Phi3) demonstrates the non-uniqueness of warped
+// representations discussed in §3.
+func (s FMSignal) Warped3(t1, t2 float64) float64 {
+	return math.Cos(2*math.Pi*t1 + 2*math.Pi*s.F2*t2)
+}
+
+// Phi3 is the warping function of eq. (11):
+//
+//	φ3(t) = F0·t + (K/2π)·cos(2π·F2·t) − F2·t.
+//
+// Note dφ3/dt differs from dφ/dt by the constant F2 — the "ambiguity of
+// order f2" in the paper's local-frequency discussion.
+func (s FMSignal) Phi3(t float64) float64 {
+	return s.Phi(t) - s.F2*t
+}
+
+// Reconstruct evaluates a warped bivariate representation along the warped
+// path of eq. (8): x(t) = x̂(φ(t), t).
+func Reconstruct(xhat func(t1, t2 float64) float64, phi func(t float64) float64, t float64) float64 {
+	return xhat(phi(t), t)
+}
+
+// SawtoothPath returns the characteristic path {t1 = t mod T1, t2 = t mod
+// T2} of Figure 3, sampled at n points over [0, tEnd].
+func SawtoothPath(T1, T2, tEnd float64, n int) (t1s, t2s []float64) {
+	t1s = make([]float64, n)
+	t2s = make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := tEnd * float64(i) / float64(max(n-1, 1))
+		t1s[i] = math.Mod(t, T1)
+		t2s[i] = math.Mod(t, T2)
+	}
+	return
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,199 @@
+package warp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// paperFM returns the FM signal with the paper's Figure 4 parameters.
+func paperFM() FMSignal { return FMSignal{F0: 1e6, F2: 20e3, K: 8 * math.Pi} }
+
+// paperAM returns the AM signal with the paper's Figure 1 parameters.
+func paperAM() AMSignal { return AMSignal{T1: 0.02, T2: 1} }
+
+func TestAMBivariateDiagonalRecoversSignal(t *testing.T) {
+	s := paperAM()
+	f := func(tv float64) bool {
+		tv = math.Mod(math.Abs(tv), 2)
+		return math.Abs(s.Bivariate(tv, tv)-s.Eval(tv)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAMBivariatePeriodicity(t *testing.T) {
+	s := paperAM()
+	if math.Abs(s.Bivariate(0.013+s.T1, 0.4+s.T2)-s.Bivariate(0.013, 0.4)) > 1e-12 {
+		t.Fatal("bivariate form must be (T1,T2)-periodic")
+	}
+}
+
+func TestAMPaperExampleValue(t *testing.T) {
+	// §3 worked example: y(1.952) = ŷ(0.012, 0.952).
+	s := paperAM()
+	if math.Abs(s.Eval(1.952)-s.Bivariate(0.012, 0.952)) > 1e-9 {
+		t.Fatal("paper's modular-arithmetic example broken")
+	}
+}
+
+func TestFMReconstructionWarped(t *testing.T) {
+	// Eq. (8): x(t) = x̂2(φ(t), t) exactly.
+	s := paperFM()
+	for i := 0; i <= 200; i++ {
+		tv := 5e-5 * float64(i) / 200
+		got := Reconstruct(s.Warped, s.Phi, tv)
+		if math.Abs(got-s.Eval(tv)) > 1e-9 {
+			t.Fatalf("warped reconstruction differs at t=%v: %v vs %v", tv, got, s.Eval(tv))
+		}
+	}
+}
+
+func TestFMReconstructionWarped3(t *testing.T) {
+	// Eq. (10)–(11): x(t) = x̂3(φ3(t), t) exactly.
+	s := paperFM()
+	for i := 0; i <= 200; i++ {
+		tv := 5e-5 * float64(i) / 200
+		got := Reconstruct(s.Warped3, s.Phi3, tv)
+		if math.Abs(got-s.Eval(tv)) > 1e-9 {
+			t.Fatalf("x̂3 reconstruction differs at t=%v", tv)
+		}
+	}
+}
+
+func TestFMReconstructionUnwarpedDiagonal(t *testing.T) {
+	// Eq. (5): x(t) = x̂1(t, t).
+	s := paperFM()
+	for i := 0; i <= 100; i++ {
+		tv := 5e-5 * float64(i) / 100
+		if math.Abs(s.Unwarped(tv, tv)-s.Eval(tv)) > 1e-9 {
+			t.Fatalf("unwarped diagonal differs at t=%v", tv)
+		}
+	}
+}
+
+func TestPhiDerivativeIsInstFreq(t *testing.T) {
+	s := paperFM()
+	h := 1e-12
+	for _, tv := range []float64{0, 1e-5, 2.3e-5, 4.9e-5} {
+		fd := (s.Phi(tv+h) - s.Phi(tv-h)) / (2 * h)
+		if math.Abs(fd-s.InstFreq(tv)) > 1e-4*s.F0 {
+			t.Fatalf("dφ/dt = %v, inst freq = %v at t=%v", fd, s.InstFreq(tv), tv)
+		}
+	}
+}
+
+func TestPhi3DiffersByF2(t *testing.T) {
+	// dφ3/dt = dφ/dt − F2: the paper's local-frequency ambiguity of order f2.
+	s := paperFM()
+	h := 1e-12
+	tv := 1.7e-5
+	fd := (s.Phi3(tv+h) - s.Phi3(tv-h)) / (2 * h)
+	if math.Abs(fd-(s.InstFreq(tv)-s.F2)) > 1e-4*s.F0 {
+		t.Fatalf("dφ3/dt = %v, want %v", fd, s.InstFreq(tv)-s.F2)
+	}
+}
+
+func TestInstFreqSwing(t *testing.T) {
+	// With K=8π, F2=20kHz: swing = K·F2 = 8π·2e4 ≈ 5.03e5 about F0.
+	s := paperFM()
+	min, max := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 1000; i++ {
+		f := s.InstFreq(5e-5 * float64(i) / 1000)
+		if f < min {
+			min = f
+		}
+		if f > max {
+			max = f
+		}
+	}
+	want := s.K * s.F2
+	if math.Abs((max-min)/2-want) > 0.01*want {
+		t.Fatalf("swing %v, want %v", (max-min)/2, want)
+	}
+}
+
+func TestWarpedGridIsCompactUnwarpedIsNot(t *testing.T) {
+	// The §3 claim, quantified: on a 15×15 grid the warped representation
+	// is accurate while the unwarped one is garbage.
+	s := paperFM()
+	p1u, p2 := 1/s.F0, 1/s.F2
+	errUnwarped := RepresentationError(s.Unwarped, 15, 15, p1u, p2)
+	errWarped := RepresentationError(s.Warped, 15, 15, 1, p2)
+	if errWarped > 0.05 {
+		t.Fatalf("warped representation error %v should be small", errWarped)
+	}
+	if errUnwarped < 20*errWarped {
+		t.Fatalf("unwarped error %v should dwarf warped %v", errUnwarped, errWarped)
+	}
+}
+
+func TestAMBivariateGridCompact(t *testing.T) {
+	// Figure 2: the AM bivariate form on a 15×15 grid is accurate.
+	s := paperAM()
+	e := RepresentationError(s.Bivariate, 15, 15, s.T1, s.T2)
+	if e > 0.12 {
+		t.Fatalf("AM bivariate 15x15 error = %v, want small", e)
+	}
+}
+
+func TestUnivariateSampleCountPaperNumbers(t *testing.T) {
+	// §3: "15 points per sinusoid, hence the total number of samples was 750".
+	if n := UnivariateSampleCount(0.02, 1.0, 15); n != 750 {
+		t.Fatalf("univariate count = %d, want 750", n)
+	}
+}
+
+func TestGrid2DEvalAtNodes(t *testing.T) {
+	f := func(t1, t2 float64) float64 { return math.Sin(2*math.Pi*t1) * math.Cos(2*math.Pi*t2) }
+	g := SampleGrid(f, 8, 8, 1, 1)
+	for j2 := 0; j2 < 8; j2++ {
+		for j1 := 0; j1 < 8; j1++ {
+			t1 := float64(j1) / 8
+			t2 := float64(j2) / 8
+			if math.Abs(g.Eval(t1, t2)-f(t1, t2)) > 1e-12 {
+				t.Fatalf("grid eval at node (%d,%d) wrong", j1, j2)
+			}
+		}
+	}
+	if g.NumSamples() != 64 {
+		t.Fatalf("NumSamples = %d", g.NumSamples())
+	}
+}
+
+func TestGrid2DPeriodicWrap(t *testing.T) {
+	f := func(t1, t2 float64) float64 { return math.Sin(2 * math.Pi * t1) }
+	g := SampleGrid(f, 16, 4, 1, 1)
+	if math.Abs(g.Eval(1.25, 3.5)-g.Eval(0.25, 0.5)) > 1e-12 {
+		t.Fatal("periodic wrap broken")
+	}
+	if math.Abs(g.Eval(-0.75, -0.5)-g.Eval(0.25, 0.5)) > 1e-12 {
+		t.Fatal("negative wrap broken")
+	}
+}
+
+func TestSawtoothPath(t *testing.T) {
+	t1s, t2s := SawtoothPath(0.02, 1.0, 1.0, 101)
+	if len(t1s) != 101 || len(t2s) != 101 {
+		t.Fatal("wrong path length")
+	}
+	for i := range t1s {
+		if t1s[i] < 0 || t1s[i] >= 0.02+1e-12 {
+			t.Fatalf("t1 out of box: %v", t1s[i])
+		}
+		if t2s[i] < 0 || t2s[i] > 1+1e-12 {
+			t.Fatalf("t2 out of box: %v", t2s[i])
+		}
+	}
+	// The path wraps in t1 50 times over one t2 period.
+	wraps := 0
+	for i := 1; i < len(t1s); i++ {
+		if t1s[i] < t1s[i-1] {
+			wraps++
+		}
+	}
+	if wraps < 45 || wraps > 50 {
+		t.Fatalf("expected ≈50 wraps, got %d", wraps)
+	}
+}

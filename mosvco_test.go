@@ -1,0 +1,104 @@
+package wampde_test
+
+// Generality test: the WaMPDE envelope on a second, structurally different
+// VCO — the classic cross-coupled NMOS LC oscillator with MEMS varactors on
+// both tank sides (11 states: 4 nodes, 3 branch currents, 2×2 mechanical
+// coordinates). Nothing in internal/core is specific to the paper's 4-state
+// circuit; this test keeps it that way.
+
+import (
+	"math"
+	"testing"
+
+	wampde "repro"
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+func buildMOSVCO(t *testing.T, ctl circuit.Waveform) (*circuit.System, int) {
+	t.Helper()
+	const (
+		vdd = 2.5
+		l   = 10e-6
+		c0  = 1e-9
+		kp  = 2e-3
+		vt  = 0.7
+	)
+	k := 1.0
+	m := k / math.Pow(2*math.Pi*500e3, 2)
+	b := 2 * 0.1 * math.Sqrt(k*m)
+	ckt := circuit.New()
+	ckt.MustAdd(circuit.NewVSource("VDD", "vdd", circuit.Ground, circuit.DC(vdd)))
+	ckt.MustAdd(circuit.NewInductor("L1", "vdd", "a", l, 2))
+	ckt.MustAdd(circuit.NewInductor("L2", "vdd", "b", l, 2))
+	ckt.MustAdd(circuit.NewMEMSVaractor("CV1", "a", circuit.Ground, c0, 1, m, b, k, 0.382, ctl))
+	ckt.MustAdd(circuit.NewMEMSVaractor("CV2", "b", circuit.Ground, c0, 1, m, b, k, 0.382, ctl))
+	ckt.MustAdd(circuit.NewNMOS("M1", "a", "b", "tail", kp, vt, 0.01))
+	ckt.MustAdd(circuit.NewNMOS("M2", "b", "a", "tail", kp, vt, 0.01))
+	ckt.MustAdd(circuit.NewISource("IT", circuit.Ground, "tail", circuit.DC(2e-3)))
+	ckt.MustAdd(circuit.NewResistor("Rt", "tail", circuit.Ground, 1e6))
+	ckt.SetOscVar("a")
+	sys, err := ckt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, err := sys.NodeIndex("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, ia
+}
+
+func TestWaMPDEOnCrossCoupledMOSVCO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("11-state envelope run")
+	}
+	const ctlPeriod = 40e-6
+	ctl := circuit.Sine(1.5, 1.0, 1/ctlPeriod, 0)
+	sys, ia := buildMOSVCO(t, ctl)
+
+	// Design law: f(u) = f0·sqrt(1+u) with u_eq = 0.382·Vc², f0 from L and
+	// the per-side rest capacitance (differential mode sees the same LC).
+	f0 := 1 / (2 * math.Pi * math.Sqrt(10e-6*1e-9))
+	uEq := func(vc float64) float64 { return 0.382 * vc * vc }
+	fDesign := func(vc float64) float64 { return f0 * math.Sqrt(1+uEq(vc)) }
+
+	// Kicked DC state as the settling seed.
+	x0 := make([]float64, sys.Dim())
+	if err := wampde.DCOperatingPoint(sys, 0, x0); err != nil {
+		t.Fatal(err)
+	}
+	x0[ia] += 0.1
+	ic, w0, err := core.InitialCondition(sys, x0, 1/fDesign(1.5), core.ICOptions{N1: 21, SettleCycles: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w0-fDesign(1.5)) > 0.08*fDesign(1.5) {
+		t.Fatalf("MOS VCO initial frequency %v, design %v", w0, fDesign(1.5))
+	}
+
+	res, err := core.Envelope(sys, ic, w0, ctlPeriod, core.EnvelopeOptions{
+		N1: 21, H2: ctlPeriod / 300, Trap: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The local frequency must track the design law across the sweep.
+	for _, frac := range []float64{0.25, 0.5, 0.75} {
+		tv := frac * ctlPeriod
+		want := fDesign(ctl(tv))
+		got := res.OmegaAt(tv)
+		if math.Abs(got-want) > 0.05*want {
+			t.Fatalf("ω(%.2f·T) = %v, design %v", frac, got, want)
+		}
+	}
+	// And it must actually modulate.
+	min, max := math.Inf(1), 0.0
+	for _, w := range res.Omega {
+		min = math.Min(min, w)
+		max = math.Max(max, w)
+	}
+	if max/min < 1.2 {
+		t.Fatalf("MOS VCO modulation too small: %v", max/min)
+	}
+}

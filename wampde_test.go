@@ -1,0 +1,282 @@
+package wampde_test
+
+import (
+	"math"
+	"testing"
+
+	wampde "repro"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	// The README quickstart, as a test: SimpleVCO through IC + envelope.
+	T2 := 200.0
+	sys := &wampde.SimpleVCO{
+		L: 1, C0: 1, G1: -0.2, G3: 0.2 / 3, TauM: 10, Gamma: 1,
+		Ctl: func(tt float64) float64 { return 1 + 0.5*math.Sin(2*math.Pi*tt/T2) },
+	}
+	ic, w0, err := wampde.OscillatorIC(sys, []float64{1, 0, 1}, 4.5, wampde.ICOptions{N1: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wampde.RunEnvelope(sys, ic, w0, T2, wampde.EnvelopeOptions{N1: 21, H2: T2 / 200, Trap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := math.Inf(1), 0.0
+	for _, w := range res.Omega {
+		min = math.Min(min, w)
+		max = math.Max(max, w)
+	}
+	if max/min < 1.3 {
+		t.Fatalf("quickstart FM swing %v too small", max/min)
+	}
+}
+
+func TestPaperVCOVacuumReproducesFigure7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	run, err := wampde.RunPaperVCO(wampde.VCORunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5: initial frequency about 0.75 MHz.
+	if math.Abs(run.Omega0-wampde.VCONominalFreq) > 0.05*wampde.VCONominalFreq {
+		t.Fatalf("initial frequency %v, want ≈ %v", run.Omega0, wampde.VCONominalFreq)
+	}
+	// §5: frequency varies by a factor of almost 3.
+	min, max := run.FrequencyRange()
+	if ratio := max / min; ratio < 2.5 || ratio > 3.6 {
+		t.Fatalf("frequency modulation factor %v, want ≈3", ratio)
+	}
+}
+
+func TestPaperVCOVacuumMatchesTransientFigure9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	run, err := wampde.RunPaperVCO(wampde.VCORunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := run.RunTransientBaseline(200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 9: the two waveforms overlay ("difficult to tell apart").
+	if rms := run.WaveformRMSVs(tr, run.Config.T2End); rms > 0.12 {
+		t.Fatalf("WaMPDE vs transient RMS %v (amplitude ≈2)", rms)
+	}
+	if pe := run.PhaseErrorVs(tr, 55e-6); pe > 0.05 {
+		t.Fatalf("phase error %v cycles at 55 µs", pe)
+	}
+}
+
+func TestPaperVCOAirFigure10Settling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	run, err := wampde.RunPaperVCO(wampde.VCORunConfig{Air: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := run.FrequencyRange()
+	vacuumRun, err := wampde.RunPaperVCO(wampde.VCORunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmin, vmax := vacuumRun.FrequencyRange()
+	// §5: "the smaller change in frequency ... due to the slow dynamics of
+	// the air-filled varactor".
+	if (max-min)/(vmax-vmin) > 0.8 {
+		t.Fatalf("air swing (%v) should be well below vacuum swing (%v)", max-min, vmax-vmin)
+	}
+	// Settling: the first control period differs from the last (transient),
+	// later periods repeat (settled).
+	w1 := run.Result.OmegaAt(0.25e-3)
+	w2 := run.Result.OmegaAt(1.25e-3)
+	w3 := run.Result.OmegaAt(2.25e-3)
+	if math.Abs(w3-w2) > math.Abs(w2-w1) {
+		t.Fatalf("frequency should settle: |w3-w2|=%v vs |w2-w1|=%v", math.Abs(w3-w2), math.Abs(w2-w1))
+	}
+}
+
+func TestSpeedupReportShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive headline experiment")
+	}
+	// Shortened span to keep the test affordable; the cmd/speedup harness
+	// runs the paper's full 3 ms.
+	run, rows, err := wampde.SpeedupReport(wampde.VCORunConfig{T2End: 1e-3, Steps: 300}, 0.9e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	wampdeRow, tr50, tr100 := rows[0], rows[1], rows[2]
+	// Figure 12's shape: coarse transient accumulates phase error; the
+	// WaMPDE stays below both coarse baselines.
+	if !(tr50.PhaseErrEnd > tr100.PhaseErrEnd) {
+		t.Fatalf("50 pts/cycle (%v) should be worse than 100 (%v)", tr50.PhaseErrEnd, tr100.PhaseErrEnd)
+	}
+	if !(wampdeRow.PhaseErrEnd < tr100.PhaseErrEnd) {
+		t.Fatalf("WaMPDE (%v) should beat transient@100 (%v)", wampdeRow.PhaseErrEnd, tr100.PhaseErrEnd)
+	}
+	// Headline cost shape: WaMPDE uses far fewer time points than the
+	// 1000-pts/cycle transient the paper says is needed for its accuracy.
+	ref := rows[3]
+	if ratio := float64(ref.TimePoints) / float64(wampdeRow.TimePoints); ratio < 20 {
+		t.Fatalf("time-point ratio %v, want ≫ 1", ratio)
+	}
+	_ = run
+}
+
+func TestNetlistThroughFacade(t *testing.T) {
+	ckt, err := wampde.ParseNetlist("V1 in 0 DC(1)\nR1 in 0 1k\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := ckt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, sys.Dim())
+	if err := wampde.DCOperatingPoint(sys, 0, x); err != nil {
+		t.Fatal(err)
+	}
+	in, err := sys.NodeIndex("in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[in]-1) > 1e-9 {
+		t.Fatalf("v(in) = %v", x[in])
+	}
+}
+
+func TestBaselinesThroughFacade(t *testing.T) {
+	// Autonomous shooting and HB agree on the van der Pol period.
+	sys := &wampde.VanDerPol{Mu: 0.3}
+	pss, err := wampde.AutonomousPSS(sys, []float64{2, 0}, 6.3, wampde.ShootingOptions{Method: wampde.Trap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	N := 41
+	guess := make([][]float64, N)
+	for j := 0; j < N; j++ {
+		tt := pss.T * float64(j) / float64(N)
+		guess[j] = []float64{pss.Orbit.At(tt, 0), pss.Orbit.At(tt, 1)}
+	}
+	sol, err := wampde.HBAutonomous(sys, pss.T, guess, wampde.HBOptions{N: N})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.T-pss.T) > 1e-3*pss.T {
+		t.Fatalf("HB period %v vs shooting %v", sol.T, pss.T)
+	}
+}
+
+func TestBivariateGridShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	run, err := wampde.RunPaperVCO(wampde.VCORunConfig{T2End: 20e-6, Steps: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := run.BivariateGrid(30)
+	if len(g) != 30 || len(g[0]) != run.Result.N1 {
+		t.Fatalf("grid shape %dx%d", len(g), len(g[0]))
+	}
+	// Every slow-time row should carry a full oscillation swing.
+	for k, row := range g {
+		min, max := row[0], row[0]
+		for _, v := range row {
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		if max-min < 1 {
+			t.Fatalf("row %d swing %v too small", k, max-min)
+		}
+	}
+}
+
+func TestPaperVCOQuasiperiodic(t *testing.T) {
+	// §4.1 on the real MEMS circuit: the FM-quasiperiodic steady state of
+	// the vacuum VCO over one control period, solved with periodic boundary
+	// conditions, must agree with the settled envelope.
+	if testing.Short() {
+		t.Skip("large Newton solve")
+	}
+	vco, err := wampde.NewPaperVCO(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctlPeriod := 30.0 / wampde.VCONominalFreq
+	u0 := vco.StaticDisplacement(vco.Params.VCtl(0))
+	ic, w0, err := wampde.OscillatorIC(vco, []float64{0.5, 0, u0, 0}, 1/wampde.VCONominalFreq,
+		wampde.ICOptions{N1: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Envelope over 4 control periods: the vacuum plate settles quickly.
+	env, err := wampde.RunEnvelope(vco, ic, w0, 4*ctlPeriod, wampde.EnvelopeOptions{
+		N1: 17, H2: ctlPeriod / 200, Trap: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guess, err := wampde.QPGuessFromEnvelope(env, ctlPeriod, 17, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := wampde.RunQuasiperiodic(vco, ctlPeriod, guess, wampde.QPOptions{N1: 17, N2: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ω(t2) of the quasiperiodic solve matches the envelope's settled tail.
+	for j2 := 0; j2 < 15; j2++ {
+		tt := 3*ctlPeriod + ctlPeriod*float64(j2)/15
+		we := env.OmegaAt(tt)
+		wq := qp.Omega[j2]
+		if math.Abs(we-wq) > 0.03*we {
+			t.Fatalf("QP ω[%d] = %v vs envelope %v", j2, wq, we)
+		}
+	}
+	// Mean frequency within the sweep's range.
+	min, max := math.Inf(1), 0.0
+	for _, w := range qp.Omega {
+		min = math.Min(min, w)
+		max = math.Max(max, w)
+	}
+	if mean := qp.OmegaMean(); mean < min || mean > max {
+		t.Fatalf("mean ω %v outside [%v, %v]", mean, min, max)
+	}
+}
+
+func TestSpectralEnvelopeThroughFacade(t *testing.T) {
+	T2 := 150.0
+	sys := &wampde.SimpleVCO{
+		L: 1, C0: 1, G1: -0.2, G3: 0.2 / 3, TauM: 10, Gamma: 1,
+		Ctl: func(tt float64) float64 { return 1 + 0.5*math.Sin(2*math.Pi*tt/T2) },
+	}
+	m := 10
+	ic, w0, err := wampde.OscillatorIC(sys, []float64{1, 0, 1}, 4.5, wampde.ICOptions{N1: 2*m + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := wampde.RunSpectralEnvelope(sys, ic, w0, T2, wampde.SpectralOptions{
+		M: m, H2: T2 / 200, Trap: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minW, maxW := math.Inf(1), 0.0
+	for _, w := range res.Omega {
+		minW = math.Min(minW, w)
+		maxW = math.Max(maxW, w)
+	}
+	if maxW/minW < 1.3 {
+		t.Fatalf("spectral envelope missed the FM swing: %v", maxW/minW)
+	}
+}
