@@ -6,11 +6,19 @@ package wampde_test
 //
 //	go test -bench=. -benchmem
 //
-// Figure-accuracy numbers (frequency ranges, phase errors) are produced by
-// the cmd/ harnesses and recorded in EXPERIMENTS.md; the benchmarks measure
-// the work each method performs.
+// The solver hot paths run on the internal/par worker pool, so benchmarks
+// are GOMAXPROCS-sensitive; compare serial and parallel throughput with
+//
+//	go test -bench=. -cpu 1,4
+//
+// (the pool sizes itself from GOMAXPROCS unless WAMPDE_WORKERS or
+// BenchmarkParSpeedup's explicit override pins it). Figure-accuracy numbers
+// (frequency ranges, phase errors) are produced by the cmd/ harnesses and
+// recorded in EXPERIMENTS.md; the benchmarks measure the work each method
+// performs.
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"testing"
@@ -20,6 +28,7 @@ import (
 	"repro/internal/dae"
 	"repro/internal/hb"
 	"repro/internal/mpde"
+	"repro/internal/par"
 	"repro/internal/shooting"
 	"repro/internal/transient"
 	"repro/internal/warp"
@@ -74,13 +83,20 @@ func BenchmarkFig06WarpedRepresentation(b *testing.B) {
 
 // ---------------------------------------------------------------- §5 figures
 
-var (
-	sinkF float64
+var sinkF float64
 
-	vcoICMu    sync.Mutex
-	vcoICCache = map[[2]int][]float64{} // key: {air(0/1), N1}
-	vcoW0Cache = map[[2]int]float64{}
-)
+// vcoICEntry caches one configuration's unforced-PSS initial condition.
+// Each entry computes exactly once (sync.Once), even when -cpu 1,4 reruns
+// the benchmark functions or benchmarks run concurrently; errors are stored
+// so every caller can report them rather than failing under the Once.
+type vcoICEntry struct {
+	once sync.Once
+	ic   []float64
+	w0   float64
+	err  error
+}
+
+var vcoICCache sync.Map // key [2]int{air(0/1), N1} -> *vcoICEntry
 
 // prepVCOIC computes (and caches) the unforced-PSS initial condition for a
 // configuration.
@@ -90,24 +106,21 @@ func prepVCOIC(b *testing.B, air bool, n1 int) ([]float64, float64) {
 	if air {
 		airKey = 1
 	}
-	key := [2]int{airKey, n1}
-	vcoICMu.Lock()
-	defer vcoICMu.Unlock()
-	if ic, ok := vcoICCache[key]; ok {
-		return ic, vcoW0Cache[key]
+	v, _ := vcoICCache.LoadOrStore([2]int{airKey, n1}, &vcoICEntry{})
+	e := v.(*vcoICEntry)
+	e.once.Do(func() {
+		vco, err := wampde.NewPaperVCO(air)
+		if err != nil {
+			e.err = err
+			return
+		}
+		u0 := vco.StaticDisplacement(vco.Params.VCtl(0))
+		e.ic, e.w0, e.err = core.InitialCondition(vco, []float64{0.5, 0, u0, 0}, 1/wampde.VCONominalFreq, core.ICOptions{N1: n1})
+	})
+	if e.err != nil {
+		b.Fatal(e.err)
 	}
-	vco, err := wampde.NewPaperVCO(air)
-	if err != nil {
-		b.Fatal(err)
-	}
-	u0 := vco.StaticDisplacement(vco.Params.VCtl(0))
-	ic, w0, err := core.InitialCondition(vco, []float64{0.5, 0, u0, 0}, 1/wampde.VCONominalFreq, core.ICOptions{N1: n1})
-	if err != nil {
-		b.Fatal(err)
-	}
-	vcoICCache[key] = ic
-	vcoW0Cache[key] = w0
-	return ic, w0
+	return e.ic, e.w0
 }
 
 func benchEnvelope(b *testing.B, air bool, t2End float64, steps int, opt core.EnvelopeOptions) {
@@ -179,6 +192,22 @@ func BenchmarkFig12TransientAir100(b *testing.B) {
 // "two orders of magnitude" claim; see EXPERIMENTS.md for measured numbers.
 func BenchmarkSpeedupTransientAir1000(b *testing.B) {
 	benchVCOTransient(b, true, 3e-3, 1000)
+}
+
+// ParSpeedup pins the worker-pool size explicitly (overriding GOMAXPROCS
+// and WAMPDE_WORKERS) and reruns a Fig-10-scale air-damped envelope at a
+// finer warped-axis resolution, where the O((N1·n)³) dense factorizations
+// give the pool real work. The workers=4/workers=1 time ratio is the
+// parallel speedup; on a ≥4-core machine it should exceed 2×. Results are
+// bitwise identical across worker counts (see TestEnvelopeWorkerDeterminism).
+func BenchmarkParSpeedup(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := par.SetWorkers(w)
+			defer par.SetWorkers(prev)
+			benchEnvelope(b, true, 0.5e-3, 100, core.EnvelopeOptions{N1: 49, Trap: true})
+		})
+	}
 }
 
 // ------------------------------------------------------------------ ablations

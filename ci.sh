@@ -1,0 +1,27 @@
+#!/bin/sh
+# Repository check tiers, in increasing cost:
+#
+#   tier 1  build + full test suite (the gate every change must pass)
+#   tier 2  vet + race detector over the suite (-short skips the longest
+#           solver runs; the parallel kernels all execute under the
+#           race detector via the unit and determinism tests)
+#
+# Run ./ci.sh for everything, or ./ci.sh 1 / ./ci.sh 2 for one tier.
+set -eu
+cd "$(dirname "$0")"
+
+tier="${1:-all}"
+
+if [ "$tier" = 1 ] || [ "$tier" = all ]; then
+	echo "== tier 1: build + tests"
+	go build ./...
+	go test ./...
+fi
+
+if [ "$tier" = 2 ] || [ "$tier" = all ]; then
+	echo "== tier 2: vet + race detector"
+	go vet ./...
+	go test -race -short ./...
+fi
+
+echo "ci: ok"

@@ -1,0 +1,343 @@
+package wampde_test
+
+// Golden-figure regression suite: every figure-producing harness entry
+// point runs at reduced resolution and its output is compared column by
+// column against committed CSVs in testdata/goldens. The goldens pin the
+// numerical behaviour of the full pipeline — warped representations,
+// initial conditions, envelope following, transient baselines, phase
+// metrics and the quasiperiodic solver — so refactors (like the parallel
+// kernels) cannot silently shift results.
+//
+// Regenerate after an intentional numerical change with:
+//
+//	go test -run TestGoldenFigures -update
+//
+// and review the CSV diffs like any other code change.
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	wampde "repro"
+	"repro/internal/core"
+	"repro/internal/dae"
+	"repro/internal/textplot"
+	"repro/internal/warp"
+)
+
+var updateGoldens = flag.Bool("update", false, "rewrite testdata/goldens from current outputs")
+
+// goldenSpec is one golden file: a generator producing named columns and
+// per-column absolute/relative tolerances for the comparison
+// |got-want| <= atol + rtol·|want|.
+type goldenSpec struct {
+	name    string
+	headers []string
+	atol    []float64
+	rtol    []float64
+	gen     func(t *testing.T) [][]float64
+}
+
+// Reduced-resolution §5 runs shared by several goldens, computed once.
+var (
+	vacOnce sync.Once
+	vacRun  *wampde.VCORun
+	vacErr  error
+
+	airOnce sync.Once
+	airRun  *wampde.VCORun
+	airErr  error
+)
+
+func goldenVacuumRun(t *testing.T) *wampde.VCORun {
+	t.Helper()
+	vacOnce.Do(func() {
+		vacRun, vacErr = wampde.RunPaperVCO(wampde.VCORunConfig{N1: 17, T2End: 60e-6, Steps: 100})
+	})
+	if vacErr != nil {
+		t.Fatal(vacErr)
+	}
+	return vacRun
+}
+
+func goldenAirRun(t *testing.T) *wampde.VCORun {
+	t.Helper()
+	airOnce.Do(func() {
+		airRun, airErr = wampde.RunPaperVCO(wampde.VCORunConfig{Air: true, T2End: 0.6e-3, Steps: 120})
+	})
+	if airErr != nil {
+		t.Fatal(airErr)
+	}
+	return airRun
+}
+
+// uniformTol returns nCols copies of (atol, rtol).
+func uniformTol(nCols int, atol, rtol float64) ([]float64, []float64) {
+	a := make([]float64, nCols)
+	r := make([]float64, nCols)
+	for i := range a {
+		a[i], r[i] = atol, rtol
+	}
+	return a, r
+}
+
+// gridColumns flattens a bivariate sample grid into (t1, t2, v) columns.
+func gridColumns(grid [][]float64, p1, p2 float64) [][]float64 {
+	var t1s, t2s, vs []float64
+	for j2, row := range grid {
+		t2 := p2 * float64(j2) / float64(len(grid))
+		for j1, v := range row {
+			t1s = append(t1s, p1*float64(j1)/float64(len(row)))
+			t2s = append(t2s, t2)
+			vs = append(vs, v)
+		}
+	}
+	return [][]float64{t1s, t2s, vs}
+}
+
+func goldenSpecs() []goldenSpec {
+	specs := []goldenSpec{}
+	add := func(name string, headers []string, atol, rtol float64, gen func(t *testing.T) [][]float64) {
+		a, r := uniformTol(len(headers), atol, rtol)
+		specs = append(specs, goldenSpec{name: name, headers: headers, atol: a, rtol: r, gen: gen})
+	}
+
+	// Figure 1: the univariate two-rate AM signal needs dense sampling.
+	add("fig01_univariate", []string{"t", "v"}, 1e-12, 1e-9, func(t *testing.T) [][]float64 {
+		am := warp.AMSignal{T1: 0.02, T2: 1}
+		const n = 150
+		ts := make([]float64, n)
+		vs := make([]float64, n)
+		for j := 0; j < n; j++ {
+			ts[j] = am.T2 * float64(j) / n
+			vs[j] = am.Eval(ts[j])
+		}
+		return [][]float64{ts, vs}
+	})
+
+	// Figure 2: the same signal as a compact bivariate grid.
+	add("fig02_bivariate", []string{"t1", "t2", "v"}, 1e-12, 1e-9, func(t *testing.T) [][]float64 {
+		am := warp.AMSignal{T1: 0.02, T2: 1}
+		g := warp.SampleGrid(am.Bivariate, 15, 15, am.T1, am.T2)
+		return gridColumns(g.Val, am.T1, am.T2)
+	})
+
+	// Figure 4: the FM waveform whose unwarped bivariate form is dense.
+	add("fig04_fm", []string{"t", "v"}, 1e-12, 1e-9, func(t *testing.T) [][]float64 {
+		fm := warp.FMSignal{F0: 1e6, F2: 20e3, K: 8 * math.Pi}
+		const n = 300
+		ts := make([]float64, n)
+		vs := make([]float64, n)
+		for j := 0; j < n; j++ {
+			ts[j] = 7e-5 * float64(j) / n
+			vs[j] = fm.Eval(ts[j])
+		}
+		return [][]float64{ts, vs}
+	})
+
+	// Figures 5/6: unwarped vs warped representation error vs grid size —
+	// the quantitative form of the paper's §3 storage argument.
+	repErr := func(warped bool) func(t *testing.T) [][]float64 {
+		return func(t *testing.T) [][]float64 {
+			fm := warp.FMSignal{F0: 1e6, F2: 20e3, K: 8 * math.Pi}
+			ns := []float64{5, 9, 15, 21}
+			errs := make([]float64, len(ns))
+			for i, n := range ns {
+				if warped {
+					errs[i] = warp.RepresentationError(fm.Warped, int(n), int(n), 1, 1/fm.F2)
+				} else {
+					errs[i] = warp.RepresentationError(fm.Unwarped, int(n), int(n), 1/fm.F0, 1/fm.F2)
+				}
+			}
+			return [][]float64{ns, errs}
+		}
+	}
+	add("fig05_unwarped_error", []string{"n", "max_err"}, 1e-12, 1e-8, repErr(false))
+	add("fig06_warped_error", []string{"n", "max_err"}, 1e-12, 1e-8, repErr(true))
+
+	// Figure 7: vacuum VCO local frequency along t2.
+	add("fig07_frequency", []string{"t2", "freq_hz"}, 1e-9, 1e-5, func(t *testing.T) [][]float64 {
+		run := goldenVacuumRun(t)
+		return [][]float64{run.Result.T2, run.Result.Omega}
+	})
+
+	// Figure 8: the vacuum bivariate capacitor-voltage surface.
+	add("fig08_bivariate", []string{"t1", "t2", "v"}, 1e-8, 1e-5, func(t *testing.T) [][]float64 {
+		run := goldenVacuumRun(t)
+		return gridColumns(run.BivariateGrid(12), 1, run.Config.T2End)
+	})
+
+	// Figure 9: WaMPDE reconstruction overlaid on direct transient.
+	add("fig09_overlay", []string{"t", "v_wampde", "v_transient"}, 1e-7, 1e-4, func(t *testing.T) [][]float64 {
+		run := goldenVacuumRun(t)
+		tr, err := run.RunTransientBaseline(100, 8e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ts, vw, vt []float64
+		for i, tv := range tr.Result.T {
+			if i%4 != 0 {
+				continue
+			}
+			ts = append(ts, tv)
+			vw = append(vw, run.Result.At(run.VCO.TankNode, tv))
+			vt = append(vt, tr.Result.X[i][run.VCO.TankNode])
+		}
+		return [][]float64{ts, vw, vt}
+	})
+
+	// Figure 10: air-damped VCO local frequency along t2.
+	add("fig10_frequency", []string{"t2", "freq_hz"}, 1e-9, 1e-5, func(t *testing.T) [][]float64 {
+		run := goldenAirRun(t)
+		return [][]float64{run.Result.T2, run.Result.Omega}
+	})
+
+	// Figure 11: the air-damped bivariate surface.
+	add("fig11_bivariate", []string{"t1", "t2", "v"}, 1e-8, 1e-5, func(t *testing.T) [][]float64 {
+		run := goldenAirRun(t)
+		return gridColumns(run.BivariateGrid(12), 1, run.Config.T2End)
+	})
+
+	// Figure 12: accumulated phase error of a coarse transient vs the
+	// WaMPDE. Unwrapped-phase differences amplify tiny waveform shifts, so
+	// the tolerance is the loosest of the suite.
+	add("fig12_phase_error", []string{"t", "phase_err_cycles"}, 5e-2, 2e-2, func(t *testing.T) [][]float64 {
+		run := goldenAirRun(t)
+		tr, err := run.RunTransientBaseline(50, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := []float64{0.2e-3, 0.4e-3, 0.55e-3}
+		errs := make([]float64, len(ts))
+		for i, tv := range ts {
+			errs[i] = run.PhaseErrorVs(tr, tv)
+		}
+		return [][]float64{ts, errs}
+	})
+
+	// §4.1: quasiperiodic frequency samples on the compact test VCO.
+	add("qp_frequency", []string{"t2", "freq"}, 1e-9, 1e-5, func(t *testing.T) [][]float64 {
+		T2 := 80.0
+		sys := &dae.SimpleVCO{
+			L: 1, C0: 1, G1: -0.2, G3: 0.2 / 3, TauM: 10, Gamma: 1,
+			Ctl: func(tt float64) float64 { return 1 + 0.5*math.Sin(2*math.Pi*tt/T2) },
+		}
+		ic, w0, err := core.InitialCondition(sys, []float64{1, 0, 1}, 4.5, core.ICOptions{N1: 15})
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := core.Envelope(sys, ic, w0, 2*T2, core.EnvelopeOptions{N1: 15, H2: T2 / 100, Trap: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		guess, err := core.GuessFromEnvelope(env, T2, 15, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qp, err := core.Quasiperiodic(sys, T2, guess, core.QPOptions{N1: 15, N2: 15})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := make([]float64, len(qp.Omega))
+		for j2 := range ts {
+			ts[j2] = T2 * float64(j2) / float64(len(qp.Omega))
+		}
+		return [][]float64{ts, qp.Omega}
+	})
+
+	return specs
+}
+
+// readGolden parses a golden CSV into headers and columns.
+func readGolden(path string) ([]string, [][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() {
+		return nil, nil, fmt.Errorf("%s: empty golden", path)
+	}
+	headers := strings.Split(strings.TrimSpace(sc.Text()), ",")
+	cols := make([][]float64, len(headers))
+	for line := 2; sc.Scan(); line++ {
+		fields := strings.Split(strings.TrimSpace(sc.Text()), ",")
+		if len(fields) != len(headers) {
+			return nil, nil, fmt.Errorf("%s:%d: %d fields, want %d", path, line, len(fields), len(headers))
+		}
+		for j, fv := range fields {
+			v, err := strconv.ParseFloat(fv, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s:%d: %v", path, line, err)
+			}
+			cols[j] = append(cols[j], v)
+		}
+	}
+	return headers, cols, sc.Err()
+}
+
+func writeGolden(path string, headers []string, cols [][]float64) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := textplot.WriteCSV(f, headers, cols...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func TestGoldenFigures(t *testing.T) {
+	for _, spec := range goldenSpecs() {
+		spec := spec
+		t.Run(spec.name, func(t *testing.T) {
+			path := filepath.Join("testdata", "goldens", spec.name+".csv")
+			got := spec.gen(t)
+			if len(got) != len(spec.headers) {
+				t.Fatalf("generator produced %d columns, spec has %d headers", len(got), len(spec.headers))
+			}
+			if *updateGoldens {
+				if err := writeGolden(path, spec.headers, got); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d rows)", path, len(got[0]))
+				return
+			}
+			headers, want, err := readGolden(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if strings.Join(headers, ",") != strings.Join(spec.headers, ",") {
+				t.Fatalf("golden headers %v, spec headers %v", headers, spec.headers)
+			}
+			for j := range want {
+				if len(got[j]) != len(want[j]) {
+					t.Fatalf("column %s: %d rows, golden has %d", headers[j], len(got[j]), len(want[j]))
+				}
+				for i := range want[j] {
+					diff := math.Abs(got[j][i] - want[j][i])
+					if diff > spec.atol[j]+spec.rtol[j]*math.Abs(want[j][i]) {
+						t.Errorf("%s row %d: got %.12g, want %.12g (diff %.3g > atol %.1g + rtol %.1g)",
+							headers[j], i, got[j][i], want[j][i], diff, spec.atol[j], spec.rtol[j])
+						if t.Failed() {
+							t.FailNow()
+						}
+					}
+				}
+			}
+		})
+	}
+}

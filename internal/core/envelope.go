@@ -10,7 +10,17 @@ import (
 	"repro/internal/krylov"
 	"repro/internal/la"
 	"repro/internal/newton"
+	"repro/internal/par"
 )
+
+// ptGrain is how many collocation points one parallel chunk owns in the
+// per-point kernels (device evaluations, Jacobian row blocks). Grids up to
+// one grain collapse to a single chunk and run serially; the value must not
+// depend on the worker count (see package par's determinism contract).
+const ptGrain = 16
+
+// dqGrain chunks the rows of the (D⊗I)·q spectral product.
+const dqGrain = 32
 
 // LinearKind selects the linear solver used inside the per-step Newton
 // iterations.
@@ -271,74 +281,114 @@ type envAssembler struct {
 	jq     *la.Dense
 	jf     *la.Dense
 
+	// Per-point device Jacobians, filled in parallel during assembly.
+	jqs []*la.Dense
+	jfs []*la.Dense
+
 	// Reused per-step scratch (hot path).
-	qBuf   []float64
-	fBuf   []float64
-	z      []float64
-	qNew   []float64
-	rhsNew []float64
-	jj     *la.Dense
+	qBuf    []float64
+	fBuf    []float64 // per-point F scratch, one n-slot per collocation point
+	z       []float64
+	qNew    []float64
+	rhsNew  []float64
+	rhsPrev []float64
+	jj      *la.Dense
 }
 
 func newEnvAssembler(sys dae.Autonomous, n1, n, k int, w []float64, c float64, opt EnvelopeOptions) *envAssembler {
-	return &envAssembler{
+	a := &envAssembler{
 		sys: sys, n1: n1, n: n, k: k, w: w, c: c, opt: opt,
-		d:      fourier.DiffMatrix(n1),
-		u:      make([]float64, sys.NumInputs()),
-		qPrev:  make([]float64, n1*n),
-		rhsOld: make([]float64, n1*n),
-		scale:  make([]float64, n1*n+1),
-		jq:     la.NewDense(n, n),
-		jf:     la.NewDense(n, n),
-		qBuf:   make([]float64, n1*n),
-		fBuf:   make([]float64, n),
-		z:      make([]float64, n1*n+1),
-		qNew:   make([]float64, n1*n),
-		rhsNew: make([]float64, n1*n),
-		jj:     la.NewDense(n1*n+1, n1*n+1),
+		d:       fourier.DiffMatrix(n1),
+		u:       make([]float64, sys.NumInputs()),
+		qPrev:   make([]float64, n1*n),
+		rhsOld:  make([]float64, n1*n),
+		scale:   make([]float64, n1*n+1),
+		jq:      la.NewDense(n, n),
+		jf:      la.NewDense(n, n),
+		jqs:     make([]*la.Dense, n1),
+		jfs:     make([]*la.Dense, n1),
+		qBuf:    make([]float64, n1*n),
+		fBuf:    make([]float64, n1*n),
+		z:       make([]float64, n1*n+1),
+		qNew:    make([]float64, n1*n),
+		rhsNew:  make([]float64, n1*n),
+		rhsPrev: make([]float64, n1*n),
+		jj:      la.NewDense(n1*n+1, n1*n+1),
 	}
+	for j := 0; j < n1; j++ {
+		a.jqs[j] = la.NewDense(n, n)
+		a.jfs[j] = la.NewDense(n, n)
+	}
+	return a
 }
 
-// sampleQ evaluates q at all collocation points into out.
+// sampleQ evaluates q at all collocation points into out, in parallel
+// chunks of points (each point writes only its own n-slot).
 func (a *envAssembler) sampleQ(z, out []float64) {
-	for j := 0; j < a.n1; j++ {
-		a.sys.Q(z[j*a.n:(j+1)*a.n], out[j*a.n:(j+1)*a.n])
-	}
+	n := a.n
+	par.For(a.n1, ptGrain, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			a.sys.Q(z[j*n:(j+1)*n], out[j*n:(j+1)*n])
+		}
+	})
 }
 
-// dTimesQ computes (D⊗I)·q into out given sampled q.
+// dTimesQ computes (D⊗I)·q into out given sampled q. Output rows are
+// independent, so they compute in parallel; each row accumulates its D
+// weights in the same m order at any worker count.
 func (a *envAssembler) dTimesQ(q, out []float64) {
 	n1, n := a.n1, a.n
-	for j := 0; j < n1; j++ {
-		row := a.d[j*n1 : (j+1)*n1]
-		for i := 0; i < n; i++ {
-			out[j*n+i] = 0
-		}
-		for m, wgt := range row {
-			if wgt == 0 {
-				continue
-			}
-			qm := q[m*n : (m+1)*n]
-			dst := out[j*n : (j+1)*n]
+	par.For(n1, dqGrain, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			row := a.d[j*n1 : (j+1)*n1]
 			for i := 0; i < n; i++ {
-				dst[i] += wgt * qm[i]
+				out[j*n+i] = 0
+			}
+			for m, wgt := range row {
+				if wgt == 0 {
+					continue
+				}
+				qm := q[m*n : (m+1)*n]
+				dst := out[j*n : (j+1)*n]
+				for i := 0; i < n; i++ {
+					dst[i] += wgt * qm[i]
+				}
 			}
 		}
-	}
+	})
 }
 
-// rhs computes ω·D·q(x) + f(x,u) into out.
+// rhs computes ω·D·q(x) + f(x,u) into out. After q is sampled, each
+// collocation point's spectral row and device F evaluation are fused into
+// one parallel pass; a chunk starting at point lo uses fBuf[lo·n:lo·n+n] as
+// its private F scratch, so chunks never share device scratch.
 func (a *envAssembler) rhs(z []float64, omega float64, out []float64) {
 	n1, n := a.n1, a.n
 	a.sampleQ(z, a.qBuf)
-	a.dTimesQ(a.qBuf, out)
-	f := a.fBuf
-	for j := 0; j < n1; j++ {
-		a.sys.F(z[j*n:(j+1)*n], a.u, f)
-		for i := 0; i < n; i++ {
-			out[j*n+i] = omega*out[j*n+i] + f[i]
+	q := a.qBuf
+	par.For(n1, ptGrain, func(lo, hi int) {
+		f := a.fBuf[lo*n : lo*n+n]
+		for j := lo; j < hi; j++ {
+			drow := a.d[j*n1 : (j+1)*n1]
+			dst := out[j*n : (j+1)*n]
+			for i := 0; i < n; i++ {
+				dst[i] = 0
+			}
+			for m, wgt := range drow {
+				if wgt == 0 {
+					continue
+				}
+				qm := q[m*n : (m+1)*n]
+				for i := 0; i < n; i++ {
+					dst[i] += wgt * qm[i]
+				}
+			}
+			a.sys.F(z[j*n:(j+1)*n], a.u, f)
+			for i := 0; i < n; i++ {
+				dst[i] = omega*dst[i] + f[i]
+			}
 		}
-	}
+	})
 }
 
 // step solves for (xNew, omegaNew) at t2+h given the previous level.
@@ -356,7 +406,7 @@ func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNe
 
 	// Residual scales from the previous level, so the Newton tolerance is
 	// effectively relative per row.
-	rhsNow := make([]float64, n1*n)
+	rhsNow := a.rhsPrev
 	a.rhs(xOld, omegaOld, rhsNow)
 	maxScale := 0.0
 	for j := 0; j < n1*n; j++ {
@@ -465,57 +515,83 @@ func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNe
 }
 
 // assembleJacobian builds the scaled, bordered Jacobian of the step system.
+//
+// The assembly is row-centric so it parallelizes without write conflicts:
+// the per-point device Jacobians JQ/JF are evaluated into private slots on
+// the worker pool, then each collocation point fills (zeroes, accumulates,
+// and scales) exactly its own n rows — gathering the ω·D coupling from all
+// points m in ascending order, so the result is worker-count independent.
 func (a *envAssembler) assembleJacobian(z []float64, h, theta float64) *la.Dense {
 	n1, n := a.n1, a.n
-	total := n1*n + 1
 	omega := z[n1*n]
 	jj := a.jj
-	jj.Zero()
 	q := a.qBuf
 	a.sampleQ(z[:n1*n], q)
 	dq := a.rhsNew // reused as D·q scratch; rewritten on the next eval
 	a.dTimesQ(q, dq)
 
-	for m := 0; m < n1; m++ {
-		xm := z[m*n : (m+1)*n]
-		a.sys.JQ(xm, a.jq)
-		a.sys.JF(xm, a.u, a.jf)
-		// ω·D coupling: rows (j,·) pick up θ·ω·D[j,m]·JQ(x_m).
-		for j := 0; j < n1; j++ {
-			wgt := theta * omega * a.d[j*n1+m]
-			if wgt == 0 {
-				continue
-			}
+	// Per-point device Jacobians into their own slots.
+	par.For(n1, ptGrain, func(lo, hi int) {
+		for m := lo; m < hi; m++ {
+			xm := z[m*n : (m+1)*n]
+			a.sys.JQ(xm, a.jqs[m])
+			a.sys.JF(xm, a.u, a.jfs[m])
+		}
+	})
+
+	// Row blocks: point j owns rows j·n..j·n+n-1 of the bordered system.
+	par.For(n1, ptGrain, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
 			for r := 0; r < n; r++ {
 				row := jj.Row(j*n + r)
-				jqRow := a.jq.Row(r)
+				for cc := range row {
+					row[cc] = 0
+				}
+			}
+			// ω·D coupling: rows (j,·) pick up θ·ω·D[j,m]·JQ(x_m).
+			for m := 0; m < n1; m++ {
+				wgt := theta * omega * a.d[j*n1+m]
+				if wgt == 0 {
+					continue
+				}
+				jq := a.jqs[m]
+				for r := 0; r < n; r++ {
+					row := jj.Row(j*n + r)
+					jqRow := jq.Row(r)
+					for cc := 0; cc < n; cc++ {
+						row[m*n+cc] += wgt * jqRow[cc]
+					}
+				}
+			}
+			// Diagonal block JQ/h + θ·JF, the ∂/∂ω column θ·(D·q), and the
+			// row scaling that matches the scaled residual.
+			jq, jf := a.jqs[j], a.jfs[j]
+			for r := 0; r < n; r++ {
+				row := jj.Row(j*n + r)
+				jqRow := jq.Row(r)
+				jfRow := jf.Row(r)
 				for cc := 0; cc < n; cc++ {
-					row[m*n+cc] += wgt * jqRow[cc]
+					row[j*n+cc] += jqRow[cc]/h + theta*jfRow[cc]
+				}
+				row[n1*n] = theta * dq[j*n+r]
+				s := a.scale[j*n+r]
+				for cc := range row {
+					row[cc] /= s
 				}
 			}
 		}
-		// Diagonal block: JQ/h + θ·JF.
-		for r := 0; r < n; r++ {
-			row := jj.Row(m*n + r)
-			jqRow := a.jq.Row(r)
-			jfRow := a.jf.Row(r)
-			for cc := 0; cc < n; cc++ {
-				row[m*n+cc] += jqRow[cc]/h + theta*jfRow[cc]
-			}
-		}
-	}
-	// ∂/∂ω column: θ·D·q.
-	for j := 0; j < n1*n; j++ {
-		jj.Set(j, n1*n, theta*dq[j])
-	}
+	})
+
 	// Phase row.
-	for j := 0; j < n1; j++ {
-		jj.Set(n1*n, j*n+a.k, a.w[j])
-	}
-	// Row scaling to match the scaled residual.
-	for r := 0; r < total; r++ {
-		row := jj.Row(r)
-		s := a.scale[r]
+	{
+		row := jj.Row(n1 * n)
+		for cc := range row {
+			row[cc] = 0
+		}
+		for j := 0; j < n1; j++ {
+			row[j*n+a.k] = a.w[j]
+		}
+		s := a.scale[n1*n]
 		for cc := range row {
 			row[cc] /= s
 		}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fourier"
 	"repro/internal/la"
+	"repro/internal/par"
 )
 
 // harmonicPrec is the classic harmonic-balance preconditioner specialized
@@ -23,7 +24,6 @@ type harmonicPrec struct {
 	n1, n int
 	scale []float64 // row scales of the scaled system being solved
 	facts []*la.CLU // one per harmonic bin (length n1)
-	rbuf  []complex128
 }
 
 // newHarmonicPrec builds the preconditioner at the current iterate.
@@ -31,36 +31,48 @@ type harmonicPrec struct {
 // local-frequency iterate.
 func (a *envAssembler) newHarmonicPrec(z []float64, omega, h, theta float64) (*harmonicPrec, error) {
 	n1, n := a.n1, a.n
-	// Averaged device Jacobians over the collocation points.
+	// Device Jacobians at every collocation point, evaluated in parallel into
+	// their per-point slots, then averaged serially in ascending j order so
+	// the float accumulation is worker-count independent.
+	par.For(n1, ptGrain, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			x := z[j*n : (j+1)*n]
+			a.sys.JQ(x, a.jqs[j])
+			a.sys.JF(x, a.u, a.jfs[j])
+		}
+	})
 	jqAvg := la.NewDense(n, n)
 	jfAvg := la.NewDense(n, n)
 	for j := 0; j < n1; j++ {
-		x := z[j*n : (j+1)*n]
-		a.sys.JQ(x, a.jq)
-		a.sys.JF(x, a.u, a.jf)
-		jqAvg.AddScaled(1/float64(n1), a.jq)
-		jfAvg.AddScaled(1/float64(n1), a.jf)
+		jqAvg.AddScaled(1/float64(n1), a.jqs[j])
+		jfAvg.AddScaled(1/float64(n1), a.jfs[j])
 	}
 	p := &harmonicPrec{
 		n1: n1, n: n,
 		scale: a.scale,
 		facts: make([]*la.CLU, n1),
-		rbuf:  make([]complex128, n1),
 	}
-	for bin := 0; bin < n1; bin++ {
-		hh := fourier.HarmonicIndex(bin, n1)
-		m := la.NewCDense(n, n)
-		lam := complex(1/h, 2*math.Pi*float64(hh)*omega)
-		for r := 0; r < n; r++ {
-			for c := 0; c < n; c++ {
-				m.Set(r, c, lam*complex(jqAvg.At(r, c), 0)+complex(theta*jfAvg.At(r, c), 0))
+	// One small complex factorization per harmonic bin, spread over the pool.
+	err := par.ForErr(n1, ptGrain, func(lo, hi int) error {
+		for bin := lo; bin < hi; bin++ {
+			hh := fourier.HarmonicIndex(bin, n1)
+			m := la.NewCDense(n, n)
+			lam := complex(1/h, 2*math.Pi*float64(hh)*omega)
+			for r := 0; r < n; r++ {
+				for c := 0; c < n; c++ {
+					m.Set(r, c, lam*complex(jqAvg.At(r, c), 0)+complex(theta*jfAvg.At(r, c), 0))
+				}
 			}
+			f, err := la.FactorCLU(m)
+			if err != nil {
+				return err
+			}
+			p.facts[bin] = f
 		}
-		f, err := la.FactorCLU(m)
-		if err != nil {
-			return nil, err
-		}
-		p.facts[bin] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return p, nil
 }
@@ -70,31 +82,41 @@ func (a *envAssembler) newHarmonicPrec(z []float64, omega, h, theta float64) (*h
 // transforms back. The trailing (ω) entry is passed through.
 func (p *harmonicPrec) Precondition(r, z []float64) {
 	n1, n := p.n1, p.n
-	// Gather per-state sample vectors, unscaling rows.
+	// Gather per-state sample vectors, unscaling rows, then run the batched
+	// forward transforms on the worker pool.
 	spec := make([][]complex128, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n1; j++ {
-			p.rbuf[j] = complex(r[j*n+i]*p.scale[j*n+i], 0)
+	par.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := make([]complex128, n1)
+			for j := 0; j < n1; j++ {
+				row[j] = complex(r[j*n+i]*p.scale[j*n+i], 0)
+			}
+			spec[i] = row
 		}
-		spec[i] = fourier.FFT(p.rbuf)
-	}
-	xh := make([]complex128, n)
-	bh := make([]complex128, n)
-	for bin := 0; bin < n1; bin++ {
-		for i := 0; i < n; i++ {
-			bh[i] = spec[i][bin]
+	})
+	fourier.FFTRows(spec)
+	// Per-bin solves touch disjoint spec columns; scratch is chunk-private.
+	par.For(n1, ptGrain, func(lo, hi int) {
+		xh := make([]complex128, n)
+		bh := make([]complex128, n)
+		for bin := lo; bin < hi; bin++ {
+			for i := 0; i < n; i++ {
+				bh[i] = spec[i][bin]
+			}
+			p.facts[bin].Solve(bh, xh)
+			for i := 0; i < n; i++ {
+				spec[i][bin] = xh[i]
+			}
 		}
-		p.facts[bin].Solve(bh, xh)
-		for i := 0; i < n; i++ {
-			spec[i][bin] = xh[i]
+	})
+	fourier.IFFTRows(spec)
+	par.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n1; j++ {
+				z[j*n+i] = real(spec[i][j])
+			}
 		}
-	}
-	for i := 0; i < n; i++ {
-		back := fourier.IFFT(spec[i])
-		for j := 0; j < n1; j++ {
-			z[j*n+i] = real(back[j])
-		}
-	}
+	})
 	if len(r) > n1*n {
 		z[n1*n] = r[n1*n]
 	}

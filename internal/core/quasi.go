@@ -8,7 +8,12 @@ import (
 	"repro/internal/fourier"
 	"repro/internal/la"
 	"repro/internal/newton"
+	"repro/internal/par"
 )
+
+// qpGrain is the number of bivariate grid points one parallel chunk handles
+// in the quasiperiodic solver's residual and Jacobian assembly.
+const qpGrain = 16
 
 // QPOptions configures the quasiperiodic WaMPDE solver of §4.1.
 type QPOptions struct {
@@ -124,41 +129,48 @@ func Quasiperiodic(sys dae.Autonomous, t2Period float64, guess *QPGuess, opt QPO
 	d2 := fourier.DiffMatrix(N2)
 
 	q := make([]float64, nx)
-	scr := make([]float64, n)
 	computeQ := func(z []float64) {
-		for p := 0; p < N1*N2; p++ {
-			sys.Q(z[p*n:(p+1)*n], q[p*n:(p+1)*n])
-		}
+		par.For(N1*N2, qpGrain, func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				sys.Q(z[p*n:(p+1)*n], q[p*n:(p+1)*n])
+			}
+		})
 	}
 
+	// The residual splits by t2 line: line j2 owns rows for its N1 grid
+	// points plus its phase row, so lines evaluate in parallel with
+	// chunk-private F scratch; the per-row arithmetic order is unchanged.
 	rawResidual := func(z, r []float64) {
 		computeQ(z)
-		for j2 := 0; j2 < N2; j2++ {
-			omega := z[nx+j2]
-			for j1 := 0; j1 < N1; j1++ {
-				base := qpIdx(j1, j2, 0, n, N1)
-				sys.F(z[base:base+n], us[j2], scr)
-				for i := 0; i < n; i++ {
-					acc := scr[i]
-					for m := 0; m < N1; m++ {
-						if wgt := d1[j1*N1+m]; wgt != 0 {
-							acc += omega * wgt * q[qpIdx(m, j2, i, n, N1)]
+		par.For(N2, 1, func(lo, hi int) {
+			scr := make([]float64, n)
+			for j2 := lo; j2 < hi; j2++ {
+				omega := z[nx+j2]
+				for j1 := 0; j1 < N1; j1++ {
+					base := qpIdx(j1, j2, 0, n, N1)
+					sys.F(z[base:base+n], us[j2], scr)
+					for i := 0; i < n; i++ {
+						acc := scr[i]
+						for m := 0; m < N1; m++ {
+							if wgt := d1[j1*N1+m]; wgt != 0 {
+								acc += omega * wgt * q[qpIdx(m, j2, i, n, N1)]
+							}
 						}
-					}
-					for m := 0; m < N2; m++ {
-						if wgt := d2[j2*N2+m]; wgt != 0 {
-							acc += wgt / t2Period * q[qpIdx(j1, m, i, n, N1)]
+						for m := 0; m < N2; m++ {
+							if wgt := d2[j2*N2+m]; wgt != 0 {
+								acc += wgt / t2Period * q[qpIdx(j1, m, i, n, N1)]
+							}
 						}
+						r[base+i] = acc
 					}
-					r[base+i] = acc
 				}
+				ph := -c
+				for j1 := 0; j1 < N1; j1++ {
+					ph += w[j1] * z[qpIdx(j1, j2, k, n, N1)]
+				}
+				r[nx+j2] = ph
 			}
-			ph := -c
-			for j1 := 0; j1 < N1; j1++ {
-				ph += w[j1] * z[qpIdx(j1, j2, k, n, N1)]
-			}
-			r[nx+j2] = ph
-		}
+		})
 	}
 
 	// Row scales from the guess, making Newton's tolerance relative.
@@ -201,8 +213,13 @@ func Quasiperiodic(sys dae.Autonomous, t2Period float64, guess *QPGuess, opt QPO
 		}
 	}
 
-	jq := la.NewDense(n, n)
-	jf := la.NewDense(n, n)
+	// Per-point device Jacobian slots, reused across Newton iterations.
+	jqs := make([]*la.Dense, N1*N2)
+	jfs := make([]*la.Dense, N1*N2)
+	for p := range jqs {
+		jqs[p] = la.NewDense(n, n)
+		jfs[p] = la.NewDense(n, n)
+	}
 	eval := func(z, r []float64) error {
 		rawResidual(z, r)
 		for i := range r {
@@ -210,55 +227,70 @@ func Quasiperiodic(sys dae.Autonomous, t2Period float64, guess *QPGuess, opt QPO
 		}
 		return nil
 	}
+	// The Jacobian assembly is row-centric so grid points fill their own row
+	// blocks in parallel: the spectral differentiation diagonals are exactly
+	// zero, so every matrix element has a single contributor and gathering
+	// along rows is bitwise identical to scattering from columns.
 	jac := func(z []float64) (newton.LinearSolve, error) {
 		jj := la.NewDense(total, total)
 		computeQ(z)
-		for j2 := 0; j2 < N2; j2++ {
-			for j1 := 0; j1 < N1; j1++ {
-				base := qpIdx(j1, j2, 0, n, N1)
-				x := z[base : base+n]
-				sys.JQ(x, jq)
-				sys.JF(x, us[j2], jf)
-				// This point's q enters rows along its t1 line (weight
-				// ω_{j2}·D1, same slow index) and its t2 line (D2/T2).
-				for m := 0; m < N1; m++ {
-					wgt := z[nx+j2] * d1[m*N1+j1]
+		par.For(N1*N2, qpGrain, func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				x := z[p*n : (p+1)*n]
+				sys.JQ(x, jqs[p])
+				sys.JF(x, us[p/N1], jfs[p])
+			}
+		})
+		par.For(N1*N2, qpGrain, func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				j2r, j1r := p/N1, p%N1
+				rowBase := p * n
+				omega := z[nx+j2r]
+				// t1 line: cols (j1, j2r) weighted by ω_{j2r}·D1[j1r,j1].
+				for j1 := 0; j1 < N1; j1++ {
+					wgt := omega * d1[j1r*N1+j1]
 					if wgt == 0 {
 						continue
 					}
-					addScaledBlock(jj, qpIdx(m, j2, 0, n, N1), base, jq, wgt)
+					addScaledBlock(jj, rowBase, qpIdx(j1, j2r, 0, n, N1), jqs[j2r*N1+j1], wgt)
 				}
+				// t2 line: cols (j1r, m) weighted by D2[j2r,m]/T2.
 				for m := 0; m < N2; m++ {
-					wgt := d2[m*N2+j2] / t2Period
+					wgt := d2[j2r*N2+m] / t2Period
 					if wgt == 0 {
 						continue
 					}
-					addScaledBlock(jj, qpIdx(j1, m, 0, n, N1), base, jq, wgt)
+					addScaledBlock(jj, rowBase, qpIdx(j1r, m, 0, n, N1), jqs[m*N1+j1r], wgt)
 				}
-				addScaledBlock(jj, base, base, jf, 1)
-				// ∂/∂ω_{j2} column: D1·q along this t2 line.
-				for m := 0; m < N1; m++ {
-					rowBase := qpIdx(m, j2, 0, n, N1)
-					wgt := d1[m*N1+j1]
+				addScaledBlock(jj, rowBase, rowBase, jfs[p], 1)
+				// ∂/∂ω_{j2r} column: Σ_{j1} D1[j1r,j1]·q(j1, j2r), accumulated
+				// in ascending j1 (the same order as the scatter form).
+				for j1 := 0; j1 < N1; j1++ {
+					wgt := d1[j1r*N1+j1]
 					if wgt == 0 {
 						continue
 					}
+					qb := qpIdx(j1, j2r, 0, n, N1)
 					for i := 0; i < n; i++ {
-						jj.Add(rowBase+i, nx+j2, wgt*q[base+i])
+						jj.Add(rowBase+i, nx+j2r, wgt*q[qb+i])
 					}
 				}
 			}
+		})
+		for j2 := 0; j2 < N2; j2++ {
 			for j1 := 0; j1 < N1; j1++ {
 				jj.Set(nx+j2, qpIdx(j1, j2, k, n, N1), w[j1])
 			}
 		}
-		for r := 0; r < total; r++ {
-			row := jj.Row(r)
-			s := scale[r]
-			for ccc := range row {
-				row[ccc] /= s
+		par.For(total, 64, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				row := jj.Row(r)
+				s := scale[r]
+				for ccc := range row {
+					row[ccc] /= s
+				}
 			}
-		}
+		})
 		return la.FactorLU(jj)
 	}
 

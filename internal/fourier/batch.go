@@ -1,0 +1,70 @@
+package fourier
+
+import "repro/internal/par"
+
+// rowGrain returns the number of length-n transforms one parallel chunk
+// performs: small rows are batched so each chunk carries a useful amount of
+// work, and a handful of large rows still spread over the pool. The grain
+// depends only on n, keeping the chunk layout worker-count independent.
+func rowGrain(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	g := 2048 / n
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// FFTRows runs the forward DFT on every row in place. Rows are independent
+// and transform on the worker pool; each row's result is identical to
+// calling FFT on it alone. Rows may have different lengths.
+func FFTRows(rows [][]complex128) {
+	n := 0
+	if len(rows) > 0 {
+		n = len(rows[0])
+	}
+	par.For(len(rows), rowGrain(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fftInPlace(rows[i], false)
+		}
+	})
+}
+
+// IFFTRows runs the inverse DFT (with 1/N normalization) on every row in
+// place, in parallel.
+func IFFTRows(rows [][]complex128) {
+	n := 0
+	if len(rows) > 0 {
+		n = len(rows[0])
+	}
+	par.For(len(rows), rowGrain(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fftInPlace(rows[i], true)
+		}
+	})
+}
+
+// GridFFT transforms a real bivariate grid (rows indexed by the slow axis,
+// columns by the fast axis, as produced by the sampling helpers) into its
+// per-row complex spectra: out[j] is the forward DFT of grid[j]. The rows
+// transform on the worker pool.
+func GridFFT(grid [][]float64) [][]complex128 {
+	out := make([][]complex128, len(grid))
+	n := 0
+	if len(grid) > 0 {
+		n = len(grid[0])
+	}
+	par.For(len(grid), rowGrain(n), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			row := make([]complex128, len(grid[j]))
+			for i, v := range grid[j] {
+				row[i] = complex(v, 0)
+			}
+			fftInPlace(row, false)
+			out[j] = row
+		}
+	})
+	return out
+}

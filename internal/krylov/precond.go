@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/la"
+	"repro/internal/par"
 	"repro/internal/sparse"
 )
 
@@ -67,10 +68,21 @@ type blockJacobiPrec struct {
 	facts   []*la.LU
 }
 
+// blockGrain returns how many diagonal blocks one parallel chunk handles,
+// as a function of the block size only (worker-count independent layout).
+func blockGrain(blockSize int) int {
+	g := 256 / (blockSize + 1)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
 // NewBlockJacobi builds a block-Jacobi preconditioner from a dense matrix
 // using contiguous blocks of the given size (the last block may be smaller).
 // In the WaMPDE Jacobian, blocks of size n (circuit unknowns per collocation
-// point) capture the dominant algebraic coupling.
+// point) capture the dominant algebraic coupling. The blocks are extracted
+// and factored independently on the worker pool.
 func NewBlockJacobi(m *la.Dense, blockSize int) (Preconditioner, error) {
 	if m.Rows != m.Cols {
 		return nil, errors.New("krylov: block-Jacobi needs a square matrix")
@@ -79,34 +91,50 @@ func NewBlockJacobi(m *la.Dense, blockSize int) (Preconditioner, error) {
 		return nil, errors.New("krylov: block size must be positive")
 	}
 	n := m.Rows
-	p := &blockJacobiPrec{}
-	for start := 0; start < n; start += blockSize {
-		end := start + blockSize
-		if end > n {
-			end = n
-		}
-		blk := la.NewDense(end-start, end-start)
-		for i := start; i < end; i++ {
-			for j := start; j < end; j++ {
-				blk.Set(i-start, j-start, m.At(i, j))
-			}
-		}
-		f, err := la.FactorLU(blk)
-		if err != nil {
-			return nil, fmt.Errorf("krylov: block [%d:%d): %w", start, end, err)
-		}
-		p.offsets = append(p.offsets, start)
-		p.facts = append(p.facts, f)
+	nBlocks := (n + blockSize - 1) / blockSize
+	p := &blockJacobiPrec{
+		offsets: make([]int, nBlocks+1),
+		facts:   make([]*la.LU, nBlocks),
 	}
-	p.offsets = append(p.offsets, n)
+	for b := 0; b < nBlocks; b++ {
+		p.offsets[b] = b * blockSize
+	}
+	p.offsets[nBlocks] = n
+	err := par.ForErr(nBlocks, blockGrain(blockSize), func(lo, hi int) error {
+		for b := lo; b < hi; b++ {
+			start, end := p.offsets[b], p.offsets[b+1]
+			blk := la.NewDense(end-start, end-start)
+			for i := start; i < end; i++ {
+				for j := start; j < end; j++ {
+					blk.Set(i-start, j-start, m.At(i, j))
+				}
+			}
+			f, err := la.FactorLU(blk)
+			if err != nil {
+				return fmt.Errorf("krylov: block [%d:%d): %w", start, end, err)
+			}
+			p.facts[b] = f
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	return p, nil
 }
 
 func (p *blockJacobiPrec) Precondition(r, z []float64) {
-	for b, f := range p.facts {
-		lo, hi := p.offsets[b], p.offsets[b+1]
-		f.Solve(r[lo:hi], z[lo:hi])
+	blockSize := 1
+	if len(p.facts) > 0 {
+		blockSize = p.offsets[1] - p.offsets[0]
 	}
+	par.For(len(p.facts), blockGrain(blockSize), func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			f := p.facts[b]
+			bLo, bHi := p.offsets[b], p.offsets[b+1]
+			f.Solve(r[bLo:bHi], z[bLo:bHi])
+		}
+	})
 }
 
 // ilu0Prec is an incomplete LU factorization with zero fill (ILU(0)).

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/par"
 )
 
 // ErrSingular is returned when a factorization encounters an (exactly or
@@ -17,8 +19,26 @@ type LU struct {
 	signP int    // determinant sign of the permutation
 }
 
+// luBlock is the panel width of the blocked right-looking factorization.
+// Panels are factored serially; the O(n²·luBlock) trailing update of each
+// panel is spread over the worker pool.
+const luBlock = 48
+
+// luRowGrain is the number of trailing rows each parallel chunk updates.
+// Matrices smaller than one grain collapse to a single chunk (serial).
+const luRowGrain = 16
+
 // FactorLU computes the LU factorization of a (square) with partial pivoting.
 // a is not modified.
+//
+// The elimination is blocked and right-looking: each luBlock-wide panel is
+// factored in place, the panel's block row of U is formed, and the trailing
+// submatrix update — the cubic-cost bulk of the work — runs on the par
+// worker pool, chunked by rows. Every trailing row applies its panel updates
+// in ascending column order, so the factors are bitwise identical to the
+// classic unblocked algorithm at any worker count (the pivot sequence is
+// also identical: panels see a fully updated trailing matrix, exactly as
+// column-at-a-time elimination does).
 func FactorLU(a *Dense) (*LU, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("la: FactorLU needs square matrix, got %dx%d", a.Rows, a.Cols)
@@ -29,37 +49,84 @@ func FactorLU(a *Dense) (*LU, error) {
 		f.piv[i] = i
 	}
 	lu := f.lu.Data
-	for k := 0; k < n; k++ {
-		// Pivot: largest |entry| in column k at or below the diagonal.
-		p, pmax := k, math.Abs(lu[k*n+k])
-		for i := k + 1; i < n; i++ {
-			if a := math.Abs(lu[i*n+k]); a > pmax {
-				p, pmax = i, a
+	for k0 := 0; k0 < n; k0 += luBlock {
+		kend := k0 + luBlock
+		if kend > n {
+			kend = n
+		}
+		// Panel factorization: columns [k0, kend) with partial pivoting over
+		// rows k..n-1, updating only the remaining panel columns.
+		for k := k0; k < kend; k++ {
+			p, pmax := k, math.Abs(lu[k*n+k])
+			for i := k + 1; i < n; i++ {
+				if a := math.Abs(lu[i*n+k]); a > pmax {
+					p, pmax = i, a
+				}
+			}
+			if pmax == 0 {
+				return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+			}
+			if p != k {
+				rk, rp := lu[k*n:(k+1)*n], lu[p*n:(p+1)*n]
+				for j := range rk {
+					rk[j], rp[j] = rp[j], rk[j]
+				}
+				f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+				f.signP = -f.signP
+			}
+			pivVal := lu[k*n+k]
+			for i := k + 1; i < n; i++ {
+				m := lu[i*n+k] / pivVal
+				lu[i*n+k] = m
+				if m == 0 {
+					continue
+				}
+				ri, rk := lu[i*n+k+1:i*n+kend], lu[k*n+k+1:k*n+kend]
+				for j := range ri {
+					ri[j] -= m * rk[j]
+				}
 			}
 		}
-		if pmax == 0 {
-			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		if kend == n {
+			break
 		}
-		if p != k {
-			rk, rp := lu[k*n:(k+1)*n], lu[p*n:(p+1)*n]
-			for j := range rk {
-				rk[j], rp[j] = rp[j], rk[j]
+		// Block row of U: U12 = L11⁻¹·A12 (unit-lower triangular solve),
+		// parallel over column chunks of the trailing width.
+		width := n - kend
+		par.For(width, 64, func(lo, hi int) {
+			for k := k0; k < kend; k++ {
+				rk := lu[k*n+kend+lo : k*n+kend+hi]
+				for i := k + 1; i < kend; i++ {
+					m := lu[i*n+k]
+					if m == 0 {
+						continue
+					}
+					ri := lu[i*n+kend+lo : i*n+kend+hi]
+					for j := range ri {
+						ri[j] -= m * rk[j]
+					}
+				}
 			}
-			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
-			f.signP = -f.signP
-		}
-		pivVal := lu[k*n+k]
-		for i := k + 1; i < n; i++ {
-			m := lu[i*n+k] / pivVal
-			lu[i*n+k] = m
-			if m == 0 {
-				continue
+		})
+		// Trailing update A22 -= L21·U12, parallel over row chunks. Each row
+		// subtracts its panel contributions in ascending k — the same order
+		// as unblocked elimination — so chunking cannot change the result.
+		par.For(n-kend, luRowGrain, func(lo, hi int) {
+			for i := kend + lo; i < kend+hi; i++ {
+				ri := lu[i*n : (i+1)*n]
+				for k := k0; k < kend; k++ {
+					m := ri[k]
+					if m == 0 {
+						continue
+					}
+					rk := lu[k*n+kend : k*n+n]
+					dst := ri[kend:n]
+					for j := range dst {
+						dst[j] -= m * rk[j]
+					}
+				}
 			}
-			ri, rk := lu[i*n:(i+1)*n], lu[k*n:(k+1)*n]
-			for j := k + 1; j < n; j++ {
-				ri[j] -= m * rk[j]
-			}
-		}
+		})
 	}
 	return f, nil
 }
@@ -99,24 +166,27 @@ func (f *LU) Solve(b, x []float64) {
 	copy(x, tmp)
 }
 
-// SolveMatrix solves A X = B column-wise, returning X.
+// SolveMatrix solves A X = B column-wise, returning X. Right-hand-side
+// columns are independent, so they are spread over the worker pool.
 func (f *LU) SolveMatrix(b *Dense) *Dense {
 	n := f.lu.Rows
 	if b.Rows != n {
 		panic("la: SolveMatrix dimension mismatch")
 	}
 	x := NewDense(n, b.Cols)
-	col := make([]float64, n)
-	sol := make([]float64, n)
-	for j := 0; j < b.Cols; j++ {
-		for i := 0; i < n; i++ {
-			col[i] = b.At(i, j)
+	par.For(b.Cols, 8, func(lo, hi int) {
+		col := make([]float64, n)
+		sol := make([]float64, n)
+		for j := lo; j < hi; j++ {
+			for i := 0; i < n; i++ {
+				col[i] = b.At(i, j)
+			}
+			f.Solve(col, sol)
+			for i := 0; i < n; i++ {
+				x.Set(i, j, sol[i])
+			}
 		}
-		f.Solve(col, sol)
-		for i := 0; i < n; i++ {
-			x.Set(i, j, sol[i])
-		}
-	}
+	})
 	return x
 }
 

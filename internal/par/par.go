@@ -1,0 +1,227 @@
+// Package par is the repository's bounded worker-pool substrate. Every
+// parallel hot path in the simulator — Jacobian assembly, LU panel updates,
+// batched FFTs, preconditioner construction, shooting sensitivities — runs
+// through the helpers here, so one package owns the policy for how many
+// goroutines exist and how work is chunked.
+//
+// # Determinism
+//
+// All helpers guarantee results independent of the worker count, including
+// the serial fallback: the chunk decomposition of an index range depends
+// only on (n, grain), never on how many workers execute the chunks, and
+// reductions combine per-chunk partials in ascending chunk order. A kernel
+// passed to For/ForErr must keep each index's output independent of which
+// chunk computed it (the natural style: chunk [lo,hi) writes only data
+// owned by indices in [lo,hi)); under that contract the floating-point
+// result is bitwise identical for any worker count, which the repository's
+// determinism tests assert end to end.
+//
+// # Sizing
+//
+// The worker count resolves, in order: the programmatic SetWorkers
+// override, the WAMPDE_WORKERS environment variable, then GOMAXPROCS.
+// With one worker every helper degrades to a plain loop on the calling
+// goroutine — no goroutines are spawned, so small problems pay nothing.
+// Callers choose grain so that small inputs collapse to a single chunk
+// (serial) and large inputs produce chunks of a few microseconds of work;
+// grain must not be derived from Workers(), or the chunk layout (and with
+// it any reduction order) would depend on the worker count.
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable consulted by Workers when no
+// programmatic override is set.
+const EnvWorkers = "WAMPDE_WORKERS"
+
+// override holds the SetWorkers value; 0 means "no override".
+var override atomic.Int64
+
+// Workers returns the current worker-pool width: the SetWorkers override
+// if one is set, else a positive integer parsed from WAMPDE_WORKERS, else
+// GOMAXPROCS. The result is always ≥ 1.
+func Workers() int {
+	if v := override.Load(); v > 0 {
+		return int(v)
+	}
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers installs a programmatic worker-count override, taking
+// precedence over WAMPDE_WORKERS; n ≤ 0 removes the override. It returns
+// the previous override (0 if none was set), so callers can restore state
+// with SetWorkers(prev).
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(override.Swap(int64(n)))
+}
+
+// numChunks returns the chunk count for an n-index range at the given
+// grain. The layout is a pure function of (n, grain).
+func numChunks(n, grain int) int {
+	return (n + grain - 1) / grain
+}
+
+// For runs fn over the index range [0, n) split into chunks of at most
+// grain consecutive indices, distributing chunks over the worker pool.
+// fn(lo, hi) must handle exactly the half-open range it is given and must
+// not assume any chunk ordering; chunks may run concurrently. With one
+// worker (or a single chunk) everything runs on the calling goroutine.
+// A panic inside fn is re-raised on the caller.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	nChunks := numChunks(n, grain)
+	w := Workers()
+	if w > nChunks {
+		w = nChunks
+	}
+	if w <= 1 {
+		for lo := 0; lo < n; lo += grain {
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nChunks {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// ForErr is For with error collection: every chunk runs (no short-circuit,
+// so serial and parallel execution perform the same work), and the returned
+// error is the first non-nil one in ascending chunk order — deterministic
+// regardless of completion order.
+func ForErr(n, grain int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	errs := make([]error, numChunks(n, grain))
+	For(n, grain, func(lo, hi int) {
+		errs[lo/grain] = fn(lo, hi)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map evaluates fn at every index of [0, n) on the worker pool and returns
+// the results in index order.
+func Map[T any](n, grain int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = fn(i)
+		}
+	})
+	return out
+}
+
+// Reduce computes fn over each chunk of [0, n) on the worker pool and folds
+// the per-chunk partials with combine in ascending chunk order. Because the
+// chunk layout depends only on (n, grain), the result — including its
+// floating-point rounding — is independent of the worker count. n ≤ 0
+// returns the zero value.
+func Reduce[T any](n, grain int, fn func(lo, hi int) T, combine func(a, b T) T) T {
+	var zero T
+	if n <= 0 {
+		return zero
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	parts := make([]T, numChunks(n, grain))
+	For(n, grain, func(lo, hi int) {
+		parts[lo/grain] = fn(lo, hi)
+	})
+	acc := parts[0]
+	for i := 1; i < len(parts); i++ {
+		acc = combine(acc, parts[i])
+	}
+	return acc
+}
+
+// ReduceSum is Reduce specialized to summing float64 chunk partials.
+func ReduceSum(n, grain int, fn func(lo, hi int) float64) float64 {
+	return Reduce(n, grain, fn, func(a, b float64) float64 { return a + b })
+}
+
+// ReduceMax is Reduce specialized to the maximum of float64 chunk partials.
+// The identity for an empty range is 0.
+func ReduceMax(n, grain int, fn func(lo, hi int) float64) float64 {
+	return Reduce(n, grain, fn, func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// Do runs the given independent closures on the worker pool.
+func Do(fns ...func()) {
+	For(len(fns), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fns[i]()
+		}
+	})
+}

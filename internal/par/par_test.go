@@ -1,0 +1,207 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs f with a fixed worker-count override.
+func withWorkers(t *testing.T, n int, f func()) {
+	t.Helper()
+	prev := SetWorkers(n)
+	defer SetWorkers(prev)
+	f()
+}
+
+func TestWorkersResolutionOrder(t *testing.T) {
+	prev := SetWorkers(0)
+	defer SetWorkers(prev)
+	t.Setenv(EnvWorkers, "6")
+	if got := Workers(); got != 6 {
+		t.Fatalf("env: Workers() = %d, want 6", got)
+	}
+	SetWorkers(3)
+	if got := Workers(); got != 3 {
+		t.Fatalf("override beats env: Workers() = %d, want 3", got)
+	}
+	SetWorkers(0)
+	t.Setenv(EnvWorkers, "bogus")
+	if got := Workers(); got < 1 {
+		t.Fatalf("bad env must fall back to GOMAXPROCS, got %d", got)
+	}
+	t.Setenv(EnvWorkers, "-2")
+	if got := Workers(); got < 1 {
+		t.Fatalf("negative env must fall back to GOMAXPROCS, got %d", got)
+	}
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 7, 64, 1000} {
+			for _, grain := range []int{1, 3, 16, 2000} {
+				withWorkers(t, w, func() {
+					hits := make([]int32, n)
+					For(n, grain, func(lo, hi int) {
+						if lo < 0 || hi > n || lo >= hi {
+							t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+						}
+						for i := lo; i < hi; i++ {
+							atomic.AddInt32(&hits[i], 1)
+						}
+					})
+					for i, h := range hits {
+						if h != 1 {
+							t.Fatalf("w=%d n=%d grain=%d: index %d hit %d times", w, n, grain, i, h)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestForDeterministicOutput checks the core contract: a kernel whose
+// per-index output depends only on the index produces bitwise-identical
+// results at any worker count.
+func TestForDeterministicOutput(t *testing.T) {
+	const n = 513
+	kernel := func(out []float64) {
+		For(n, 7, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = math.Sin(float64(i)) * math.Exp(-float64(i)/100)
+			}
+		})
+	}
+	var ref []float64
+	for _, w := range []int{1, 2, 4, 8} {
+		withWorkers(t, w, func() {
+			out := make([]float64, n)
+			kernel(out)
+			if ref == nil {
+				ref = out
+				return
+			}
+			for i := range out {
+				if out[i] != ref[i] {
+					t.Fatalf("workers=%d: out[%d]=%x differs from ref %x", w, i, out[i], ref[i])
+				}
+			}
+		})
+	}
+}
+
+// TestReduceSumOrderIndependentOfWorkers exercises a sum whose result is
+// sensitive to association order: the partial combine order must be fixed
+// by the chunk layout, not the schedule.
+func TestReduceSumOrderIndependentOfWorkers(t *testing.T) {
+	const n = 10000
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(12)))
+	}
+	sum := func() float64 {
+		return ReduceSum(n, 37, func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += xs[i]
+			}
+			return s
+		})
+	}
+	var ref float64
+	for i, w := range []int{1, 2, 3, 5, 16} {
+		withWorkers(t, w, func() {
+			got := sum()
+			if i == 0 {
+				ref = got
+				return
+			}
+			if got != ref {
+				t.Fatalf("workers=%d: sum=%x, want %x", w, got, ref)
+			}
+		})
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	got := ReduceMax(100, 9, func(lo, hi int) float64 {
+		m := math.Inf(-1)
+		for i := lo; i < hi; i++ {
+			v := -math.Abs(float64(i) - 63.5)
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	})
+	if got != -0.5 {
+		t.Fatalf("ReduceMax = %v, want -0.5", got)
+	}
+	if v := ReduceMax(0, 4, func(lo, hi int) float64 { return 99 }); v != 0 {
+		t.Fatalf("empty ReduceMax = %v, want 0", v)
+	}
+}
+
+func TestForErrReturnsLowestChunkError(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		withWorkers(t, w, func() {
+			err := ForErr(100, 10, func(lo, hi int) error {
+				if lo >= 30 {
+					return fmt.Errorf("chunk at %d failed", lo)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "chunk at 30 failed" {
+				t.Fatalf("workers=%d: err = %v, want the lowest-chunk error", w, err)
+			}
+		})
+	}
+	if err := ForErr(50, 7, func(lo, hi int) error { return nil }); err != nil {
+		t.Fatalf("clean run returned %v", err)
+	}
+}
+
+func TestMap(t *testing.T) {
+	withWorkers(t, 4, func() {
+		got := Map(10, 3, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("Map[%d] = %d, want %d", i, v, i*i)
+			}
+		}
+	})
+}
+
+func TestDo(t *testing.T) {
+	withWorkers(t, 3, func() {
+		var a, b, c int32
+		Do(
+			func() { atomic.StoreInt32(&a, 1) },
+			func() { atomic.StoreInt32(&b, 2) },
+			func() { atomic.StoreInt32(&c, 3) },
+		)
+		if a != 1 || b != 2 || c != 3 {
+			t.Fatalf("Do results %d %d %d", a, b, c)
+		}
+	})
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	withWorkers(t, 4, func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("panic in a worker was swallowed")
+			}
+		}()
+		For(64, 4, func(lo, hi int) {
+			if lo == 32 {
+				panic(errors.New("boom"))
+			}
+		})
+	})
+}

@@ -10,11 +10,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
 
 	"repro/internal/dae"
 	"repro/internal/la"
 	"repro/internal/newton"
+	"repro/internal/par"
 	"repro/internal/transient"
 )
 
@@ -82,41 +82,34 @@ func flow(sys dae.System, x0 []float64, T float64, opt Options) ([]float64, *tra
 }
 
 // monodromy estimates dΦ_T/dx0 by central finite differences. The 2n
-// perturbed transients are independent, so they run on parallel workers
-// (one per column; each flow carries its own state).
+// perturbed transients are independent, so the sensitivity columns run on
+// the bounded par worker pool (one column per chunk; each flow carries its
+// own state), and the first failing column's error is reported.
 func monodromy(sys dae.System, x0 []float64, T float64, opt Options) (*la.Dense, error) {
 	n := len(x0)
 	m := la.NewDense(n, n)
-	var wg sync.WaitGroup
-	errs := make([]error, n)
-	for j := 0; j < n; j++ {
-		wg.Add(1)
-		go func(j int) {
-			defer wg.Done()
+	err := par.ForErr(n, 1, func(lo, hi int) error {
+		for j := lo; j < hi; j++ {
 			xp := append([]float64(nil), x0...)
 			h := 1e-6 * (1 + math.Abs(x0[j]))
 			xp[j] = x0[j] + h
 			fp, _, err := flow(sys, xp, T, opt)
 			if err != nil {
-				errs[j] = err
-				return
+				return fmt.Errorf("shooting: sensitivity column %d: %w", j, err)
 			}
 			xp[j] = x0[j] - h
 			fm, _, err := flow(sys, xp, T, opt)
 			if err != nil {
-				errs[j] = err
-				return
+				return fmt.Errorf("shooting: sensitivity column %d: %w", j, err)
 			}
 			for i := 0; i < n; i++ {
 				m.Set(i, j, (fp[i]-fm[i])/(2*h))
 			}
-		}(j)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return m, nil
 }
