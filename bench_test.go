@@ -236,6 +236,27 @@ func BenchmarkAblationGMRES(b *testing.B) {
 	benchEnvelope(b, false, 60e-6, 400, core.EnvelopeOptions{Trap: true, Linear: core.LinearGMRES})
 }
 
+// Chord-Newton cross-step factorization reuse vs the per-step default.
+func BenchmarkAblationChordNewton(b *testing.B) {
+	benchEnvelope(b, false, 60e-6, 400, core.EnvelopeOptions{Trap: true, ChordNewton: true})
+}
+
+// ---------------------------------------------------------- allocation budget
+
+// BenchmarkHotLoopAllocs measures the Fig. 7 envelope's allocation churn with
+// the worker pool pinned to 1, so goroutine dispatch doesn't obscure the
+// solver: what remains is per-run result storage plus whatever the per-step
+// hot loop still allocates. With FFT plans, LU/Newton workspaces, and the
+// Jacobian matrix persisting across steps, allocs/op is dominated by the
+// accepted-step records; TestHotLoopAllocBudget locks the budget in. Run with
+// -benchmem (ReportAllocs is set here so the counts always appear).
+func BenchmarkHotLoopAllocs(b *testing.B) {
+	prev := par.SetWorkers(1)
+	defer par.SetWorkers(prev)
+	b.ReportAllocs()
+	benchEnvelope(b, false, 60e-6, 400, core.EnvelopeOptions{Trap: true})
+}
+
 // ------------------------------------------------------- method baselines
 
 func BenchmarkBaselineShootingVanDerPol(b *testing.B) {

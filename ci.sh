@@ -5,8 +5,14 @@
 #   tier 2  vet + race detector over the suite (-short skips the longest
 #           solver runs; the parallel kernels all execute under the
 #           race detector via the unit and determinism tests)
+#   bench   hot-loop benchmark snapshot: runs the envelope, quasiperiodic
+#           and allocation-budget benchmarks with -benchmem and writes the
+#           parsed numbers (ns/op, B/op, allocs/op) to BENCH_pr2.json via
+#           cmd/benchjson. Not part of "all" — timings are machine-specific,
+#           so refresh the baseline deliberately.
 #
-# Run ./ci.sh for everything, or ./ci.sh 1 / ./ci.sh 2 for one tier.
+# Run ./ci.sh for everything, ./ci.sh 1 / ./ci.sh 2 for one tier, or
+# ./ci.sh bench to refresh the benchmark baseline.
 set -eu
 cd "$(dirname "$0")"
 
@@ -22,6 +28,14 @@ if [ "$tier" = 2 ] || [ "$tier" = all ]; then
 	echo "== tier 2: vet + race detector"
 	go vet ./...
 	go test -race -short ./...
+fi
+
+if [ "$tier" = bench ]; then
+	echo "== bench: snapshotting hot-loop benchmarks to BENCH_pr2.json"
+	go test -run '^$' \
+		-bench 'BenchmarkFig07VCOEnvelopeVacuum$|BenchmarkAblationChordNewton$|BenchmarkQuasiperiodicWaMPDE$|BenchmarkHotLoopAllocs$' \
+		-benchmem -benchtime 3x . | go run ./cmd/benchjson >BENCH_pr2.json
+	cat BENCH_pr2.json
 fi
 
 echo "ci: ok"

@@ -1,0 +1,93 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON report on stdout, so CI tiers and scripts can diff
+// benchmark baselines (see `ci.sh bench`, which snapshots the hot-loop
+// numbers into BENCH_pr2.json) without scraping the text format themselves.
+//
+// Lines that are not benchmark results (the cpu/goos banner, PASS/ok) are
+// ignored; the -cpu suffix goos appends to benchmark names is kept, since it
+// distinguishes runs at different worker counts.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
+	MBPerSec    *float64 `json:"mb_per_sec,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Go         string      `json:"go"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	ok := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				b.NsPerOp = v
+				ok = true
+			}
+		case "B/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				b.BytesPerOp = &v
+			}
+		case "allocs/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				b.AllocsPerOp = &v
+			}
+		case "MB/s":
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				b.MBPerSec = &v
+			}
+		}
+	}
+	return b, ok
+}
+
+func main() {
+	rep := Report{Go: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0), Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

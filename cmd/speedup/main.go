@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	wampde "repro"
 	"repro/internal/textplot"
@@ -20,9 +22,39 @@ import (
 func main() {
 	span := flag.Float64("span", 3e-3, "simulated span in seconds")
 	steps := flag.Int("steps", 0, "WaMPDE t2 steps (default 600)")
+	chord := flag.Bool("chord", true, "carry the chord-Newton factorization across t2 steps")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	run, rows, err := wampde.SpeedupReport(wampde.VCORunConfig{T2End: *span, Steps: *steps}, 0)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "speedup:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "speedup:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "speedup:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "speedup:", err)
+			}
+		}()
+	}
+
+	run, rows, err := wampde.SpeedupReport(wampde.VCORunConfig{T2End: *span, Steps: *steps, ChordNewton: *chord}, 0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "speedup:", err)
 		os.Exit(1)

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	wampde "repro"
 	"repro/internal/core"
@@ -31,9 +33,39 @@ func main() {
 	fig := flag.Int("fig", 0, "specific figure (7-9 vacuum, 10-12 air); 0 = all for the configuration")
 	csvDir := flag.String("csv", "", "directory to write CSV data files into")
 	steps := flag.Int("steps", 0, "t2 steps (default 400 vacuum / 600 air)")
+	chord := flag.Bool("chord", true, "carry the chord-Newton factorization across t2 steps")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	cfg := wampde.VCORunConfig{Air: *air, Steps: *steps}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wampde-vco:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "wampde-vco:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wampde-vco:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "wampde-vco:", err)
+			}
+		}()
+	}
+
+	cfg := wampde.VCORunConfig{Air: *air, Steps: *steps, ChordNewton: *chord}
 	run, err := wampde.RunPaperVCO(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wampde-vco:", err)
@@ -41,6 +73,8 @@ func main() {
 	}
 	fmt.Printf("WaMPDE envelope: %d t2 steps, %d Newton iterations, %v\n",
 		len(run.Result.T2), run.Result.NewtonIterTotal, run.WallTime)
+	fmt.Printf("Jacobian factorizations: %d (%d chord reuses)\n",
+		run.Result.JacobianEvals, run.Result.JacobianReuses)
 	fmt.Printf("initial local frequency: %.3f MHz (paper: ≈0.75 MHz)\n\n", run.Omega0/1e6)
 
 	if *qp && !*air {

@@ -22,6 +22,11 @@ type VCORunConfig struct {
 	N1    int     // warped-axis collocation points (default 25)
 	T2End float64 // simulated span (defaults: 60 µs vacuum, 3 ms air)
 	Steps int     // nominal t2 steps (defaults: 400 vacuum, 600 air)
+	// ChordNewton carries the chord factorization across t2 steps (see
+	// core.EnvelopeOptions.ChordNewton). Off by default so the golden-figure
+	// suite pins the historical once-per-step factorization bitwise; the cmd
+	// drivers turn it on.
+	ChordNewton bool
 }
 
 func (c VCORunConfig) withDefaults() VCORunConfig {
@@ -72,9 +77,10 @@ func RunPaperVCO(cfg VCORunConfig) (*VCORun, error) {
 		return nil, fmt.Errorf("wampde: VCO initial condition: %w", err)
 	}
 	res, err := core.Envelope(vco, xhat0, omega0, cfg.T2End, core.EnvelopeOptions{
-		N1:   cfg.N1,
-		H2:   cfg.T2End / float64(cfg.Steps),
-		Trap: true,
+		N1:          cfg.N1,
+		H2:          cfg.T2End / float64(cfg.Steps),
+		Trap:        true,
+		ChordNewton: cfg.ChordNewton,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("wampde: VCO envelope: %w", err)

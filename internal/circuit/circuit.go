@@ -210,14 +210,12 @@ func (s *System) Input(t float64, u []float64) {
 	}
 }
 
-// JQ implements dae.System.
+// JQ implements dae.System. The clipped stamping callback is cached on the
+// target matrix, so repeated assembly into long-lived Jacobian slots does
+// not allocate.
 func (s *System) JQ(x []float64, j *la.Dense) {
 	j.Zero()
-	add := func(i, jj int, v float64) {
-		if i >= 0 && jj >= 0 {
-			j.Add(i, jj, v)
-		}
-	}
+	add := j.Adder()
 	for _, d := range s.devices {
 		d.StampJQ(x, add)
 	}
@@ -226,11 +224,7 @@ func (s *System) JQ(x []float64, j *la.Dense) {
 // JF implements dae.System.
 func (s *System) JF(x, u []float64, j *la.Dense) {
 	j.Zero()
-	add := func(i, jj int, v float64) {
-		if i >= 0 && jj >= 0 {
-			j.Add(i, jj, v)
-		}
-	}
+	add := j.Adder()
 	for _, d := range s.devices {
 		d.StampJF(x, u, add)
 	}

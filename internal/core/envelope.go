@@ -54,6 +54,28 @@ type EnvelopeOptions struct {
 	// OnStep, if non-nil, observes each accepted t2 point; returning false
 	// stops the run early.
 	OnStep func(t2, omega float64, xhat []float64) bool
+	// ChordNewton carries the chord (modified-Newton) factorization across
+	// accepted t2 steps instead of refreshing it at the start of every step:
+	// the Jacobian of the step system drifts slowly along a smooth envelope,
+	// so successive steps can share one LU. The factorization is dropped
+	// whenever the step system changes shape — the t2 step size or integrator
+	// weight changed, or ω drifted past OmegaDriftTol since it was factored —
+	// and mid-solve whenever the residual stops contracting at
+	// ChordContraction per iteration. Off (the default), each step factors
+	// exactly once and keeps the factors for that step only, the historical
+	// behavior the golden suite locks in.
+	ChordNewton bool
+	// ChordContraction is the largest acceptable ||F_new||/||F_old|| for an
+	// iteration that reused a stale factorization in ChordNewton mode; above
+	// it the Jacobian is refreshed. Default 0.05 — demanding near-Newton
+	// contraction keeps the extra chord iterations cheap (on the Fig. 7
+	// pipeline, ~1.8x fewer factorizations for ~13% more iterations) while
+	// laxer values trade further factorizations for many more iterations.
+	ChordContraction float64
+	// OmegaDriftTol is the relative ω drift beyond which cross-step chord
+	// factorizations and the recycled GMRES harmonic preconditioner are
+	// rebuilt. Default 0.02.
+	OmegaDriftTol float64
 }
 
 func (o EnvelopeOptions) withDefaults() EnvelopeOptions {
@@ -76,6 +98,12 @@ func (o EnvelopeOptions) withDefaults() EnvelopeOptions {
 	}
 	if o.AbsTol <= 0 {
 		o.AbsTol = 1e-7
+	}
+	if o.ChordContraction <= 0 {
+		o.ChordContraction = 0.05
+	}
+	if o.OmegaDriftTol <= 0 {
+		o.OmegaDriftTol = 0.02
 	}
 	// Newton damping is cheap insurance against waveform reshaping within a
 	// step; the full step is still taken first when it already reduces the
@@ -152,19 +180,22 @@ func Envelope(sys dae.Autonomous, xhat0 []float64, omega0, t2End float64, opt En
 	var t2Prev, omegaPrev float64
 	var xPrev []float64
 	havePrev := false
+	xNew := make([]float64, len(x))
 	for t2End-t2 > endTol {
 		if t2+h > t2End {
 			h = t2End - t2
 		}
-		xNew := append([]float64(nil), x...)
+		copy(xNew, x)
 		omegaNew := omega
 		// Damp startup with Backward Euler: if the initial waveform does
 		// not satisfy the phase condition exactly, the snap would otherwise
 		// seed an undamped even/odd ringing of ω under the trapezoidal rule.
 		useTrap := opt.Trap && stepIdx >= 2
-		iters, err := asm.step(t2, h, x, omega, xNew, &omegaNew, useTrap)
-		res.NewtonIterTotal += iters
-		res.LinearSolves += iters
+		resN, err := asm.step(t2, h, x, omega, xNew, &omegaNew, useTrap)
+		res.NewtonIterTotal += resN.Iterations
+		res.LinearSolves += resN.Iterations
+		res.JacobianEvals += resN.JacobianEvals
+		res.JacobianReuses += resN.JacobianReuses
 		if err != nil {
 			// Newton can stall when the waveform reshapes quickly within
 			// one step (e.g. the control sweeping through its extreme);
@@ -293,6 +324,42 @@ type envAssembler struct {
 	rhsNew  []float64
 	rhsPrev []float64
 	jj      *la.Dense
+
+	// Persistent solver state: the dense factorization workspace refactored
+	// in place every Jacobian refresh, the Newton iteration scratch, and the
+	// chord factorization carried between solves.
+	lu    *la.LU
+	nws   *newton.Workspace
+	reuse newton.ReuseState
+	// Cross-step chord bookkeeping: the step parameters and ω at the last
+	// factorization, checked before reusing it on the next step.
+	lastH, lastTheta, omegaAtFactor float64
+
+	// Recycled GMRES harmonic preconditioner (built lazily on first use) and
+	// the parameters it was built at.
+	prec                        *harmonicPrec
+	precH, precTheta, precOmega float64
+	jqAvg, jfAvg                *la.Dense
+	precMs                      []*la.CDense // per-chunk bin assembly scratch, lo-indexed
+
+	// Cached parallel kernels. Closures handed to par.For escape (the
+	// parallel path stores them in goroutines), so building them at each
+	// call site would allocate on every evaluation; instead each kernel is
+	// built once here and its per-call inputs travel through the fields
+	// below. Safe because the assembler serves one solve at a time and
+	// par.For establishes happens-before on goroutine start.
+	sampleFn           func(lo, hi int)
+	sampleZ, sampleOut []float64
+	dqFn               func(lo, hi int)
+	dqIn, dqOut        []float64
+	rhsFn              func(lo, hi int)
+	rhsZ, rhsOut       []float64
+	rhsOmega           float64
+	devJacFn           func(lo, hi int)
+	rowFn              func(lo, hi int)
+	asmZ, asmDq        []float64
+	asmH, asmTheta     float64
+	asmOmega           float64
 }
 
 func newEnvAssembler(sys dae.Autonomous, n1, n, k int, w []float64, c float64, opt EnvelopeOptions) *envAssembler {
@@ -314,31 +381,21 @@ func newEnvAssembler(sys dae.Autonomous, n1, n, k int, w []float64, c float64, o
 		rhsNew:  make([]float64, n1*n),
 		rhsPrev: make([]float64, n1*n),
 		jj:      la.NewDense(n1*n+1, n1*n+1),
+		lu:      la.NewLU(n1*n + 1),
+		nws:     newton.NewWorkspace(n1*n + 1),
 	}
 	for j := 0; j < n1; j++ {
 		a.jqs[j] = la.NewDense(n, n)
 		a.jfs[j] = la.NewDense(n, n)
 	}
-	return a
-}
-
-// sampleQ evaluates q at all collocation points into out, in parallel
-// chunks of points (each point writes only its own n-slot).
-func (a *envAssembler) sampleQ(z, out []float64) {
-	n := a.n
-	par.For(a.n1, ptGrain, func(lo, hi int) {
+	a.sampleFn = func(lo, hi int) {
+		z, out := a.sampleZ, a.sampleOut
 		for j := lo; j < hi; j++ {
 			a.sys.Q(z[j*n:(j+1)*n], out[j*n:(j+1)*n])
 		}
-	})
-}
-
-// dTimesQ computes (D⊗I)·q into out given sampled q. Output rows are
-// independent, so they compute in parallel; each row accumulates its D
-// weights in the same m order at any worker count.
-func (a *envAssembler) dTimesQ(q, out []float64) {
-	n1, n := a.n1, a.n
-	par.For(n1, dqGrain, func(lo, hi int) {
+	}
+	a.dqFn = func(lo, hi int) {
+		q, out := a.dqIn, a.dqOut
 		for j := lo; j < hi; j++ {
 			row := a.d[j*n1 : (j+1)*n1]
 			for i := 0; i < n; i++ {
@@ -355,18 +412,10 @@ func (a *envAssembler) dTimesQ(q, out []float64) {
 				}
 			}
 		}
-	})
-}
-
-// rhs computes ω·D·q(x) + f(x,u) into out. After q is sampled, each
-// collocation point's spectral row and device F evaluation are fused into
-// one parallel pass; a chunk starting at point lo uses fBuf[lo·n:lo·n+n] as
-// its private F scratch, so chunks never share device scratch.
-func (a *envAssembler) rhs(z []float64, omega float64, out []float64) {
-	n1, n := a.n1, a.n
-	a.sampleQ(z, a.qBuf)
-	q := a.qBuf
-	par.For(n1, ptGrain, func(lo, hi int) {
+	}
+	a.rhsFn = func(lo, hi int) {
+		z, out, omega := a.rhsZ, a.rhsOut, a.rhsOmega
+		q := a.qBuf
 		f := a.fBuf[lo*n : lo*n+n]
 		for j := lo; j < hi; j++ {
 			drow := a.d[j*n1 : (j+1)*n1]
@@ -388,11 +437,90 @@ func (a *envAssembler) rhs(z []float64, omega float64, out []float64) {
 				dst[i] = omega*dst[i] + f[i]
 			}
 		}
-	})
+	}
+	a.devJacFn = func(lo, hi int) {
+		z := a.asmZ
+		for m := lo; m < hi; m++ {
+			xm := z[m*n : (m+1)*n]
+			a.sys.JQ(xm, a.jqs[m])
+			a.sys.JF(xm, a.u, a.jfs[m])
+		}
+	}
+	a.rowFn = func(lo, hi int) {
+		jj, dq := a.jj, a.asmDq
+		h, theta, omega := a.asmH, a.asmTheta, a.asmOmega
+		for j := lo; j < hi; j++ {
+			for r := 0; r < n; r++ {
+				row := jj.Row(j*n + r)
+				for cc := range row {
+					row[cc] = 0
+				}
+			}
+			// ω·D coupling: rows (j,·) pick up θ·ω·D[j,m]·JQ(x_m).
+			for m := 0; m < n1; m++ {
+				wgt := theta * omega * a.d[j*n1+m]
+				if wgt == 0 {
+					continue
+				}
+				jq := a.jqs[m]
+				for r := 0; r < n; r++ {
+					row := jj.Row(j*n + r)
+					jqRow := jq.Row(r)
+					for cc := 0; cc < n; cc++ {
+						row[m*n+cc] += wgt * jqRow[cc]
+					}
+				}
+			}
+			// Diagonal block JQ/h + θ·JF, the ∂/∂ω column θ·(D·q), and the
+			// row scaling that matches the scaled residual.
+			jq, jf := a.jqs[j], a.jfs[j]
+			for r := 0; r < n; r++ {
+				row := jj.Row(j*n + r)
+				jqRow := jq.Row(r)
+				jfRow := jf.Row(r)
+				for cc := 0; cc < n; cc++ {
+					row[j*n+cc] += jqRow[cc]/h + theta*jfRow[cc]
+				}
+				row[n1*n] = theta * dq[j*n+r]
+				s := a.scale[j*n+r]
+				for cc := range row {
+					row[cc] /= s
+				}
+			}
+		}
+	}
+	return a
 }
 
-// step solves for (xNew, omegaNew) at t2+h given the previous level.
-func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNew []float64, omegaNew *float64, useTrap bool) (int, error) {
+// sampleQ evaluates q at all collocation points into out, in parallel
+// chunks of points (each point writes only its own n-slot).
+func (a *envAssembler) sampleQ(z, out []float64) {
+	a.sampleZ, a.sampleOut = z, out
+	par.For(a.n1, ptGrain, a.sampleFn)
+}
+
+// dTimesQ computes (D⊗I)·q into out given sampled q. Output rows are
+// independent, so they compute in parallel; each row accumulates its D
+// weights in the same m order at any worker count.
+func (a *envAssembler) dTimesQ(q, out []float64) {
+	a.dqIn, a.dqOut = q, out
+	par.For(a.n1, dqGrain, a.dqFn)
+}
+
+// rhs computes ω·D·q(x) + f(x,u) into out. After q is sampled, each
+// collocation point's spectral row and device F evaluation are fused into
+// one parallel pass; a chunk starting at point lo uses fBuf[lo·n:lo·n+n] as
+// its private F scratch, so chunks never share device scratch.
+func (a *envAssembler) rhs(z []float64, omega float64, out []float64) {
+	a.sampleQ(z, a.qBuf)
+	a.rhsZ, a.rhsOut, a.rhsOmega = z, out, omega
+	par.For(a.n1, ptGrain, a.rhsFn)
+}
+
+// step solves for (xNew, omegaNew) at t2+h given the previous level. The
+// returned Result aggregates iteration and Jacobian-reuse counts over the
+// chord attempt and, if it failed, the full-Newton retry.
+func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNew []float64, omegaNew *float64, useTrap bool) (newton.Result, error) {
 	n1, n := a.n1, a.n
 	total := n1*n + 1
 	a.sys.Input(t2, a.u)
@@ -463,55 +591,72 @@ func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNe
 	}
 	jac := func(z []float64) (newton.LinearSolve, error) {
 		jj := a.assembleJacobian(z, h, theta)
+		a.omegaAtFactor = z[n1*n]
 		switch a.opt.Linear {
 		case LinearGMRES:
 			// Harmonic (averaged-Jacobian, block-circulant) preconditioner:
 			// the frequency-domain workhorse that makes the iterative path
 			// scale — see internal/core/precond.go.
-			prec, err := a.newHarmonicPrec(z[:n1*n], z[n1*n], h, theta)
+			prec, err := a.harmonicPrecFor(z[:n1*n], z[n1*n], h, theta)
 			if err != nil {
 				return nil, err
 			}
 			return gmresSolver{op: krylov.DenseOp{M: jj}, prec: prec, tol: a.opt.GMRESTol}, nil
 		default:
-			return la.FactorLU(jj)
+			if err := a.lu.FactorInto(jj); err != nil {
+				return nil, err
+			}
+			return a.lu, nil
 		}
 	}
 	// Modified Newton: the Jacobian changes little within one t2 step, so
-	// factor once per step and reuse the factors for every iteration. If
+	// factor once and reuse the factors across iterations — and, in
+	// ChordNewton mode, across steps while the system keeps its shape. If
 	// the chord iteration stalls (waveform reshaping quickly), retry with a
 	// fresh factorization per iteration before giving up.
-	var cached newton.LinearSolve
-	jacCached := func(z []float64) (newton.LinearSolve, error) {
-		if cached != nil {
-			return cached, nil
-		}
-		lin, err := jac(z)
-		if err != nil {
-			return nil, err
-		}
-		cached = lin
-		return lin, nil
-	}
 	chordOpts := a.opt.Newton
 	chordOpts.MaxIter = 3 * a.opt.Newton.MaxIter
-	resN, err := newton.Solve(newton.Problem{N: total, Eval: eval, Jacobian: jacCached}, z, chordOpts)
-	iters := resN.Iterations
+	chordOpts.JacobianReuse = true
+	chordOpts.Reuse = &a.reuse
+	chordOpts.Work = a.nws
+	if a.opt.ChordNewton {
+		chordOpts.ReuseContraction = a.opt.ChordContraction
+		if a.reuse.Cached() {
+			drift := abs(omegaOld-a.omegaAtFactor) > a.opt.OmegaDriftTol*abs(a.omegaAtFactor)
+			if h != a.lastH || theta != a.lastTheta || drift {
+				a.reuse.Invalidate()
+			}
+		}
+	} else {
+		// Factor exactly once per step and never mid-solve: the historical
+		// per-step chord the golden suite pins down bitwise.
+		chordOpts.ReuseContraction = math.Inf(1)
+		a.reuse.Invalidate()
+	}
+	a.lastH, a.lastTheta = h, theta
+	resN, err := newton.Solve(newton.Problem{N: total, Eval: eval, Jacobian: jac}, z, chordOpts)
 	if err != nil {
+		a.reuse.Invalidate()
 		copy(z, xNew)
 		z[n1*n] = *omegaNew
-		resN, err = newton.Solve(newton.Problem{N: total, Eval: eval, Jacobian: jac}, z, a.opt.Newton)
-		iters += resN.Iterations
+		fullOpts := a.opt.Newton
+		fullOpts.Work = a.nws
+		var resF newton.Result
+		resF, err = newton.Solve(newton.Problem{N: total, Eval: eval, Jacobian: jac}, z, fullOpts)
+		resN.Iterations += resF.Iterations
+		resN.JacobianEvals += resF.JacobianEvals
+		resN.JacobianReuses += resF.JacobianReuses
+		resN.ResidualF, resN.Converged = resF.ResidualF, resF.Converged
 	}
 	if err != nil {
-		return iters, err
+		return resN, err
 	}
 	if z[n1*n] <= 0 {
-		return iters, errors.New("core: local frequency went non-positive")
+		return resN, errors.New("core: local frequency went non-positive")
 	}
 	copy(xNew, z[:n1*n])
 	*omegaNew = z[n1*n]
-	return iters, nil
+	return resN, nil
 }
 
 // assembleJacobian builds the scaled, bordered Jacobian of the step system.
@@ -523,64 +668,20 @@ func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNe
 // points m in ascending order, so the result is worker-count independent.
 func (a *envAssembler) assembleJacobian(z []float64, h, theta float64) *la.Dense {
 	n1, n := a.n1, a.n
-	omega := z[n1*n]
 	jj := a.jj
 	q := a.qBuf
 	a.sampleQ(z[:n1*n], q)
 	dq := a.rhsNew // reused as D·q scratch; rewritten on the next eval
 	a.dTimesQ(q, dq)
 
+	a.asmZ, a.asmDq = z, dq
+	a.asmH, a.asmTheta, a.asmOmega = h, theta, z[n1*n]
+
 	// Per-point device Jacobians into their own slots.
-	par.For(n1, ptGrain, func(lo, hi int) {
-		for m := lo; m < hi; m++ {
-			xm := z[m*n : (m+1)*n]
-			a.sys.JQ(xm, a.jqs[m])
-			a.sys.JF(xm, a.u, a.jfs[m])
-		}
-	})
+	par.For(n1, ptGrain, a.devJacFn)
 
 	// Row blocks: point j owns rows j·n..j·n+n-1 of the bordered system.
-	par.For(n1, ptGrain, func(lo, hi int) {
-		for j := lo; j < hi; j++ {
-			for r := 0; r < n; r++ {
-				row := jj.Row(j*n + r)
-				for cc := range row {
-					row[cc] = 0
-				}
-			}
-			// ω·D coupling: rows (j,·) pick up θ·ω·D[j,m]·JQ(x_m).
-			for m := 0; m < n1; m++ {
-				wgt := theta * omega * a.d[j*n1+m]
-				if wgt == 0 {
-					continue
-				}
-				jq := a.jqs[m]
-				for r := 0; r < n; r++ {
-					row := jj.Row(j*n + r)
-					jqRow := jq.Row(r)
-					for cc := 0; cc < n; cc++ {
-						row[m*n+cc] += wgt * jqRow[cc]
-					}
-				}
-			}
-			// Diagonal block JQ/h + θ·JF, the ∂/∂ω column θ·(D·q), and the
-			// row scaling that matches the scaled residual.
-			jq, jf := a.jqs[j], a.jfs[j]
-			for r := 0; r < n; r++ {
-				row := jj.Row(j*n + r)
-				jqRow := jq.Row(r)
-				jfRow := jf.Row(r)
-				for cc := 0; cc < n; cc++ {
-					row[j*n+cc] += jqRow[cc]/h + theta*jfRow[cc]
-				}
-				row[n1*n] = theta * dq[j*n+r]
-				s := a.scale[j*n+r]
-				for cc := range row {
-					row[cc] /= s
-				}
-			}
-		}
-	})
+	par.For(n1, ptGrain, a.rowFn)
 
 	// Phase row.
 	{

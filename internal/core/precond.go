@@ -15,22 +15,67 @@ import (
 //
 //	M_h = (2πi·h·ω + 1/h2)·J̄Q + θ·J̄F,
 //
-// factored once per Newton refresh. Application costs one FFT/IFFT per
-// state plus N1 small solves — O(N1·(n·log N1 + n²)) — independent of the
-// coupling density, which is what makes the paper's "iterative linear
-// techniques [Saa96]" scale to large systems. The bordered ω column and
-// phase row are left to the Krylov iteration (a rank-2 correction).
+// factored once per rebuild. Application costs one FFT/IFFT per state plus
+// N1 small solves — O(N1·(n·log N1 + n²)) — independent of the coupling
+// density, which is what makes the paper's "iterative linear techniques
+// [Saa96]" scale to large systems. The bordered ω column and phase row are
+// left to the Krylov iteration (a rank-2 correction).
+//
+// The struct owns its factor storage and application scratch, so a rebuild
+// refactors in place and a preconditioner application allocates nothing.
 type harmonicPrec struct {
 	n1, n int
-	scale []float64 // row scales of the scaled system being solved
-	facts []*la.CLU // one per harmonic bin (length n1)
+	scale []float64   // row scales of the scaled system being solved
+	facts []*la.CLU   // one per harmonic bin (length n1), refactored in place
+	spec  [][]complex128
+	xh    []complex128 // per-chunk bin-solve scratch, lo-indexed
+	bh    []complex128
 }
 
-// newHarmonicPrec builds the preconditioner at the current iterate.
-// theta and h are the t2-integrator weight and step; omega the current
-// local-frequency iterate.
-func (a *envAssembler) newHarmonicPrec(z []float64, omega, h, theta float64) (*harmonicPrec, error) {
+// harmonicPrecFor returns the harmonic preconditioner at the current
+// iterate, recycling the previous build — across Newton iterations and
+// accepted t2 steps — while the step size, integrator weight, and ω stay
+// where they were when it was factored (ω within OmegaDriftTol). A slightly
+// stale preconditioner only costs extra Krylov iterations; the Newton
+// tolerance is unaffected.
+func (a *envAssembler) harmonicPrecFor(z []float64, omega, h, theta float64) (*harmonicPrec, error) {
+	if a.prec != nil && h == a.precH && theta == a.precTheta &&
+		abs(omega-a.precOmega) <= a.opt.OmegaDriftTol*abs(a.precOmega) {
+		return a.prec, nil
+	}
+	if err := a.buildHarmonicPrec(z, omega, h, theta); err != nil {
+		return nil, err
+	}
+	a.precH, a.precTheta, a.precOmega = h, theta, omega
+	return a.prec, nil
+}
+
+// buildHarmonicPrec (re)factors the per-harmonic systems at the current
+// iterate into the persistent workspace, allocating only on the first call.
+func (a *envAssembler) buildHarmonicPrec(z []float64, omega, h, theta float64) error {
 	n1, n := a.n1, a.n
+	if a.prec == nil {
+		a.prec = &harmonicPrec{
+			n1: n1, n: n,
+			scale: a.scale,
+			facts: make([]*la.CLU, n1),
+			spec:  make([][]complex128, n),
+			xh:    make([]complex128, n1*n),
+			bh:    make([]complex128, n1*n),
+		}
+		for bin := range a.prec.facts {
+			a.prec.facts[bin] = la.NewCLU(n)
+		}
+		for i := range a.prec.spec {
+			a.prec.spec[i] = make([]complex128, n1)
+		}
+		a.jqAvg = la.NewDense(n, n)
+		a.jfAvg = la.NewDense(n, n)
+		a.precMs = make([]*la.CDense, n1)
+		for lo := 0; lo < n1; lo += ptGrain {
+			a.precMs[lo] = la.NewCDense(n, n)
+		}
+	}
 	// Device Jacobians at every collocation point, evaluated in parallel into
 	// their per-point slots, then averaged serially in ascending j order so
 	// the float accumulation is worker-count independent.
@@ -41,64 +86,57 @@ func (a *envAssembler) newHarmonicPrec(z []float64, omega, h, theta float64) (*h
 			a.sys.JF(x, a.u, a.jfs[j])
 		}
 	})
-	jqAvg := la.NewDense(n, n)
-	jfAvg := la.NewDense(n, n)
+	a.jqAvg.Zero()
+	a.jfAvg.Zero()
 	for j := 0; j < n1; j++ {
-		jqAvg.AddScaled(1/float64(n1), a.jqs[j])
-		jfAvg.AddScaled(1/float64(n1), a.jfs[j])
+		a.jqAvg.AddScaled(1/float64(n1), a.jqs[j])
+		a.jfAvg.AddScaled(1/float64(n1), a.jfs[j])
 	}
-	p := &harmonicPrec{
-		n1: n1, n: n,
-		scale: a.scale,
-		facts: make([]*la.CLU, n1),
-	}
-	// One small complex factorization per harmonic bin, spread over the pool.
-	err := par.ForErr(n1, ptGrain, func(lo, hi int) error {
+	jqAvg, jfAvg := a.jqAvg, a.jfAvg
+	p := a.prec
+	// One small complex refactorization per harmonic bin, spread over the
+	// pool; a chunk starting at bin lo assembles into its own scratch matrix.
+	return par.ForErr(n1, ptGrain, func(lo, hi int) error {
+		m := a.precMs[lo]
 		for bin := lo; bin < hi; bin++ {
 			hh := fourier.HarmonicIndex(bin, n1)
-			m := la.NewCDense(n, n)
 			lam := complex(1/h, 2*math.Pi*float64(hh)*omega)
 			for r := 0; r < n; r++ {
 				for c := 0; c < n; c++ {
 					m.Set(r, c, lam*complex(jqAvg.At(r, c), 0)+complex(theta*jfAvg.At(r, c), 0))
 				}
 			}
-			f, err := la.FactorCLU(m)
-			if err != nil {
+			if err := p.facts[bin].FactorInto(m); err != nil {
 				return err
 			}
-			p.facts[bin] = f
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return p, nil
 }
 
 // Precondition applies z ≈ J⁻¹·r for the row-scaled system: it first
 // unscales r, transforms to the harmonic domain, solves per harmonic, and
-// transforms back. The trailing (ω) entry is passed through.
+// transforms back. The trailing (ω) entry is passed through. All scratch is
+// owned by the struct, so repeated applications allocate nothing.
 func (p *harmonicPrec) Precondition(r, z []float64) {
 	n1, n := p.n1, p.n
 	// Gather per-state sample vectors, unscaling rows, then run the batched
 	// forward transforms on the worker pool.
-	spec := make([][]complex128, n)
+	spec := p.spec
 	par.For(n, 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			row := make([]complex128, n1)
+			row := spec[i]
 			for j := 0; j < n1; j++ {
 				row[j] = complex(r[j*n+i]*p.scale[j*n+i], 0)
 			}
-			spec[i] = row
 		}
 	})
 	fourier.FFTRows(spec)
-	// Per-bin solves touch disjoint spec columns; scratch is chunk-private.
+	// Per-bin solves touch disjoint spec columns; a chunk starting at bin lo
+	// owns the n-slot scratch at lo·n.
 	par.For(n1, ptGrain, func(lo, hi int) {
-		xh := make([]complex128, n)
-		bh := make([]complex128, n)
+		xh := p.xh[lo*n : lo*n+n]
+		bh := p.bh[lo*n : lo*n+n]
 		for bin := lo; bin < hi; bin++ {
 			for i := 0; i < n; i++ {
 				bh[i] = spec[i][bin]
@@ -112,8 +150,9 @@ func (p *harmonicPrec) Precondition(r, z []float64) {
 	fourier.IFFTRows(spec)
 	par.For(n, 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
+			row := spec[i]
 			for j := 0; j < n1; j++ {
-				z[j*n+i] = real(spec[i][j])
+				z[j*n+i] = real(row[j])
 			}
 		}
 	})

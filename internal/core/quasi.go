@@ -21,6 +21,12 @@ type QPOptions struct {
 	Phase  PhaseKind // default PhaseDerivativeZero
 	Anchor float64
 	Newton newton.Options
+	// ChordNewton reuses the global Jacobian factorization across Newton
+	// iterations while the residual contracts (see newton.Options.
+	// JacobianReuse). Off by default: the quasiperiodic solve is one global
+	// Newton iteration from a possibly rough guess, where fresh Jacobians
+	// buy robustness.
+	ChordNewton bool
 }
 
 func (o QPOptions) withDefaults() QPOptions {
@@ -139,11 +145,13 @@ func Quasiperiodic(sys dae.Autonomous, t2Period float64, guess *QPGuess, opt QPO
 
 	// The residual splits by t2 line: line j2 owns rows for its N1 grid
 	// points plus its phase row, so lines evaluate in parallel with
-	// chunk-private F scratch; the per-row arithmetic order is unchanged.
+	// chunk-private F scratch (the n-slot at lo·n of a shared buffer, hoisted
+	// out of the hot loop); the per-row arithmetic order is unchanged.
+	fScr := make([]float64, N2*n)
 	rawResidual := func(z, r []float64) {
 		computeQ(z)
 		par.For(N2, 1, func(lo, hi int) {
-			scr := make([]float64, n)
+			scr := fScr[lo*n : lo*n+n]
 			for j2 := lo; j2 < hi; j2++ {
 				omega := z[nx+j2]
 				for j1 := 0; j1 < N1; j1++ {
@@ -230,9 +238,20 @@ func Quasiperiodic(sys dae.Autonomous, t2Period float64, guess *QPGuess, opt QPO
 	// The Jacobian assembly is row-centric so grid points fill their own row
 	// blocks in parallel: the spectral differentiation diagonals are exactly
 	// zero, so every matrix element has a single contributor and gathering
-	// along rows is bitwise identical to scattering from columns.
+	// along rows is bitwise identical to scattering from columns. The matrix
+	// and its LU workspace persist across refreshes; assembly accumulates, so
+	// the rows are zeroed (in disjoint parallel chunks) first.
+	jj := la.NewDense(total, total)
+	flu := la.NewLU(total)
 	jac := func(z []float64) (newton.LinearSolve, error) {
-		jj := la.NewDense(total, total)
+		par.For(total, 64, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				row := jj.Row(r)
+				for ccc := range row {
+					row[ccc] = 0
+				}
+			}
+		})
 		computeQ(z)
 		par.For(N1*N2, qpGrain, func(lo, hi int) {
 			for p := lo; p < hi; p++ {
@@ -291,13 +310,23 @@ func Quasiperiodic(sys dae.Autonomous, t2Period float64, guess *QPGuess, opt QPO
 				}
 			}
 		})
-		return la.FactorLU(jj)
+		if err := flu.FactorInto(jj); err != nil {
+			return nil, err
+		}
+		return flu, nil
 	}
 
-	if _, err := newton.Solve(newton.Problem{N: total, Eval: eval, Jacobian: jac}, z, opt.Newton); err != nil {
+	nopt := opt.Newton
+	nopt.Work = newton.NewWorkspace(total)
+	nopt.JacobianReuse = opt.ChordNewton
+	resN, err := newton.Solve(newton.Problem{N: total, Eval: eval, Jacobian: jac}, z, nopt)
+	if err != nil {
 		return nil, fmt.Errorf("core: quasiperiodic solve: %w", err)
 	}
 	res := &QPResult{N1: N1, N2: N2, N: n, T2: t2Period, X: make([][][]float64, N2), Omega: make([]float64, N2)}
+	res.NewtonIterTotal = resN.Iterations
+	res.JacobianEvals = resN.JacobianEvals
+	res.JacobianReuses = resN.JacobianReuses
 	for j2 := 0; j2 < N2; j2++ {
 		res.X[j2] = make([][]float64, N1)
 		for j1 := 0; j1 < N1; j1++ {

@@ -23,6 +23,11 @@ type EnvelopeResult struct {
 	NewtonIterTotal int // cumulative Newton iterations (cost accounting)
 	LinearSolves    int // cumulative linear solves
 	Rejected        int // error-controlled step rejections (Adaptive mode)
+	// JacobianEvals counts Jacobian assemblies + factorizations across all
+	// steps; JacobianReuses counts Newton iterations that recycled a stale
+	// chord factorization instead (see EnvelopeOptions.ChordNewton).
+	JacobianEvals  int
+	JacobianReuses int
 }
 
 // Slice returns the t1 waveform (N1 samples) of state i at t2 index k.
@@ -115,6 +120,10 @@ type QPResult struct {
 	T2        float64
 	X         [][][]float64 // X[j2][j1] = state vector at (t1_j1, t2_j2)
 	Omega     []float64     // ω at the N2 slow-time points
+
+	NewtonIterTotal int // Newton iterations of the one global solve
+	JacobianEvals   int // Jacobian assemblies + factorizations
+	JacobianReuses  int // iterations that recycled a stale factorization
 }
 
 // OmegaMean returns the average local frequency ω₀ of eq. (21).

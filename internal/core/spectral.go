@@ -139,11 +139,12 @@ func SpectralEnvelope(sys dae.Autonomous, xhat0 []float64, omega0, t2End float64
 	hMin := h / 1024
 	endTol := 1e-12 * t2End
 	stepIdx := 0
+	cNew := make([]complex128, len(coeff))
 	for t2End-t2 > endTol {
 		if t2+h > t2End {
 			h = t2End - t2
 		}
-		cNew := append([]complex128(nil), coeff...)
+		copy(cNew, coeff)
 		omegaNew := omega
 		useTrap := opt.Trap && stepIdx >= 2
 		iters, err := sp.step(t2, h, coeff, omega, cNew, &omegaNew, useTrap)
@@ -218,10 +219,25 @@ type spectralAssembler struct {
 	scale  []float64
 	jq     *la.Dense
 	jf     *la.Dense
+
+	// Hoisted per-step solver state: the cached FFT plan and its gather /
+	// transform scratch, the finite-difference Jacobian storage and its LU
+	// workspace (refactored in place), and the Newton iteration scratch.
+	plan       *fourier.Plan
+	buf        []float64
+	spec       []complex128
+	stateScale []float64
+	y, r0, rp  []float64
+	yp         []float64
+	workC      []complex128
+	jj         *la.Dense
+	lu         *la.LU
+	nws        *newton.Workspace
 }
 
 func (sp *spectralAssembler) init() {
 	N := 2*sp.m + 1
+	total := sp.realDim() + 1
 	sp.u = make([]float64, sp.sys.NumInputs())
 	sp.x = make([]float64, N*sp.n)
 	sp.qs = make([]float64, N*sp.n)
@@ -230,9 +246,21 @@ func (sp *spectralAssembler) init() {
 	sp.fh = make([]complex128, N*sp.n)
 	sp.qhPrev = make([]complex128, N*sp.n)
 	sp.rhsOld = make([]complex128, N*sp.n)
-	sp.scale = make([]float64, sp.realDim()+1)
+	sp.scale = make([]float64, total)
 	sp.jq = la.NewDense(sp.n, sp.n)
 	sp.jf = la.NewDense(sp.n, sp.n)
+	sp.plan = fourier.PlanFFT(N)
+	sp.buf = make([]float64, N)
+	sp.spec = make([]complex128, N)
+	sp.stateScale = make([]float64, sp.n)
+	sp.y = make([]float64, total)
+	sp.r0 = make([]float64, total)
+	sp.rp = make([]float64, total)
+	sp.yp = make([]float64, total)
+	sp.workC = make([]complex128, N*sp.n)
+	sp.jj = la.NewDense(total, total)
+	sp.lu = la.NewLU(total)
+	sp.nws = newton.NewWorkspace(total)
 }
 
 func (sp *spectralAssembler) realDim() int { return (2*sp.m + 1) * sp.n }
@@ -242,7 +270,7 @@ func (sp *spectralAssembler) realDim() int { return (2*sp.m + 1) * sp.n }
 func (sp *spectralAssembler) coeffFromSamples(samples []float64) []complex128 {
 	N, n, m := 2*sp.m+1, sp.n, sp.m
 	out := make([]complex128, N*n)
-	buf := make([]float64, N)
+	buf := sp.buf
 	for i := 0; i < n; i++ {
 		for j := 0; j < N; j++ {
 			buf[j] = samples[j*n+i]
@@ -255,33 +283,34 @@ func (sp *spectralAssembler) coeffFromSamples(samples []float64) []complex128 {
 	return out
 }
 
-// samplesFromCoeff synthesizes the N uniform samples of every state.
+// samplesFromCoeff synthesizes the N uniform samples of every state through
+// the cached plan, transforming in place in the hoisted spectrum scratch.
 func (sp *spectralAssembler) samplesFromCoeff(coeff []complex128, out []float64) {
 	N, n, m := 2*sp.m+1, sp.n, sp.m
-	spec := make([]complex128, N)
+	spec := sp.spec
 	for i := 0; i < n; i++ {
 		// Build the DFT spectrum: bin b holds N·c_h with h = signed(b).
 		for b := 0; b < N; b++ {
 			h := fourier.HarmonicIndex(b, N)
 			spec[b] = coeff[(h+m)*n+i] * complex(float64(N), 0)
 		}
-		back := fourier.IFFT(spec)
+		sp.plan.Inverse(spec, spec)
 		for j := 0; j < N; j++ {
-			out[j*n+i] = real(back[j])
+			out[j*n+i] = real(spec[j])
 		}
 	}
 }
 
 // harmonicsOf transforms per-sample values (sample-major) to signed
-// harmonics (harmonic-major).
+// harmonics (harmonic-major) through the cached plan.
 func (sp *spectralAssembler) harmonicsOf(samples []float64, out []complex128) {
 	N, n, m := 2*sp.m+1, sp.n, sp.m
-	buf := make([]float64, N)
+	buf, spec := sp.buf, sp.spec
 	for i := 0; i < n; i++ {
 		for j := 0; j < N; j++ {
 			buf[j] = samples[j*n+i]
 		}
-		spec := fourier.FFTReal(buf)
+		sp.plan.ForwardReal(spec, buf)
 		for b := 0; b < N; b++ {
 			h := fourier.HarmonicIndex(b, N)
 			out[(h+m)*n+i] = spec[b] / complex(float64(N), 0)
@@ -385,7 +414,7 @@ func (sp *spectralAssembler) step(t2, h2 float64, cOld []complex128, omegaOld fl
 	{
 		// Per-state scales with a relative floor across states (algebraic
 		// rows would otherwise get unreachable relative tolerances).
-		stateScale := make([]float64, n)
+		stateScale := sp.stateScale
 		maxScale := 0.0
 		for i := 0; i < n; i++ {
 			s := 0.0
@@ -425,30 +454,24 @@ func (sp *spectralAssembler) step(t2, h2 float64, cOld []complex128, omegaOld fl
 		sp.scale[idx] = 1 + cAbs(cOld[(1+m)*n+sp.k])
 	}
 
-	y := make([]float64, total)
+	y := sp.y
 	sp.packY(cNew, *omegaNew, y)
-	work := make([]complex128, len(cOld))
+	work := sp.workC
 
 	eval := func(y, r []float64) error {
 		omega := sp.unpackY(y, work)
 		sp.residual(work, omega, h2, theta, useTrap, r)
 		return nil
 	}
-	// Finite-difference Jacobian in coefficient space, refreshed once per
-	// step and reused (chord iteration), matching the collocation solver's
-	// modified-Newton strategy. The system is small ((2M+1)n+1).
-	var cached newton.LinearSolve
+	// Finite-difference Jacobian in coefficient space, assembled into the
+	// persistent matrix (every entry is overwritten) and refactored into the
+	// persistent LU workspace. The system is small ((2M+1)n+1).
 	jac := func(y []float64) (newton.LinearSolve, error) {
-		if cached != nil {
-			return cached, nil
-		}
-		jj := la.NewDense(total, total)
-		r0 := make([]float64, total)
+		jj, r0, yp, rp := sp.jj, sp.r0, sp.yp, sp.rp
 		if err := eval(y, r0); err != nil {
 			return nil, err
 		}
-		yp := append([]float64(nil), y...)
-		rp := make([]float64, total)
+		copy(yp, y)
 		for c := 0; c < total; c++ {
 			step := 1e-7 * (1 + math.Abs(y[c]))
 			yp[c] = y[c] + step
@@ -460,15 +483,19 @@ func (sp *spectralAssembler) step(t2, h2 float64, cOld []complex128, omegaOld fl
 				jj.Set(rr, c, (rp[rr]-r0[rr])/step)
 			}
 		}
-		lu, err := la.FactorLU(jj)
-		if err != nil {
+		if err := sp.lu.FactorInto(jj); err != nil {
 			return nil, err
 		}
-		cached = lu
-		return lu, nil
+		return sp.lu, nil
 	}
+	// Refreshed once per step and reused (chord iteration) via the infinite
+	// contraction target, matching the collocation solver's modified-Newton
+	// strategy — and bitwise identical to the historical cached-closure form.
 	nopt := sp.opt.Newton
 	nopt.MaxIter = 3 * sp.opt.Newton.MaxIter
+	nopt.JacobianReuse = true
+	nopt.ReuseContraction = math.Inf(1)
+	nopt.Work = sp.nws
 	resN, err := newton.Solve(newton.Problem{N: total, Eval: eval, Jacobian: jac}, y, nopt)
 	if err != nil {
 		return resN.Iterations, err

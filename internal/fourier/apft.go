@@ -15,9 +15,13 @@ import (
 // a two-tone (AM or FM) response — where no single DFT grid fits.
 type APFT struct {
 	Freqs []float64 // the analysis frequencies (Hz); 0 = DC
-	// Coefficients after Fit: DC and per-frequency (cos, sin) pairs.
+	// Coefficients after Fit: DC and per-frequency (cos, sin) pairs. The
+	// slices are reused by successive Fit calls.
 	DC       float64
 	Cos, Sin []float64
+
+	m    *la.Dense // design matrix, reused while the sample count matches
+	coef []float64
 }
 
 // NewAPFT prepares an APFT for the given frequencies. Frequency 0 need not
@@ -67,7 +71,11 @@ func (a *APFT) Fit(t, y []float64) error {
 	if len(t) < cols {
 		return fmt.Errorf("fourier: APFT needs ≥ %d samples, got %d", cols, len(t))
 	}
-	m := la.NewDense(len(t), cols)
+	if a.m == nil || a.m.Rows != len(t) || a.m.Cols != cols {
+		a.m = la.NewDense(len(t), cols)
+		a.coef = make([]float64, cols)
+	}
+	m := a.m
 	for i, tv := range t {
 		m.Set(i, 0, 1)
 		for j, f := range a.Freqs {
@@ -80,11 +88,13 @@ func (a *APFT) Fit(t, y []float64) error {
 	if err != nil {
 		return fmt.Errorf("fourier: APFT design matrix rank-deficient (aliased frequencies or too-short window): %w", err)
 	}
-	coef := make([]float64, cols)
+	coef := a.coef
 	qr.SolveLS(y, coef)
 	a.DC = coef[0]
-	a.Cos = make([]float64, nf)
-	a.Sin = make([]float64, nf)
+	if len(a.Cos) != nf {
+		a.Cos = make([]float64, nf)
+		a.Sin = make([]float64, nf)
+	}
 	for j := 0; j < nf; j++ {
 		a.Cos[j] = coef[1+2*j]
 		a.Sin[j] = coef[2+2*j]

@@ -18,30 +18,41 @@ func rowGrain(n int) int {
 }
 
 // FFTRows runs the forward DFT on every row in place. Rows are independent
-// and transform on the worker pool; each row's result is identical to
-// calling FFT on it alone. Rows may have different lengths.
+// and transform on the worker pool through the per-length plan cache; each
+// row's result is identical to calling FFT on it alone. Rows may have
+// different lengths.
 func FFTRows(rows [][]complex128) {
 	n := 0
 	if len(rows) > 0 {
 		n = len(rows[0])
 	}
 	par.For(len(rows), rowGrain(n), func(lo, hi int) {
+		var p *Plan
 		for i := lo; i < hi; i++ {
-			fftInPlace(rows[i], false)
+			r := rows[i]
+			if p == nil || p.n != len(r) {
+				p = PlanFFT(len(r))
+			}
+			p.Forward(r, r)
 		}
 	})
 }
 
 // IFFTRows runs the inverse DFT (with 1/N normalization) on every row in
-// place, in parallel.
+// place, in parallel through the plan cache.
 func IFFTRows(rows [][]complex128) {
 	n := 0
 	if len(rows) > 0 {
 		n = len(rows[0])
 	}
 	par.For(len(rows), rowGrain(n), func(lo, hi int) {
+		var p *Plan
 		for i := lo; i < hi; i++ {
-			fftInPlace(rows[i], true)
+			r := rows[i]
+			if p == nil || p.n != len(r) {
+				p = PlanFFT(len(r))
+			}
+			p.Inverse(r, r)
 		}
 	})
 }
@@ -49,7 +60,7 @@ func IFFTRows(rows [][]complex128) {
 // GridFFT transforms a real bivariate grid (rows indexed by the slow axis,
 // columns by the fast axis, as produced by the sampling helpers) into its
 // per-row complex spectra: out[j] is the forward DFT of grid[j]. The rows
-// transform on the worker pool.
+// transform on the worker pool; only the output rows are allocated.
 func GridFFT(grid [][]float64) [][]complex128 {
 	out := make([][]complex128, len(grid))
 	n := 0
@@ -57,12 +68,13 @@ func GridFFT(grid [][]float64) [][]complex128 {
 		n = len(grid[0])
 	}
 	par.For(len(grid), rowGrain(n), func(lo, hi int) {
+		var p *Plan
 		for j := lo; j < hi; j++ {
 			row := make([]complex128, len(grid[j]))
-			for i, v := range grid[j] {
-				row[i] = complex(v, 0)
+			if p == nil || p.n != len(row) {
+				p = PlanFFT(len(row))
 			}
-			fftInPlace(row, false)
+			p.ForwardReal(row, grid[j])
 			out[j] = row
 		}
 	})

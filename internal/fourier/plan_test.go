@@ -1,0 +1,209 @@
+package fourier
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// oracleDFT is the O(N²) reference the fast paths are checked against.
+func oracleDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	if n == 0 {
+		return out
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := sign * 2 * math.Pi * float64(k) * float64(j) / float64(n)
+			s += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		if inverse {
+			s /= complex(float64(n), 0)
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// awkwardLengths sweeps the cases that exercise every kernel branch: the
+// trivial N=1/N=2 transforms, powers of two, small and large primes (pure
+// Bluestein), and prime·2^k composites whose Bluestein convolution length is
+// far from the signal length.
+var awkwardLengths = []int{1, 2, 3, 4, 5, 7, 8, 11, 13, 16, 17, 31, 64, 97, 101, 127, 3 * 32, 97 * 4, 113 * 8}
+
+func randSignal(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxDiff(a, b []complex128) float64 {
+	d := 0.0
+	for i := range a {
+		if e := cmplx.Abs(a[i] - b[i]); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// TestBluesteinAgainstNaiveDFT checks both the legacy one-shot FFT and the
+// cached Plan against the naive oracle over the awkward-length sweep, in both
+// directions, and confirms the two fast paths agree bitwise.
+func TestBluesteinAgainstNaiveDFT(t *testing.T) {
+	for _, n := range awkwardLengths {
+		x := randSignal(n, int64(1000+n))
+		tol := 1e-10 * float64(n) * math.Sqrt(float64(n))
+		for _, inverse := range []bool{false, true} {
+			want := oracleDFT(x, inverse)
+
+			var legacy []complex128
+			if inverse {
+				legacy = IFFT(x)
+			} else {
+				legacy = FFT(x)
+			}
+			if d := maxDiff(legacy, want); d > tol {
+				t.Errorf("n=%d inverse=%v: legacy FFT deviates from naive DFT by %g (tol %g)", n, inverse, d, tol)
+			}
+
+			p := PlanFFT(n)
+			planned := make([]complex128, n)
+			if inverse {
+				p.Inverse(planned, x)
+			} else {
+				p.Forward(planned, x)
+			}
+			if d := maxDiff(planned, want); d > tol {
+				t.Errorf("n=%d inverse=%v: planned FFT deviates from naive DFT by %g (tol %g)", n, inverse, d, tol)
+			}
+
+			// The plan tabulates the exact recurrences the one-shot kernel
+			// evaluates inline, so the two must agree to the last bit; this
+			// is what keeps the golden suite stable across the rewire.
+			for i := range planned {
+				if planned[i] != legacy[i] {
+					t.Fatalf("n=%d inverse=%v: plan and legacy FFT differ bitwise at bin %d: %v vs %v",
+						n, inverse, i, planned[i], legacy[i])
+				}
+			}
+
+			// In-place transform must match the out-of-place one.
+			inPlace := append([]complex128(nil), x...)
+			if inverse {
+				p.Inverse(inPlace, inPlace)
+			} else {
+				p.Forward(inPlace, inPlace)
+			}
+			for i := range inPlace {
+				if inPlace[i] != planned[i] {
+					t.Fatalf("n=%d inverse=%v: in-place plan transform differs at bin %d", n, inverse, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanRoundTrip checks Inverse∘Forward ≈ identity at awkward lengths.
+func TestPlanRoundTrip(t *testing.T) {
+	for _, n := range awkwardLengths {
+		x := randSignal(n, int64(2000+n))
+		p := PlanFFT(n)
+		y := make([]complex128, n)
+		p.Forward(y, x)
+		p.Inverse(y, y)
+		tol := 1e-11 * float64(n)
+		if d := maxDiff(y, x); d > tol {
+			t.Errorf("n=%d: round trip error %g (tol %g)", n, d, tol)
+		}
+	}
+}
+
+// TestPlanRealHelpers checks ForwardReal/InverseReal against the one-shot
+// real-signal helpers bitwise.
+func TestPlanRealHelpers(t *testing.T) {
+	for _, n := range awkwardLengths {
+		rng := rand.New(rand.NewSource(int64(3000 + n)))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		p := PlanFFT(n)
+		spec := make([]complex128, n)
+		p.ForwardReal(spec, x)
+		want := FFTReal(x)
+		for i := range spec {
+			if spec[i] != want[i] {
+				t.Fatalf("n=%d: ForwardReal differs bitwise at bin %d", n, i)
+			}
+		}
+		back := make([]float64, n)
+		p.InverseReal(back, spec)
+		wantBack := IFFTReal(want)
+		for i := range back {
+			if back[i] != wantBack[i] {
+				t.Fatalf("n=%d: InverseReal differs bitwise at sample %d", n, i)
+			}
+		}
+	}
+}
+
+// TestPlanConcurrent hammers a single shared plan from many goroutines; the
+// pooled Bluestein scratch must keep transforms independent.
+func TestPlanConcurrent(t *testing.T) {
+	const n = 97 * 4 // Bluestein path with pooled convolution scratch
+	p := PlanFFT(n)
+	x := randSignal(n, 42)
+	want := make([]complex128, n)
+	p.Forward(want, x)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := make([]complex128, n)
+			for it := 0; it < 50; it++ {
+				p.Forward(got, x)
+				for i := range got {
+					if got[i] != want[i] {
+						t.Errorf("concurrent transform diverged at bin %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPlanSteadyStateAllocs locks in that repeated same-length transforms do
+// not allocate once the plan and its pooled scratch are warm.
+func TestPlanSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector drops sync.Pool puts, so pooled scratch reallocates")
+	}
+	for _, n := range []int{64, 97} { // radix-2 and Bluestein
+		p := PlanFFT(n)
+		x := randSignal(n, int64(n))
+		dst := make([]complex128, n)
+		p.Forward(dst, x) // warm the pool
+		allocs := testing.AllocsPerRun(100, func() {
+			p.Forward(dst, x)
+			p.Inverse(dst, dst)
+		})
+		if allocs > 0 {
+			t.Errorf("n=%d: steady-state plan transform allocates %.1f objects/op, want 0", n, allocs)
+		}
+	}
+}

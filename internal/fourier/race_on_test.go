@@ -1,0 +1,9 @@
+//go:build race
+
+package fourier
+
+// raceEnabled reports whether the race detector instruments this build.
+// Under -race, sync.Pool deliberately drops a fraction of Puts, so
+// steady-state pooled scratch is not allocation-free; tests that pin an
+// allocation budget skip themselves.
+const raceEnabled = true

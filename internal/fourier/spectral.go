@@ -58,7 +58,9 @@ func DiffSamples(x []float64) []float64 {
 	if n <= 1 {
 		return make([]float64, n)
 	}
-	spec := FFTReal(x)
+	p := PlanFFT(n)
+	spec := make([]complex128, n)
+	p.ForwardReal(spec, x)
 	for k := range spec {
 		h := HarmonicIndex(k, n)
 		if n%2 == 0 && k == n/2 {
@@ -68,7 +70,9 @@ func DiffSamples(x []float64) []float64 {
 		// d/dt e^{2πiht} = 2πih e^{2πiht}
 		spec[k] *= complex(0, 2*math.Pi*float64(h))
 	}
-	return IFFTReal(spec)
+	out := make([]float64, n)
+	p.InverseReal(out, spec)
+	return out
 }
 
 // Interpolate evaluates the trigonometric interpolant of n uniform samples
@@ -81,7 +85,9 @@ func Interpolate(x []float64, t float64) float64 {
 	case 1:
 		return x[0]
 	}
-	spec := FFTReal(x)
+	p := PlanFFT(n)
+	spec := make([]complex128, n)
+	p.ForwardReal(spec, x)
 	t = t - math.Floor(t)
 	s := 0.0
 	for k, c := range spec {
@@ -106,7 +112,9 @@ type Interpolator struct {
 
 // NewInterpolator builds a trigonometric interpolant from uniform samples.
 func NewInterpolator(x []float64) *Interpolator {
-	return &Interpolator{n: len(x), spec: FFTReal(x)}
+	spec := make([]complex128, len(x))
+	PlanFFT(len(x)).ForwardReal(spec, x)
+	return &Interpolator{n: len(x), spec: spec}
 }
 
 // Eval evaluates the interpolant at t (wrapped mod 1).
@@ -140,7 +148,8 @@ func (ip *Interpolator) Eval(t float64) float64 {
 func Coefficients(x []float64) []complex128 {
 	n := len(x)
 	m := (n - 1) / 2
-	spec := FFTReal(x)
+	spec := make([]complex128, n)
+	PlanFFT(n).ForwardReal(spec, x)
 	out := make([]complex128, 2*m+1)
 	for h := -m; h <= m; h++ {
 		k := h
@@ -159,7 +168,8 @@ func Spectrum1Sided(x []float64) []float64 {
 	if n == 0 {
 		return nil
 	}
-	spec := FFTReal(x)
+	spec := make([]complex128, n)
+	PlanFFT(n).ForwardReal(spec, x)
 	half := n/2 + 1
 	amp := make([]float64, half)
 	for k := 0; k < half; k++ {

@@ -101,8 +101,28 @@ func FactorCLU(a *CDense) (*CLU, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("la: FactorCLU needs square matrix, got %dx%d", a.Rows, a.Cols)
 	}
-	n := a.Rows
-	f := &CLU{lu: a.Clone(), piv: make([]int, n)}
+	f := NewCLU(a.Rows)
+	if err := f.FactorInto(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// NewCLU returns an empty n×n complex factorization workspace for FactorInto,
+// so recycled preconditioners can refactor without reallocating.
+func NewCLU(n int) *CLU {
+	return &CLU{lu: NewCDense(n, n), piv: make([]int, n)}
+}
+
+// FactorInto refactors a into f's existing storage, allocating nothing. a is
+// not modified. On error the factor contents are undefined; the workspace may
+// still be reused.
+func (f *CLU) FactorInto(a *CDense) error {
+	n := f.lu.Rows
+	if a.Rows != n || a.Cols != n {
+		return fmt.Errorf("la: CLU.FactorInto needs %dx%d matrix, got %dx%d", n, n, a.Rows, a.Cols)
+	}
+	copy(f.lu.Data, a.Data)
 	for i := range f.piv {
 		f.piv[i] = i
 	}
@@ -115,7 +135,7 @@ func FactorCLU(a *CDense) (*CLU, error) {
 			}
 		}
 		if pmax == 0 {
-			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+			return fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
 		}
 		if p != k {
 			rk, rp := lu[k*n:(k+1)*n], lu[p*n:(p+1)*n]
@@ -137,17 +157,25 @@ func FactorCLU(a *CDense) (*CLU, error) {
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
-// Solve solves A x = b in place into x. b and x may alias.
+// Solve solves A x = b, writing the solution into x. b and x must either be
+// the same slice or not overlap; distinct storage solves in place in x with
+// no allocation.
 func (f *CLU) Solve(b, x []complex128) {
 	n := f.lu.Rows
 	if len(b) != n || len(x) != n {
 		panic("la: CLU.Solve length mismatch")
 	}
+	if n == 0 {
+		return
+	}
 	lu := f.lu.Data
-	tmp := make([]complex128, n)
+	tmp := x
+	if &b[0] == &x[0] {
+		tmp = make([]complex128, n)
+	}
 	for i := 0; i < n; i++ {
 		tmp[i] = b[f.piv[i]]
 	}
@@ -165,7 +193,9 @@ func (f *CLU) Solve(b, x []complex128) {
 		}
 		tmp[i] = s / lu[i*n+i]
 	}
-	copy(x, tmp)
+	if &tmp[0] != &x[0] {
+		copy(x, tmp)
+	}
 }
 
 // CNorm2 returns the Euclidean norm of a complex vector.

@@ -16,6 +16,25 @@ import (
 type Dense struct {
 	Rows, Cols int
 	Data       []float64 // len Rows*Cols, Data[i*Cols+j] = A[i][j]
+
+	adder func(i, j int, v float64) // cached by Adder
+}
+
+// Adder returns a stamping callback that accumulates v into A[i][j],
+// silently dropping entries with a negative index (the circuit stampers'
+// ground-row convention). The closure is cached on the matrix, so assembly
+// loops that stamp into long-lived matrices allocate nothing per call. Not
+// safe for concurrent first use on the same matrix; concurrent stamping into
+// distinct matrices is fine.
+func (m *Dense) Adder() func(i, j int, v float64) {
+	if m.adder == nil {
+		m.adder = func(i, j int, v float64) {
+			if i >= 0 && j >= 0 {
+				m.Data[i*m.Cols+j] += v
+			}
+		}
+	}
+	return m.adder
 }
 
 // NewDense returns a zeroed r-by-c matrix.

@@ -17,6 +17,13 @@ type LU struct {
 	lu    *Dense // L (unit diagonal, below) and U (on/above diagonal) packed
 	piv   []int  // row i of the factors came from row piv[i] of A
 	signP int    // determinant sign of the permutation
+
+	// Cached panel-update kernels for FactorInto. Closures handed to par.For
+	// escape, so they are built once per workspace (not per panel) and the
+	// current panel bounds travel through k0/kend — a refactorization then
+	// allocates nothing.
+	k0, kend       int
+	u12Fn, trailFn func(lo, hi int)
 }
 
 // luBlock is the panel width of the blocked right-looking factorization.
@@ -43,8 +50,70 @@ func FactorLU(a *Dense) (*LU, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("la: FactorLU needs square matrix, got %dx%d", a.Rows, a.Cols)
 	}
-	n := a.Rows
-	f := &LU{lu: a.Clone(), piv: make([]int, n), signP: 1}
+	f := NewLU(a.Rows)
+	if err := f.FactorInto(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// NewLU returns an empty n×n factorization workspace for FactorInto. It lets
+// a solver that refactors the same-size system many times (every Newton
+// iteration of every envelope step) reuse one allocation for the factors.
+func NewLU(n int) *LU {
+	f := &LU{lu: NewDense(n, n), piv: make([]int, n), signP: 1}
+	lu := f.lu.Data
+	// Block row of U: U12 = L11⁻¹·A12 (unit-lower triangular solve), over
+	// column chunks [lo, hi) of the trailing width.
+	f.u12Fn = func(lo, hi int) {
+		k0, kend := f.k0, f.kend
+		for k := k0; k < kend; k++ {
+			rk := lu[k*n+kend+lo : k*n+kend+hi]
+			for i := k + 1; i < kend; i++ {
+				m := lu[i*n+k]
+				if m == 0 {
+					continue
+				}
+				ri := lu[i*n+kend+lo : i*n+kend+hi]
+				for j := range ri {
+					ri[j] -= m * rk[j]
+				}
+			}
+		}
+	}
+	// Trailing update A22 -= L21·U12 over row chunks. Each row subtracts its
+	// panel contributions in ascending k — the same order as unblocked
+	// elimination — so chunking cannot change the result.
+	f.trailFn = func(lo, hi int) {
+		k0, kend := f.k0, f.kend
+		for i := kend + lo; i < kend+hi; i++ {
+			ri := lu[i*n : (i+1)*n]
+			for k := k0; k < kend; k++ {
+				m := ri[k]
+				if m == 0 {
+					continue
+				}
+				rk := lu[k*n+kend : k*n+n]
+				dst := ri[kend:n]
+				for j := range dst {
+					dst[j] -= m * rk[j]
+				}
+			}
+		}
+	}
+	return f
+}
+
+// FactorInto refactors a (square, same size as the workspace) into f's
+// existing storage, allocating nothing. a is not modified. On error the
+// factor contents are undefined; the workspace may still be reused.
+func (f *LU) FactorInto(a *Dense) error {
+	n := f.lu.Rows
+	if a.Rows != n || a.Cols != n {
+		return fmt.Errorf("la: FactorInto needs %dx%d matrix, got %dx%d", n, n, a.Rows, a.Cols)
+	}
+	copy(f.lu.Data, a.Data)
+	f.signP = 1
 	for i := range f.piv {
 		f.piv[i] = i
 	}
@@ -64,7 +133,7 @@ func FactorLU(a *Dense) (*LU, error) {
 				}
 			}
 			if pmax == 0 {
-				return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+				return fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
 			}
 			if p != k {
 				rk, rp := lu[k*n:(k+1)*n], lu[p*n:(p+1)*n]
@@ -90,59 +159,37 @@ func FactorLU(a *Dense) (*LU, error) {
 		if kend == n {
 			break
 		}
-		// Block row of U: U12 = L11⁻¹·A12 (unit-lower triangular solve),
-		// parallel over column chunks of the trailing width.
-		width := n - kend
-		par.For(width, 64, func(lo, hi int) {
-			for k := k0; k < kend; k++ {
-				rk := lu[k*n+kend+lo : k*n+kend+hi]
-				for i := k + 1; i < kend; i++ {
-					m := lu[i*n+k]
-					if m == 0 {
-						continue
-					}
-					ri := lu[i*n+kend+lo : i*n+kend+hi]
-					for j := range ri {
-						ri[j] -= m * rk[j]
-					}
-				}
-			}
-		})
-		// Trailing update A22 -= L21·U12, parallel over row chunks. Each row
-		// subtracts its panel contributions in ascending k — the same order
-		// as unblocked elimination — so chunking cannot change the result.
-		par.For(n-kend, luRowGrain, func(lo, hi int) {
-			for i := kend + lo; i < kend+hi; i++ {
-				ri := lu[i*n : (i+1)*n]
-				for k := k0; k < kend; k++ {
-					m := ri[k]
-					if m == 0 {
-						continue
-					}
-					rk := lu[k*n+kend : k*n+n]
-					dst := ri[kend:n]
-					for j := range dst {
-						dst[j] -= m * rk[j]
-					}
-				}
-			}
-		})
+		// Panel-trailing updates via the cached kernels (see NewLU): the block
+		// row of U in parallel column chunks, then the A22 -= L21·U12 trailing
+		// update in parallel row chunks.
+		f.k0, f.kend = k0, kend
+		par.For(n-kend, 64, f.u12Fn)
+		par.For(n-kend, luRowGrain, f.trailFn)
 	}
-	return f, nil
+	return nil
 }
 
 // N returns the factored dimension.
 func (f *LU) N() int { return f.lu.Rows }
 
-// Solve solves A x = b, writing the solution into x. b and x may alias.
+// Solve solves A x = b, writing the solution into x. b and x must either be
+// the same slice or not overlap. With distinct storage the substitution runs
+// directly in x and allocates nothing (the hot path); the in-place form falls
+// back to a temporary.
 func (f *LU) Solve(b, x []float64) {
 	n := f.lu.Rows
 	if len(b) != n || len(x) != n {
 		panic("la: LU.Solve length mismatch")
 	}
+	if n == 0 {
+		return
+	}
 	lu := f.lu.Data
+	tmp := x
+	if &b[0] == &x[0] {
+		tmp = make([]float64, n)
+	}
 	// Apply permutation: y = P b.
-	tmp := make([]float64, n)
 	for i := 0; i < n; i++ {
 		tmp[i] = b[f.piv[i]]
 	}
@@ -163,7 +210,9 @@ func (f *LU) Solve(b, x []float64) {
 		}
 		tmp[i] = s / lu[i*n+i]
 	}
-	copy(x, tmp)
+	if &tmp[0] != &x[0] {
+		copy(x, tmp)
+	}
 }
 
 // SolveMatrix solves A X = B column-wise, returning X. Right-hand-side

@@ -221,3 +221,95 @@ func TestLUHilbertAccuracy(t *testing.T) {
 		}
 	}
 }
+
+// TestFactorIntoReuse refactors several matrices through one workspace and
+// checks the factors match a fresh FactorLU bitwise, and that the refactor +
+// solve path allocates nothing once warm.
+func TestFactorIntoReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 23
+	ws := NewLU(n)
+	a := NewDense(n, n)
+	b := make([]float64, n)
+	x := make([]float64, n)
+	xFresh := make([]float64, n)
+	for trial := 0; trial < 5; trial++ {
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		if err := ws.FactorInto(a); err != nil {
+			t.Fatalf("trial %d: FactorInto: %v", trial, err)
+		}
+		fresh, err := FactorLU(a)
+		if err != nil {
+			t.Fatalf("trial %d: FactorLU: %v", trial, err)
+		}
+		for i := range fresh.lu.Data {
+			if ws.lu.Data[i] != fresh.lu.Data[i] {
+				t.Fatalf("trial %d: reused factors differ bitwise at %d", trial, i)
+			}
+		}
+		ws.Solve(b, x)
+		fresh.Solve(b, xFresh)
+		for i := range x {
+			if x[i] != xFresh[i] {
+				t.Fatalf("trial %d: reused solve differs at %d", trial, i)
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := ws.FactorInto(a); err != nil {
+			t.Fatal(err)
+		}
+		ws.Solve(b, x)
+	})
+	if allocs > 0 {
+		t.Errorf("FactorInto+Solve allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestCLUFactorIntoReuse mirrors TestFactorIntoReuse for the complex LU used
+// by the recycled harmonic preconditioner.
+func TestCLUFactorIntoReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 9
+	ws := NewCLU(n)
+	a := NewCDense(n, n)
+	b := make([]complex128, n)
+	x := make([]complex128, n)
+	xFresh := make([]complex128, n)
+	for trial := 0; trial < 5; trial++ {
+		for i := range a.Data {
+			a.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		for i := range b {
+			b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		if err := ws.FactorInto(a); err != nil {
+			t.Fatalf("trial %d: FactorInto: %v", trial, err)
+		}
+		fresh, err := FactorCLU(a)
+		if err != nil {
+			t.Fatalf("trial %d: FactorCLU: %v", trial, err)
+		}
+		ws.Solve(b, x)
+		fresh.Solve(b, xFresh)
+		for i := range x {
+			if x[i] != xFresh[i] {
+				t.Fatalf("trial %d: reused complex solve differs at %d", trial, i)
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := ws.FactorInto(a); err != nil {
+			t.Fatal(err)
+		}
+		ws.Solve(b, x)
+	})
+	if allocs > 0 {
+		t.Errorf("CLU FactorInto+Solve allocates %.1f objects/op, want 0", allocs)
+	}
+}

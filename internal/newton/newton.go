@@ -25,8 +25,11 @@ type Problem struct {
 	N int
 	// Eval writes F(x) into f.
 	Eval func(x, f []float64) error
-	// Jacobian returns a solver for the Jacobian J(x); called once per
-	// Newton iteration.
+	// Jacobian returns a solver for the Jacobian J(x). With default Options
+	// it is called once per Newton iteration; with Options.JacobianReuse the
+	// chord policy calls it only when a refresh is needed (first iteration
+	// with no cached factorization, stall, divergence, or insufficient
+	// contraction), reusing the last returned solver otherwise.
 	Jacobian func(x []float64) (LinearSolve, error)
 }
 
@@ -37,6 +40,29 @@ type Options struct {
 	TolX      float64 // relative step target, default 1e-12
 	Damping   bool    // enable residual-halving line search
 	MaxHalves int     // damping depth, default 10
+
+	// JacobianReuse enables chord (modified-Newton) iteration: the last
+	// factorization returned by Problem.Jacobian is reused across iterations
+	// — and, when Reuse is set, across Solve calls — for as long as the
+	// residual keeps contracting at ReuseContraction per iteration. A stalled
+	// or diverging stale-Jacobian iteration triggers a refresh at the current
+	// iterate before the next update.
+	JacobianReuse bool
+	// ReuseContraction is the largest acceptable ratio ||F_new||/||F_old||
+	// for an iteration that used a stale Jacobian; above it the factorization
+	// is refreshed. Defaults to 0.5. math.Inf(1) never refreshes mid-solve,
+	// reproducing a pure per-solve chord iteration.
+	ReuseContraction float64
+	// Reuse, when non-nil, carries the cached factorization across Solve
+	// calls, letting smooth sequences of nearby solves (successive envelope
+	// steps) share one factorization. The caller owns invalidation: call
+	// ReuseState.Invalidate whenever the underlying system changes shape
+	// (e.g. the t2 step size changed), which forces a fresh factorization on
+	// the first iteration of the next solve.
+	Reuse *ReuseState
+	// Work, when non-nil, supplies the iteration scratch so repeated solves
+	// of same-sized systems allocate nothing.
+	Work *Workspace
 }
 
 func (o Options) withDefaults() Options {
@@ -52,7 +78,49 @@ func (o Options) withDefaults() Options {
 	if o.MaxHalves <= 0 {
 		o.MaxHalves = 10
 	}
+	if o.ReuseContraction <= 0 {
+		o.ReuseContraction = 0.5
+	}
 	return o
+}
+
+// ReuseState carries a chord-Newton factorization across Solve calls.
+type ReuseState struct {
+	lin LinearSolve
+}
+
+// Invalidate drops the cached factorization; the next Solve refreshes on its
+// first iteration.
+func (s *ReuseState) Invalidate() { s.lin = nil }
+
+// Cached reports whether a factorization is currently cached.
+func (s *ReuseState) Cached() bool { return s != nil && s.lin != nil }
+
+// Workspace holds the per-solve scratch vectors of a Newton iteration.
+type Workspace struct {
+	f, fTrial, dx, xTrial, best []float64
+}
+
+// NewWorkspace allocates scratch for n-dimensional solves.
+func NewWorkspace(n int) *Workspace {
+	w := &Workspace{}
+	w.ensure(n)
+	return w
+}
+
+func (w *Workspace) ensure(n int) {
+	if cap(w.f) < n {
+		w.f = make([]float64, n)
+		w.fTrial = make([]float64, n)
+		w.dx = make([]float64, n)
+		w.xTrial = make([]float64, n)
+		w.best = make([]float64, n)
+	}
+	w.f = w.f[:n]
+	w.fTrial = w.fTrial[:n]
+	w.dx = w.dx[:n]
+	w.xTrial = w.xTrial[:n]
+	w.best = w.best[:n]
 }
 
 // Result reports the outcome of a Newton solve.
@@ -60,6 +128,12 @@ type Result struct {
 	Iterations int
 	ResidualF  float64 // final ||F||_inf
 	Converged  bool
+	// JacobianEvals counts calls to Problem.Jacobian; JacobianReuses counts
+	// iterations that recycled a stale factorization instead. Without
+	// JacobianReuse, JacobianEvals equals the update count and JacobianReuses
+	// is zero.
+	JacobianEvals  int
+	JacobianReuses int
 }
 
 // ErrNoConvergence is returned when the iteration budget is exhausted. The
@@ -73,31 +147,60 @@ func Solve(p Problem, x []float64, opt Options) (Result, error) {
 	}
 	opt = opt.withDefaults()
 	n := p.N
-	f := make([]float64, n)
-	fTrial := make([]float64, n)
-	dx := make([]float64, n)
-	xTrial := make([]float64, n)
+	ws := opt.Work
+	if ws == nil {
+		ws = NewWorkspace(n)
+	} else {
+		ws.ensure(n)
+	}
+	f, fTrial, dx, xTrial := ws.f, ws.fTrial, ws.dx, ws.xTrial
+
+	jacEvals, jacReuses := 0, 0
+	mk := func(iters int, resF float64, conv bool) Result {
+		return Result{Iterations: iters, ResidualF: resF, Converged: conv,
+			JacobianEvals: jacEvals, JacobianReuses: jacReuses}
+	}
 
 	if err := p.Eval(x, f); err != nil {
-		return Result{}, fmt.Errorf("newton: initial evaluation: %w", err)
+		return mk(0, 0, false), fmt.Errorf("newton: initial evaluation: %w", err)
 	}
 	normF := la.NormInf(f)
-	best := append([]float64(nil), x...)
+	best := ws.best
+	copy(best, x)
 	bestNorm := normF
+
+	var lin LinearSolve
+	if opt.JacobianReuse && opt.Reuse != nil {
+		lin = opt.Reuse.lin
+		defer func() {
+			opt.Reuse.lin = lin
+		}()
+	}
+	stale := false // last stale-Jacobian update stalled or under-contracted
 
 	for it := 1; it <= opt.MaxIter; it++ {
 		if normF <= opt.TolF {
-			return Result{Iterations: it - 1, ResidualF: normF, Converged: true}, nil
+			return mk(it-1, normF, true), nil
 		}
 		if math.IsNaN(normF) || math.IsInf(normF, 0) {
 			copy(x, best)
-			return Result{Iterations: it - 1, ResidualF: bestNorm}, fmt.Errorf("newton: residual became non-finite: %w", ErrNoConvergence)
+			return mk(it-1, bestNorm, false), fmt.Errorf("newton: residual became non-finite: %w", ErrNoConvergence)
 		}
-		lin, err := p.Jacobian(x)
-		if err != nil {
-			copy(x, best)
-			return Result{Iterations: it - 1, ResidualF: bestNorm}, fmt.Errorf("newton: jacobian: %w", err)
+		usedStale := false
+		if lin == nil || !opt.JacobianReuse || stale {
+			fresh, err := p.Jacobian(x)
+			if err != nil {
+				copy(x, best)
+				return mk(it-1, bestNorm, false), fmt.Errorf("newton: jacobian: %w", err)
+			}
+			lin = fresh
+			jacEvals++
+			stale = false
+		} else {
+			usedStale = true
+			jacReuses++
 		}
+		normBefore := normF
 		lin.Solve(f, dx) // J dx = F  => x_new = x - dx
 		step := 1.0
 		accepted := false
@@ -128,11 +231,20 @@ func Solve(p Problem, x []float64, opt Options) (Result, error) {
 			}
 			if err := p.Eval(xTrial, fTrial); err != nil {
 				copy(x, best)
-				return Result{Iterations: it, ResidualF: bestNorm}, fmt.Errorf("newton: evaluation failed: %w", ErrNoConvergence)
+				return mk(it, bestNorm, false), fmt.Errorf("newton: evaluation failed: %w", ErrNoConvergence)
 			}
 			copy(x, xTrial)
 			copy(f, fTrial)
 			normF = la.NormInf(f)
+		}
+		// Chord staleness policy: a stale-Jacobian update that stalled the
+		// line search or failed to contract at the configured rate forces a
+		// refresh at the new iterate. An infinite contraction target keeps
+		// the factorization for the whole solve.
+		if usedStale && !math.IsInf(opt.ReuseContraction, 1) {
+			if !accepted || normF > opt.ReuseContraction*normBefore {
+				stale = true
+			}
 		}
 		if normF < bestNorm {
 			bestNorm = normF
@@ -142,14 +254,14 @@ func Solve(p Problem, x []float64, opt Options) (Result, error) {
 		// to tolerance: with modified (chord) Newton the per-iteration step
 		// shrinks linearly and is no proxy for the remaining error.
 		if la.NormInf(dx)*step <= opt.TolX*(1+la.NormInf(x)) && normF <= 10*opt.TolF {
-			return Result{Iterations: it, ResidualF: normF, Converged: true}, nil
+			return mk(it, normF, true), nil
 		}
 	}
 	if normF <= opt.TolF {
-		return Result{Iterations: opt.MaxIter, ResidualF: normF, Converged: true}, nil
+		return mk(opt.MaxIter, normF, true), nil
 	}
 	copy(x, best)
-	return Result{Iterations: opt.MaxIter, ResidualF: bestNorm}, ErrNoConvergence
+	return mk(opt.MaxIter, bestNorm, false), ErrNoConvergence
 }
 
 // DenseProblem builds a Problem whose Jacobian is assembled densely and

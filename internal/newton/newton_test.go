@@ -236,3 +236,148 @@ func TestNewtonInitialEvalError(t *testing.T) {
 		t.Fatal("expected initial evaluation error")
 	}
 }
+
+// mildProblem is a well-conditioned smooth system whose Jacobian varies
+// slowly, the regime chord iteration is designed for.
+func mildProblem(jacCalls *int) Problem {
+	return Problem{
+		N: 2,
+		Eval: func(x, f []float64) error {
+			f[0] = x[0] + 0.1*math.Sin(x[1]) - 0.3
+			f[1] = x[1] + 0.1*math.Cos(x[0]) - 0.7
+			return nil
+		},
+		Jacobian: func(x []float64) (LinearSolve, error) {
+			*jacCalls++
+			j := la.NewDense(2, 2)
+			j.Set(0, 0, 1)
+			j.Set(0, 1, 0.1*math.Cos(x[1]))
+			j.Set(1, 0, -0.1*math.Sin(x[0]))
+			j.Set(1, 1, 1)
+			return la.FactorLU(j)
+		},
+	}
+}
+
+// TestChordReusesJacobian checks that JacobianReuse factors once, recycles
+// the factorization for the remaining iterations, reports the reuse counts,
+// and still converges to the same root as full Newton.
+func TestChordReusesJacobian(t *testing.T) {
+	var fullCalls int
+	xFull := []float64{0, 0}
+	resFull, err := Solve(mildProblem(&fullCalls), xFull, Options{TolF: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chordCalls int
+	xChord := []float64{0, 0}
+	resChord, err := Solve(mildProblem(&chordCalls), xChord, Options{TolF: 1e-12, JacobianReuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resChord.Converged {
+		t.Fatal("chord solve did not converge")
+	}
+	if chordCalls != 1 || resChord.JacobianEvals != 1 {
+		t.Errorf("chord mode factored %d times (reported %d), want 1", chordCalls, resChord.JacobianEvals)
+	}
+	if resChord.JacobianReuses != resChord.Iterations-1 {
+		t.Errorf("JacobianReuses = %d with %d iterations, want %d",
+			resChord.JacobianReuses, resChord.Iterations, resChord.Iterations-1)
+	}
+	if resFull.JacobianEvals != fullCalls || resFull.JacobianReuses != 0 {
+		t.Errorf("full Newton stats: evals %d (calls %d), reuses %d", resFull.JacobianEvals, fullCalls, resFull.JacobianReuses)
+	}
+	for i := range xFull {
+		if math.Abs(xFull[i]-xChord[i]) > 1e-10 {
+			t.Errorf("roots differ at %d: %g vs %g", i, xFull[i], xChord[i])
+		}
+	}
+}
+
+// TestChordRefreshOnSlowContraction checks the stale policy: a Jacobian that
+// is badly wrong at the start must be refreshed rather than reused forever.
+func TestChordRefreshOnSlowContraction(t *testing.T) {
+	var calls int
+	p := quadraticProblem() // J depends strongly on x: chord from afar contracts slowly
+	inner := p.Jacobian
+	p.Jacobian = func(x []float64) (LinearSolve, error) {
+		calls++
+		return inner(x)
+	}
+	x := []float64{40, 0}
+	res, err := Solve(p, x, Options{TolF: 1e-12, JacobianReuse: true, ReuseContraction: 0.5, MaxIter: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if calls < 2 {
+		t.Errorf("expected refreshes on slow contraction, got %d Jacobian calls", calls)
+	}
+	if math.Abs(x[0]-2) > 1e-8 {
+		t.Errorf("root = %g, want 2", x[0])
+	}
+}
+
+// TestChordReuseAcrossSolves carries a ReuseState across nearby solves and
+// checks the second solve performs zero fresh factorizations.
+func TestChordReuseAcrossSolves(t *testing.T) {
+	var calls int
+	p := mildProblem(&calls)
+	reuse := &ReuseState{}
+	opt := Options{TolF: 1e-10, JacobianReuse: true, Reuse: reuse}
+	x := []float64{0, 0}
+	if _, err := Solve(p, x, opt); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || !reuse.Cached() {
+		t.Fatalf("first solve: %d factorizations, cached=%v", calls, reuse.Cached())
+	}
+	// Perturb the start slightly: the cached factorization still contracts.
+	x[0] += 1e-3
+	res, err := Solve(p, x, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JacobianEvals != 0 || calls != 1 {
+		t.Errorf("second solve refactored: evals=%d total calls=%d, want 0 and 1", res.JacobianEvals, calls)
+	}
+	reuse.Invalidate()
+	if reuse.Cached() {
+		t.Error("Invalidate left the cache populated")
+	}
+	x[0] += 1e-3
+	res, err = Solve(p, x, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JacobianEvals != 1 {
+		t.Errorf("post-invalidate solve: evals=%d, want 1", res.JacobianEvals)
+	}
+}
+
+// TestWorkspaceReuseMatchesFresh checks that supplying a Workspace changes
+// neither the iterates nor the result, and removes the per-solve allocations.
+func TestWorkspaceReuseMatchesFresh(t *testing.T) {
+	solve := func(opt Options) ([]float64, Result) {
+		x := []float64{3, 0}
+		res, err := Solve(quadraticProblem(), x, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x, res
+	}
+	xFresh, resFresh := solve(Options{})
+	ws := NewWorkspace(2)
+	xWs, resWs := solve(Options{Work: ws})
+	if resFresh != resWs {
+		t.Errorf("results differ: %+v vs %+v", resFresh, resWs)
+	}
+	for i := range xFresh {
+		if xFresh[i] != xWs[i] {
+			t.Errorf("iterates differ at %d: %v vs %v", i, xFresh[i], xWs[i])
+		}
+	}
+}

@@ -94,6 +94,11 @@ func For(n, grain int, fn func(lo, hi int)) {
 		w = nChunks
 	}
 	if w <= 1 {
+		// Same chunk layout as the parallel path, in ascending order; this
+		// loop must not allocate (the solver hot paths hit it thousands of
+		// times per run at one worker), which is why the goroutine machinery
+		// lives in forParallel — its captured coordination state would
+		// otherwise heap-allocate here too.
 		for lo := 0; lo < n; lo += grain {
 			hi := lo + grain
 			if hi > n {
@@ -103,6 +108,12 @@ func For(n, grain int, fn func(lo, hi int)) {
 		}
 		return
 	}
+	forParallel(n, grain, nChunks, w, fn)
+}
+
+// forParallel distributes chunks over w goroutines; split out of For so the
+// serial path never allocates the coordination state captured below.
+func forParallel(n, grain, nChunks, w int, fn func(lo, hi int)) {
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup

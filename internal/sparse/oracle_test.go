@@ -107,3 +107,149 @@ func TestSparseLUMatchesDenseLU(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// mutateValues builds a new system on the exact sparsity structure of sys:
+// fresh random off-diagonal values and a re-dominated diagonal (sign kept),
+// with the dense mirror updated to match.
+func mutateValues(sys ddSystem, rng *rand.Rand) ddSystem {
+	n := sys.n
+	csr2 := &CSR{Rows: n, Cols: n, RowPtr: sys.csr.RowPtr, ColIdx: sys.csr.ColIdx, Val: make([]float64, len(sys.csr.Val))}
+	full2 := la.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		rowAbs := 0.0
+		diagPos := -1
+		for k := csr2.RowPtr[i]; k < csr2.RowPtr[i+1]; k++ {
+			j := csr2.ColIdx[k]
+			if j == i {
+				diagPos = k
+				continue
+			}
+			v := rng.NormFloat64()
+			csr2.Val[k] = v
+			full2.Add(i, j, v)
+			rowAbs += math.Abs(v)
+		}
+		d := rowAbs + 1 + rng.Float64()
+		if sys.csr.Val[diagPos] < 0 {
+			d = -d
+		}
+		csr2.Val[diagPos] = d
+		full2.Add(i, i, d)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	return ddSystem{n: n, csr: csr2, full: full2, b: b}
+}
+
+// TestSparseRefactorMatchesDenseLU extends the quick-check oracle to the
+// symbolic-reuse path: factor one system, then Refactor the same structure
+// with new values several times, each checked against a fresh dense LU.
+func TestSparseRefactorMatchesDenseLU(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sys := genDDSystem(rng)
+		sf, err := FactorLU(sys.csr)
+		if err != nil {
+			t.Logf("seed %d: sparse factorization failed: %v", seed, err)
+			return false
+		}
+		for trial := 0; trial < 3; trial++ {
+			mut := mutateValues(sys, rng)
+			if err := sf.Refactor(mut.csr); err != nil {
+				t.Logf("seed %d trial %d: Refactor failed: %v", seed, trial, err)
+				return false
+			}
+			df, err := la.FactorLU(mut.full)
+			if err != nil {
+				t.Logf("seed %d trial %d: dense factorization failed: %v", seed, trial, err)
+				return false
+			}
+			xs := make([]float64, mut.n)
+			xd := make([]float64, mut.n)
+			sf.Solve(mut.b, xs)
+			df.Solve(mut.b, xd)
+			norm, diff := 0.0, 0.0
+			for i := range xs {
+				norm += xd[i] * xd[i]
+				d := xs[i] - xd[i]
+				diff += d * d
+			}
+			norm, diff = math.Sqrt(norm), math.Sqrt(diff)
+			if diff > 1e-10*(1+norm) {
+				t.Logf("seed %d trial %d (n=%d): refactored/dense solutions differ by %g", seed, trial, mut.n, diff)
+				return false
+			}
+			r := make([]float64, mut.n)
+			mut.csr.MulVec(xs, r)
+			res := 0.0
+			for i := range r {
+				d := r[i] - mut.b[i]
+				res += d * d
+			}
+			if math.Sqrt(res) > 1e-10*(1+norm) {
+				t.Logf("seed %d trial %d (n=%d): refactored residual %g", seed, trial, mut.n, math.Sqrt(res))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSparseRefactorDetectsPatternChange checks that a structurally different
+// matrix is rejected instead of silently corrupting the factors.
+func TestSparseRefactorDetectsPatternChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	sys := genDDSystem(rng)
+	sf, err := FactorLU(sys.csr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sf.Refactor(sys.csr); err != nil {
+		t.Fatalf("refactor of the original matrix: %v", err)
+	}
+	// Densify one extra entry: same size, different structure.
+	trip := NewTriplet(sys.n, sys.n)
+	for i := 0; i < sys.n; i++ {
+		for k := sys.csr.RowPtr[i]; k < sys.csr.RowPtr[i+1]; k++ {
+			trip.Add(i, sys.csr.ColIdx[k], sys.csr.Val[k])
+		}
+	}
+	extraRow := 0
+	trip.Add(extraRow, sys.n-1, 1e-3)
+	changed := trip.ToCSR()
+	if len(changed.Val) == len(sys.csr.Val) {
+		t.Skip("extra entry landed on an existing position")
+	}
+	if err := sf.Refactor(changed); err == nil {
+		t.Fatal("Refactor accepted a structurally different matrix")
+	}
+}
+
+// TestSparseRefactorSteadyStateAllocs locks in that warm refactorizations
+// and solves allocate nothing.
+func TestSparseRefactorSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sys := genDDSystem(rng)
+	sf, err := FactorLU(sys.csr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sf.Refactor(sys.csr); err != nil { // build the plan
+		t.Fatal(err)
+	}
+	x := make([]float64, sys.n)
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := sf.Refactor(sys.csr); err != nil {
+			t.Fatal(err)
+		}
+		sf.Solve(sys.b, x)
+	})
+	if allocs > 0 {
+		t.Errorf("warm Refactor+Solve allocates %.1f objects/op, want 0", allocs)
+	}
+}
