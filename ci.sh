@@ -1,22 +1,30 @@
 #!/bin/sh
 # Repository check tiers, in increasing cost:
 #
-#   tier 1  build + full test suite (the gate every change must pass)
-#   tier 2  vet + race detector over the suite (-short skips the longest
-#           solver runs; the parallel kernels all execute under the
-#           race detector via the unit and determinism tests)
-#   bench   hot-loop benchmark snapshot: runs the envelope, quasiperiodic
-#           and allocation-budget benchmarks with -benchmem and writes the
-#           parsed numbers (ns/op, B/op, allocs/op) to BENCH_pr2.json via
-#           cmd/benchjson. Not part of "all" — timings are machine-specific,
-#           so refresh the baseline deliberately.
+#   tier 1      build + full test suite (the gate every change must pass)
+#   tier 2      vet + race detector over the suite (-short skips the longest
+#               solver runs; the parallel kernels all execute under the
+#               race detector via the unit and determinism tests)
+#   bench       hot-loop benchmark snapshot: runs the envelope, quasiperiodic
+#               and allocation-budget benchmarks with -benchmem and writes the
+#               parsed numbers (ns/op, B/op, allocs/op) to a baseline file
+#               (second argument, default BENCH_pr3.json) via cmd/benchjson.
+#               Not part of "all" — timings are machine-specific, so refresh
+#               the baseline deliberately. Historical baselines (BENCH_pr2.json)
+#               stay committed; pass the filename to overwrite one explicitly.
+#   bench-check rerun the same benchmarks and compare against the committed
+#               baseline with cmd/benchjson -check: an allocs/op regression
+#               fails, ns/op drift beyond ±20% only warns.
 #
-# Run ./ci.sh for everything, ./ci.sh 1 / ./ci.sh 2 for one tier, or
-# ./ci.sh bench to refresh the benchmark baseline.
+# Run ./ci.sh for everything, ./ci.sh 1 / ./ci.sh 2 for one tier,
+# ./ci.sh bench [FILE] to refresh a baseline, or ./ci.sh bench-check [FILE]
+# to gate against one.
 set -eu
 cd "$(dirname "$0")"
 
 tier="${1:-all}"
+benchfile="${2:-BENCH_pr3.json}"
+benchre='BenchmarkFig07VCOEnvelopeVacuum$|BenchmarkAblationChordNewton$|BenchmarkAblationGMRESRecycle$|BenchmarkQuasiperiodicWaMPDE$|BenchmarkHotLoopAllocs$'
 
 if [ "$tier" = 1 ] || [ "$tier" = all ]; then
 	echo "== tier 1: build + tests"
@@ -31,11 +39,16 @@ if [ "$tier" = 2 ] || [ "$tier" = all ]; then
 fi
 
 if [ "$tier" = bench ]; then
-	echo "== bench: snapshotting hot-loop benchmarks to BENCH_pr2.json"
-	go test -run '^$' \
-		-bench 'BenchmarkFig07VCOEnvelopeVacuum$|BenchmarkAblationChordNewton$|BenchmarkQuasiperiodicWaMPDE$|BenchmarkHotLoopAllocs$' \
-		-benchmem -benchtime 3x . | go run ./cmd/benchjson >BENCH_pr2.json
-	cat BENCH_pr2.json
+	echo "== bench: snapshotting hot-loop benchmarks to $benchfile"
+	go test -run '^$' -bench "$benchre" \
+		-benchmem -benchtime 3x . | go run ./cmd/benchjson >"$benchfile"
+	cat "$benchfile"
+fi
+
+if [ "$tier" = bench-check ]; then
+	echo "== bench-check: comparing hot-loop benchmarks against $benchfile"
+	go test -run '^$' -bench "$benchre" \
+		-benchmem -benchtime 3x . | go run ./cmd/benchjson -check "$benchfile"
 fi
 
 echo "ci: ok"

@@ -1,7 +1,13 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // machine-readable JSON report on stdout, so CI tiers and scripts can diff
 // benchmark baselines (see `ci.sh bench`, which snapshots the hot-loop
-// numbers into BENCH_pr2.json) without scraping the text format themselves.
+// numbers into BENCH_pr3.json) without scraping the text format themselves.
+//
+// With -check FILE it compares the run on stdin against a committed baseline
+// instead of emitting JSON: a benchmark missing from the run or an
+// allocs/op count above the baseline (plus a small slack) fails the check,
+// while ns/op drift beyond -tol in either direction only warns — allocation
+// counts are deterministic, timings are machine-specific.
 //
 // Lines that are not benchmark results (the cpu/goos banner, PASS/ok) are
 // ignored; the -cpu suffix goos appends to benchmark names is kept, since it
@@ -11,7 +17,9 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -71,18 +79,106 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, ok
 }
 
-func main() {
-	rep := Report{Go: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0), Benchmarks: []Benchmark{}}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+func readBenchmarks(sc *bufio.Scanner) ([]Benchmark, error) {
+	var out []Benchmark
 	for sc.Scan() {
 		if b, ok := parseLine(sc.Text()); ok {
-			rep.Benchmarks = append(rep.Benchmarks, b)
+			out = append(out, b)
 		}
 	}
-	if err := sc.Err(); err != nil {
+	return out, sc.Err()
+}
+
+// check compares the current run against the baseline report and prints one
+// line per baseline benchmark. It returns false when a baseline benchmark is
+// missing from the run or allocates more than the baseline allows; ns/op
+// drift beyond tol in either direction is reported but does not fail.
+func check(baseline Report, run []Benchmark, tol float64, allocSlack int64, w *os.File) bool {
+	byName := make(map[string]Benchmark, len(run))
+	for _, b := range run {
+		byName[b.Name] = b
+	}
+	pass := true
+	for _, base := range baseline.Benchmarks {
+		got, ok := byName[base.Name]
+		if !ok {
+			fmt.Fprintf(w, "FAIL %s: missing from this run\n", base.Name)
+			pass = false
+			continue
+		}
+		status := "ok  "
+		var notes []string
+		if base.AllocsPerOp != nil {
+			limit := *base.AllocsPerOp + allocSlack
+			switch {
+			case got.AllocsPerOp == nil:
+				notes = append(notes, "no allocs/op in run (need -benchmem)")
+				status = "FAIL"
+				pass = false
+			case *got.AllocsPerOp > limit:
+				notes = append(notes, fmt.Sprintf("allocs/op %d > baseline %d (+%d slack)",
+					*got.AllocsPerOp, *base.AllocsPerOp, allocSlack))
+				status = "FAIL"
+				pass = false
+			default:
+				notes = append(notes, fmt.Sprintf("allocs/op %d (baseline %d)", *got.AllocsPerOp, *base.AllocsPerOp))
+			}
+		}
+		if base.NsPerOp > 0 {
+			rel := got.NsPerOp/base.NsPerOp - 1
+			if math.Abs(rel) > tol {
+				notes = append(notes, fmt.Sprintf("WARN ns/op %+.0f%% vs baseline (%.3g vs %.3g)",
+					100*rel, got.NsPerOp, base.NsPerOp))
+				if status == "ok  " {
+					status = "warn"
+				}
+			} else {
+				notes = append(notes, fmt.Sprintf("ns/op %+.0f%%", 100*rel))
+			}
+		}
+		fmt.Fprintf(w, "%s %s: %s\n", status, base.Name, strings.Join(notes, ", "))
+	}
+	return pass
+}
+
+func main() {
+	checkFile := flag.String("check", "", "compare stdin against the baseline JSON `file` instead of emitting JSON")
+	tol := flag.Float64("tol", 0.20, "relative ns/op drift that triggers a warning in -check mode")
+	allocSlack := flag.Int64("alloc-slack", 2, "allocs/op above baseline tolerated in -check mode")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	benches, err := readBenchmarks(sc)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+
+	if *checkFile != "" {
+		raw, err := os.ReadFile(*checkFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var baseline Report
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *checkFile, err)
+			os.Exit(1)
+		}
+		if len(baseline.Benchmarks) == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: empty baseline\n", *checkFile)
+			os.Exit(1)
+		}
+		if !check(baseline, benches, *tol, *allocSlack, os.Stdout) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep := Report{Go: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0), Benchmarks: benches}
+	if rep.Benchmarks == nil {
+		rep.Benchmarks = []Benchmark{}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

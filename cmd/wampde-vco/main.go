@@ -34,6 +34,8 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write CSV data files into")
 	steps := flag.Int("steps", 0, "t2 steps (default 400 vacuum / 600 air)")
 	chord := flag.Bool("chord", true, "carry the chord-Newton factorization across t2 steps")
+	gmres := flag.Bool("gmres", false, "solve the per-step Jacobian systems with preconditioned GMRES instead of dense LU")
+	recycle := flag.Bool("recycle", true, "carry the GCRO-DR deflation space across GMRES solves (with -gmres)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -65,7 +67,7 @@ func main() {
 		}()
 	}
 
-	cfg := wampde.VCORunConfig{Air: *air, Steps: *steps, ChordNewton: *chord}
+	cfg := wampde.VCORunConfig{Air: *air, Steps: *steps, ChordNewton: *chord, GMRES: *gmres, RecycleKrylov: *recycle}
 	run, err := wampde.RunPaperVCO(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wampde-vco:", err)
@@ -75,6 +77,11 @@ func main() {
 		len(run.Result.T2), run.Result.NewtonIterTotal, run.WallTime)
 	fmt.Printf("Jacobian factorizations: %d (%d chord reuses)\n",
 		run.Result.JacobianEvals, run.Result.JacobianReuses)
+	if *gmres {
+		fmt.Printf("GMRES: %d solves, %d matvecs; recycler: %d hits, %d harvests, %d invalidations\n",
+			run.Result.GMRESSolves, run.Result.GMRESMatVecs,
+			run.Result.RecycleHits, run.Result.RecycleHarvests, run.Result.RecycleInvalidations)
+	}
 	fmt.Printf("initial local frequency: %.3f MHz (paper: ≈0.75 MHz)\n\n", run.Omega0/1e6)
 
 	if *qp && !*air {

@@ -63,6 +63,42 @@ func TestEnvelopeWorkerDeterminism(t *testing.T) {
 	}
 }
 
+// TestRecycleWorkerDeterminism runs the GMRES + Krylov-recycling envelope
+// (the iterative large-system path with chord Newton, as the cmd drivers
+// configure it) at 1, 2 and 8 workers and demands bitwise-identical results:
+// the recycler's projection, Arnoldi and harvest arithmetic is all serial, so
+// the worker count may only change how the parallel assembly and
+// preconditioner kernels chunk — which the par contract keeps exact.
+func TestRecycleWorkerDeterminism(t *testing.T) {
+	recycleRun := func() *wampde.VCORun {
+		run, err := wampde.RunPaperVCO(wampde.VCORunConfig{
+			N1: 15, T2End: 20e-6, Steps: 60,
+			ChordNewton: true, GMRES: true, RecycleKrylov: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run
+	}
+	prev := par.SetWorkers(1)
+	defer par.SetWorkers(prev)
+	ref := recycleRun()
+	if ref.Result.RecycleHits == 0 {
+		t.Fatal("recycling never engaged on the determinism configuration")
+	}
+
+	for _, w := range []int{2, 8} {
+		par.SetWorkers(w)
+		got := recycleRun()
+		sameRun(t, ref, got, fmt.Sprintf("recycle workers=%d", w))
+		if got.Result.GMRESMatVecs != ref.Result.GMRESMatVecs || got.Result.RecycleHits != ref.Result.RecycleHits {
+			t.Errorf("workers=%d: solver cost drifted: matvecs %d vs %d, hits %d vs %d",
+				w, got.Result.GMRESMatVecs, ref.Result.GMRESMatVecs,
+				got.Result.RecycleHits, ref.Result.RecycleHits)
+		}
+	}
+}
+
 // TestEnvelopeEnvWorkerOverride checks the WAMPDE_WORKERS environment
 // override reaches the pool and preserves the same bitwise results.
 func TestEnvelopeEnvWorkerOverride(t *testing.T) {

@@ -27,6 +27,14 @@ type VCORunConfig struct {
 	// suite pins the historical once-per-step factorization bitwise; the cmd
 	// drivers turn it on.
 	ChordNewton bool
+	// GMRES solves the per-step Jacobian systems iteratively (harmonic
+	// preconditioner) instead of by dense LU — core.LinearGMRES, the
+	// large-system path. Off by default.
+	GMRES bool
+	// RecycleKrylov carries a GCRO-DR deflation space across the GMRES
+	// solves (see core.EnvelopeOptions.RecycleKrylov). Only meaningful with
+	// GMRES; off by default so the goldens pin the historical path.
+	RecycleKrylov bool
 }
 
 func (c VCORunConfig) withDefaults() VCORunConfig {
@@ -76,11 +84,17 @@ func RunPaperVCO(cfg VCORunConfig) (*VCORun, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wampde: VCO initial condition: %w", err)
 	}
+	linear := core.LinearDenseLU
+	if cfg.GMRES {
+		linear = core.LinearGMRES
+	}
 	res, err := core.Envelope(vco, xhat0, omega0, cfg.T2End, core.EnvelopeOptions{
-		N1:          cfg.N1,
-		H2:          cfg.T2End / float64(cfg.Steps),
-		Trap:        true,
-		ChordNewton: cfg.ChordNewton,
+		N1:            cfg.N1,
+		H2:            cfg.T2End / float64(cfg.Steps),
+		Trap:          true,
+		ChordNewton:   cfg.ChordNewton,
+		Linear:        linear,
+		RecycleKrylov: cfg.RecycleKrylov,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("wampde: VCO envelope: %w", err)

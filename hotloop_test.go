@@ -117,3 +117,62 @@ func TestChordNewtonReducesFactorizations(t *testing.T) {
 		float64(def.JacobianEvals)/float64(chord.JacobianEvals),
 		def.NewtonIterTotal, chord.NewtonIterTotal)
 }
+
+// TestRecycleReducesMatvecs checks the Krylov-recycling acceptance criteria on
+// the Fig. 7 GMRES pipeline (ChordNewton on, the cmd-driver configuration):
+// carrying the GCRO-DR deflation space across solves must strictly cut the
+// total matvec count, leave the Newton trajectory untouched (every solve still
+// converges to GMRESTol, so the recycled run is the same computation with
+// cheaper linear algebra), and reproduce the frequency envelope to well within
+// the Newton tolerance.
+func TestRecycleReducesMatvecs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping envelope runs")
+	}
+	vco, ic, w0 := fig7IC(t)
+
+	const t2End = 60e-6
+	base := core.EnvelopeOptions{
+		N1: 25, H2: t2End / 400, Trap: true,
+		Linear: core.LinearGMRES, ChordNewton: true,
+	}
+	recOpt := base
+	recOpt.RecycleKrylov = true
+
+	def, err := core.Envelope(vco, ic, w0, t2End, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := core.Envelope(vco, ic, w0, t2End, recOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if def.GMRESSolves == 0 || def.GMRESMatVecs == 0 {
+		t.Fatalf("default GMRES run recorded no iterative-solver work: solves=%d matvecs=%d",
+			def.GMRESSolves, def.GMRESMatVecs)
+	}
+	if rec.RecycleHits == 0 || rec.RecycleHarvests == 0 {
+		t.Errorf("recycling never engaged: hits=%d harvests=%d", rec.RecycleHits, rec.RecycleHarvests)
+	}
+	if rec.RecycleInvalidations == 0 {
+		t.Error("recycler was never invalidated: the Jacobian-refresh hook is not wired")
+	}
+	if rec.GMRESMatVecs >= def.GMRESMatVecs {
+		t.Errorf("recycling cost %d matvecs, default %d; want strictly fewer",
+			rec.GMRESMatVecs, def.GMRESMatVecs)
+	}
+
+	if len(def.T2) != len(rec.T2) {
+		t.Fatalf("step counts differ: default %d, recycled %d", len(def.T2), len(rec.T2))
+	}
+	for i := range def.Omega {
+		if d := math.Abs(def.Omega[i] - rec.Omega[i]); d > 1e-4*math.Abs(def.Omega[i]) {
+			t.Errorf("omega[%d] differs beyond tolerance: default %.12g, recycled %.12g", i, def.Omega[i], rec.Omega[i])
+		}
+	}
+	t.Logf("GMRES matvecs: default %d, recycled %d (%.1f%% fewer); hits=%d harvests=%d invalidations=%d",
+		def.GMRESMatVecs, rec.GMRESMatVecs,
+		100*(1-float64(rec.GMRESMatVecs)/float64(def.GMRESMatVecs)),
+		rec.RecycleHits, rec.RecycleHarvests, rec.RecycleInvalidations)
+}

@@ -76,6 +76,16 @@ type EnvelopeOptions struct {
 	// factorizations and the recycled GMRES harmonic preconditioner are
 	// rebuilt. Default 0.02.
 	OmegaDriftTol float64
+	// RecycleKrylov (LinearGMRES only) carries a GCRO-DR deflation space
+	// across the step solver's GMRES calls: harmonic Ritz vectors harvested
+	// from one solve deflate the slow modes of the next, cutting matvecs
+	// while the linearization holds still — within a step's Newton
+	// iterations, and across steps under ChordNewton's reuse windows. The
+	// space is discarded at every Jacobian refresh and harmonic-
+	// preconditioner rebuild (the ω-drift gate), since either redefines the
+	// preconditioned operator it was harvested from. Off by default: the
+	// historical GMRES path the golden suite pins down.
+	RecycleKrylov bool
 }
 
 func (o EnvelopeOptions) withDefaults() EnvelopeOptions {
@@ -148,6 +158,17 @@ func Envelope(sys dae.Autonomous, xhat0 []float64, omega0, t2End float64, opt En
 
 	asm := newEnvAssembler(sys, n1, n, k, w, c, opt)
 	res := &EnvelopeResult{N1: n1, N: n}
+	// Iterative-path counters are filled on every exit, including early
+	// OnStep stops and step failures, so cost accounting stays honest.
+	defer func() {
+		res.GMRESSolves = asm.gmresSolves
+		res.GMRESMatVecs = asm.gmresMatVecs
+		if asm.rec != nil {
+			res.RecycleHits = asm.rec.Hits
+			res.RecycleHarvests = asm.rec.Harvests
+			res.RecycleInvalidations = asm.rec.Invalidations
+		}
+	}()
 	record := func(t2, omega float64, x []float64) bool {
 		res.T2 = append(res.T2, t2)
 		res.Omega = append(res.Omega, omega)
@@ -339,8 +360,12 @@ type envAssembler struct {
 	// the parameters it was built at.
 	prec                        *harmonicPrec
 	precH, precTheta, precOmega float64
-	jqAvg, jfAvg                *la.Dense
-	precMs                      []*la.CDense // per-chunk bin assembly scratch, lo-indexed
+	// Krylov subspace recycler (RecycleKrylov mode) and iterative-solve
+	// counters accumulated across all steps of the run.
+	rec                       *krylov.Recycler
+	gmresSolves, gmresMatVecs int
+	jqAvg, jfAvg              *la.Dense
+	precMs                    []*la.CDense // per-chunk bin assembly scratch, lo-indexed
 
 	// Cached parallel kernels. Closures handed to par.For escape (the
 	// parallel path stores them in goroutines), so building them at each
@@ -383,6 +408,12 @@ func newEnvAssembler(sys dae.Autonomous, n1, n, k int, w []float64, c float64, o
 		jj:      la.NewDense(n1*n+1, n1*n+1),
 		lu:      la.NewLU(n1*n + 1),
 		nws:     newton.NewWorkspace(n1*n + 1),
+	}
+	if opt.RecycleKrylov && opt.Linear == LinearGMRES {
+		a.rec = krylov.NewRecycler(0)
+		// jac() and buildHarmonicPrec invalidate the space at every operator
+		// or preconditioner change, so the exact-space contract holds.
+		a.rec.Trusted = true
 	}
 	for j := 0; j < n1; j++ {
 		a.jqs[j] = la.NewDense(n, n)
@@ -592,6 +623,13 @@ func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNe
 	jac := func(z []float64) (newton.LinearSolve, error) {
 		jj := a.assembleJacobian(z, h, theta)
 		a.omegaAtFactor = z[n1*n]
+		// A fresh linearization invalidates the Krylov recycler: its carried
+		// space is exact only for the operator it was harvested from, and the
+		// deflation directions amplify like 1/θ_min, so even a small Jacobian
+		// drift can turn them harmful. Newton's factorization-reuse windows
+		// (within a step, and across steps in ChordNewton mode) are where the
+		// operator holds still and the space earns its keep.
+		a.rec.Invalidate()
 		switch a.opt.Linear {
 		case LinearGMRES:
 			// Harmonic (averaged-Jacobian, block-circulant) preconditioner:
@@ -601,7 +639,8 @@ func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNe
 			if err != nil {
 				return nil, err
 			}
-			return gmresSolver{op: krylov.DenseOp{M: jj}, prec: prec, tol: a.opt.GMRESTol}, nil
+			return gmresSolver{op: krylov.DenseOp{M: jj}, prec: prec, tol: a.opt.GMRESTol,
+				rec: a.rec, solves: &a.gmresSolves, matvecs: &a.gmresMatVecs}, nil
 		default:
 			if err := a.lu.FactorInto(jj); err != nil {
 				return nil, err
@@ -700,17 +739,26 @@ func (a *envAssembler) assembleJacobian(z []float64, h, theta float64) *la.Dense
 	return jj
 }
 
-// gmresSolver adapts GMRES to the newton.LinearSolve interface.
+// gmresSolver adapts GMRES to the newton.LinearSolve interface, optionally
+// recycling a deflation space across calls and accumulating cost counters
+// into the owning assembler. With rec == nil the solve is plain GMRES,
+// bitwise identical to the historical path.
 type gmresSolver struct {
-	op   krylov.Operator
-	prec krylov.Preconditioner
-	tol  float64
+	op              krylov.Operator
+	prec            krylov.Preconditioner
+	tol             float64
+	rec             *krylov.Recycler
+	solves, matvecs *int
 }
 
 func (g gmresSolver) Solve(b, x []float64) {
 	la.Fill(x, 0)
 	// Best effort: Newton treats a poor direction as any other and damps.
-	_, _ = krylov.GMRES(g.op, b, x, krylov.Options{Tol: g.tol, Prec: g.prec, MaxIter: 400})
+	res, _ := krylov.GMRESDR(g.op, b, x, krylov.Options{Tol: g.tol, Prec: g.prec, MaxIter: 400}, g.rec)
+	if g.solves != nil {
+		*g.solves++
+		*g.matvecs += res.MatVecs
+	}
 }
 
 func abs(x float64) float64 {

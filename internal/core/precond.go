@@ -25,8 +25,8 @@ import (
 // refactors in place and a preconditioner application allocates nothing.
 type harmonicPrec struct {
 	n1, n int
-	scale []float64   // row scales of the scaled system being solved
-	facts []*la.CLU   // one per harmonic bin (length n1), refactored in place
+	scale []float64 // row scales, snapshot at build time (see buildHarmonicPrec)
+	facts []*la.CLU // one per harmonic bin (length n1), refactored in place
 	spec  [][]complex128
 	xh    []complex128 // per-chunk bin-solve scratch, lo-indexed
 	bh    []complex128
@@ -53,11 +53,15 @@ func (a *envAssembler) harmonicPrecFor(z []float64, omega, h, theta float64) (*h
 // buildHarmonicPrec (re)factors the per-harmonic systems at the current
 // iterate into the persistent workspace, allocating only on the first call.
 func (a *envAssembler) buildHarmonicPrec(z []float64, omega, h, theta float64) error {
+	// Rebuilding the preconditioner redefines the operator M⁻¹J the GMRES
+	// recycler's deflation space was harvested from, so the carried space is
+	// dropped here — the recycler shares the preconditioner's ω-drift gate.
+	a.rec.Invalidate()
 	n1, n := a.n1, a.n
 	if a.prec == nil {
 		a.prec = &harmonicPrec{
 			n1: n1, n: n,
-			scale: a.scale,
+			scale: make([]float64, len(a.scale)),
 			facts: make([]*la.CLU, n1),
 			spec:  make([][]complex128, n),
 			xh:    make([]complex128, n1*n),
@@ -69,6 +73,14 @@ func (a *envAssembler) buildHarmonicPrec(z []float64, omega, h, theta float64) e
 		for i := range a.prec.spec {
 			a.prec.spec[i] = make([]complex128, n1)
 		}
+	}
+	// Snapshot the row scales: a.scale is recomputed in place every t2 step,
+	// and a preconditioner that read it live would be a silently different
+	// operator M⁻¹ each step — invisible to the ω-drift gate and fatal to the
+	// Krylov recycler's exact-space contract. A slightly stale scale only
+	// costs Krylov iterations, like any other staleness the gate tolerates.
+	copy(a.prec.scale, a.scale)
+	if a.jqAvg == nil {
 		a.jqAvg = la.NewDense(n, n)
 		a.jfAvg = la.NewDense(n, n)
 		a.precMs = make([]*la.CDense, n1)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dae"
 	"repro/internal/fourier"
+	"repro/internal/krylov"
 	"repro/internal/la"
 	"repro/internal/newton"
 	"repro/internal/par"
@@ -27,6 +28,19 @@ type QPOptions struct {
 	// Newton iteration from a possibly rough guess, where fresh Jacobians
 	// buy robustness.
 	ChordNewton bool
+	// Linear selects the inner linear solver. LinearGMRES replaces the
+	// global dense LU (O((N1·N2·n)³) per factorization) with restarted
+	// GMRES over a block-Jacobi preconditioner whose blocks are the
+	// per-t2-line systems — the scalable path for fine grids.
+	Linear   LinearKind
+	GMRESTol float64 // default 1e-10
+	// RecycleKrylov (LinearGMRES only) carries a GCRO-DR deflation space
+	// across the global solve's GMRES calls; see
+	// EnvelopeOptions.RecycleKrylov. The space is dropped at every Jacobian
+	// refresh (it is exact only for the linearization it was harvested
+	// from), so it pays inside factorization-reuse windows — i.e. with
+	// ChordNewton, where one linearization serves several Newton iterations.
+	RecycleKrylov bool
 }
 
 func (o QPOptions) withDefaults() QPOptions {
@@ -41,6 +55,9 @@ func (o QPOptions) withDefaults() QPOptions {
 	}
 	if o.Newton.TolF <= 0 {
 		o.Newton.TolF = 1e-8
+	}
+	if o.GMRESTol <= 0 {
+		o.GMRESTol = 1e-10
 	}
 	return o
 }
@@ -243,7 +260,18 @@ func Quasiperiodic(sys dae.Autonomous, t2Period float64, guess *QPGuess, opt QPO
 	// the rows are zeroed (in disjoint parallel chunks) first.
 	jj := la.NewDense(total, total)
 	flu := la.NewLU(total)
+	var rec *krylov.Recycler
+	if opt.RecycleKrylov && opt.Linear == LinearGMRES {
+		rec = krylov.NewRecycler(0)
+		// jac() invalidates at every fresh linearization, so the exact-space
+		// contract holds.
+		rec.Trusted = true
+	}
+	var gmresSolves, gmresMatVecs int
 	jac := func(z []float64) (newton.LinearSolve, error) {
+		// Fresh linearization: the recycled deflation space no longer matches
+		// the operator (see EnvelopeOptions.RecycleKrylov) and is dropped.
+		rec.Invalidate()
 		par.For(total, 64, func(lo, hi int) {
 			for r := lo; r < hi; r++ {
 				row := jj.Row(r)
@@ -310,6 +338,18 @@ func Quasiperiodic(sys dae.Autonomous, t2Period float64, guess *QPGuess, opt QPO
 				}
 			}
 		})
+		if opt.Linear == LinearGMRES {
+			// One block per t2 line (N1·n unknowns): the stiff t1 coupling
+			// lives inside a line, so line solves make an effective
+			// preconditioner; the D2 cross-line coupling and the bordered
+			// ω rows are left to the Krylov iteration.
+			prec, err := krylov.NewBlockJacobi(jj, N1*n)
+			if err != nil {
+				return nil, err
+			}
+			return gmresSolver{op: krylov.DenseOp{M: jj}, prec: prec, tol: opt.GMRESTol,
+				rec: rec, solves: &gmresSolves, matvecs: &gmresMatVecs}, nil
+		}
 		if err := flu.FactorInto(jj); err != nil {
 			return nil, err
 		}
@@ -327,6 +367,12 @@ func Quasiperiodic(sys dae.Autonomous, t2Period float64, guess *QPGuess, opt QPO
 	res.NewtonIterTotal = resN.Iterations
 	res.JacobianEvals = resN.JacobianEvals
 	res.JacobianReuses = resN.JacobianReuses
+	res.GMRESSolves = gmresSolves
+	res.GMRESMatVecs = gmresMatVecs
+	if rec != nil {
+		res.RecycleHits = rec.Hits
+		res.RecycleHarvests = rec.Harvests
+	}
 	for j2 := 0; j2 < N2; j2++ {
 		res.X[j2] = make([][]float64, N1)
 		for j1 := 0; j1 < N1; j1++ {

@@ -28,6 +28,18 @@ type EnvelopeResult struct {
 	// chord factorization instead (see EnvelopeOptions.ChordNewton).
 	JacobianEvals  int
 	JacobianReuses int
+	// Iterative-path accounting (LinearGMRES only; zero under dense LU):
+	// GMRESMatVecs is the total operator applications across GMRESSolves
+	// linear solves, the headline cost of the iterative path. The Recycle*
+	// counters report the Krylov subspace recycler's activity (see
+	// EnvelopeOptions.RecycleKrylov): solves that started from a carried
+	// deflation space, spaces harvested from completed cycles, and spaces
+	// discarded because the preconditioned operator drifted.
+	GMRESSolves          int
+	GMRESMatVecs         int
+	RecycleHits          int
+	RecycleHarvests      int
+	RecycleInvalidations int
 }
 
 // Slice returns the t1 waveform (N1 samples) of state i at t2 index k.
@@ -124,6 +136,11 @@ type QPResult struct {
 	NewtonIterTotal int // Newton iterations of the one global solve
 	JacobianEvals   int // Jacobian assemblies + factorizations
 	JacobianReuses  int // iterations that recycled a stale factorization
+	// Iterative-path accounting, as in EnvelopeResult (QPOptions.Linear).
+	GMRESSolves     int
+	GMRESMatVecs    int
+	RecycleHits     int
+	RecycleHarvests int
 }
 
 // OmegaMean returns the average local frequency ω₀ of eq. (21).

@@ -187,6 +187,74 @@ func TestPlanConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
+// TestPlanCacheEviction fills the shared cache past PlanCacheCap with fresh
+// lengths so the LRU policy must evict, then confirms three things: the cache
+// never holds more than PlanCacheCap entries, an evicted length really left
+// the cache, and the re-planned instance produces transforms bitwise equal to
+// the pre-eviction plan and the one-shot FFT/IFFT — eviction may cost a
+// rebuild but can never change results.
+func TestPlanCacheEviction(t *testing.T) {
+	for _, n := range []int{64, 97} { // radix-2 and Bluestein victims
+		x := randSignal(n, int64(4000+n))
+		before := PlanFFT(n)
+		fwd := make([]complex128, n)
+		inv := make([]complex128, n)
+		before.Forward(fwd, x)
+		before.Inverse(inv, x)
+
+		// Flood the cache with more than PlanCacheCap fresh lengths; the
+		// victim length is untouched throughout, so it becomes the LRU entry
+		// and must be evicted. Base offsets per victim keep the flood lengths
+		// disjoint from every length any other test planned, and small enough
+		// that the throwaway plans are cheap to build.
+		for i := 0; i < PlanCacheCap+4; i++ {
+			PlanFFT(2048 + 64*n + i)
+		}
+
+		resident := 0
+		planCache.Range(func(k, v any) bool {
+			resident++
+			return true
+		})
+		if resident > PlanCacheCap {
+			t.Fatalf("n=%d: %d plans resident after flood, cap %d", n, resident, PlanCacheCap)
+		}
+		if _, ok := planCache.Load(n); ok {
+			t.Fatalf("n=%d: victim survived a flood of %d fresh lengths", n, PlanCacheCap+4)
+		}
+
+		// The evicted *Plan a caller held must keep working unchanged.
+		again := make([]complex128, n)
+		before.Forward(again, x)
+		for i := range again {
+			if again[i] != fwd[i] {
+				t.Fatalf("n=%d: held plan changed output after eviction at bin %d", n, i)
+			}
+		}
+
+		after := PlanFFT(n)
+		if after == before {
+			t.Fatalf("n=%d: PlanFFT returned the evicted instance; expected a rebuild", n)
+		}
+		fwd2 := make([]complex128, n)
+		inv2 := make([]complex128, n)
+		after.Forward(fwd2, x)
+		after.Inverse(inv2, x)
+		oneShotF := FFT(x)
+		oneShotI := IFFT(x)
+		for i := 0; i < n; i++ {
+			if fwd2[i] != fwd[i] || fwd2[i] != oneShotF[i] {
+				t.Fatalf("n=%d: re-planned forward differs at bin %d: pre-evict %v, re-plan %v, one-shot %v",
+					n, i, fwd[i], fwd2[i], oneShotF[i])
+			}
+			if inv2[i] != inv[i] || inv2[i] != oneShotI[i] {
+				t.Fatalf("n=%d: re-planned inverse differs at bin %d: pre-evict %v, re-plan %v, one-shot %v",
+					n, i, inv[i], inv2[i], oneShotI[i])
+			}
+		}
+	}
+}
+
 // TestPlanSteadyStateAllocs locks in that repeated same-length transforms do
 // not allocate once the plan and its pooled scratch are warm.
 func TestPlanSteadyStateAllocs(t *testing.T) {

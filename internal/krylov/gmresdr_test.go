@@ -1,0 +1,326 @@
+package krylov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/la"
+)
+
+// randSPDish builds a well-conditioned unsymmetric test matrix: diagonally
+// dominant with random off-diagonal coupling, the same shape of system the
+// WaMPDE Jacobian produces after preconditioning.
+func randSPDish(n int, seed int64) *la.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	m := la.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				m.Set(i, j, 4+rng.Float64())
+			} else {
+				m.Set(i, j, 0.5*rng.NormFloat64()/float64(n))
+			}
+		}
+	}
+	return m
+}
+
+func randVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// TestGMRESDRMatchesDenseLU checks GMRESDR (with and without a recycler)
+// against the dense-LU oracle on a family of random systems.
+func TestGMRESDRMatchesDenseLU(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 20, 60} {
+		m := randSPDish(n, int64(100+n))
+		b := randVec(n, int64(200+n))
+		want, err := la.SolveDense(m.Clone(), b)
+		if err != nil {
+			t.Fatalf("n=%d: LU oracle failed: %v", n, err)
+		}
+		for name, rec := range map[string]*Recycler{"plain": nil, "recycled": NewRecycler(4)} {
+			x := make([]float64, n)
+			res, err := GMRESDR(DenseOp{M: m}, b, x, Options{Tol: 1e-12}, rec)
+			if err != nil || !res.Converged {
+				t.Fatalf("n=%d %s: GMRESDR did not converge: %+v err=%v", n, name, res, err)
+			}
+			for i := range x {
+				if d := math.Abs(x[i] - want[i]); d > 1e-8*(1+math.Abs(want[i])) {
+					t.Errorf("n=%d %s: component %d deviates from LU oracle by %g", n, name, i, d)
+				}
+			}
+		}
+	}
+}
+
+// TestGMRESDRHappyBreakdown drives the solver with a RHS that spans an exact
+// low-dimensional invariant subspace, so the Arnoldi recurrence terminates
+// (happy breakdown) before the restart length is reached.
+func TestGMRESDRHappyBreakdown(t *testing.T) {
+	// Diagonal operator, b supported on two entries: the Krylov space closes
+	// after two vectors and the solution there is exact.
+	n := 10
+	m := la.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, float64(i+1))
+	}
+	b := make([]float64, n)
+	b[2], b[7] = 1, -3
+	for name, rec := range map[string]*Recycler{"plain": nil, "recycled": NewRecycler(4)} {
+		x := make([]float64, n)
+		res, err := GMRESDR(DenseOp{M: m}, b, x, Options{Tol: 1e-13, Restart: n}, rec)
+		if err != nil || !res.Converged {
+			t.Fatalf("%s: no convergence through happy breakdown: %+v err=%v", name, res, err)
+		}
+		if res.Iterations > 3 {
+			t.Errorf("%s: expected breakdown after ~2 Arnoldi steps, took %d", name, res.Iterations)
+		}
+		if d := math.Abs(x[2]-1.0/3.0) + math.Abs(x[7]+3.0/8.0); d > 1e-12 {
+			t.Errorf("%s: solution error %g after breakdown", name, d)
+		}
+	}
+}
+
+// TestGMRESDRStagnation uses the cyclic shift operator, for which GMRES makes
+// no progress until the full space is built; a tight MaxIter must surface
+// ErrNoConvergence with the best iterate and honest counters.
+func TestGMRESDRStagnation(t *testing.T) {
+	n := 30
+	m := la.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, (i+1)%n, 1)
+	}
+	b := make([]float64, n)
+	b[0] = 1
+	for name, rec := range map[string]*Recycler{"plain": nil, "recycled": NewRecycler(4)} {
+		x := make([]float64, n)
+		res, err := GMRESDR(DenseOp{M: m}, b, x, Options{Tol: 1e-12, Restart: 5, MaxIter: 12}, rec)
+		if err != ErrNoConvergence {
+			t.Fatalf("%s: want ErrNoConvergence, got %v (%+v)", name, err, res)
+		}
+		if res.Converged {
+			t.Errorf("%s: Converged=true at stagnation", name)
+		}
+		if res.Iterations > 12 {
+			t.Errorf("%s: MaxIter=12 exceeded: %d iterations", name, res.Iterations)
+		}
+		if res.MatVecs == 0 {
+			t.Errorf("%s: MatVecs not counted", name)
+		}
+	}
+}
+
+// TestGMRESDRZeroRHS checks the b=0 fast path zeroes the iterate.
+func TestGMRESDRZeroRHS(t *testing.T) {
+	n := 8
+	m := randSPDish(n, 7)
+	x := randVec(n, 8) // non-zero initial guess must be discarded
+	rec := NewRecycler(4)
+	res, err := GMRESDR(DenseOp{M: m}, make([]float64, n), x, Options{}, rec)
+	if err != nil || !res.Converged {
+		t.Fatalf("zero RHS: %+v err=%v", res, err)
+	}
+	for i, xi := range x {
+		if xi != 0 {
+			t.Fatalf("zero RHS: x[%d]=%g, want 0", i, xi)
+		}
+	}
+	if res.MatVecs != 0 {
+		t.Errorf("zero RHS cost %d matvecs, want 0", res.MatVecs)
+	}
+}
+
+// TestRecyclerInvalidation checks the carried space is dropped on explicit
+// invalidation and on operator dimension change, with the stats counters
+// tracking each event.
+func TestRecyclerInvalidation(t *testing.T) {
+	rec := NewRecycler(4)
+	if rec.Size() != 0 || rec.MaxVectors != 4 {
+		t.Fatalf("fresh recycler: size=%d max=%d", rec.Size(), rec.MaxVectors)
+	}
+	rec.Invalidate() // empty: must not count
+	if rec.Invalidations != 0 {
+		t.Fatalf("invalidating an empty recycler counted: %d", rec.Invalidations)
+	}
+
+	// An outlier spectrum makes the smallest harmonic Ritz pairs converge
+	// within one cycle, so the harvest's convergence filter keeps them.
+	n := 40
+	m := outlierMatrix(n, 11)
+	b := randVec(n, 12)
+	x := make([]float64, n)
+	if _, err := GMRESDR(DenseOp{M: m}, b, x, Options{Tol: 1e-12, Restart: 20}, rec); err != nil {
+		t.Fatalf("seed solve: %v", err)
+	}
+	if rec.Size() == 0 || rec.Harvests != 1 {
+		t.Fatalf("no harvest after a pure cycle: size=%d harvests=%d", rec.Size(), rec.Harvests)
+	}
+
+	// Second solve on the same operator starts from the carried space.
+	la.Fill(x, 0)
+	res, err := GMRESDR(DenseOp{M: m}, b, x, Options{Tol: 1e-12, Restart: 20}, rec)
+	if err != nil {
+		t.Fatalf("recycled solve: %v", err)
+	}
+	if res.Recycled != rec.MaxVectors || rec.Hits != 1 {
+		t.Errorf("recycled solve: Recycled=%d hits=%d, want %d/1", res.Recycled, rec.Hits, rec.MaxVectors)
+	}
+
+	rec.Invalidate()
+	if rec.Size() != 0 || rec.Invalidations != 1 {
+		t.Fatalf("explicit invalidation: size=%d count=%d", rec.Size(), rec.Invalidations)
+	}
+
+	// Rebuild, then present an operator of a different dimension: the stale
+	// space must be discarded automatically, not applied out-of-shape.
+	la.Fill(x, 0)
+	if _, err := GMRESDR(DenseOp{M: m}, b, x, Options{Tol: 1e-12, Restart: 20}, rec); err != nil {
+		t.Fatalf("re-seed solve: %v", err)
+	}
+	if rec.Size() == 0 {
+		t.Fatal("re-seed solve did not harvest")
+	}
+	n2 := 25
+	m2 := randSPDish(n2, 13)
+	b2 := randVec(n2, 14)
+	x2 := make([]float64, n2)
+	res2, err := GMRESDR(DenseOp{M: m2}, b2, x2, Options{Tol: 1e-12, Restart: 20}, rec)
+	if err != nil {
+		t.Fatalf("dim-change solve: %v", err)
+	}
+	if res2.Recycled != 0 || rec.Invalidations != 2 {
+		t.Errorf("dim change: Recycled=%d invalidations=%d, want 0/2", res2.Recycled, rec.Invalidations)
+	}
+}
+
+// outlierMatrix builds a matrix with a handful of small-magnitude outlier
+// eigenvalues below a well-separated cluster — the spectrum shape where
+// harmonic-Ritz deflation pays, and the shape the bordered WaMPDE Jacobian
+// exhibits after harmonic preconditioning (a few slow envelope modes under a
+// cluster near 1).
+func outlierMatrix(n int, seed int64) *la.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	m := la.NewDense(n, n)
+	small := []float64{0.004, 0.009, 0.017, 0.031}
+	for i := 0; i < n; i++ {
+		if i < len(small) {
+			m.Set(i, i, small[i])
+		} else {
+			m.Set(i, i, 2+rng.Float64())
+		}
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.Add(i, j, 1e-3*rng.NormFloat64())
+			}
+		}
+	}
+	return m
+}
+
+// TestRecyclingReducesMatvecs mirrors the chord-Newton workload: a frozen
+// linearization serving a sequence of right-hand sides (successive Newton
+// corrections). The recycled path must spend strictly fewer total matvecs
+// than restarting from scratch, while matching the LU oracle on every solve.
+func TestRecyclingReducesMatvecs(t *testing.T) {
+	n := 100
+	m := outlierMatrix(n, 21)
+	steps := 10
+	opt := Options{Tol: 1e-10, Restart: 30}
+
+	solveSeq := func(rec *Recycler) int {
+		totalMV := 0
+		for s := 0; s < steps; s++ {
+			b := randVec(n, int64(300+s))
+			x := make([]float64, n)
+			res, err := GMRESDR(DenseOp{M: m}, b, x, opt, rec)
+			if err != nil || !res.Converged {
+				t.Fatalf("step %d (rec=%v): %+v err=%v", s, rec != nil, res, err)
+			}
+			totalMV += res.MatVecs
+			want, err := la.SolveDense(m.Clone(), b)
+			if err != nil {
+				t.Fatalf("step %d oracle: %v", s, err)
+			}
+			for i := range x {
+				if d := math.Abs(x[i] - want[i]); d > 1e-6*(1+math.Abs(want[i])) {
+					t.Fatalf("step %d (rec=%v): solution off oracle by %g at %d", s, rec != nil, d, i)
+				}
+			}
+		}
+		return totalMV
+	}
+
+	plain := solveSeq(nil)
+	rec := NewRecycler(8)
+	recycled := solveSeq(rec)
+	if recycled >= plain {
+		t.Fatalf("recycling did not pay: %d matvecs recycled vs %d plain", recycled, plain)
+	}
+	if rec.Hits == 0 || rec.Harvests == 0 {
+		t.Errorf("recycler never engaged: hits=%d harvests=%d", rec.Hits, rec.Harvests)
+	}
+	t.Logf("frozen-operator sequence: plain=%d matvecs, recycled=%d (%.1f%% saved), hits=%d harvests=%d",
+		plain, recycled, 100*float64(plain-recycled)/float64(plain), rec.Hits, rec.Harvests)
+}
+
+// TestRecyclingStaysCorrectUnderDrift lets the operator drift mildly between
+// solves WITHOUT invalidating the recycler — the stale-space regime the
+// ω-drift gate permits in core. The carried space may stop paying, but the
+// true-residual outer loop must keep every solution pinned to the LU oracle.
+func TestRecyclingStaysCorrectUnderDrift(t *testing.T) {
+	n := 60
+	base := outlierMatrix(n, 41)
+	drift := randSPDish(n, 42)
+	rec := NewRecycler(6)
+	opt := Options{Tol: 1e-10, Restart: 30}
+	for s := 0; s < 8; s++ {
+		m := base.Clone()
+		m.AddScaled(1e-4*float64(s), drift)
+		b := randVec(n, int64(500+s))
+		x := make([]float64, n)
+		res, err := GMRESDR(DenseOp{M: m}, b, x, opt, rec)
+		if err != nil || !res.Converged {
+			t.Fatalf("drift step %d: %+v err=%v", s, res, err)
+		}
+		want, err := la.SolveDense(m, b)
+		if err != nil {
+			t.Fatalf("drift step %d oracle: %v", s, err)
+		}
+		for i := range x {
+			if d := math.Abs(x[i] - want[i]); d > 1e-6*(1+math.Abs(want[i])) {
+				t.Fatalf("drift step %d: stale recycling broke correctness: off oracle by %g at %d", s, d, i)
+			}
+		}
+	}
+	if rec.Hits == 0 {
+		t.Error("stale-drift sequence never reused the carried space")
+	}
+}
+
+// TestGMRESDRNilRecyclerMatchesGMRES pins the degenerate path: with rec=nil
+// the solver must be plain GMRES, bitwise.
+func TestGMRESDRNilRecyclerMatchesGMRES(t *testing.T) {
+	n := 40
+	m := randSPDish(n, 31)
+	b := randVec(n, 32)
+	opt := Options{Tol: 1e-11, Restart: 10}
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	r1, err1 := GMRES(DenseOp{M: m}, b, x1, opt)
+	r2, err2 := GMRESDR(DenseOp{M: m}, b, x2, opt, nil)
+	if err1 != err2 || r1 != r2 {
+		t.Fatalf("nil-recycler GMRESDR diverges from GMRES: %+v/%v vs %+v/%v", r1, err1, r2, err2)
+	}
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatalf("nil-recycler GMRESDR solution differs bitwise at %d", i)
+		}
+	}
+}

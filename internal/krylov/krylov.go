@@ -68,6 +68,13 @@ type Result struct {
 	Iterations int
 	Residual   float64 // final relative residual estimate
 	Converged  bool
+	// MatVecs counts operator applications (the dominant cost at scale):
+	// one per inner iteration plus one true-residual evaluation per restart
+	// cycle. BiCGStab performs two per iteration.
+	MatVecs int
+	// Recycled is the number of carried deflation vectors the solve started
+	// from (GMRESDR only; zero for the plain solvers).
+	Recycled int
 }
 
 // ErrNoConvergence is returned when the iteration cap is reached before the
@@ -110,16 +117,18 @@ func GMRES(a Operator, b, x []float64, opt Options) (Result, error) {
 	ym := make([]float64, m)
 
 	total := 0
+	mv := 0
 	res := math.Inf(1)
 	for total < opt.MaxIter {
 		// r = M^{-1}(b - A x)
 		a.Apply(x, r)
+		mv++
 		la.Sub(r, b, r)
 		opt.Prec.Precondition(r, pr)
 		beta := la.Norm2(pr)
 		res = beta / bnorm
 		if res <= opt.Tol {
-			return Result{Iterations: total, Residual: res, Converged: true}, nil
+			return Result{Iterations: total, Residual: res, Converged: true, MatVecs: mv}, nil
 		}
 		for i := range g {
 			g[i] = 0
@@ -132,6 +141,7 @@ func GMRES(a Operator, b, x []float64, opt Options) (Result, error) {
 		for ; k < m && total < opt.MaxIter; k++ {
 			total++
 			a.Apply(v[k], w)
+			mv++
 			opt.Prec.Precondition(w, w)
 			// Modified Gram-Schmidt.
 			for i := 0; i <= k; i++ {
@@ -182,10 +192,10 @@ func GMRES(a Operator, b, x []float64, opt Options) (Result, error) {
 			la.Axpy(ym[i], v[i], x)
 		}
 		if res <= opt.Tol {
-			return Result{Iterations: total, Residual: res, Converged: true}, nil
+			return Result{Iterations: total, Residual: res, Converged: true, MatVecs: mv}, nil
 		}
 	}
-	return Result{Iterations: total, Residual: res, Converged: false}, ErrNoConvergence
+	return Result{Iterations: total, Residual: res, Converged: false, MatVecs: mv}, ErrNoConvergence
 }
 
 // BiCGStab solves A x = b by the preconditioned BiCGStab iteration.
@@ -203,8 +213,10 @@ func BiCGStab(a Operator, b, x []float64, opt Options) (Result, error) {
 		la.Fill(x, 0)
 		return Result{Converged: true}, nil
 	}
+	mv := 0
 	r := make([]float64, n)
 	a.Apply(x, r)
+	mv++
 	la.Sub(r, b, r)
 	rhat := make([]float64, n)
 	la.Copy(rhat, r)
@@ -220,7 +232,7 @@ func BiCGStab(a Operator, b, x []float64, opt Options) (Result, error) {
 	for it := 1; it <= opt.MaxIter; it++ {
 		rhoNew := la.Dot(rhat, r)
 		if rhoNew == 0 {
-			return Result{Iterations: it, Residual: res, Converged: false}, ErrNoConvergence
+			return Result{Iterations: it, Residual: res, Converged: false, MatVecs: mv}, ErrNoConvergence
 		}
 		beta := (rhoNew / rho) * (alpha / omega)
 		rho = rhoNew
@@ -229,9 +241,10 @@ func BiCGStab(a Operator, b, x []float64, opt Options) (Result, error) {
 		}
 		opt.Prec.Precondition(p, ph)
 		a.Apply(ph, v)
+		mv++
 		den := la.Dot(rhat, v)
 		if den == 0 {
-			return Result{Iterations: it, Residual: res, Converged: false}, ErrNoConvergence
+			return Result{Iterations: it, Residual: res, Converged: false, MatVecs: mv}, ErrNoConvergence
 		}
 		alpha = rho / den
 		for i := range s {
@@ -239,13 +252,14 @@ func BiCGStab(a Operator, b, x []float64, opt Options) (Result, error) {
 		}
 		if res = la.Norm2(s) / bnorm; res <= opt.Tol {
 			la.Axpy(alpha, ph, x)
-			return Result{Iterations: it, Residual: res, Converged: true}, nil
+			return Result{Iterations: it, Residual: res, Converged: true, MatVecs: mv}, nil
 		}
 		opt.Prec.Precondition(s, sh)
 		a.Apply(sh, t)
+		mv++
 		tt := la.Dot(t, t)
 		if tt == 0 {
-			return Result{Iterations: it, Residual: res, Converged: false}, ErrNoConvergence
+			return Result{Iterations: it, Residual: res, Converged: false, MatVecs: mv}, ErrNoConvergence
 		}
 		omega = la.Dot(t, s) / tt
 		la.Axpy(alpha, ph, x)
@@ -254,11 +268,11 @@ func BiCGStab(a Operator, b, x []float64, opt Options) (Result, error) {
 			r[i] = s[i] - omega*t[i]
 		}
 		if res = la.Norm2(r) / bnorm; res <= opt.Tol {
-			return Result{Iterations: it, Residual: res, Converged: true}, nil
+			return Result{Iterations: it, Residual: res, Converged: true, MatVecs: mv}, nil
 		}
 		if omega == 0 {
-			return Result{Iterations: it, Residual: res, Converged: false}, ErrNoConvergence
+			return Result{Iterations: it, Residual: res, Converged: false, MatVecs: mv}, ErrNoConvergence
 		}
 	}
-	return Result{Iterations: opt.MaxIter, Residual: res, Converged: false}, ErrNoConvergence
+	return Result{Iterations: opt.MaxIter, Residual: res, Converged: false, MatVecs: mv}, ErrNoConvergence
 }

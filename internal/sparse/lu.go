@@ -244,9 +244,9 @@ func (f *LU) ensurePlan(a *CSR) {
 	// prior positions j in ascending order, the (expanded) L pattern of every
 	// j whose pivot row is already in the pattern — exactly the set of rows
 	// the numeric left-looking update can reach, values regardless.
-	inPat := make([]bool, n)   // by original row
-	inOldU := make([]bool, n)  // by position, current column's stored U entries
-	inOldL := make([]bool, n)  // by original row, current column's stored L entries
+	inPat := make([]bool, n)  // by original row
+	inOldU := make([]bool, n) // by position, current column's stored U entries
+	inOldL := make([]bool, n) // by original row, current column's stored L entries
 	marked := make([]int, 0, n)
 	for col := 0; col < n; col++ {
 		marked = marked[:0]
