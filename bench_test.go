@@ -266,6 +266,19 @@ func BenchmarkHotLoopAllocs(b *testing.B) {
 	benchEnvelope(b, false, 60e-6, 400, core.EnvelopeOptions{Trap: true})
 }
 
+// BenchmarkGMRESAllocs is the iterative-path counterpart: the same Fig. 7
+// envelope solved through the supervised linear ladder (GMRES + harmonic
+// preconditioner, pooled Krylov workspaces). With the Arnoldi basis, Givens
+// scratch and the ladder's LU rung all persisting across solves, the
+// allocs/op count pins the pooling — a leak in any per-solve buffer shows up
+// as a baseline regression in `ci.sh bench-check`.
+func BenchmarkGMRESAllocs(b *testing.B) {
+	prev := par.SetWorkers(1)
+	defer par.SetWorkers(prev)
+	b.ReportAllocs()
+	benchEnvelope(b, false, 60e-6, 400, core.EnvelopeOptions{Trap: true, Linear: core.LinearGMRES})
+}
+
 // ------------------------------------------------------- method baselines
 
 func BenchmarkBaselineShootingVanDerPol(b *testing.B) {

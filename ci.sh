@@ -5,13 +5,19 @@
 #   tier 2      vet + race detector over the suite (-short skips the longest
 #               solver runs; the parallel kernels all execute under the
 #               race detector via the unit and determinism tests)
+#   fault       fault-injection tier: the armed suite (TestFault*) under the
+#               race detector, without -short so the armed golden-tolerance
+#               Figure-7 runs execute too. Proves every escalation rung fires
+#               against injected failures (see DESIGN.md, Failure semantics)
+#               while the race detector watches the supervised paths.
 #   bench       hot-loop benchmark snapshot: runs the envelope, quasiperiodic
 #               and allocation-budget benchmarks with -benchmem and writes the
 #               parsed numbers (ns/op, B/op, allocs/op) to a baseline file
-#               (second argument, default BENCH_pr3.json) via cmd/benchjson.
+#               (second argument, default BENCH_pr4.json) via cmd/benchjson.
 #               Not part of "all" — timings are machine-specific, so refresh
-#               the baseline deliberately. Historical baselines (BENCH_pr2.json)
-#               stay committed; pass the filename to overwrite one explicitly.
+#               the baseline deliberately. Historical baselines (BENCH_pr2.json,
+#               BENCH_pr3.json) stay committed; pass the filename to overwrite
+#               one explicitly.
 #   bench-check rerun the same benchmarks and compare against the committed
 #               baseline with cmd/benchjson -check: an allocs/op regression
 #               fails, ns/op drift beyond ±20% only warns.
@@ -23,8 +29,8 @@ set -eu
 cd "$(dirname "$0")"
 
 tier="${1:-all}"
-benchfile="${2:-BENCH_pr3.json}"
-benchre='BenchmarkFig07VCOEnvelopeVacuum$|BenchmarkAblationChordNewton$|BenchmarkAblationGMRESRecycle$|BenchmarkQuasiperiodicWaMPDE$|BenchmarkHotLoopAllocs$'
+benchfile="${2:-BENCH_pr4.json}"
+benchre='BenchmarkFig07VCOEnvelopeVacuum$|BenchmarkAblationChordNewton$|BenchmarkAblationGMRESRecycle$|BenchmarkQuasiperiodicWaMPDE$|BenchmarkHotLoopAllocs$|BenchmarkGMRESAllocs$'
 
 if [ "$tier" = 1 ] || [ "$tier" = all ]; then
 	echo "== tier 1: build + tests"
@@ -36,6 +42,11 @@ if [ "$tier" = 2 ] || [ "$tier" = all ]; then
 	echo "== tier 2: vet + race detector"
 	go vet ./...
 	go test -race -short ./...
+fi
+
+if [ "$tier" = fault ] || [ "$tier" = all ]; then
+	echo "== fault: armed fault-injection suite under the race detector"
+	go test -race -run 'TestFault' ./...
 fi
 
 if [ "$tier" = bench ]; then

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,7 +35,15 @@ func main() {
 	n1 := flag.Int("n1", 25, "warped-axis points for envelope")
 	f0 := flag.String("f0", "", "oscillation frequency guess for pss/envelope (e.g. 750k)")
 	out := flag.String("out", "", "node to print (default: all states)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the analysis (0 = none); tran/envelope print the partial waveform computed before expiry")
 	flag.Parse()
+
+	ctx := context.Context(nil)
+	if *timeout > 0 {
+		c, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		ctx = c
+	}
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "circuitsim: -i <netlist> is required")
@@ -69,8 +78,13 @@ func main() {
 		}
 		x := make([]float64, sys.Dim())
 		fatal(transient.DCOperatingPoint(sys, 0, x, transient.DCOptions{}))
-		res, err := transient.Simulate(sys, x, 0, tstop, transient.Options{Method: transient.Trap, H: hstep})
-		fatal(err)
+		res, err := transient.Simulate(sys, x, 0, tstop, transient.Options{Method: transient.Trap, H: hstep, Ctx: ctx})
+		if err != nil && (res == nil || len(res.T) == 0) {
+			fatal(err)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "circuitsim: partial run:", err)
+		}
 		printSeries(sys, res, outIdx)
 	case "pss":
 		if period <= 0 {
@@ -78,7 +92,7 @@ func main() {
 		}
 		x := make([]float64, sys.Dim())
 		fatal(transient.DCOperatingPoint(sys, 0, x, transient.DCOptions{}))
-		pss, err := shooting.Forced(sys, x, period, shooting.Options{Method: transient.Trap})
+		pss, err := shooting.Forced(sys, x, period, shooting.Options{Method: transient.Trap, Ctx: ctx})
 		fatal(err)
 		fmt.Printf("# periodic steady state, period %.6g\n", pss.T)
 		printSeries(sys, pss.Orbit, outIdx)
@@ -102,9 +116,14 @@ func main() {
 		xhat0, omega0, err := core.InitialCondition(sys, xg, 1/fGuess, core.ICOptions{N1: *n1})
 		fatal(err)
 		res, err := core.Envelope(sys, xhat0, omega0, tstop, core.EnvelopeOptions{
-			N1: *n1, H2: tstop / float64(*steps), Trap: true,
+			N1: *n1, H2: tstop / float64(*steps), Trap: true, Ctx: ctx,
 		})
-		fatal(err)
+		if err != nil && (res == nil || len(res.T2) == 0) {
+			fatal(err)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "circuitsim: partial run:", err)
+		}
 		fmt.Println("# t2, local_frequency_hz")
 		for k := range res.T2 {
 			fmt.Printf("%.8g %.8g\n", res.T2[k], res.Omega[k])

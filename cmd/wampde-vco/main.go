@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +39,7 @@ func main() {
 	recycle := flag.Bool("recycle", true, "carry the GCRO-DR deflation space across GMRES solves (with -gmres)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the envelope run (0 = none); on expiry the partial result computed so far is still reported")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -68,10 +70,26 @@ func main() {
 	}
 
 	cfg := wampde.VCORunConfig{Air: *air, Steps: *steps, ChordNewton: *chord, GMRES: *gmres, RecycleKrylov: *recycle}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		cfg.Ctx = ctx
+	}
 	run, err := wampde.RunPaperVCO(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wampde-vco:", err)
-		os.Exit(1)
+		if run == nil {
+			fmt.Fprintln(os.Stderr, "wampde-vco:", err)
+			os.Exit(1)
+		}
+		// Canceled mid-run: report what was computed before the deadline.
+		fmt.Fprintln(os.Stderr, "wampde-vco: partial run:", err)
+	}
+	if rescues := run.Result.FullNewtonRescues + run.Result.DampedNewtonRescues +
+		run.Result.ContinuationRescues + run.Result.LinearGMRESRescues +
+		run.Result.LinearLURescues + run.Result.StepHalvings; rescues > 0 {
+		fmt.Printf("solve supervision: %d full-Newton, %d damped, %d continuation rescues; %d GMRES->GMRES, %d GMRES->LU linear rescues; %d step halvings\n",
+			run.Result.FullNewtonRescues, run.Result.DampedNewtonRescues, run.Result.ContinuationRescues,
+			run.Result.LinearGMRESRescues, run.Result.LinearLURescues, run.Result.StepHalvings)
 	}
 	fmt.Printf("WaMPDE envelope: %d t2 steps, %d Newton iterations, %v\n",
 		len(run.Result.T2), run.Result.NewtonIterTotal, run.WallTime)

@@ -1,6 +1,7 @@
 package wampde
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -35,6 +36,11 @@ type VCORunConfig struct {
 	// solves (see core.EnvelopeOptions.RecycleKrylov). Only meaningful with
 	// GMRES; off by default so the goldens pin the historical path.
 	RecycleKrylov bool
+	// Ctx, when non-nil, makes the run cancelable (see
+	// core.EnvelopeOptions.Ctx). On cancellation RunPaperVCO returns the
+	// partial run accumulated so far together with the error, so a driver
+	// under -timeout can still emit what was computed.
+	Ctx context.Context
 }
 
 func (c VCORunConfig) withDefaults() VCORunConfig {
@@ -95,8 +101,17 @@ func RunPaperVCO(cfg VCORunConfig) (*VCORun, error) {
 		ChordNewton:   cfg.ChordNewton,
 		Linear:        linear,
 		RecycleKrylov: cfg.RecycleKrylov,
+		Ctx:           cfg.Ctx,
 	})
 	if err != nil {
+		// A canceled (or failed) envelope still returns the partial result;
+		// hand it to the caller alongside the error.
+		if res != nil && len(res.T2) > 0 {
+			return &VCORun{
+				VCO: vco, Config: cfg, IC: xhat0, Omega0: omega0,
+				Result: res, WallTime: time.Since(start),
+			}, fmt.Errorf("wampde: VCO envelope: %w", err)
+		}
 		return nil, fmt.Errorf("wampde: VCO envelope: %w", err)
 	}
 	return &VCORun{

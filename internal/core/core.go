@@ -34,6 +34,7 @@ import (
 	"math"
 
 	"repro/internal/fourier"
+	"repro/internal/solverr"
 )
 
 // PhaseKind selects the phase condition that removes the t1-translation
@@ -87,7 +88,7 @@ func phaseRow(kind PhaseKind, n1 int, anchor float64) (w []float64, c float64, e
 		}
 		return w, 0, nil
 	default:
-		return nil, 0, fmt.Errorf("core: unknown phase condition %v", kind)
+		return nil, 0, solverr.New(solverr.KindBadInput, "core.phase", "unknown phase condition %v", kind)
 	}
 }
 

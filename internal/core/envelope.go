@@ -1,8 +1,7 @@
 package core
 
 import (
-	"errors"
-	"fmt"
+	"context"
 	"math"
 
 	"repro/internal/dae"
@@ -11,6 +10,7 @@ import (
 	"repro/internal/la"
 	"repro/internal/newton"
 	"repro/internal/par"
+	"repro/internal/solverr"
 )
 
 // ptGrain is how many collocation points one parallel chunk owns in the
@@ -86,6 +86,12 @@ type EnvelopeOptions struct {
 	// preconditioned operator it was harvested from. Off by default: the
 	// historical GMRES path the golden suite pins down.
 	RecycleKrylov bool
+	// Ctx, when non-nil, makes the run cancelable: it is checked before every
+	// t2 step and once per Newton iteration inside a step. On cancellation
+	// Envelope returns the partial EnvelopeResult accumulated so far together
+	// with a solverr.KindCanceled error (the cmd drivers expose this as
+	// -timeout).
+	Ctx context.Context
 }
 
 func (o EnvelopeOptions) withDefaults() EnvelopeOptions {
@@ -119,6 +125,11 @@ func (o EnvelopeOptions) withDefaults() EnvelopeOptions {
 	// step; the full step is still taken first when it already reduces the
 	// residual.
 	o.Newton.Damping = true
+	// Cancellation reaches into the per-step Newton iterations so a deadline
+	// does not have to wait out a slow solve.
+	if o.Ctx != nil && o.Newton.Ctx == nil {
+		o.Newton.Ctx = o.Ctx
+	}
 	return o
 }
 
@@ -132,16 +143,20 @@ func Envelope(sys dae.Autonomous, xhat0 []float64, omega0, t2End float64, opt En
 	n := sys.Dim()
 	n1 := opt.N1
 	if len(xhat0) != n1*n {
-		return nil, fmt.Errorf("core: len(xhat0)=%d, want N1·n=%d", len(xhat0), n1*n)
+		return nil, solverr.New(solverr.KindBadInput, "core.envelope",
+			"len(xhat0)=%d, want N1·n=%d", len(xhat0), n1*n)
 	}
 	if opt.H2 <= 0 {
-		return nil, errors.New("core: EnvelopeOptions.H2 must be positive")
+		return nil, solverr.New(solverr.KindBadInput, "core.envelope", "EnvelopeOptions.H2 must be positive")
 	}
 	if t2End <= 0 {
-		return nil, errors.New("core: t2End must be positive")
+		return nil, solverr.New(solverr.KindBadInput, "core.envelope", "t2End must be positive")
 	}
 	if omega0 <= 0 {
-		return nil, errors.New("core: omega0 must be positive")
+		return nil, solverr.New(solverr.KindBadInput, "core.envelope", "omega0 must be positive")
+	}
+	if err := solverr.CheckFinite("core.envelope", xhat0); err != nil {
+		return nil, err
 	}
 	k := sys.OscVar()
 	if k < 0 || k >= n {
@@ -161,8 +176,16 @@ func Envelope(sys dae.Autonomous, xhat0 []float64, omega0, t2End float64, opt En
 	// Iterative-path counters are filled on every exit, including early
 	// OnStep stops and step failures, so cost accounting stays honest.
 	defer func() {
-		res.GMRESSolves = asm.gmresSolves
-		res.GMRESMatVecs = asm.gmresMatVecs
+		res.GMRESSolves = asm.linStats.solves
+		res.GMRESMatVecs = asm.linStats.matvecs
+		res.GMRESStagnations = asm.linStats.stagnations
+		res.GMRESBreakdowns = asm.linStats.breakdowns
+		res.LinearGMRESRescues = asm.linStats.gmresRescues
+		res.LinearLURescues = asm.linStats.luRescues
+		res.FullNewtonRescues = asm.nlStats.fullRescues
+		res.DampedNewtonRescues = asm.nlStats.deepRescues
+		res.ContinuationRescues = asm.nlStats.continuationRescues
+		res.StepHalvings = asm.nlStats.stepHalvings
 		if asm.rec != nil {
 			res.RecycleHits = asm.rec.Hits
 			res.RecycleHarvests = asm.rec.Harvests
@@ -203,6 +226,12 @@ func Envelope(sys dae.Autonomous, xhat0 []float64, omega0, t2End float64, opt En
 	havePrev := false
 	xNew := make([]float64, len(x))
 	for t2End-t2 > endTol {
+		if opt.Ctx != nil {
+			if cerr := opt.Ctx.Err(); cerr != nil {
+				return res, solverr.Wrap(solverr.KindCanceled, "core.envelope", cerr).
+					WithT2(t2).WithStep(stepIdx)
+			}
+		}
 		if t2+h > t2End {
 			h = t2End - t2
 		}
@@ -218,12 +247,28 @@ func Envelope(sys dae.Autonomous, xhat0 []float64, omega0, t2End float64, opt En
 		res.JacobianEvals += resN.JacobianEvals
 		res.JacobianReuses += resN.JacobianReuses
 		if err != nil {
-			// Newton can stall when the waveform reshapes quickly within
-			// one step (e.g. the control sweeping through its extreme);
-			// halve the step and retry, growing back gradually afterwards.
-			if h <= hMin {
-				return res, fmt.Errorf("core: envelope step at t2=%.6g failed at minimum step: %w", t2, err)
+			// A canceled run is not a numerical failure: return the partial
+			// result immediately instead of burning the deadline on retries.
+			if solverr.IsKind(err, solverr.KindCanceled) {
+				return res, err
 			}
+			// The in-step escalation ladder is exhausted: the waveform is
+			// reshaping faster than any rescue can follow (e.g. the control
+			// sweeping through its extreme). Halve the step, reset the ladder
+			// state so the smaller step starts from a fresh linearization, and
+			// retry, growing back gradually afterwards.
+			if h <= hMin {
+				k := solverr.KindOf(err)
+				if k == solverr.KindUnknown {
+					k = solverr.KindStagnation
+				}
+				return res, solverr.Wrap(k, "core.envelope", err).
+					WithMsg("envelope step failed at minimum step h=%.3g", h).
+					WithT2(t2).WithStep(stepIdx)
+			}
+			asm.nlStats.stepHalvings++
+			asm.reuse.Invalidate()
+			asm.rec.Invalidate()
 			h /= 2
 			sinceGrow = 0
 			continue
@@ -360,12 +405,16 @@ type envAssembler struct {
 	// the parameters it was built at.
 	prec                        *harmonicPrec
 	precH, precTheta, precOmega float64
-	// Krylov subspace recycler (RecycleKrylov mode) and iterative-solve
-	// counters accumulated across all steps of the run.
-	rec                       *krylov.Recycler
-	gmresSolves, gmresMatVecs int
-	jqAvg, jfAvg              *la.Dense
-	precMs                    []*la.CDense // per-chunk bin assembly scratch, lo-indexed
+	// Krylov subspace recycler (RecycleKrylov mode), the supervised linear
+	// escalation ladder the iterative path solves through, and the failure /
+	// rescue counters accumulated across all steps of the run.
+	rec          *krylov.Recycler
+	lad          *linearLadder
+	linStats     linearStats
+	nlStats      nonlinearStats
+	uStart, uEnd []float64 // continuation-rung input scratch
+	jqAvg, jfAvg *la.Dense
+	precMs       []*la.CDense // per-chunk bin assembly scratch, lo-indexed
 
 	// Cached parallel kernels. Closures handed to par.For escape (the
 	// parallel path stores them in goroutines), so building them at each
@@ -415,6 +464,9 @@ func newEnvAssembler(sys dae.Autonomous, n1, n, k int, w []float64, c float64, o
 		// or preconditioner change, so the exact-space contract holds.
 		a.rec.Trusted = true
 	}
+	a.lad = newLinearLadder(opt.GMRESTol, a.rec, &a.linStats)
+	a.uStart = make([]float64, sys.NumInputs())
+	a.uEnd = make([]float64, sys.NumInputs())
 	for j := 0; j < n1; j++ {
 		a.jqs[j] = la.NewDense(n, n)
 		a.jfs[j] = la.NewDense(n, n)
@@ -639,8 +691,8 @@ func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNe
 			if err != nil {
 				return nil, err
 			}
-			return gmresSolver{op: krylov.DenseOp{M: jj}, prec: prec, tol: a.opt.GMRESTol,
-				rec: a.rec, solves: &a.gmresSolves, matvecs: &a.gmresMatVecs}, nil
+			a.lad.reset(jj, prec)
+			return a.lad, nil
 		default:
 			if err := a.lu.FactorInto(jj); err != nil {
 				return nil, err
@@ -673,25 +725,95 @@ func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNe
 		a.reuse.Invalidate()
 	}
 	a.lastH, a.lastTheta = h, theta
-	resN, err := newton.Solve(newton.Problem{N: total, Eval: eval, Jacobian: jac}, z, chordOpts)
-	if err != nil {
+	prob := newton.Problem{N: total, Eval: eval, Jacobian: jac}
+	resN, err := newton.Solve(prob, z, chordOpts)
+	acc := func(r newton.Result) {
+		resN.Iterations += r.Iterations
+		resN.JacobianEvals += r.JacobianEvals
+		resN.JacobianReuses += r.JacobianReuses
+		resN.ResidualF, resN.Converged = r.ResidualF, r.Converged
+	}
+	if err != nil && !solverr.IsKind(err, solverr.KindCanceled) {
+		// Rung 2: full Newton, refreshing the factorization every iteration.
+		// This is byte-for-byte the historical retry — only the chord reuse
+		// state is dropped, not the Krylov recycler — so unarmed runs that
+		// recover here stay bitwise identical to the golden suite.
+		a.nlStats.fullRescues++
 		a.reuse.Invalidate()
 		copy(z, xNew)
 		z[n1*n] = *omegaNew
 		fullOpts := a.opt.Newton
 		fullOpts.Work = a.nws
 		var resF newton.Result
-		resF, err = newton.Solve(newton.Problem{N: total, Eval: eval, Jacobian: jac}, z, fullOpts)
-		resN.Iterations += resF.Iterations
-		resN.JacobianEvals += resF.JacobianEvals
-		resN.JacobianReuses += resF.JacobianReuses
-		resN.ResidualF, resN.Converged = resF.ResidualF, resF.Converged
+		resF, err = newton.Solve(prob, z, fullOpts)
+		acc(resF)
+	}
+	if err != nil && !solverr.IsKind(err, solverr.KindCanceled) {
+		// Rung 3: deep damped Newton — twice the iteration budget and a much
+		// deeper line search, from a fresh linearization (recycled Krylov
+		// space included: it belongs to the iterates that just failed).
+		a.nlStats.deepRescues++
+		a.reuse.Invalidate()
+		a.rec.Invalidate()
+		copy(z, xNew)
+		z[n1*n] = *omegaNew
+		deepOpts := a.opt.Newton
+		deepOpts.Work = a.nws
+		deepOpts.Damping = true
+		deepOpts.MaxIter = 2 * a.opt.Newton.MaxIter
+		deepOpts.MaxHalves = 30
+		var resD newton.Result
+		resD, err = newton.Solve(prob, z, deepOpts)
+		acc(resD)
+	}
+	if err != nil && !solverr.IsKind(err, solverr.KindCanceled) {
+		// Rung 4: source-stepping continuation, per the paper's §4.1 remark
+		// that any nonlinear method "such as Newton-Raphson or continuation"
+		// may solve the step system. The input b(t2) is blended from the
+		// previous level's value (where xOld solves the system well) toward
+		// the new level's, walking the solution across the step instead of
+		// jumping.
+		a.nlStats.continuationRescues++
+		a.reuse.Invalidate()
+		a.rec.Invalidate()
+		copy(a.uEnd, a.u)
+		a.sys.Input(t2, a.uStart)
+		copy(z, xNew)
+		z[n1*n] = *omegaNew
+		contOpts := a.opt.Newton
+		contOpts.Work = a.nws
+		var resC newton.Result
+		resC, err = newton.Homotopy(func(lambda float64) newton.Problem {
+			blend := func(zz, r []float64) error {
+				for i := range a.u {
+					a.u[i] = (1-lambda)*a.uStart[i] + lambda*a.uEnd[i]
+				}
+				return eval(zz, r)
+			}
+			return newton.Problem{N: total, Eval: blend, Jacobian: jac}
+		}, z, contOpts)
+		acc(resC)
+		copy(a.u, a.uEnd) // restore the true t2+h input exactly
 	}
 	if err != nil {
-		return resN, err
+		if solverr.IsKind(err, solverr.KindCanceled) {
+			return resN, err
+		}
+		k := solverr.KindOf(err)
+		if k == solverr.KindUnknown {
+			k = solverr.KindStagnation
+		}
+		e := solverr.Wrap(k, "core.envelope.step", err).
+			WithMsg("nonlinear ladder exhausted").WithT2(t2).WithResidual(resN.ResidualF)
+		e.Attempt("chord").Attempt("full-newton").Attempt("damped-newton").Attempt("continuation")
+		return resN, e
+	}
+	if serr := checkState("core.envelope.step", z); serr != nil {
+		return resN, serr
 	}
 	if z[n1*n] <= 0 {
-		return resN, errors.New("core: local frequency went non-positive")
+		return resN, solverr.New(solverr.KindStagnation, "core.envelope.step",
+			"local frequency went non-positive (ω=%g)", z[n1*n]).WithT2(t2)
 	}
 	copy(xNew, z[:n1*n])
 	*omegaNew = z[n1*n]
@@ -737,28 +859,6 @@ func (a *envAssembler) assembleJacobian(z []float64, h, theta float64) *la.Dense
 		}
 	}
 	return jj
-}
-
-// gmresSolver adapts GMRES to the newton.LinearSolve interface, optionally
-// recycling a deflation space across calls and accumulating cost counters
-// into the owning assembler. With rec == nil the solve is plain GMRES,
-// bitwise identical to the historical path.
-type gmresSolver struct {
-	op              krylov.Operator
-	prec            krylov.Preconditioner
-	tol             float64
-	rec             *krylov.Recycler
-	solves, matvecs *int
-}
-
-func (g gmresSolver) Solve(b, x []float64) {
-	la.Fill(x, 0)
-	// Best effort: Newton treats a poor direction as any other and damps.
-	res, _ := krylov.GMRESDR(g.op, b, x, krylov.Options{Tol: g.tol, Prec: g.prec, MaxIter: 400}, g.rec)
-	if g.solves != nil {
-		*g.solves++
-		*g.matvecs += res.MatVecs
-	}
 }
 
 func abs(x float64) float64 {

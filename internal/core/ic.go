@@ -1,11 +1,11 @@
 package core
 
 import (
-	"fmt"
 	"math"
 
 	"repro/internal/dae"
 	"repro/internal/shooting"
+	"repro/internal/solverr"
 	"repro/internal/transient"
 )
 
@@ -44,16 +44,16 @@ func InitialCondition(sys dae.Autonomous, xGuess []float64, TGuess float64, opt 
 	}
 	n := sys.Dim()
 	if len(xGuess) != n {
-		return nil, 0, fmt.Errorf("core: len(xGuess)=%d, want %d", len(xGuess), n)
+		return nil, 0, solverr.New(solverr.KindBadInput, "core.ic", "len(xGuess)=%d, want %d", len(xGuess), n)
 	}
 	if TGuess <= 0 {
-		return nil, 0, fmt.Errorf("core: TGuess must be positive")
+		return nil, 0, solverr.New(solverr.KindBadInput, "core.ic", "TGuess must be positive")
 	}
 	frozen := shooting.Freeze(sys, opt.Shooting.FrozenInputTime)
 	settle, err := transient.Simulate(frozen, xGuess, 0, float64(opt.SettleCycles)*TGuess,
 		transient.Options{Method: transient.Trap, H: TGuess / 128})
 	if err != nil {
-		return nil, 0, fmt.Errorf("core: settling transient: %w", err)
+		return nil, 0, solverr.Wrap(solverr.KindOf(err), "core.ic", err).WithMsg("settling transient failed")
 	}
 	x0 := settle.X[len(settle.X)-1]
 	pss, err := shooting.Autonomous(sys, x0, TGuess, opt.Shooting)

@@ -1,8 +1,7 @@
 package core
 
 import (
-	"errors"
-	"fmt"
+	"context"
 
 	"repro/internal/dae"
 	"repro/internal/fourier"
@@ -10,6 +9,7 @@ import (
 	"repro/internal/la"
 	"repro/internal/newton"
 	"repro/internal/par"
+	"repro/internal/solverr"
 )
 
 // qpGrain is the number of bivariate grid points one parallel chunk handles
@@ -41,6 +41,11 @@ type QPOptions struct {
 	// from), so it pays inside factorization-reuse windows — i.e. with
 	// ChordNewton, where one linearization serves several Newton iterations.
 	RecycleKrylov bool
+	// Ctx, when non-nil, makes the solve cancelable: it is checked once per
+	// Newton iteration. On cancellation Quasiperiodic returns the best iterate
+	// reached so far as a partial QPResult together with a
+	// solverr.KindCanceled error.
+	Ctx context.Context
 }
 
 func (o QPOptions) withDefaults() QPOptions {
@@ -59,6 +64,9 @@ func (o QPOptions) withDefaults() QPOptions {
 	if o.GMRESTol <= 0 {
 		o.GMRESTol = 1e-10
 	}
+	if o.Ctx != nil && o.Newton.Ctx == nil {
+		o.Newton.Ctx = o.Ctx
+	}
 	return o
 }
 
@@ -74,12 +82,13 @@ type QPGuess struct {
 // quasiperiodic solution).
 func GuessFromEnvelope(res *EnvelopeResult, t2Period float64, n1, n2 int) (*QPGuess, error) {
 	if len(res.T2) < 2 {
-		return nil, errors.New("core: envelope result too short for a QP guess")
+		return nil, solverr.New(solverr.KindBadInput, "core.quasi", "envelope result too short for a QP guess")
 	}
 	tEnd := res.T2[len(res.T2)-1]
 	t0 := tEnd - t2Period
 	if t0 < res.T2[0] {
-		return nil, fmt.Errorf("core: envelope run (%.3g) shorter than one slow period (%.3g)", tEnd-res.T2[0], t2Period)
+		return nil, solverr.New(solverr.KindBadInput, "core.quasi",
+			"envelope run (%.3g) shorter than one slow period (%.3g)", tEnd-res.T2[0], t2Period)
 	}
 	g := &QPGuess{X: make([][][]float64, n2), Omega: make([]float64, n2)}
 	n := res.N
@@ -111,15 +120,16 @@ func GuessFromEnvelope(res *EnvelopeResult, t2Period float64, n1, n2 int) (*QPGu
 func Quasiperiodic(sys dae.Autonomous, t2Period float64, guess *QPGuess, opt QPOptions) (*QPResult, error) {
 	opt = opt.withDefaults()
 	if t2Period <= 0 {
-		return nil, errors.New("core: T2 must be positive")
+		return nil, solverr.New(solverr.KindBadInput, "core.quasi", "T2 must be positive")
 	}
 	if guess == nil {
-		return nil, errors.New("core: Quasiperiodic requires an initial guess")
+		return nil, solverr.New(solverr.KindBadInput, "core.quasi", "Quasiperiodic requires an initial guess")
 	}
 	n := sys.Dim()
 	N1, N2 := opt.N1, opt.N2
 	if len(guess.X) != N2 || len(guess.X[0]) != N1 || len(guess.Omega) != N2 {
-		return nil, fmt.Errorf("core: guess shape mismatch (want %dx%d grid with %d omegas)", N1, N2, N2)
+		return nil, solverr.New(solverr.KindBadInput, "core.quasi",
+			"guess shape mismatch (want %dx%d grid with %d omegas)", N1, N2, N2)
 	}
 	k := sys.OscVar()
 	if k < 0 || k >= n {
@@ -267,7 +277,9 @@ func Quasiperiodic(sys dae.Autonomous, t2Period float64, guess *QPGuess, opt QPO
 		// contract holds.
 		rec.Trusted = true
 	}
-	var gmresSolves, gmresMatVecs int
+	var linSt linearStats
+	var nlSt nonlinearStats
+	lad := newLinearLadder(opt.GMRESTol, rec, &linSt)
 	jac := func(z []float64) (newton.LinearSolve, error) {
 		// Fresh linearization: the recycled deflation space no longer matches
 		// the operator (see EnvelopeOptions.RecycleKrylov) and is dropped.
@@ -347,8 +359,8 @@ func Quasiperiodic(sys dae.Autonomous, t2Period float64, guess *QPGuess, opt QPO
 			if err != nil {
 				return nil, err
 			}
-			return gmresSolver{op: krylov.DenseOp{M: jj}, prec: prec, tol: opt.GMRESTol,
-				rec: rec, solves: &gmresSolves, matvecs: &gmresMatVecs}, nil
+			lad.reset(jj, prec)
+			return lad, nil
 		}
 		if err := flu.FactorInto(jj); err != nil {
 			return nil, err
@@ -359,29 +371,129 @@ func Quasiperiodic(sys dae.Autonomous, t2Period float64, guess *QPGuess, opt QPO
 	nopt := opt.Newton
 	nopt.Work = newton.NewWorkspace(total)
 	nopt.JacobianReuse = opt.ChordNewton
-	resN, err := newton.Solve(newton.Problem{N: total, Eval: eval, Jacobian: jac}, z, nopt)
-	if err != nil {
-		return nil, fmt.Errorf("core: quasiperiodic solve: %w", err)
+	prob := newton.Problem{N: total, Eval: eval, Jacobian: jac}
+	z0 := append([]float64(nil), z...)
+	resN, err := newton.Solve(prob, z, nopt)
+	acc := func(r newton.Result) {
+		resN.Iterations += r.Iterations
+		resN.JacobianEvals += r.JacobianEvals
+		resN.JacobianReuses += r.JacobianReuses
+		resN.ResidualF, resN.Converged = r.ResidualF, r.Converged
 	}
-	res := &QPResult{N1: N1, N2: N2, N: n, T2: t2Period, X: make([][][]float64, N2), Omega: make([]float64, N2)}
-	res.NewtonIterTotal = resN.Iterations
-	res.JacobianEvals = resN.JacobianEvals
-	res.JacobianReuses = resN.JacobianReuses
-	res.GMRESSolves = gmresSolves
-	res.GMRESMatVecs = gmresMatVecs
-	if rec != nil {
-		res.RecycleHits = rec.Hits
-		res.RecycleHarvests = rec.Harvests
+	if err != nil && !solverr.IsKind(err, solverr.KindCanceled) && opt.ChordNewton {
+		// Rung 2: full (per-iteration refresh) Newton — only meaningful when
+		// the first attempt was a chord iteration.
+		nlSt.fullRescues++
+		rec.Invalidate()
+		copy(z, z0)
+		fullOpts := nopt
+		fullOpts.JacobianReuse = false
+		var r2 newton.Result
+		r2, err = newton.Solve(prob, z, fullOpts)
+		acc(r2)
 	}
-	for j2 := 0; j2 < N2; j2++ {
-		res.X[j2] = make([][]float64, N1)
-		for j1 := 0; j1 < N1; j1++ {
-			base := qpIdx(j1, j2, 0, n, N1)
-			res.X[j2][j1] = append([]float64(nil), z[base:base+n]...)
+	if err != nil && !solverr.IsKind(err, solverr.KindCanceled) {
+		// Rung 3: deep damped Newton — double the iteration budget, a much
+		// deeper line search, fresh linearization.
+		nlSt.deepRescues++
+		rec.Invalidate()
+		copy(z, z0)
+		deepOpts := nopt
+		deepOpts.JacobianReuse = false
+		deepOpts.Damping = true
+		deepOpts.MaxIter = 2 * nopt.MaxIter
+		deepOpts.MaxHalves = 30
+		var r3 newton.Result
+		r3, err = newton.Solve(prob, z, deepOpts)
+		acc(r3)
+	}
+	if err != nil && !solverr.IsKind(err, solverr.KindCanceled) {
+		// Rung 4: source-stepping continuation. At λ=0 every t2 line sees the
+		// t2-averaged input — a constant-bias problem much closer to a plain
+		// oscillator — and λ walks the inputs back to their true T2-periodic
+		// values. (§4.1: the step system may be solved by "Newton-Raphson or
+		// continuation".)
+		nlSt.continuationRescues++
+		rec.Invalidate()
+		copy(z, z0)
+		usOrig := make([][]float64, N2)
+		uMean := make([]float64, sys.NumInputs())
+		for j2 := 0; j2 < N2; j2++ {
+			usOrig[j2] = append([]float64(nil), us[j2]...)
+			for i, v := range us[j2] {
+				uMean[i] += v / float64(N2)
+			}
 		}
-		res.Omega[j2] = z[nx+j2]
+		contOpts := nopt
+		contOpts.JacobianReuse = false
+		contOpts.Damping = true
+		var r4 newton.Result
+		r4, err = newton.Homotopy(func(lambda float64) newton.Problem {
+			blend := func(zz, r []float64) error {
+				for j2 := 0; j2 < N2; j2++ {
+					for i := range us[j2] {
+						us[j2][i] = (1-lambda)*uMean[i] + lambda*usOrig[j2][i]
+					}
+				}
+				return eval(zz, r)
+			}
+			return newton.Problem{N: total, Eval: blend, Jacobian: jac}
+		}, z, contOpts)
+		acc(r4)
+		for j2 := 0; j2 < N2; j2++ { // restore the true inputs exactly
+			copy(us[j2], usOrig[j2])
+		}
 	}
-	return res, nil
+	build := func() *QPResult {
+		res := &QPResult{N1: N1, N2: N2, N: n, T2: t2Period, X: make([][][]float64, N2), Omega: make([]float64, N2)}
+		res.NewtonIterTotal = resN.Iterations
+		res.JacobianEvals = resN.JacobianEvals
+		res.JacobianReuses = resN.JacobianReuses
+		res.GMRESSolves = linSt.solves
+		res.GMRESMatVecs = linSt.matvecs
+		res.GMRESStagnations = linSt.stagnations
+		res.GMRESBreakdowns = linSt.breakdowns
+		res.LinearGMRESRescues = linSt.gmresRescues
+		res.LinearLURescues = linSt.luRescues
+		res.FullNewtonRescues = nlSt.fullRescues
+		res.DampedNewtonRescues = nlSt.deepRescues
+		res.ContinuationRescues = nlSt.continuationRescues
+		if rec != nil {
+			res.RecycleHits = rec.Hits
+			res.RecycleHarvests = rec.Harvests
+		}
+		for j2 := 0; j2 < N2; j2++ {
+			res.X[j2] = make([][]float64, N1)
+			for j1 := 0; j1 < N1; j1++ {
+				base := qpIdx(j1, j2, 0, n, N1)
+				res.X[j2][j1] = append([]float64(nil), z[base:base+n]...)
+			}
+			res.Omega[j2] = z[nx+j2]
+		}
+		return res
+	}
+	if err != nil {
+		if solverr.IsKind(err, solverr.KindCanceled) {
+			// Newton left its best iterate in z; hand it back as the partial
+			// result so a deadline still yields something inspectable.
+			return build(), err
+		}
+		k := solverr.KindOf(err)
+		if k == solverr.KindUnknown {
+			k = solverr.KindStagnation
+		}
+		e := solverr.Wrap(k, "core.quasi", err).
+			WithMsg("quasiperiodic solve failed").WithResidual(resN.ResidualF)
+		if opt.ChordNewton {
+			e.Attempt("chord")
+		}
+		e.Attempt("full-newton").Attempt("damped-newton").Attempt("continuation")
+		return nil, e
+	}
+	if serr := checkState("core.quasi", z); serr != nil {
+		return nil, serr
+	}
+	return build(), nil
 }
 
 func qpIdx(j1, j2, i, n, N1 int) int { return (j2*N1+j1)*n + i }

@@ -1,14 +1,13 @@
 package core
 
 import (
-	"errors"
-	"fmt"
 	"math"
 
 	"repro/internal/dae"
 	"repro/internal/fourier"
 	"repro/internal/la"
 	"repro/internal/newton"
+	"repro/internal/solverr"
 )
 
 // This file implements the paper's §4 formulation literally: equations
@@ -92,13 +91,14 @@ func SpectralEnvelope(sys dae.Autonomous, xhat0 []float64, omega0, t2End float64
 	n := sys.Dim()
 	N := 2*opt.M + 1 // samples == coefficients
 	if len(xhat0) != N*n {
-		return nil, fmt.Errorf("core: spectral IC needs N1=2M+1=%d samples per state, got %d", N, len(xhat0)/n)
+		return nil, solverr.New(solverr.KindBadInput, "core.spectral",
+			"spectral IC needs N1=2M+1=%d samples per state, got %d", N, len(xhat0)/n)
 	}
 	if opt.H2 <= 0 {
-		return nil, errors.New("core: SpectralOptions.H2 must be positive")
+		return nil, solverr.New(solverr.KindBadInput, "core.spectral", "SpectralOptions.H2 must be positive")
 	}
 	if t2End <= 0 || omega0 <= 0 {
-		return nil, errors.New("core: t2End and omega0 must be positive")
+		return nil, solverr.New(solverr.KindBadInput, "core.spectral", "t2End and omega0 must be positive")
 	}
 	k := sys.OscVar()
 	if k < 0 || k >= n {
@@ -150,8 +150,16 @@ func SpectralEnvelope(sys dae.Autonomous, xhat0 []float64, omega0, t2End float64
 		iters, err := sp.step(t2, h, coeff, omega, cNew, &omegaNew, useTrap)
 		res.NewtonIterTotal += iters
 		if err != nil {
+			if solverr.IsKind(err, solverr.KindCanceled) {
+				return res, err
+			}
 			if h <= hMin {
-				return res, fmt.Errorf("core: spectral step at t2=%.6g failed: %w", t2, err)
+				k := solverr.KindOf(err)
+				if k == solverr.KindUnknown {
+					k = solverr.KindStagnation
+				}
+				return res, solverr.Wrap(k, "core.spectral", err).
+					WithMsg("spectral step failed at minimum step").WithT2(t2).WithStep(stepIdx)
 			}
 			h /= 2
 			continue
@@ -502,7 +510,8 @@ func (sp *spectralAssembler) step(t2, h2 float64, cOld []complex128, omegaOld fl
 	}
 	omega := sp.unpackY(y, cNew)
 	if omega <= 0 {
-		return resN.Iterations, errors.New("core: spectral local frequency went non-positive")
+		return resN.Iterations, solverr.New(solverr.KindStagnation, "core.spectral",
+			"spectral local frequency went non-positive (ω=%g)", omega)
 	}
 	*omegaNew = omega
 	return resN.Iterations, nil

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"repro/internal/krylov"
+	"repro/internal/la"
+	"repro/internal/newton"
+	"repro/internal/solverr"
+)
+
+// This file holds the solve-supervision machinery shared by the envelope and
+// quasiperiodic solvers: the linear escalation ladder and the counters both
+// result types report. The paper leaves the per-step nonlinear solve open
+// ("any numerical method ... such as Newton-Raphson or continuation", §4.1);
+// supervision is what makes that freedom safe at scale — a failed rung
+// reports a structured solverr.Error and the layer above escalates instead of
+// silently degrading. See DESIGN.md, "Failure semantics".
+
+// linearStats accumulates the linear ladder's activity across all solves of
+// a run. The envelope/quasi solvers copy it into their result types so
+// iterative-path failures are visible to callers (they used to be discarded).
+type linearStats struct {
+	solves, matvecs         int
+	stagnations, breakdowns int // iterative-rung failures observed
+	gmresRescues, luRescues int // rungs entered after a failure
+	exhausted               int // ladders that failed every rung
+}
+
+// linearLadder adapts the iterative Krylov solvers to newton.LinearSolveErr
+// with escalation: recycled GMRESDR first, deflation-free GMRES on failure,
+// and a direct dense LU factorization as the last rung. It is the supervised
+// replacement for the old gmresSolver adapter, which discarded the GMRESDR
+// error entirely and handed Newton whatever partial iterate the stagnated
+// solve left behind.
+//
+// The ladder is persistent (one per assembler/solve): the Krylov workspace
+// and the fallback LU factors are pooled across solves, so the unarmed hot
+// path allocates nothing after warmup.
+type linearLadder struct {
+	op    krylov.DenseOp // the assembled (dense, bordered) Jacobian
+	prec  krylov.Preconditioner
+	tol   float64
+	rec   *krylov.Recycler // nil when recycling is off
+	ws    *krylov.Workspace
+	lu    *la.LU // direct-solve rung, sized lazily
+	stats *linearStats
+}
+
+// gmresLadderMaxIter bounds each iterative rung, matching the historical
+// adapter's budget.
+const gmresLadderMaxIter = 400
+
+func newLinearLadder(tol float64, rec *krylov.Recycler, stats *linearStats) *linearLadder {
+	return &linearLadder{tol: tol, rec: rec, ws: krylov.NewWorkspace(), stats: stats}
+}
+
+// reset points the ladder at a freshly assembled Jacobian and its
+// preconditioner (called from jac(); the matrix memory is reused, so only
+// the references change).
+func (g *linearLadder) reset(m *la.Dense, prec krylov.Preconditioner) {
+	g.op = krylov.DenseOp{M: m}
+	g.prec = prec
+}
+
+// note classifies one iterative-rung failure into the stats.
+func (g *linearLadder) note(err error) {
+	if solverr.IsKind(err, solverr.KindBreakdown) {
+		g.stats.breakdowns++
+	} else {
+		g.stats.stagnations++
+	}
+}
+
+// SolveErr runs the ladder: GMRESDR → deflation-free GMRES → direct LU.
+// A rung that fails is counted, the next one starts from scratch, and only
+// when every rung has failed does the (structured, trail-carrying) error
+// reach Newton.
+func (g *linearLadder) SolveErr(b, x []float64) error {
+	g.stats.solves++
+	la.Fill(x, 0)
+	opt := krylov.Options{Tol: g.tol, Prec: g.prec, MaxIter: gmresLadderMaxIter, Work: g.ws}
+	res, err := krylov.GMRESDR(g.op, b, x, opt, g.rec)
+	g.stats.matvecs += res.MatVecs
+	if err == nil {
+		return nil
+	}
+	g.note(err)
+	firstErr := err
+
+	// Rung 2: deflation-free GMRES. The carried deflation space (if any)
+	// participated in the failure, so it is discarded, and the restart runs
+	// the plain recurrence from a zero guess.
+	g.stats.gmresRescues++
+	g.rec.Invalidate()
+	la.Fill(x, 0)
+	res, err = krylov.GMRES(g.op, b, x, opt)
+	g.stats.matvecs += res.MatVecs
+	if err == nil {
+		return nil
+	}
+	g.note(err)
+	secondErr := err
+
+	// Rung 3: direct dense LU of the same assembled matrix. This trades
+	// O(n³) work for a guaranteed direction whenever the Jacobian is
+	// nonsingular — the rung of last resort before Newton-level rescue.
+	g.stats.luRescues++
+	n := g.op.M.Rows
+	if g.lu == nil || g.lu.N() != n {
+		g.lu = la.NewLU(n)
+	}
+	if ferr := g.lu.FactorInto(g.op.M); ferr != nil {
+		g.stats.exhausted++
+		e := solverr.Wrap(propagateLadderKind(ferr), "core.linear", ferr).
+			WithMsg("linear ladder exhausted (gmresdr: %v; gmres: %v)", firstErr, secondErr)
+		e.Attempt("gmresdr").Attempt("gmres").Attempt("dense-lu")
+		return e
+	}
+	g.lu.Solve(b, x)
+	return nil
+}
+
+// Solve satisfies the legacy newton.LinearSolve interface; Newton prefers
+// SolveErr, so this path only serves callers that cannot observe errors.
+func (g *linearLadder) Solve(b, x []float64) { _ = g.SolveErr(b, x) }
+
+// propagateLadderKind keeps the direct rung's classification (singular,
+// bad-input) when it has one.
+func propagateLadderKind(err error) solverr.Kind {
+	if k := solverr.KindOf(err); k != solverr.KindUnknown {
+		return k
+	}
+	return solverr.KindSingular
+}
+
+// nonlinearStats counts the envelope/quasi nonlinear ladder's activity:
+// how many step solves needed each rescue rung, and how many exhausted the
+// ladder entirely and fell back to step halving.
+type nonlinearStats struct {
+	fullRescues         int // rung 2: full (per-iteration refresh) Newton
+	deepRescues         int // rung 3: deep damped Newton
+	continuationRescues int // rung 4: source-stepping continuation
+	stepHalvings        int // ladder exhausted; t2 step halved and reset
+}
+
+// checkState rejects non-finite solver states at a stage boundary with a
+// diagnostic naming the offending unknown. stage is dotted-path style.
+func checkState(stage string, x []float64) error {
+	if i := solverr.FirstNonFinite(x); i >= 0 {
+		return solverr.New(solverr.KindNonFinite, stage,
+			"state became non-finite (%v)", x[i]).WithUnknown(i)
+	}
+	return nil
+}
+
+// ctxErr converts a context cancellation into the taxonomy (nil context and
+// live contexts return nil).
+func ctxErr(stage string, done func() error) error {
+	if done == nil {
+		return nil
+	}
+	if err := done(); err != nil {
+		return solverr.Wrap(solverr.KindCanceled, stage, err)
+	}
+	return nil
+}
+
+// chordRescue is the shared "chord failed" bookkeeping: drop the cached
+// factorization and any recycled Krylov space so the next rung starts from a
+// fresh linearization.
+func chordRescue(reuse *newton.ReuseState, rec *krylov.Recycler) {
+	reuse.Invalidate()
+	rec.Invalidate()
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/solverr"
+)
+
+// These tests prove the envelope solve-supervision machinery end to end:
+// each rung of the nonlinear and linear escalation ladders is forced to run
+// by deterministic fault injection, the run still completes, and the
+// EnvelopeResult counters report exactly the rescues that happened.
+//
+// Trigger arithmetic (verified against the planted sites):
+//
+//   - SiteNewtonFail fires once per newton.Solve call, right after the
+//     initial evaluation. The in-step ladder is chord → full Newton → deep
+//     damped Newton → source-stepping continuation, so Times(1) exercises
+//     rung 2, Times(2) rung 3, Times(3) rung 4. The continuation rung's
+//     homotopy halves its λ step on every failure and stalls below 1e-6
+//     after 18 consecutive failures (0.25/2^18 < 1e-6), so Times(21) =
+//     3 ladder rungs + 18 homotopy solves exhausts the whole ladder exactly
+//     once, forcing a single t2 step halving before the unarmed retry lands.
+//
+//   - SiteGMRESStagnate fires once per linear-ladder rung-1 call (GMRESDR
+//     without a recycler delegates to GMRES before its own site check), so
+//     Times(1) exercises the deflation-free GMRES rescue and Times(2) the
+//     direct dense-LU rung.
+//
+// Plans are armed only after InitialCondition: the IC's own transient and
+// shooting Newton solves would otherwise consume the planned firings.
+
+// supervisedEnvelope computes the unarmed IC, arms plan, and runs a short
+// envelope (30 slow-time units of the 300-unit control period, H2 = 1).
+func supervisedEnvelope(t *testing.T, plan *faultinject.Plan, opt EnvelopeOptions) (*EnvelopeResult, error) {
+	t.Helper()
+	sys := testVCO(300)
+	xhat0, omega0 := solveIC(t, sys, 25)
+	opt.N1 = 25
+	if opt.H2 == 0 {
+		opt.H2 = 1
+	}
+	defer faultinject.Arm(plan)()
+	return Envelope(sys, xhat0, omega0, 30, opt)
+}
+
+// requireHealthy asserts the armed run still produced a full-length, finite,
+// positive-frequency envelope — rescue must not degrade the result.
+func requireHealthy(t *testing.T, res *EnvelopeResult, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("supervised envelope failed: %v", err)
+	}
+	if len(res.T2) < 30 {
+		t.Fatalf("only %d accepted points, want ≥ 30", len(res.T2))
+	}
+	for i, w := range res.Omega {
+		if !(w > 0) {
+			t.Fatalf("ω[%d] = %v, want positive", i, w)
+		}
+	}
+	for _, x := range res.X {
+		if i := solverr.FirstNonFinite(x); i >= 0 {
+			t.Fatalf("non-finite state %v at unknown %d", x[i], i)
+		}
+	}
+}
+
+func TestFaultNewtonFullRescue(t *testing.T) {
+	plan := faultinject.NewPlan().Fail(faultinject.SiteNewtonFail, faultinject.Times(1))
+	res, err := supervisedEnvelope(t, plan, EnvelopeOptions{})
+	requireHealthy(t, res, err)
+	if res.FullNewtonRescues != 1 || res.DampedNewtonRescues != 0 || res.ContinuationRescues != 0 {
+		t.Fatalf("rescues (full, deep, cont) = (%d, %d, %d), want (1, 0, 0)",
+			res.FullNewtonRescues, res.DampedNewtonRescues, res.ContinuationRescues)
+	}
+	if res.StepHalvings != 0 {
+		t.Fatalf("StepHalvings = %d, want 0", res.StepHalvings)
+	}
+}
+
+func TestFaultNewtonDeepRescue(t *testing.T) {
+	plan := faultinject.NewPlan().Fail(faultinject.SiteNewtonFail, faultinject.Times(2))
+	res, err := supervisedEnvelope(t, plan, EnvelopeOptions{})
+	requireHealthy(t, res, err)
+	if res.FullNewtonRescues != 1 || res.DampedNewtonRescues != 1 || res.ContinuationRescues != 0 {
+		t.Fatalf("rescues (full, deep, cont) = (%d, %d, %d), want (1, 1, 0)",
+			res.FullNewtonRescues, res.DampedNewtonRescues, res.ContinuationRescues)
+	}
+}
+
+func TestFaultNewtonContinuationRescue(t *testing.T) {
+	plan := faultinject.NewPlan().Fail(faultinject.SiteNewtonFail, faultinject.Times(3))
+	res, err := supervisedEnvelope(t, plan, EnvelopeOptions{})
+	requireHealthy(t, res, err)
+	if res.FullNewtonRescues != 1 || res.DampedNewtonRescues != 1 || res.ContinuationRescues != 1 {
+		t.Fatalf("rescues (full, deep, cont) = (%d, %d, %d), want (1, 1, 1)",
+			res.FullNewtonRescues, res.DampedNewtonRescues, res.ContinuationRescues)
+	}
+	if res.StepHalvings != 0 {
+		t.Fatalf("StepHalvings = %d, want 0 (continuation should have rescued the step)", res.StepHalvings)
+	}
+}
+
+func TestFaultNewtonLadderExhaustedHalvesStep(t *testing.T) {
+	// 3 ladder rungs + 18 homotopy stall solves = 21 injected failures: the
+	// whole ladder exhausts exactly once, the step halves, and the retry at
+	// h/2 runs unarmed and succeeds.
+	plan := faultinject.NewPlan().Fail(faultinject.SiteNewtonFail, faultinject.Times(21))
+	res, err := supervisedEnvelope(t, plan, EnvelopeOptions{})
+	requireHealthy(t, res, err)
+	if res.StepHalvings != 1 {
+		t.Fatalf("StepHalvings = %d, want 1", res.StepHalvings)
+	}
+	if res.FullNewtonRescues != 1 || res.DampedNewtonRescues != 1 || res.ContinuationRescues != 1 {
+		t.Fatalf("rescues (full, deep, cont) = (%d, %d, %d), want (1, 1, 1)",
+			res.FullNewtonRescues, res.DampedNewtonRescues, res.ContinuationRescues)
+	}
+}
+
+func TestFaultNewtonPersistentFailureReportsTrail(t *testing.T) {
+	// Every Newton solve fails: the ladder exhausts at every step size down
+	// to hMin = H2/1024 (10 halvings), and the final error must carry the
+	// full recovery trail and a structured classification.
+	plan := faultinject.NewPlan().Fail(faultinject.SiteNewtonFail, faultinject.Always())
+	res, err := supervisedEnvelope(t, plan, EnvelopeOptions{})
+	if err == nil {
+		t.Fatal("want an error when every Newton solve fails")
+	}
+	if !solverr.IsKind(err, solverr.KindStagnation) {
+		t.Fatalf("error kind = %v, want stagnation in chain: %v", solverr.KindOf(err), err)
+	}
+	if !strings.Contains(err.Error(), "minimum step") {
+		t.Fatalf("error does not name the minimum-step failure: %v", err)
+	}
+	trail := strings.Join(solverr.TrailOf(err), " ")
+	for _, rung := range []string{"chord", "full-newton", "damped-newton", "continuation"} {
+		if !strings.Contains(trail, rung) {
+			t.Fatalf("recovery trail %q missing rung %q", trail, rung)
+		}
+	}
+	if res == nil || len(res.T2) < 1 {
+		t.Fatal("want the partial result (at least the initial point)")
+	}
+	if res.StepHalvings != 10 {
+		t.Fatalf("StepHalvings = %d, want 10 (H2 → H2/1024)", res.StepHalvings)
+	}
+}
+
+func TestFaultGMRESRescue(t *testing.T) {
+	plan := faultinject.NewPlan().Fail(faultinject.SiteGMRESStagnate, faultinject.Times(1))
+	res, err := supervisedEnvelope(t, plan, EnvelopeOptions{Linear: LinearGMRES})
+	requireHealthy(t, res, err)
+	if res.LinearGMRESRescues != 1 || res.LinearLURescues != 0 {
+		t.Fatalf("linear rescues (gmres, lu) = (%d, %d), want (1, 0)",
+			res.LinearGMRESRescues, res.LinearLURescues)
+	}
+	if res.GMRESStagnations != 1 {
+		t.Fatalf("GMRESStagnations = %d, want 1", res.GMRESStagnations)
+	}
+}
+
+func TestFaultGMRESDoubleFailureLURescue(t *testing.T) {
+	plan := faultinject.NewPlan().Fail(faultinject.SiteGMRESStagnate, faultinject.Times(2))
+	res, err := supervisedEnvelope(t, plan, EnvelopeOptions{Linear: LinearGMRES})
+	requireHealthy(t, res, err)
+	if res.LinearGMRESRescues != 1 || res.LinearLURescues != 1 {
+		t.Fatalf("linear rescues (gmres, lu) = (%d, %d), want (1, 1)",
+			res.LinearGMRESRescues, res.LinearLURescues)
+	}
+	if res.GMRESStagnations != 2 {
+		t.Fatalf("GMRESStagnations = %d, want 2", res.GMRESStagnations)
+	}
+	if res.FullNewtonRescues != 0 {
+		t.Fatalf("FullNewtonRescues = %d, want 0 (the linear ladder must absorb the failure)", res.FullNewtonRescues)
+	}
+}
+
+func TestFaultGMRESAlwaysFailsStillConverges(t *testing.T) {
+	// With the iterative rungs permanently broken, every solve must land on
+	// the direct dense-LU rung — and the run must still complete cleanly.
+	plan := faultinject.NewPlan().Fail(faultinject.SiteGMRESStagnate, faultinject.Always())
+	res, err := supervisedEnvelope(t, plan, EnvelopeOptions{Linear: LinearGMRES})
+	requireHealthy(t, res, err)
+	if res.GMRESSolves == 0 {
+		t.Fatal("no linear solves recorded")
+	}
+	if res.LinearGMRESRescues != res.GMRESSolves || res.LinearLURescues != res.GMRESSolves {
+		t.Fatalf("rescues (gmres=%d, lu=%d) should equal solves (%d) when every iterative rung fails",
+			res.LinearGMRESRescues, res.LinearLURescues, res.GMRESSolves)
+	}
+}
+
+func TestFaultLinearLadderExhaustedTrail(t *testing.T) {
+	// Both iterative rungs and the direct rung fail: the linear ladder's
+	// exhaustion error must climb through Newton and the nonlinear ladder
+	// with the complete recovery trail.
+	plan := faultinject.NewPlan().
+		Fail(faultinject.SiteGMRESStagnate, faultinject.Always()).
+		Fail(faultinject.SiteDenseLUSingular, faultinject.Always())
+	_, err := supervisedEnvelope(t, plan, EnvelopeOptions{Linear: LinearGMRES})
+	if err == nil {
+		t.Fatal("want an error when every linear rung fails")
+	}
+	if !solverr.IsKind(err, solverr.KindSingular) {
+		t.Fatalf("error chain should carry the singular classification: %v", err)
+	}
+	trail := strings.Join(solverr.TrailOf(err), " ")
+	for _, rung := range []string{"gmresdr", "gmres", "dense-lu", "chord", "continuation"} {
+		if !strings.Contains(trail, rung) {
+			t.Fatalf("recovery trail %q missing rung %q", trail, rung)
+		}
+	}
+}
+
+func TestFaultDenseLUSingularRescued(t *testing.T) {
+	// An injected singular factorization on the direct (default) path fails
+	// the chord solve's Jacobian update; the full-Newton rung refactors and
+	// recovers.
+	plan := faultinject.NewPlan().Fail(faultinject.SiteDenseLUSingular, faultinject.Times(1))
+	res, err := supervisedEnvelope(t, plan, EnvelopeOptions{})
+	requireHealthy(t, res, err)
+	if res.FullNewtonRescues != 1 {
+		t.Fatalf("FullNewtonRescues = %d, want 1", res.FullNewtonRescues)
+	}
+}
+
+func TestFaultResidualNaNRescued(t *testing.T) {
+	// A poisoned residual norm makes the chord solve fast-fail as
+	// non-finite; the rescue rung must recover without contaminating the
+	// accepted state.
+	plan := faultinject.NewPlan().Fail(faultinject.SiteNewtonResidualNaN, faultinject.Times(1))
+	res, err := supervisedEnvelope(t, plan, EnvelopeOptions{})
+	requireHealthy(t, res, err)
+	if res.FullNewtonRescues != 1 {
+		t.Fatalf("FullNewtonRescues = %d, want 1", res.FullNewtonRescues)
+	}
+}
+
+func TestFaultCanceledEnvelopeReturnsPartial(t *testing.T) {
+	sys := testVCO(300)
+	xhat0, omega0 := solveIC(t, sys, 25)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Envelope(sys, xhat0, omega0, 30, EnvelopeOptions{N1: 25, H2: 1, Ctx: ctx})
+	if err == nil {
+		t.Fatal("want a cancellation error")
+	}
+	if !solverr.IsKind(err, solverr.KindCanceled) {
+		t.Fatalf("error kind = %v, want canceled: %v", solverr.KindOf(err), err)
+	}
+	if res == nil || len(res.T2) != 1 {
+		t.Fatalf("want the partial result with exactly the initial point, got %v", res)
+	}
+}
+
+func TestFaultMidRunCancellationKeepsProgress(t *testing.T) {
+	sys := testVCO(300)
+	xhat0, omega0 := solveIC(t, sys, 25)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opt := EnvelopeOptions{N1: 25, H2: 1, Ctx: ctx}
+	opt.OnStep = func(t2, _ float64, _ []float64) bool {
+		if t2 >= 5 {
+			cancel()
+		}
+		return true
+	}
+	res, err := Envelope(sys, xhat0, omega0, 30, opt)
+	if !solverr.IsKind(err, solverr.KindCanceled) {
+		t.Fatalf("error kind = %v, want canceled: %v", solverr.KindOf(err), err)
+	}
+	// Initial point plus the five accepted steps before the cancel.
+	if len(res.T2) < 6 {
+		t.Fatalf("partial result holds %d points, want ≥ 6", len(res.T2))
+	}
+	if len(res.T2) > 8 {
+		t.Fatalf("run kept stepping after cancellation: %d points", len(res.T2))
+	}
+}

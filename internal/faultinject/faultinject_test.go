@@ -1,0 +1,129 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestUnarmedNeverFires(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		if Fire(SiteGMRESStagnate) || FireSlow() {
+			t.Fatal("unarmed Fire must be false")
+		}
+	}
+	if Armed() {
+		t.Fatal("Armed() should be false")
+	}
+}
+
+func TestUnarmedFireDoesNotAllocate(t *testing.T) {
+	allocs := testing.AllocsPerRun(1000, func() {
+		if Fire(SiteNewtonFail) {
+			t.Fatal("unexpected firing")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("unarmed Fire allocated %v times", allocs)
+	}
+}
+
+func TestTriggers(t *testing.T) {
+	cases := []struct {
+		name string
+		trig Trigger
+		want []bool // firing pattern over 6 occurrences
+	}{
+		{"Always", Always(), []bool{true, true, true, true, true, true}},
+		{"Times2", Times(2), []bool{true, true, false, false, false, false}},
+		{"After3", After(3), []bool{false, false, false, true, true, true}},
+		{"Every2", Every(2), []bool{false, true, false, true, false, true}},
+		{"AfterTimes", AfterTimes(2, 2), []bool{false, false, true, true, false, false}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewPlan().Fail(SiteNewtonFail, tc.trig)
+			disarm := Arm(p)
+			defer disarm()
+			for i, want := range tc.want {
+				if got := Fire(SiteNewtonFail); got != want {
+					t.Errorf("occurrence %d: fired=%v want %v", i+1, got, want)
+				}
+			}
+			if p.Seen(SiteNewtonFail) != len(tc.want) {
+				t.Errorf("Seen = %d want %d", p.Seen(SiteNewtonFail), len(tc.want))
+			}
+		})
+	}
+}
+
+func TestUnarmedSitesStayQuiet(t *testing.T) {
+	disarm := Arm(NewPlan().Fail(SiteDenseLUSingular, Always()))
+	defer disarm()
+	if Fire(SiteSparseLUSingular) {
+		t.Fatal("un-planned site must not fire")
+	}
+	if !Fire(SiteDenseLUSingular) {
+		t.Fatal("planned site must fire")
+	}
+}
+
+func TestSlowEvalRunsSleepHook(t *testing.T) {
+	calls := 0
+	p := NewPlan().Fail(SiteSlowEval, Times(1)).WithSleep(func() { calls++ })
+	disarm := Arm(p)
+	defer disarm()
+	if !FireSlow() {
+		t.Fatal("first FireSlow should fire")
+	}
+	if FireSlow() {
+		t.Fatal("Times(1) exhausted; second FireSlow must not fire")
+	}
+	if calls != 1 {
+		t.Fatalf("Sleep hook ran %d times, want 1", calls)
+	}
+}
+
+func TestDoubleArmPanics(t *testing.T) {
+	disarm := Arm(NewPlan())
+	defer disarm()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Arm should panic")
+		}
+	}()
+	Arm(NewPlan())
+}
+
+func TestConcurrentFireCountsExactly(t *testing.T) {
+	p := NewPlan().Fail(SiteGMRESStagnate, Times(5))
+	disarm := Arm(p)
+	defer disarm()
+	const goroutines, per = 8, 100
+	var wg sync.WaitGroup
+	fired := make([]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if Fire(SiteGMRESStagnate) {
+					fired[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range fired {
+		total += n
+	}
+	if total != 5 {
+		t.Fatalf("Times(5) fired %d times under concurrency", total)
+	}
+	if p.Seen(SiteGMRESStagnate) != goroutines*per {
+		t.Fatalf("Seen = %d want %d", p.Seen(SiteGMRESStagnate), goroutines*per)
+	}
+	if p.Fired(SiteGMRESStagnate) != 5 {
+		t.Fatalf("Fired = %d want 5", p.Fired(SiteGMRESStagnate))
+	}
+}

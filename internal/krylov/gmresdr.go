@@ -1,12 +1,13 @@
 package krylov
 
 import (
-	"fmt"
 	"math"
 	"math/cmplx"
 	"sort"
 
+	"repro/internal/faultinject"
 	"repro/internal/la"
+	"repro/internal/solverr"
 )
 
 // Recycler carries a GCRO-DR style deflation space across successive GMRESDR
@@ -98,19 +99,35 @@ func GMRESDR(a Operator, b, x []float64, opt Options, rec *Recycler) (Result, er
 	}
 	n := a.Dim()
 	if len(b) != n || len(x) != n {
-		return Result{}, fmt.Errorf("krylov: GMRESDR dims: n=%d len(b)=%d len(x)=%d", n, len(b), len(x))
+		return Result{}, solverr.New(solverr.KindBadInput, "krylov.gmresdr",
+			"dims: n=%d len(b)=%d len(x)=%d", n, len(b), len(x))
 	}
 	opt = opt.withDefaults(n)
 	if n == 0 {
 		return Result{Converged: true}, nil
+	}
+	if faultinject.Fire(faultinject.SiteGMRESStagnate) {
+		return Result{Residual: math.Inf(1), Recycled: rec.Size()}, solverr.Wrap(
+			solverr.KindStagnation, "krylov.gmresdr", ErrNoConvergence).
+			WithMsg("injected stagnation")
 	}
 	if rec.n != 0 && rec.n != n {
 		rec.Invalidate()
 	}
 	rec.n = n
 	m := opt.Restart
+	maxk := rec.MaxVectors
+	if maxk < 1 {
+		maxk = 1
+	}
+	ws := opt.Work
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ws.ensure(n, m, maxk)
+	ws.hist = ws.hist[:0]
 
-	pb := make([]float64, n)
+	pb := ws.pb
 	opt.Prec.Precondition(b, pb)
 	bnorm := la.Norm2(pb)
 	if bnorm == 0 {
@@ -123,24 +140,13 @@ func GMRESDR(a Operator, b, x []float64, opt Options, rec *Recycler) (Result, er
 	// solve; a space harvested and reused within the same solve is not one.
 	hit := recycled == 0
 
-	r := make([]float64, n)
-	pr := make([]float64, n)
-	w := make([]float64, n)
-	v := make([][]float64, m+1)
-	for i := range v {
-		v[i] = make([]float64, n)
-	}
-	h := la.NewDense(m+1, m)  // Hessenberg, rotated in place by Givens
-	hr := la.NewDense(m+1, m) // un-rotated copy kept for the harvest
-	maxk := rec.MaxVectors
-	if maxk < 1 {
-		maxk = 1
-	}
-	bm := la.NewDense(maxk, m) // B = Cᵀ(M⁻¹A V): deflation coefficients
-	cs := make([]float64, m)
-	sn := make([]float64, m)
-	g := make([]float64, m+1)
-	ym := make([]float64, m)
+	r, pr, w := ws.r, ws.pr, ws.w
+	v := ws.v
+	h := ws.h   // Hessenberg, rotated in place by Givens
+	hr := ws.hr // un-rotated copy kept for the harvest
+	bm := ws.bm // B = Cᵀ(M⁻¹A V): deflation coefficients
+	cs, sn := ws.cs, ws.sn
+	g, ym := ws.g, ws.ym
 
 	total := 0
 	mv := 0
@@ -161,6 +167,7 @@ func GMRESDR(a Operator, b, x []float64, opt Options, rec *Recycler) (Result, er
 		opt.Prec.Precondition(r, pr)
 		beta := la.Norm2(pr)
 		res = beta / bnorm
+		ws.hist = append(ws.hist, res)
 		if res <= opt.Tol {
 			return Result{Iterations: total, Residual: res, Converged: true, MatVecs: mv, Recycled: recycled}, nil
 		}
@@ -317,7 +324,10 @@ func GMRESDR(a Operator, b, x []float64, opt Options, rec *Recycler) (Result, er
 			rec.cooldown = true
 		}
 	}
-	return Result{Iterations: total, Residual: res, Converged: false, MatVecs: mv, Recycled: recycled}, ErrNoConvergence
+	return Result{Iterations: total, Residual: res, Converged: false, MatVecs: mv, Recycled: recycled},
+		solverr.Wrap(solverr.KindStagnation, "krylov.gmresdr", ErrNoConvergence).
+			WithMsg("GMRESDR(%d) hit iteration cap", m).WithIter(total).WithResidual(res).
+			WithResidualHistory(append([]float64(nil), ws.hist...))
 }
 
 // harvest extracts the harmonic Ritz vectors of smallest magnitude from a

@@ -1,6 +1,7 @@
 package krylov
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -102,7 +103,7 @@ func TestGMRESDRStagnation(t *testing.T) {
 	for name, rec := range map[string]*Recycler{"plain": nil, "recycled": NewRecycler(4)} {
 		x := make([]float64, n)
 		res, err := GMRESDR(DenseOp{M: m}, b, x, Options{Tol: 1e-12, Restart: 5, MaxIter: 12}, rec)
-		if err != ErrNoConvergence {
+		if !errors.Is(err, ErrNoConvergence) {
 			t.Fatalf("%s: want ErrNoConvergence, got %v (%+v)", name, err, res)
 		}
 		if res.Converged {

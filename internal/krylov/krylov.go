@@ -7,10 +7,11 @@ package krylov
 
 import (
 	"errors"
-	"fmt"
 	"math"
 
+	"repro/internal/faultinject"
 	"repro/internal/la"
+	"repro/internal/solverr"
 )
 
 // Operator applies a linear map y = A x. Implemented by dense and CSR
@@ -39,6 +40,66 @@ type Options struct {
 	MaxIter int            // total iteration cap (default 10*n)
 	Restart int            // GMRES restart length m (default min(n, 50))
 	Prec    Preconditioner // default Identity()
+	// Work, when non-nil, supplies the per-solve buffers (Arnoldi basis,
+	// Hessenberg factors, rotation state) so repeated solves of same-shaped
+	// systems allocate nothing — the la.NewLU/FactorInto pattern. A nil Work
+	// allocates fresh buffers per call. A Workspace is not safe for
+	// concurrent use; each solver owns one.
+	Work *Workspace
+}
+
+// Workspace pools every per-solve buffer GMRES and GMRESDR need. Buffers are
+// sized on first use (and resized if the problem shape grows) and then reused
+// verbatim: the solves are bitwise identical to fresh allocation because the
+// algorithms never read an entry they did not write this solve — the only
+// regions read-before-write are the strictly-below-subdiagonal parts of the
+// Hessenberg factors, which no cycle ever writes, so they keep the zeros they
+// were created with.
+type Workspace struct {
+	n, m, maxk int
+	pb, r, pr  []float64
+	w          []float64
+	v          [][]float64
+	h, hr, bm  *la.Dense
+	cs, sn     []float64
+	g, ym      []float64
+	hist       []float64 // per-restart residuals, recycled across solves
+}
+
+// NewWorkspace returns an empty workspace; buffers are sized lazily on the
+// first solve that uses it.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// ensure sizes the buffers for an n-dimensional solve with restart length m
+// and up to maxk deflation vectors, reallocating only when a dimension grows
+// or changes.
+func (ws *Workspace) ensure(n, m, maxk int) {
+	if maxk < 1 {
+		maxk = 1
+	}
+	if ws.n == n && ws.m == m && ws.maxk >= maxk {
+		return
+	}
+	if maxk < ws.maxk {
+		maxk = ws.maxk
+	}
+	ws.n, ws.m, ws.maxk = n, m, maxk
+	ws.pb = make([]float64, n)
+	ws.r = make([]float64, n)
+	ws.pr = make([]float64, n)
+	ws.w = make([]float64, n)
+	ws.v = make([][]float64, m+1)
+	for i := range ws.v {
+		ws.v[i] = make([]float64, n)
+	}
+	ws.h = la.NewDense(m+1, m)
+	ws.hr = la.NewDense(m+1, m)
+	ws.bm = la.NewDense(maxk, m)
+	ws.cs = make([]float64, m)
+	ws.sn = make([]float64, m)
+	ws.g = make([]float64, m+1)
+	ws.ym = make([]float64, m)
+	ws.hist = ws.hist[:0]
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -86,16 +147,28 @@ var ErrNoConvergence = errors.New("krylov: iteration did not converge")
 func GMRES(a Operator, b, x []float64, opt Options) (Result, error) {
 	n := a.Dim()
 	if len(b) != n || len(x) != n {
-		return Result{}, fmt.Errorf("krylov: GMRES dims: n=%d len(b)=%d len(x)=%d", n, len(b), len(x))
+		return Result{}, solverr.New(solverr.KindBadInput, "krylov.gmres",
+			"dims: n=%d len(b)=%d len(x)=%d", n, len(b), len(x))
 	}
 	opt = opt.withDefaults(n)
 	if n == 0 {
 		return Result{Converged: true}, nil
 	}
+	if faultinject.Fire(faultinject.SiteGMRESStagnate) {
+		return Result{Residual: math.Inf(1)}, solverr.Wrap(
+			solverr.KindStagnation, "krylov.gmres", ErrNoConvergence).
+			WithMsg("injected stagnation")
+	}
 	m := opt.Restart
+	ws := opt.Work
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ws.ensure(n, m, 1)
+	ws.hist = ws.hist[:0]
 
 	// Preconditioned RHS norm for the relative criterion.
-	pb := make([]float64, n)
+	pb := ws.pb
 	opt.Prec.Precondition(b, pb)
 	bnorm := la.Norm2(pb)
 	if bnorm == 0 {
@@ -103,18 +176,11 @@ func GMRES(a Operator, b, x []float64, opt Options) (Result, error) {
 		return Result{Converged: true}, nil
 	}
 
-	r := make([]float64, n)
-	pr := make([]float64, n)
-	w := make([]float64, n)
-	v := make([][]float64, m+1)
-	for i := range v {
-		v[i] = make([]float64, n)
-	}
-	h := la.NewDense(m+1, m)
-	cs := make([]float64, m)
-	sn := make([]float64, m)
-	g := make([]float64, m+1)
-	ym := make([]float64, m)
+	r, pr, w := ws.r, ws.pr, ws.w
+	v := ws.v
+	h := ws.h
+	cs, sn := ws.cs, ws.sn
+	g, ym := ws.g, ws.ym
 
 	total := 0
 	mv := 0
@@ -127,6 +193,7 @@ func GMRES(a Operator, b, x []float64, opt Options) (Result, error) {
 		opt.Prec.Precondition(r, pr)
 		beta := la.Norm2(pr)
 		res = beta / bnorm
+		ws.hist = append(ws.hist, res)
 		if res <= opt.Tol {
 			return Result{Iterations: total, Residual: res, Converged: true, MatVecs: mv}, nil
 		}
@@ -195,14 +262,18 @@ func GMRES(a Operator, b, x []float64, opt Options) (Result, error) {
 			return Result{Iterations: total, Residual: res, Converged: true, MatVecs: mv}, nil
 		}
 	}
-	return Result{Iterations: total, Residual: res, Converged: false, MatVecs: mv}, ErrNoConvergence
+	return Result{Iterations: total, Residual: res, Converged: false, MatVecs: mv},
+		solverr.Wrap(solverr.KindStagnation, "krylov.gmres", ErrNoConvergence).
+			WithMsg("GMRES(%d) hit iteration cap", m).WithIter(total).WithResidual(res).
+			WithResidualHistory(append([]float64(nil), ws.hist...))
 }
 
 // BiCGStab solves A x = b by the preconditioned BiCGStab iteration.
 func BiCGStab(a Operator, b, x []float64, opt Options) (Result, error) {
 	n := a.Dim()
 	if len(b) != n || len(x) != n {
-		return Result{}, fmt.Errorf("krylov: BiCGStab dims: n=%d len(b)=%d len(x)=%d", n, len(b), len(x))
+		return Result{}, solverr.New(solverr.KindBadInput, "krylov.bicgstab",
+			"dims: n=%d len(b)=%d len(x)=%d", n, len(b), len(x))
 	}
 	opt = opt.withDefaults(n)
 	if n == 0 {
@@ -232,7 +303,9 @@ func BiCGStab(a Operator, b, x []float64, opt Options) (Result, error) {
 	for it := 1; it <= opt.MaxIter; it++ {
 		rhoNew := la.Dot(rhat, r)
 		if rhoNew == 0 {
-			return Result{Iterations: it, Residual: res, Converged: false, MatVecs: mv}, ErrNoConvergence
+			return Result{Iterations: it, Residual: res, Converged: false, MatVecs: mv},
+				solverr.Wrap(solverr.KindBreakdown, "krylov.bicgstab", ErrNoConvergence).
+					WithMsg("rho breakdown").WithIter(it).WithResidual(res)
 		}
 		beta := (rhoNew / rho) * (alpha / omega)
 		rho = rhoNew
@@ -244,7 +317,9 @@ func BiCGStab(a Operator, b, x []float64, opt Options) (Result, error) {
 		mv++
 		den := la.Dot(rhat, v)
 		if den == 0 {
-			return Result{Iterations: it, Residual: res, Converged: false, MatVecs: mv}, ErrNoConvergence
+			return Result{Iterations: it, Residual: res, Converged: false, MatVecs: mv},
+				solverr.Wrap(solverr.KindBreakdown, "krylov.bicgstab", ErrNoConvergence).
+					WithMsg("orthogonality breakdown").WithIter(it).WithResidual(res)
 		}
 		alpha = rho / den
 		for i := range s {
@@ -259,7 +334,9 @@ func BiCGStab(a Operator, b, x []float64, opt Options) (Result, error) {
 		mv++
 		tt := la.Dot(t, t)
 		if tt == 0 {
-			return Result{Iterations: it, Residual: res, Converged: false, MatVecs: mv}, ErrNoConvergence
+			return Result{Iterations: it, Residual: res, Converged: false, MatVecs: mv},
+				solverr.Wrap(solverr.KindBreakdown, "krylov.bicgstab", ErrNoConvergence).
+					WithMsg("stabilization breakdown").WithIter(it).WithResidual(res)
 		}
 		omega = la.Dot(t, s) / tt
 		la.Axpy(alpha, ph, x)
@@ -271,8 +348,12 @@ func BiCGStab(a Operator, b, x []float64, opt Options) (Result, error) {
 			return Result{Iterations: it, Residual: res, Converged: true, MatVecs: mv}, nil
 		}
 		if omega == 0 {
-			return Result{Iterations: it, Residual: res, Converged: false, MatVecs: mv}, ErrNoConvergence
+			return Result{Iterations: it, Residual: res, Converged: false, MatVecs: mv},
+				solverr.Wrap(solverr.KindBreakdown, "krylov.bicgstab", ErrNoConvergence).
+					WithMsg("omega breakdown").WithIter(it).WithResidual(res)
 		}
 	}
-	return Result{Iterations: opt.MaxIter, Residual: res, Converged: false, MatVecs: mv}, ErrNoConvergence
+	return Result{Iterations: opt.MaxIter, Residual: res, Converged: false, MatVecs: mv},
+		solverr.Wrap(solverr.KindStagnation, "krylov.bicgstab", ErrNoConvergence).
+			WithMsg("hit iteration cap").WithIter(opt.MaxIter).WithResidual(res)
 }

@@ -1,9 +1,10 @@
 package la
 
 import (
-	"fmt"
 	"math"
 	"math/cmplx"
+
+	"repro/internal/solverr"
 )
 
 // CDense is a row-major dense complex matrix, used by the harmonic-balance
@@ -99,7 +100,8 @@ type CLU struct {
 // FactorCLU computes the LU factorization of a square complex matrix.
 func FactorCLU(a *CDense) (*CLU, error) {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("la: FactorCLU needs square matrix, got %dx%d", a.Rows, a.Cols)
+		return nil, solverr.New(solverr.KindBadInput, "la.clu",
+			"FactorCLU needs square matrix, got %dx%d", a.Rows, a.Cols)
 	}
 	f := NewCLU(a.Rows)
 	if err := f.FactorInto(a); err != nil {
@@ -120,7 +122,8 @@ func NewCLU(n int) *CLU {
 func (f *CLU) FactorInto(a *CDense) error {
 	n := f.lu.Rows
 	if a.Rows != n || a.Cols != n {
-		return fmt.Errorf("la: CLU.FactorInto needs %dx%d matrix, got %dx%d", n, n, a.Rows, a.Cols)
+		return solverr.New(solverr.KindBadInput, "la.clu",
+			"FactorInto needs %dx%d matrix, got %dx%d", n, n, a.Rows, a.Cols)
 	}
 	copy(f.lu.Data, a.Data)
 	for i := range f.piv {
@@ -135,7 +138,8 @@ func (f *CLU) FactorInto(a *CDense) error {
 			}
 		}
 		if pmax == 0 {
-			return fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+			return solverr.Wrap(solverr.KindSingular, "la.clu", ErrSingular).
+				WithMsg("zero pivot at column %d", k).WithUnknown(k)
 		}
 		if p != k {
 			rk, rp := lu[k*n:(k+1)*n], lu[p*n:(p+1)*n]

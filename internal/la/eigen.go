@@ -1,10 +1,11 @@
 package la
 
 import (
-	"errors"
 	"math"
 	"math/cmplx"
 	"sort"
+
+	"repro/internal/solverr"
 )
 
 // Eigenvalues returns all eigenvalues of a (square, real) matrix, sorted by
@@ -14,7 +15,7 @@ import (
 // large-scale eigenproblems.
 func Eigenvalues(a *Dense) ([]complex128, error) {
 	if a.Rows != a.Cols {
-		return nil, errors.New("la: Eigenvalues needs a square matrix")
+		return nil, solverr.New(solverr.KindBadInput, "la.eigen", "Eigenvalues needs a square matrix")
 	}
 	n := a.Rows
 	h := NewCDense(n, n)
@@ -137,7 +138,8 @@ func qrEigHessenberg(h *CDense) ([]complex128, error) {
 		}
 		iter++
 		if iter > maxIterPerEig {
-			return nil, errors.New("la: QR eigenvalue iteration failed to converge")
+			return nil, solverr.New(solverr.KindStagnation, "la.eigen",
+				"QR eigenvalue iteration failed to converge").WithIter(iter)
 		}
 		// Wilkinson shift from the trailing 2x2 block.
 		a := h.At(hi-1, hi-1)

@@ -1,0 +1,42 @@
+package la
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/solverr"
+)
+
+// TestFaultInjectedSingularFactorization proves the SiteDenseLUSingular
+// plant: an armed factorization of a perfectly good matrix reports a typed
+// singular error (never a panic, never garbage factors silently used), and
+// the same workspace factors and solves correctly once the trigger is spent.
+func TestFaultInjectedSingularFactorization(t *testing.T) {
+	a := DenseFromRows([][]float64{{4, 1}, {1, 3}})
+	f := NewLU(2)
+	defer faultinject.Arm(faultinject.NewPlan().
+		Fail(faultinject.SiteDenseLUSingular, faultinject.Times(1)))()
+
+	err := f.FactorInto(a)
+	if err == nil {
+		t.Fatal("armed factorization should fail")
+	}
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("injected failure must wrap ErrSingular, got %v", err)
+	}
+	if solverr.KindOf(err) != solverr.KindSingular {
+		t.Fatalf("kind = %v, want singular: %v", solverr.KindOf(err), err)
+	}
+
+	// Trigger exhausted: the workspace recovers in place.
+	if err := f.FactorInto(a); err != nil {
+		t.Fatalf("disfired factorization failed: %v", err)
+	}
+	x := make([]float64, 2)
+	f.Solve([]float64{5, 4}, x)
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Fatalf("post-fault solve wrong: %v, want [1 1]", x)
+	}
+}

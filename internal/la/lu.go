@@ -2,10 +2,11 @@ package la
 
 import (
 	"errors"
-	"fmt"
 	"math"
 
+	"repro/internal/faultinject"
 	"repro/internal/par"
+	"repro/internal/solverr"
 )
 
 // ErrSingular is returned when a factorization encounters an (exactly or
@@ -48,7 +49,8 @@ const luRowGrain = 16
 // column-at-a-time elimination does).
 func FactorLU(a *Dense) (*LU, error) {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("la: FactorLU needs square matrix, got %dx%d", a.Rows, a.Cols)
+		return nil, solverr.New(solverr.KindBadInput, "la.lu",
+			"FactorLU needs square matrix, got %dx%d", a.Rows, a.Cols)
 	}
 	f := NewLU(a.Rows)
 	if err := f.FactorInto(a); err != nil {
@@ -110,7 +112,12 @@ func NewLU(n int) *LU {
 func (f *LU) FactorInto(a *Dense) error {
 	n := f.lu.Rows
 	if a.Rows != n || a.Cols != n {
-		return fmt.Errorf("la: FactorInto needs %dx%d matrix, got %dx%d", n, n, a.Rows, a.Cols)
+		return solverr.New(solverr.KindBadInput, "la.lu",
+			"FactorInto needs %dx%d matrix, got %dx%d", n, n, a.Rows, a.Cols)
+	}
+	if faultinject.Fire(faultinject.SiteDenseLUSingular) {
+		return solverr.Wrap(solverr.KindSingular, "la.lu", ErrSingular).
+			WithMsg("injected singular factorization")
 	}
 	copy(f.lu.Data, a.Data)
 	f.signP = 1
@@ -133,7 +140,8 @@ func (f *LU) FactorInto(a *Dense) error {
 				}
 			}
 			if pmax == 0 {
-				return fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+				return solverr.Wrap(solverr.KindSingular, "la.lu", ErrSingular).
+					WithMsg("zero pivot at column %d", k).WithUnknown(k)
 			}
 			if p != k {
 				rk, rp := lu[k*n:(k+1)*n], lu[p*n:(p+1)*n]

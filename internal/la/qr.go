@@ -1,8 +1,9 @@
 package la
 
 import (
-	"fmt"
 	"math"
+
+	"repro/internal/solverr"
 )
 
 // QR holds a Householder QR factorization A = Q R of an m-by-n matrix with
@@ -16,7 +17,8 @@ type QR struct {
 func FactorQR(a *Dense) (*QR, error) {
 	m, n := a.Rows, a.Cols
 	if m < n {
-		return nil, fmt.Errorf("la: FactorQR needs rows >= cols, got %dx%d", m, n)
+		return nil, solverr.New(solverr.KindBadInput, "la.qr",
+			"FactorQR needs rows >= cols, got %dx%d", m, n)
 	}
 	f := &QR{qr: a.Clone(), rdiag: make([]float64, n)}
 	qr := f.qr.Data
@@ -38,7 +40,8 @@ func FactorQR(a *Dense) (*QR, error) {
 			nrm = math.Hypot(nrm, qr[i*n+k])
 		}
 		if nrm <= 1e-12*scale {
-			return nil, fmt.Errorf("%w: rank-deficient at column %d", ErrSingular, k)
+			return nil, solverr.Wrap(solverr.KindSingular, "la.qr", ErrSingular).
+				WithMsg("rank-deficient at column %d", k).WithUnknown(k)
 		}
 		if qr[k*n+k] < 0 {
 			nrm = -nrm

@@ -1,0 +1,53 @@
+package netlist
+
+import "testing"
+
+// FuzzParse drives the netlist parser with arbitrary input: whatever the
+// bytes, Parse must return a value or an error — never panic — and a netlist
+// it accepts must survive circuit building without crashing either. The seed
+// corpus covers every element kind, the paper's VCO netlist, comment/blank
+// handling and a sample of known-bad inputs, so `go test` alone (which runs
+// the seeds) guards the no-panic contract; `go test -fuzz=FuzzParse` explores
+// beyond it.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"* just a comment\n",
+		"* full comment\nR1 a 0 1k ; trailing comment\n\n  \n",
+		"V1 in 0 DC(10)\nR1 in mid 1k\nR2 mid 0 3k\n",
+		"V1 a 0 SIN(0 1 1k)\nR1 a b 100\nC1 b 0 1u\nL1 b c 1m\nD1 c 0 is=1e-12 vt=26m\nD2 c 0\nG1 c 0 a 0 1m\nI1 c 0 DC(1m)\nN1 c 0 g1=-1m g3=1m\n",
+		"L1 tank 0 10u esr=5\nN1 tank 0 g1=-10m g3=3.3m\nM1 tank 0 c0=8.37n d0=1 m=4.05e-13 b=1.27e-7 k=1 gamma=0.382 ctl=SIN(1.5 3.3 25k)\n.oscvar tank\n",
+		"VDD vdd 0 DC(2.5)\nT1 d g 0 type=n k=2m vt=0.7 lambda=0.01\nT2 d g vdd type=p k=1m vt=0.6\nR1 d 0 10k\nR2 g 0 10k\n",
+		"V1 a 0 PWL(0 0 1m 5)\nI1 a 0 PULSE(0 1m 0 1u 1u 0.5m 1m)\n",
+		// Known-bad shapes: wrong arity, bad values, duplicates, bad groups.
+		"R1 a 0",
+		"R1 a 0 1x",
+		"G1 a 0 b 0",
+		"N1 a 0 g1=-1m",
+		"M1 a 0 c0=1n",
+		"L1 a 0 1u esr",
+		"V1 a 0 SIN(1)",
+		"R1 a 0 1k\nR1 b 0 2k",
+		"T1 d g",
+		"T1 d g 0 type=x",
+		".oscvar nowhere\nR1 a 0 1k",
+		"V1 a 0 SIN(1 2 3 x=4",
+		"R1 a 0 )k(",
+		"\x00\x01\x02",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		ckt, err := Parse(src)
+		if err != nil {
+			if ckt != nil {
+				t.Fatalf("Parse returned both a circuit and an error: %v", err)
+			}
+			return
+		}
+		// Building may legitimately fail (e.g. dangling .oscvar); it must not
+		// panic.
+		_, _ = ckt.Build()
+	})
+}

@@ -6,17 +6,28 @@
 package newton
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"math"
 
+	"repro/internal/faultinject"
 	"repro/internal/la"
+	"repro/internal/solverr"
 )
 
 // LinearSolve abstracts the factored linear system used for Newton updates.
 // Both *la.LU and *sparse.LU satisfy it, as do GMRES adapters.
 type LinearSolve interface {
 	Solve(b, x []float64)
+}
+
+// LinearSolveErr is the supervised variant of LinearSolve: adapters that can
+// fail (iterative solvers, escalation ladders) implement it to surface the
+// failure instead of silently handing Newton a garbage direction. Solve
+// prefers this interface when the solver provides it.
+type LinearSolveErr interface {
+	LinearSolve
+	SolveErr(b, x []float64) error
 }
 
 // Problem defines F(x) = 0.
@@ -63,6 +74,9 @@ type Options struct {
 	// Work, when non-nil, supplies the iteration scratch so repeated solves
 	// of same-sized systems allocate nothing.
 	Work *Workspace
+	// Ctx, when non-nil, is checked once per iteration; on cancellation the
+	// best iterate seen is left in x and Solve returns a KindCanceled error.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -99,6 +113,7 @@ func (s *ReuseState) Cached() bool { return s != nil && s.lin != nil }
 // Workspace holds the per-solve scratch vectors of a Newton iteration.
 type Workspace struct {
 	f, fTrial, dx, xTrial, best []float64
+	hist                        []float64 // per-iteration ||F||_inf, recycled across solves
 }
 
 // NewWorkspace allocates scratch for n-dimensional solves.
@@ -143,7 +158,8 @@ var ErrNoConvergence = errors.New("newton: iteration did not converge")
 // Solve runs damped Newton on p starting from x (updated in place).
 func Solve(p Problem, x []float64, opt Options) (Result, error) {
 	if len(x) != p.N {
-		return Result{}, fmt.Errorf("newton: len(x)=%d, want %d", len(x), p.N)
+		return Result{}, solverr.New(solverr.KindBadInput, "newton",
+			"len(x)=%d, want %d", len(x), p.N)
 	}
 	opt = opt.withDefaults()
 	n := p.N
@@ -154,6 +170,7 @@ func Solve(p Problem, x []float64, opt Options) (Result, error) {
 		ws.ensure(n)
 	}
 	f, fTrial, dx, xTrial := ws.f, ws.fTrial, ws.dx, ws.xTrial
+	ws.hist = ws.hist[:0]
 
 	jacEvals, jacReuses := 0, 0
 	mk := func(iters int, resF float64, conv bool) Result {
@@ -162,9 +179,14 @@ func Solve(p Problem, x []float64, opt Options) (Result, error) {
 	}
 
 	if err := p.Eval(x, f); err != nil {
-		return mk(0, 0, false), fmt.Errorf("newton: initial evaluation: %w", err)
+		return mk(0, 0, false), solverr.Wrap(propagateKind(err, solverr.KindUnknown), "newton", err).
+			WithMsg("initial evaluation")
 	}
 	normF := la.NormInf(f)
+	if faultinject.Fire(faultinject.SiteNewtonFail) {
+		return mk(0, normF, false), solverr.Wrap(solverr.KindStagnation, "newton", ErrNoConvergence).
+			WithMsg("injected failure").WithResidual(normF)
+	}
 	best := ws.best
 	copy(best, x)
 	bestNorm := normF
@@ -179,19 +201,39 @@ func Solve(p Problem, x []float64, opt Options) (Result, error) {
 	stale := false // last stale-Jacobian update stalled or under-contracted
 
 	for it := 1; it <= opt.MaxIter; it++ {
+		if opt.Ctx != nil {
+			select {
+			case <-opt.Ctx.Done():
+				copy(x, best)
+				return mk(it-1, bestNorm, false), solverr.Wrap(
+					solverr.KindCanceled, "newton", opt.Ctx.Err()).
+					WithIter(it - 1).WithResidual(bestNorm)
+			default:
+			}
+		}
+		ws.hist = append(ws.hist, normF)
+		if faultinject.Fire(faultinject.SiteNewtonResidualNaN) {
+			normF = math.NaN()
+		}
 		if normF <= opt.TolF {
 			return mk(it-1, normF, true), nil
 		}
 		if math.IsNaN(normF) || math.IsInf(normF, 0) {
 			copy(x, best)
-			return mk(it-1, bestNorm, false), fmt.Errorf("newton: residual became non-finite: %w", ErrNoConvergence)
+			bad := solverr.FirstNonFinite(f)
+			return mk(it-1, bestNorm, false), solverr.Wrap(
+				solverr.KindNonFinite, "newton", ErrNoConvergence).
+				WithMsg("residual became non-finite").WithIter(it - 1).
+				WithUnknown(bad).WithResidualHistory(append([]float64(nil), ws.hist...))
 		}
 		usedStale := false
 		if lin == nil || !opt.JacobianReuse || stale {
 			fresh, err := p.Jacobian(x)
 			if err != nil {
 				copy(x, best)
-				return mk(it-1, bestNorm, false), fmt.Errorf("newton: jacobian: %w", err)
+				return mk(it-1, bestNorm, false), solverr.Wrap(
+					propagateKind(err, solverr.KindSingular), "newton", err).
+					WithMsg("jacobian").WithIter(it - 1).WithResidual(normF)
 			}
 			lin = fresh
 			jacEvals++
@@ -201,7 +243,27 @@ func Solve(p Problem, x []float64, opt Options) (Result, error) {
 			jacReuses++
 		}
 		normBefore := normF
-		lin.Solve(f, dx) // J dx = F  => x_new = x - dx
+		// J dx = F  => x_new = x - dx. Solvers that can fail report it
+		// through LinearSolveErr; a failed linear solve aborts the iteration
+		// with the cause's classification so the supervisor above can pick
+		// the right rescue (refresh, escalate, halve the step).
+		if le, ok := lin.(LinearSolveErr); ok {
+			if lerr := le.SolveErr(f, dx); lerr != nil {
+				copy(x, best)
+				return mk(it-1, bestNorm, false), solverr.Wrap(
+					propagateKind(lerr, solverr.KindUnknown), "newton", lerr).
+					WithMsg("linear solve failed").WithIter(it - 1).WithResidual(normF)
+			}
+		} else {
+			lin.Solve(f, dx)
+		}
+		if bad := solverr.FirstNonFinite(dx); bad >= 0 {
+			copy(x, best)
+			return mk(it-1, bestNorm, false), solverr.New(
+				solverr.KindNonFinite, "newton",
+				"linear solve produced a non-finite direction").
+				WithIter(it - 1).WithUnknown(bad).WithResidual(normF)
+		}
 		step := 1.0
 		accepted := false
 		for h := 0; ; h++ {
@@ -231,7 +293,10 @@ func Solve(p Problem, x []float64, opt Options) (Result, error) {
 			}
 			if err := p.Eval(xTrial, fTrial); err != nil {
 				copy(x, best)
-				return mk(it, bestNorm, false), fmt.Errorf("newton: evaluation failed: %w", ErrNoConvergence)
+				return mk(it, bestNorm, false), solverr.Wrap(
+					solverr.KindStagnation, "newton", ErrNoConvergence).
+					WithMsg("evaluation failed at the full step: %v", err).
+					WithIter(it).WithResidual(bestNorm)
 			}
 			copy(x, xTrial)
 			copy(f, fTrial)
@@ -261,7 +326,21 @@ func Solve(p Problem, x []float64, opt Options) (Result, error) {
 		return mk(opt.MaxIter, normF, true), nil
 	}
 	copy(x, best)
-	return mk(opt.MaxIter, bestNorm, false), ErrNoConvergence
+	return mk(opt.MaxIter, bestNorm, false), solverr.Wrap(
+		solverr.KindStagnation, "newton", ErrNoConvergence).
+		WithMsg("no convergence in %d iterations", opt.MaxIter).
+		WithIter(opt.MaxIter).WithResidual(bestNorm).
+		WithResidualHistory(append([]float64(nil), ws.hist...))
+}
+
+// propagateKind reuses the cause's classification when it has one, so e.g. a
+// singular-Jacobian error keeps KindSingular through the newton wrapper, and
+// falls back to def for plain errors.
+func propagateKind(err error, def solverr.Kind) solverr.Kind {
+	if k := solverr.KindOf(err); k != solverr.KindUnknown {
+		return k
+	}
+	return def
 }
 
 // DenseProblem builds a Problem whose Jacobian is assembled densely and
@@ -300,7 +379,8 @@ func Homotopy(make func(lambda float64) Problem, x []float64, opt Options) (Resu
 			copy(x, xSave)
 			step /= 2
 			if step < 1e-6 {
-				return res, fmt.Errorf("newton: homotopy stalled at λ=%.6f: %w", lambda, err)
+				return res, solverr.Wrap(solverr.KindStagnation, "newton.homotopy", err).
+					WithMsg("continuation stalled at λ=%.6f", lambda)
 			}
 			continue
 		}

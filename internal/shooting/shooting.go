@@ -7,14 +7,14 @@
 package shooting
 
 import (
-	"errors"
-	"fmt"
+	"context"
 	"math"
 
 	"repro/internal/dae"
 	"repro/internal/la"
 	"repro/internal/newton"
 	"repro/internal/par"
+	"repro/internal/solverr"
 	"repro/internal/transient"
 )
 
@@ -25,6 +25,10 @@ type Options struct {
 	MaxIter         int     // Newton iterations, default 30
 	Tol             float64 // residual tolerance on ||Φ_T(x)−x||, default 1e-8
 	FrozenInputTime float64 // autonomous runs freeze inputs at this time
+	// Ctx, when non-nil, makes the shooting solve cancelable: it reaches the
+	// inner transient flows and the Newton iteration, which return a
+	// solverr.KindCanceled error when the context expires.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -52,7 +56,7 @@ type PSS struct {
 // of the monodromy matrix, sorted by descending magnitude.
 func (p *PSS) Floquet() ([]complex128, error) {
 	if p.Monodromy == nil {
-		return nil, errors.New("shooting: no monodromy available")
+		return nil, solverr.New(solverr.KindBadInput, "shooting", "no monodromy available")
 	}
 	return la.Eigenvalues(p.Monodromy)
 }
@@ -74,6 +78,7 @@ func flow(sys dae.System, x0 []float64, T float64, opt Options) ([]float64, *tra
 	res, err := transient.Simulate(sys, x0, 0, T, transient.Options{
 		Method: opt.Method,
 		H:      T / float64(opt.PointsPerPeriod),
+		Ctx:    opt.Ctx,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -95,12 +100,14 @@ func monodromy(sys dae.System, x0 []float64, T float64, opt Options) (*la.Dense,
 			xp[j] = x0[j] + h
 			fp, _, err := flow(sys, xp, T, opt)
 			if err != nil {
-				return fmt.Errorf("shooting: sensitivity column %d: %w", j, err)
+				return solverr.Wrap(solverr.KindOf(err), "shooting.monodromy", err).
+					WithMsg("sensitivity column %d failed", j).WithUnknown(j)
 			}
 			xp[j] = x0[j] - h
 			fm, _, err := flow(sys, xp, T, opt)
 			if err != nil {
-				return fmt.Errorf("shooting: sensitivity column %d: %w", j, err)
+				return solverr.Wrap(solverr.KindOf(err), "shooting.monodromy", err).
+					WithMsg("sensitivity column %d failed", j).WithUnknown(j)
 			}
 			for i := 0; i < n; i++ {
 				m.Set(i, j, (fp[i]-fm[i])/(2*h))
@@ -120,10 +127,10 @@ func Forced(sys dae.System, x0 []float64, T float64, opt Options) (*PSS, error) 
 	opt = opt.withDefaults()
 	n := sys.Dim()
 	if len(x0) != n {
-		return nil, fmt.Errorf("shooting: len(x0)=%d, want %d", len(x0), n)
+		return nil, solverr.New(solverr.KindBadInput, "shooting.forced", "len(x0)=%d, want %d", len(x0), n)
 	}
 	if T <= 0 {
-		return nil, errors.New("shooting: period must be positive")
+		return nil, solverr.New(solverr.KindBadInput, "shooting.forced", "period must be positive")
 	}
 	x := append([]float64(nil), x0...)
 	p := newton.Problem{
@@ -148,8 +155,8 @@ func Forced(sys dae.System, x0 []float64, T float64, opt Options) (*PSS, error) 
 			return la.FactorLU(j)
 		},
 	}
-	if _, err := newton.Solve(p, x, newton.Options{MaxIter: opt.MaxIter, TolF: opt.Tol, Damping: true}); err != nil {
-		return nil, fmt.Errorf("shooting: forced PSS: %w", err)
+	if _, err := newton.Solve(p, x, newton.Options{MaxIter: opt.MaxIter, TolF: opt.Tol, Damping: true, Ctx: opt.Ctx}); err != nil {
+		return nil, solverr.Wrap(solverr.KindOf(err), "shooting.forced", err).WithMsg("forced PSS failed")
 	}
 	m, err := monodromy(sys, x, T, opt)
 	if err != nil {
@@ -171,10 +178,10 @@ func Autonomous(sys dae.Autonomous, x0 []float64, T0 float64, opt Options) (*PSS
 	opt = opt.withDefaults()
 	n := sys.Dim()
 	if len(x0) != n {
-		return nil, fmt.Errorf("shooting: len(x0)=%d, want %d", len(x0), n)
+		return nil, solverr.New(solverr.KindBadInput, "shooting.autonomous", "len(x0)=%d, want %d", len(x0), n)
 	}
 	if T0 <= 0 {
-		return nil, errors.New("shooting: period guess must be positive")
+		return nil, solverr.New(solverr.KindBadInput, "shooting.autonomous", "period guess must be positive")
 	}
 	frozen := Freeze(sys, opt.FrozenInputTime)
 	k := sys.OscVar()
@@ -188,7 +195,7 @@ func Autonomous(sys dae.Autonomous, x0 []float64, T0 float64, opt Options) (*PSS
 	eval := func(z, f []float64) error {
 		T := z[n]
 		if T <= 0 {
-			return errors.New("shooting: period went non-positive")
+			return solverr.New(solverr.KindStagnation, "shooting.autonomous", "period went non-positive (T=%g)", T)
 		}
 		xT, _, err := flow(frozen, z[:n], T, opt)
 		if err != nil {
@@ -232,8 +239,8 @@ func Autonomous(sys dae.Autonomous, x0 []float64, T0 float64, opt Options) (*PSS
 		return la.FactorLU(j)
 	}
 	if _, err := newton.Solve(newton.Problem{N: n + 1, Eval: eval, Jacobian: jac}, z,
-		newton.Options{MaxIter: opt.MaxIter, TolF: opt.Tol, Damping: true}); err != nil {
-		return nil, fmt.Errorf("shooting: autonomous PSS: %w", err)
+		newton.Options{MaxIter: opt.MaxIter, TolF: opt.Tol, Damping: true, Ctx: opt.Ctx}); err != nil {
+		return nil, solverr.Wrap(solverr.KindOf(err), "shooting.autonomous", err).WithMsg("autonomous PSS failed")
 	}
 	x := append([]float64(nil), z[:n]...)
 	T := z[n]

@@ -1,0 +1,76 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/solverr"
+)
+
+func goodCSR() *CSR {
+	tr := NewTriplet(2, 2)
+	tr.Add(0, 0, 4)
+	tr.Add(0, 1, 1)
+	tr.Add(1, 0, 1)
+	tr.Add(1, 1, 3)
+	return tr.ToCSR()
+}
+
+// TestFaultInjectedSingularFactorLU proves the SiteSparseLUSingular plant in
+// FactorLU: a typed singular error on a well-conditioned matrix, then normal
+// operation once the trigger is spent.
+func TestFaultInjectedSingularFactorLU(t *testing.T) {
+	c := goodCSR()
+	defer faultinject.Arm(faultinject.NewPlan().
+		Fail(faultinject.SiteSparseLUSingular, faultinject.Times(1)))()
+
+	if _, err := FactorLU(c); err == nil {
+		t.Fatal("armed factorization should fail")
+	} else {
+		if !errors.Is(err, ErrSingular) {
+			t.Fatalf("injected failure must wrap ErrSingular, got %v", err)
+		}
+		if solverr.KindOf(err) != solverr.KindSingular {
+			t.Fatalf("kind = %v, want singular: %v", solverr.KindOf(err), err)
+		}
+	}
+
+	lu, err := FactorLU(c)
+	if err != nil {
+		t.Fatalf("disfired factorization failed: %v", err)
+	}
+	x := make([]float64, 2)
+	lu.Solve([]float64{5, 4}, x)
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Fatalf("post-fault solve wrong: %v, want [1 1]", x)
+	}
+}
+
+// TestFaultInjectedSingularRefactor proves the same plant on the
+// pattern-reusing Refactor path.
+func TestFaultInjectedSingularRefactor(t *testing.T) {
+	c := goodCSR()
+	lu, err := FactorLU(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Arm(faultinject.NewPlan().
+		Fail(faultinject.SiteSparseLUSingular, faultinject.Times(1)))()
+
+	if err := lu.Refactor(c); err == nil {
+		t.Fatal("armed refactorization should fail")
+	} else if !solverr.IsKind(err, solverr.KindSingular) || !errors.Is(err, ErrSingular) {
+		t.Fatalf("want typed singular wrapping ErrSingular, got %v", err)
+	}
+
+	if err := lu.Refactor(c); err != nil {
+		t.Fatalf("disfired refactorization failed: %v", err)
+	}
+	x := make([]float64, 2)
+	lu.Solve([]float64{5, 4}, x)
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Fatalf("post-fault solve wrong: %v, want [1 1]", x)
+	}
+}

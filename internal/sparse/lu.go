@@ -2,9 +2,11 @@ package sparse
 
 import (
 	"errors"
-	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/faultinject"
+	"repro/internal/solverr"
 )
 
 // ErrSingular is returned when the factorization hits a zero pivot column.
@@ -42,7 +44,12 @@ type LU struct {
 // FactorLU factorizes a square CSR matrix.
 func FactorLU(a *CSR) (*LU, error) {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("sparse: FactorLU needs square matrix, got %dx%d", a.Rows, a.Cols)
+		return nil, solverr.New(solverr.KindBadInput, "sparse.lu",
+			"FactorLU needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	if faultinject.Fire(faultinject.SiteSparseLUSingular) {
+		return nil, solverr.Wrap(solverr.KindSingular, "sparse.lu", ErrSingular).
+			WithMsg("injected singular factorization")
 	}
 	n := a.Rows
 	at := a.Transpose() // column access
@@ -97,7 +104,8 @@ func FactorLU(a *CSR) (*LU, error) {
 			}
 		}
 		if pivRow < 0 || pivAbs == 0 {
-			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, col)
+			return nil, solverr.Wrap(solverr.KindSingular, "sparse.lu", ErrSingular).
+				WithMsg("zero pivot at column %d", col).WithUnknown(col)
 		}
 		f.perm[col] = pivRow
 		f.permInv[pivRow] = col
@@ -135,7 +143,8 @@ func FactorLU(a *CSR) (*LU, error) {
 func (f *LU) Refactor(a *CSR) error {
 	n := f.n
 	if a.Rows != n || a.Cols != n {
-		return fmt.Errorf("sparse: Refactor needs %dx%d matrix, got %dx%d", n, n, a.Rows, a.Cols)
+		return solverr.New(solverr.KindBadInput, "sparse.lu",
+			"Refactor needs %dx%d matrix, got %dx%d", n, n, a.Rows, a.Cols)
 	}
 	f.ensurePlan(a)
 	if len(a.RowPtr) != len(f.rowPtr) || len(a.ColIdx) != len(f.colIdxA) {
@@ -150,6 +159,10 @@ func (f *LU) Refactor(a *CSR) error {
 		if c != f.colIdxA[i] {
 			return ErrPatternChanged
 		}
+	}
+	if faultinject.Fire(faultinject.SiteSparseLUSingular) {
+		return solverr.Wrap(solverr.KindSingular, "sparse.lu", ErrSingular).
+			WithMsg("injected singular refactorization")
 	}
 	work, touched := f.work, f.touched[:0]
 	for col := 0; col < n; col++ {
@@ -188,7 +201,8 @@ func (f *LU) Refactor(a *CSR) error {
 		}
 		if pivVal == 0 {
 			f.clearWork(touched)
-			return fmt.Errorf("%w: zero pivot at column %d (refactor)", ErrSingular, col)
+			return solverr.Wrap(solverr.KindSingular, "sparse.lu", ErrSingular).
+				WithMsg("zero pivot at column %d (refactor)", col).WithUnknown(col)
 		}
 		uval[len(uval)-1] = pivVal
 		work[pivRow] = 0

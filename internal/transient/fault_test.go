@@ -1,0 +1,54 @@
+package transient
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/dae"
+	"repro/internal/faultinject"
+	"repro/internal/solverr"
+)
+
+// TestFaultSlowEvalCancellation exercises the deadline path without real
+// waiting: SiteSlowEval's sleep hook cancels the run's context mid-stream,
+// and Simulate must stop promptly with a KindCanceled error while returning
+// the partial waveform integrated so far.
+func TestFaultSlowEvalCancellation(t *testing.T) {
+	s := &dae.LinearRC{C: 1e-6, R: 1e3}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	plan := faultinject.NewPlan().
+		Fail(faultinject.SiteSlowEval, faultinject.After(50)).
+		WithSleep(cancel)
+	defer faultinject.Arm(plan)()
+
+	res, err := Simulate(s, []float64{1}, 0, 5e-3, Options{Method: Trap, H: 1e-5, Ctx: ctx})
+	if err == nil {
+		t.Fatal("want a cancellation error")
+	}
+	if !solverr.IsKind(err, solverr.KindCanceled) {
+		t.Fatalf("error kind = %v, want canceled: %v", solverr.KindOf(err), err)
+	}
+	if res == nil || len(res.T) < 2 {
+		t.Fatalf("want partial progress before the stall, got %d points", len(res.T))
+	}
+	if len(res.T) > 100 {
+		t.Fatalf("run kept stepping long after cancellation: %d points", len(res.T))
+	}
+}
+
+// TestFaultStepBudgetExhausted pins the KindBudget classification of the
+// MaxSteps safeguard (distinct from per-solve stagnation).
+func TestFaultStepBudgetExhausted(t *testing.T) {
+	s := &dae.LinearRC{C: 1e-6, R: 1e3}
+	res, err := Simulate(s, []float64{1}, 0, 5e-3, Options{Method: Trap, H: 1e-5, MaxSteps: 10})
+	if err == nil {
+		t.Fatal("want a budget error")
+	}
+	if !solverr.IsKind(err, solverr.KindBudget) {
+		t.Fatalf("error kind = %v, want budget: %v", solverr.KindOf(err), err)
+	}
+	if res == nil || res.Steps != 10 {
+		t.Fatalf("want exactly the 10 budgeted steps in the partial result, got %+v", res)
+	}
+}

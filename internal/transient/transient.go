@@ -7,13 +7,15 @@
 package transient
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/dae"
+	"repro/internal/faultinject"
 	"repro/internal/la"
 	"repro/internal/newton"
+	"repro/internal/solverr"
 )
 
 // Method selects the integration formula.
@@ -56,6 +58,11 @@ type Options struct {
 	OnStep func(t float64, x []float64) bool
 	// Store disables waveform storage when false only if OnStep is set.
 	NoStore bool
+	// Ctx, when non-nil, makes the run cancelable: it is checked before every
+	// step and once per Newton iteration within a step. On cancellation
+	// Simulate returns the partial Result accumulated so far together with a
+	// solverr.KindCanceled error.
+	Ctx context.Context
 }
 
 // Result holds the accepted time points and states of a transient run.
@@ -105,13 +112,19 @@ func (r *Result) Component(k int) []float64 {
 func Simulate(sys dae.System, x0 []float64, t0, t1 float64, opt Options) (*Result, error) {
 	n := sys.Dim()
 	if len(x0) != n {
-		return nil, fmt.Errorf("transient: len(x0)=%d, want %d", len(x0), n)
+		return nil, solverr.New(solverr.KindBadInput, "transient", "len(x0)=%d, want %d", len(x0), n)
 	}
 	if opt.H <= 0 {
-		return nil, errors.New("transient: Options.H must be positive")
+		return nil, solverr.New(solverr.KindBadInput, "transient", "Options.H must be positive")
 	}
 	if t1 <= t0 {
-		return nil, errors.New("transient: t1 must exceed t0")
+		return nil, solverr.New(solverr.KindBadInput, "transient", "t1 must exceed t0")
+	}
+	if err := solverr.CheckFinite("transient", x0); err != nil {
+		return nil, err
+	}
+	if opt.Ctx != nil && opt.Newton.Ctx == nil {
+		opt.Newton.Ctx = opt.Ctx
 	}
 	if opt.RelTol <= 0 {
 		opt.RelTol = 1e-6
@@ -161,6 +174,11 @@ func Simulate(sys dae.System, x0 []float64, t0, t1 float64, opt Options) (*Resul
 
 	endTol := 1e-12 * (t1 - t0)
 	for t1-t > endTol && res.Steps < opt.MaxSteps {
+		if opt.Ctx != nil {
+			if cerr := opt.Ctx.Err(); cerr != nil {
+				return res, solverr.Wrap(solverr.KindCanceled, "transient", cerr).WithStep(res.Steps)
+			}
+		}
 		if t+h > t1 {
 			h = t1 - t
 		}
@@ -168,12 +186,24 @@ func Simulate(sys dae.System, x0 []float64, t0, t1 float64, opt Options) (*Resul
 		iters, err := st.step(t, h, x, xPrev, tPrev, havePrev, xNew)
 		res.NewtonIter += iters
 		if err != nil {
+			if solverr.IsKind(err, solverr.KindCanceled) {
+				return res, err
+			}
 			if !opt.Adaptive || h <= opt.HMin {
-				return res, fmt.Errorf("transient: step at t=%.6g h=%.3g failed: %w", t, h, err)
+				k := solverr.KindOf(err)
+				if k == solverr.KindUnknown {
+					k = solverr.KindStagnation
+				}
+				return res, solverr.Wrap(k, "transient", err).
+					WithMsg("step at t=%.6g h=%.3g failed", t, h).WithStep(res.Steps)
 			}
 			res.Rejected++
 			h = math.Max(h/4, opt.HMin)
 			continue
+		}
+		if i := solverr.FirstNonFinite(xNew); i >= 0 {
+			return res, solverr.New(solverr.KindNonFinite, "transient",
+				"state became non-finite at t=%.6g (%v)", t+h, xNew[i]).WithUnknown(i).WithStep(res.Steps)
 		}
 		advance := func() bool {
 			if xPrev2 == nil {
@@ -221,7 +251,8 @@ func Simulate(sys dae.System, x0 []float64, t0, t1 float64, opt Options) (*Resul
 		}
 	}
 	if t1-t > endTol {
-		return res, fmt.Errorf("transient: step budget (%d) exhausted at t=%.6g", opt.MaxSteps, t)
+		return res, solverr.New(solverr.KindBudget, "transient",
+			"step budget (%d) exhausted at t=%.6g", opt.MaxSteps, t).WithStep(res.Steps)
 	}
 	return res, nil
 }
@@ -323,6 +354,7 @@ func (st *stepper) step(t, h float64, xOld, xPrev []float64, tPrev float64, have
 	}
 
 	eval := func(x, f []float64) error {
+		faultinject.FireSlow()
 		q := make([]float64, n)
 		sys.Q(x, q)
 		ff := make([]float64, n)
@@ -400,7 +432,7 @@ type DCOptions struct {
 func DCOperatingPoint(sys dae.System, t0 float64, x []float64, opt DCOptions) error {
 	n := sys.Dim()
 	if len(x) != n {
-		return fmt.Errorf("transient: len(x)=%d, want %d", len(x), n)
+		return solverr.New(solverr.KindBadInput, "transient.dc", "len(x)=%d, want %d", len(x), n)
 	}
 	if opt.GminMax <= 0 {
 		opt.GminMax = 1e-3
@@ -435,7 +467,13 @@ func DCOperatingPoint(sys dae.System, t0 float64, x []float64, opt DCOptions) er
 		return mk(opt.GminMax * (1 - lambda))
 	}, x, nopt)
 	if err != nil {
-		return fmt.Errorf("transient: DC operating point: %w", err)
+		k := solverr.KindOf(err)
+		if k == solverr.KindUnknown {
+			k = solverr.KindStagnation
+		}
+		e := solverr.Wrap(k, "transient.dc", err).WithMsg("DC operating point failed")
+		e.Attempt("newton").Attempt("gmin-stepping")
+		return e
 	}
 	return nil
 }
