@@ -21,6 +21,17 @@
 #   bench-check rerun the same benchmarks and compare against the committed
 #               baseline with cmd/benchjson -check: an allocs/op regression
 #               fails, ns/op drift beyond ±20% only warns.
+#   serve       service smoke tier: builds wampde-server and wampde-load with
+#               the race detector, boots the server on a free port with a
+#               deliberately small worker/queue budget, and runs the load
+#               harness with -check — the seeded 64-request mix (≥87%
+#               cache/single-flight hit rate, zero 5xx, bitwise-identical
+#               replays), one deadline-exceeded request (408 + partial) and
+#               a saturating burst (≥1 admission rejection).
+#   serve-bench rerun the load harness with -bench and snapshot its
+#               throughput/latency lines to a baseline file (second
+#               argument, default BENCH_pr5.json) via cmd/benchjson. Like
+#               bench, not part of "all" — refresh deliberately.
 #
 # Run ./ci.sh for everything, ./ci.sh 1 / ./ci.sh 2 for one tier,
 # ./ci.sh bench [FILE] to refresh a baseline, or ./ci.sh bench-check [FILE]
@@ -47,6 +58,46 @@ fi
 if [ "$tier" = fault ] || [ "$tier" = all ]; then
 	echo "== fault: armed fault-injection suite under the race detector"
 	go test -race -run 'TestFault' ./...
+fi
+
+run_serve() {
+	mode="$1" # check | bench
+	tmp="$(mktemp -d)"
+	trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+	go build -race -o "$tmp/wampde-server" ./cmd/wampde-server
+	go build -race -o "$tmp/wampde-load" ./cmd/wampde-load
+	"$tmp/wampde-server" -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+		-workers 2 -queue 2 -solver-workers 2 &
+	server_pid=$!
+	i=0
+	while [ ! -s "$tmp/addr" ]; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && { echo "ci: server did not start" >&2; exit 1; }
+		sleep 0.1
+	done
+	url="http://$(cat "$tmp/addr")"
+	if [ "$mode" = bench ]; then
+		"$tmp/wampde-load" -url "$url" -check -bench | tee "$tmp/load.out"
+		go run ./cmd/benchjson <"$tmp/load.out" >"$benchfile"
+		cat "$benchfile"
+	else
+		"$tmp/wampde-load" -url "$url" -check
+	fi
+	kill "$server_pid" 2>/dev/null || true
+	wait "$server_pid" 2>/dev/null || true
+	trap - EXIT
+	rm -rf "$tmp"
+}
+
+if [ "$tier" = serve ] || [ "$tier" = all ]; then
+	echo "== serve: HTTP service smoke (server + load harness, race detector)"
+	run_serve check
+fi
+
+if [ "$tier" = serve-bench ]; then
+	benchfile="${2:-BENCH_pr5.json}"
+	echo "== serve-bench: snapshotting service load numbers to $benchfile"
+	run_serve bench
 fi
 
 if [ "$tier" = bench ]; then

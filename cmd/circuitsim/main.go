@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netlist"
 	"repro/internal/shooting"
+	"repro/internal/solverr"
 	"repro/internal/textplot"
 	"repro/internal/transient"
 )
@@ -74,7 +75,7 @@ func main() {
 		}
 	case "tran":
 		if tstop <= 0 || hstep <= 0 {
-			fatal(fmt.Errorf("tran needs -tstop and -h"))
+			fatal(solverr.New(solverr.KindBadInput, "circuitsim", "tran needs -tstop and -h"))
 		}
 		x := make([]float64, sys.Dim())
 		fatal(transient.DCOperatingPoint(sys, 0, x, transient.DCOptions{}))
@@ -86,9 +87,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "circuitsim: partial run:", err)
 		}
 		printSeries(sys, res, outIdx)
+		if err != nil {
+			os.Exit(solverr.ExitCode(err)) // partial printed; status still reports the kind
+		}
 	case "pss":
 		if period <= 0 {
-			fatal(fmt.Errorf("pss needs -period"))
+			fatal(solverr.New(solverr.KindBadInput, "circuitsim", "pss needs -period"))
 		}
 		x := make([]float64, sys.Dim())
 		fatal(transient.DCOperatingPoint(sys, 0, x, transient.DCOptions{}))
@@ -98,10 +102,10 @@ func main() {
 		printSeries(sys, pss.Orbit, outIdx)
 	case "envelope":
 		if tstop <= 0 {
-			fatal(fmt.Errorf("envelope needs -tstop"))
+			fatal(solverr.New(solverr.KindBadInput, "circuitsim", "envelope needs -tstop"))
 		}
 		if sys.OscVar() < 0 {
-			fatal(fmt.Errorf("envelope needs '.oscvar <node>' in the netlist"))
+			fatal(solverr.New(solverr.KindBadInput, "circuitsim", "envelope needs '.oscvar <node>' in the netlist"))
 		}
 		fGuess := wampde.VCONominalFreq
 		if *f0 != "" {
@@ -133,8 +137,11 @@ func main() {
 		p := textplot.NewPlot("local frequency", 72, 14)
 		p.Add(res.T2, freqs, '*')
 		fmt.Fprint(os.Stderr, p.Render())
+		if err != nil {
+			os.Exit(solverr.ExitCode(err)) // partial printed; status still reports the kind
+		}
 	default:
-		fatal(fmt.Errorf("unknown analysis %q", *analysis))
+		fatal(solverr.New(solverr.KindBadInput, "circuitsim", "unknown analysis %q", *analysis))
 	}
 }
 
@@ -169,9 +176,13 @@ func parseOpt(s string) float64 {
 	return v
 }
 
+// fatal exits with the failure kind's exit code (see solverr.ExitCode):
+// bad input 2, singular 3, breakdown 4, stagnation 5, non-finite 6, budget
+// 7, canceled 8, unclassified 1 — so batch harnesses can dispatch on the
+// status without parsing stderr.
 func fatal(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "circuitsim:", err)
-		os.Exit(1)
+		os.Exit(solverr.ExitCode(err))
 	}
 }

@@ -1,0 +1,253 @@
+// Command wampde-load is a deterministic closed-loop load generator for
+// wampde-server. It drives three phases against a running server:
+//
+//  1. mix: a seeded shuffle of -requests requests drawn from -distinct
+//     canonical solves (a VCO tuning-voltage sweep), issued closed-loop by
+//     -concurrency workers. The phase measures throughput and latency
+//     percentiles, verifies that responses for the same canonical request
+//     are bitwise identical, and reports the cache/single-flight hit rate.
+//  2. deadline: one deliberately over-budget request with a small
+//     deadline_ms, which must come back 408 with the partial result.
+//  3. burst: a simultaneous volley of distinct requests sized to overrun
+//     the server's admission queue, which must produce 429 rejections.
+//
+// -check enforces the acceptance gates (hit rate ≥ 87%, zero 5xx in the
+// mix, ≥1 rejection, ≥1 deadline exercised); -bench additionally prints
+// `go test -bench`-style result lines, so the output pipes straight into
+// cmd/benchjson:
+//
+//	wampde-load -url http://127.0.0.1:8080 -bench | benchjson > BENCH.json
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type result struct {
+	req     int // index into the distinct request set
+	status  int
+	xcache  string
+	body    []byte
+	latency time.Duration
+}
+
+type harness struct {
+	url    string
+	client *http.Client
+	fail   int
+}
+
+func (h *harness) errf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wampde-load: "+format+"\n", args...)
+	h.fail++
+}
+
+func (h *harness) post(body string) (status int, xcache string, data []byte, err error) {
+	resp, err := h.client.Post(h.url+"/v1/simulate", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	data, err = io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header.Get("X-Cache"), data, err
+}
+
+// sweepRequest is one point of the VCO tuning sweep: a short transient of
+// the paper VCO with the control frozen at vctl. Distinct voltages are
+// distinct canonical solves; equal voltages coalesce and cache.
+func sweepRequest(vctl float64, tstop, h float64) string {
+	return fmt.Sprintf(`{"circuit":"paper-vco","vctl_dc":%.4f,"analysis":"transient","options":{"tstop":%g,"h":%g}}`,
+		vctl, tstop, h)
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func main() {
+	url := flag.String("url", "", "server base URL (required), e.g. http://127.0.0.1:8080")
+	requests := flag.Int("requests", 64, "total requests in the mix phase")
+	distinct := flag.Int("distinct", 8, "distinct canonical solves in the mix")
+	concurrency := flag.Int("concurrency", 8, "closed-loop workers")
+	seed := flag.Int64("seed", 1, "shuffle seed (the mix is deterministic given the seed)")
+	burst := flag.Int("burst", 16, "simultaneous distinct requests in the burst phase (0 skips)")
+	deadlineMS := flag.Int("deadline-ms", 100, "deadline of the over-budget request (0 skips the phase)")
+	check := flag.Bool("check", false, "enforce the acceptance gates; non-zero exit on violation")
+	bench := flag.Bool("bench", false, "print go test -bench style lines for cmd/benchjson")
+	flag.Parse()
+	if *url == "" {
+		fmt.Fprintln(os.Stderr, "wampde-load: -url is required")
+		os.Exit(2)
+	}
+	h := &harness{url: strings.TrimRight(*url, "/"), client: &http.Client{Timeout: 5 * time.Minute}}
+
+	// ---- Phase 1: seeded closed-loop mix over the tuning sweep.
+	reqs := make([]string, *distinct)
+	for i := range reqs {
+		reqs[i] = sweepRequest(1.5+0.05*float64(i), 2e-6, 1e-8)
+	}
+	order := make([]int, *requests)
+	for i := range order {
+		order[i] = i % *distinct
+	}
+	rand.New(rand.NewSource(*seed)).Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	results := make([]result, len(order))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(order) {
+					return
+				}
+				t0 := time.Now()
+				status, xcache, body, err := h.post(reqs[order[i]])
+				if err != nil {
+					status = -1
+				}
+				results[i] = result{req: order[i], status: status, xcache: xcache, body: body, latency: time.Since(t0)}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var hits, misses, fiveXX, errs int
+	first := make(map[int][]byte)
+	lat := make([]time.Duration, 0, len(results))
+	for _, r := range results {
+		lat = append(lat, r.latency)
+		switch {
+		case r.status == 200:
+			if r.xcache == "hit" || r.xcache == "coalesced" {
+				hits++
+			} else {
+				misses++
+			}
+			if prev, ok := first[r.req]; !ok {
+				first[r.req] = r.body
+			} else if !bytes.Equal(prev, r.body) {
+				h.errf("request %d: response bytes differ between fresh and cached/coalesced replies", r.req)
+			}
+		case r.status >= 500:
+			fiveXX++
+		case r.status < 0:
+			errs++
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	hitRate := float64(hits) / float64(len(results))
+	fmt.Printf("mix: %d requests (%d distinct, concurrency %d, seed %d) in %v\n",
+		len(results), *distinct, *concurrency, *seed, elapsed.Round(time.Millisecond))
+	fmt.Printf("mix: throughput %.1f req/s, hit rate %.1f%% (%d hit/coalesced, %d solved), %d 5xx, %d transport errors\n",
+		float64(len(results))/elapsed.Seconds(), 100*hitRate, hits, misses, fiveXX, errs)
+	fmt.Printf("mix: latency p50 %v  p90 %v  p99 %v  max %v\n",
+		percentile(lat, 0.50).Round(time.Microsecond), percentile(lat, 0.90).Round(time.Microsecond),
+		percentile(lat, 0.99).Round(time.Microsecond), lat[len(lat)-1].Round(time.Microsecond))
+
+	// ---- Phase 2: one over-budget request must die at its deadline with a
+	// partial result.
+	deadlines := 0
+	if *deadlineMS > 0 {
+		req := fmt.Sprintf(`{"circuit":"paper-vco","analysis":"transient","options":{"tstop":5e-3,"h":1e-8},"deadline_ms":%d}`, *deadlineMS)
+		status, _, body, err := h.post(req)
+		if err != nil {
+			h.errf("deadline request: %v", err)
+		} else if status != 408 {
+			h.errf("deadline request: status %d, want 408 (%.200s)", status, body)
+		} else {
+			deadlines++
+			fmt.Printf("deadline: 408 after %dms budget, partial=%v\n", *deadlineMS, bytes.Contains(body, []byte(`"partial":true`)))
+		}
+	}
+
+	// ---- Phase 3: a simultaneous burst of distinct solves must overrun the
+	// admission queue. Retried a few times because an unloaded fast server
+	// can drain between arrivals.
+	rejected := 0
+	if *burst > 0 {
+		for attempt := 0; attempt < 3 && rejected == 0; attempt++ {
+			var bwg sync.WaitGroup
+			var rej, b5xx atomic.Int64
+			release := make(chan struct{})
+			for i := 0; i < *burst; i++ {
+				// Distinct from the mix sweep (different tstop) and from each
+				// other; a new voltage family per attempt defeats the cache.
+				// The longer span (~10ms of solve) is what actually occupies
+				// the workers long enough for the volley to overrun the queue
+				// — at the mix phase's ~1ms solves the queue drains between
+				// arrivals and nothing is rejected.
+				req := sweepRequest(3.0+0.05*float64(attempt**burst+i), 2e-4, 1e-8)
+				bwg.Add(1)
+				go func() {
+					defer bwg.Done()
+					<-release
+					status, _, _, err := h.post(req)
+					if err != nil {
+						return
+					}
+					if status == 429 {
+						rej.Add(1)
+					} else if status >= 500 {
+						b5xx.Add(1)
+					}
+				}()
+			}
+			close(release)
+			bwg.Wait()
+			rejected = int(rej.Load())
+			fiveXX += int(b5xx.Load())
+			fmt.Printf("burst: %d simultaneous distinct requests, %d rejected with 429 (attempt %d)\n",
+				*burst, rejected, attempt+1)
+		}
+	}
+
+	if *bench {
+		mean := elapsed.Nanoseconds() / int64(len(results))
+		fmt.Printf("BenchmarkServeMix %d %d ns/op\n", len(results), mean)
+		fmt.Printf("BenchmarkServeMixP50 1 %d ns/op\n", percentile(lat, 0.50).Nanoseconds())
+		fmt.Printf("BenchmarkServeMixP99 1 %d ns/op\n", percentile(lat, 0.99).Nanoseconds())
+	}
+
+	if *check {
+		if hitRate < 0.87 {
+			h.errf("check: hit rate %.1f%% < 87%%", 100*hitRate)
+		}
+		if fiveXX > 0 {
+			h.errf("check: %d non-injected 5xx responses", fiveXX)
+		}
+		if errs > 0 {
+			h.errf("check: %d transport errors", errs)
+		}
+		if *burst > 0 && rejected == 0 {
+			h.errf("check: burst produced no 429 admission rejections")
+		}
+		if *deadlineMS > 0 && deadlines == 0 {
+			h.errf("check: no per-job deadline was exercised")
+		}
+	}
+	if h.fail > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("ok")
+}

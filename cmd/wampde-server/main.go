@@ -1,0 +1,94 @@
+// Command wampde-server serves the simulation job API (internal/serve)
+// over HTTP:
+//
+//	wampde-server -addr :8080 -workers 4 -queue 8 -cache-mb 32
+//
+// POST /v1/simulate runs (or replays from cache) one analysis; GET /healthz
+// and GET /metrics expose liveness and the service counters. With -debug,
+// net/http/pprof and expvar are mounted under /debug/.
+//
+// -addr-file writes the actually-bound address to a file after listening
+// starts, so harnesses can pass -addr 127.0.0.1:0 and discover the port
+// (see `ci.sh serve`).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/par"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	workers := flag.Int("workers", 2, "concurrent engine solves")
+	queue := flag.Int("queue", 0, "admission queue capacity (0 = 2x workers)")
+	cacheMB := flag.Int("cache-mb", 32, "result cache budget in MiB (0 disables caching)")
+	maxBodyKB := flag.Int("max-body-kb", 128, "request body cap in KiB")
+	defaultDeadline := flag.Duration("default-deadline", 2*time.Minute, "job deadline when the request has no deadline_ms")
+	solverWorkers := flag.Int("solver-workers", 0, "worker budget of each solve's internal parallelism (0 = library default)")
+	debug := flag.Bool("debug", false, "mount /debug/pprof and /debug/vars")
+	flag.Parse()
+
+	if *solverWorkers > 0 {
+		par.SetWorkers(*solverWorkers)
+	}
+
+	m := serve.NewMetrics()
+	m.PublishExpvar()
+	srv := serve.NewServer(serve.Config{
+		Workers:         *workers,
+		QueueCap:        *queue,
+		CacheBytes:      int64(*cacheMB) << 20,
+		MaxBodyBytes:    int64(*maxBodyKB) << 10,
+		DefaultDeadline: *defaultDeadline,
+		Debug:           *debug,
+		Metrics:         m,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wampde-server:", err)
+		os.Exit(1)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "wampde-server:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wampde-server: listening on %s (workers=%d queue=%d cache=%dMiB solver-workers=%d)\n",
+		ln.Addr(), *workers, *queue, *cacheMB, par.Workers())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "wampde-server:", err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "wampde-server: %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "wampde-server: shutdown:", err)
+		}
+		srv.Close()
+	}
+}

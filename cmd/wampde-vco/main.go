@@ -25,8 +25,16 @@ import (
 
 	wampde "repro"
 	"repro/internal/core"
+	"repro/internal/solverr"
 	"repro/internal/textplot"
 )
+
+// die reports err and exits with its failure kind's status code (see
+// solverr.ExitCode) so sweep harnesses can dispatch without parsing stderr.
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "wampde-vco:", err)
+	os.Exit(solverr.ExitCode(err))
+}
 
 func main() {
 	air := flag.Bool("air", false, "air-damped configuration (Figures 10-12)")
@@ -45,12 +53,10 @@ func main() {
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "wampde-vco:", err)
-			os.Exit(1)
+			die(err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "wampde-vco:", err)
-			os.Exit(1)
+			die(err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -78,10 +84,10 @@ func main() {
 	run, err := wampde.RunPaperVCO(cfg)
 	if err != nil {
 		if run == nil {
-			fmt.Fprintln(os.Stderr, "wampde-vco:", err)
-			os.Exit(1)
+			die(err)
 		}
-		// Canceled mid-run: report what was computed before the deadline.
+		// Canceled mid-run: report what was computed before the deadline;
+		// main still exits with the failure kind's status at the end.
 		fmt.Fprintln(os.Stderr, "wampde-vco: partial run:", err)
 	}
 	if rescues := run.Result.FullNewtonRescues + run.Result.DampedNewtonRescues +
@@ -127,6 +133,11 @@ func main() {
 			phaseErrorFigure(run, *csvDir)
 		}
 	}
+	if err != nil {
+		// Partial (e.g. deadline-canceled) run: everything computed was
+		// rendered above, but the exit status still reports the failure kind.
+		os.Exit(solverr.ExitCode(err))
+	}
 }
 
 // quasiperiodicCompare solves the §4.1 periodic-boundary problem over one
@@ -140,18 +151,15 @@ func quasiperiodicCompare(run *wampde.VCORun, dir string) {
 		N1: 17, H2: ctlPeriod / 200, Trap: true,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wampde-vco: qp envelope:", err)
-		os.Exit(1)
+		die(fmt.Errorf("qp envelope: %w", err))
 	}
 	guess, err := wampde.QPGuessFromEnvelope(env, ctlPeriod, 17, 15)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wampde-vco: qp guess:", err)
-		os.Exit(1)
+		die(fmt.Errorf("qp guess: %w", err))
 	}
 	qp, err := wampde.RunQuasiperiodic(run.VCO, ctlPeriod, guess, wampde.QPOptions{N1: 17, N2: 15})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wampde-vco: qp solve:", err)
-		os.Exit(1)
+		die(fmt.Errorf("qp solve: %w", err))
 	}
 	fmt.Println("§4.1 quasiperiodic solve (one control period, periodic BCs):")
 	fmt.Printf("  mean local frequency ω0 = %.4f MHz\n", qp.OmegaMean()/1e6)
@@ -248,8 +256,7 @@ func bivariateFigure(run *wampde.VCORun, figNo int, dir string) {
 func overlayFigure(run *wampde.VCORun, dir string) {
 	tr, err := run.RunTransientBaseline(200, 0)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wampde-vco: transient:", err)
-		os.Exit(1)
+		die(fmt.Errorf("transient: %w", err))
 	}
 	rms := run.WaveformRMSVs(tr, run.Config.T2End)
 	pe := run.PhaseErrorVs(tr, 0.9*run.Config.T2End)
@@ -275,8 +282,7 @@ func phaseErrorFigure(run *wampde.VCORun, dir string) {
 	fmt.Println("Figure 12: transient phase error accumulates; the WaMPDE phase stays pinned")
 	ref, err := run.RunTransientBaseline(1000, 0)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wampde-vco: reference transient:", err)
-		os.Exit(1)
+		die(fmt.Errorf("reference transient: %w", err))
 	}
 	refPhase := wampde.UnwrappedPhase(ref.Result.T, ref.Result.Component(run.VCO.TankNode))
 	measure := []float64{0.3e-3, 1e-3, 2e-3, 2.9e-3}
@@ -284,8 +290,7 @@ func phaseErrorFigure(run *wampde.VCORun, dir string) {
 	for _, ppc := range []float64{50, 100} {
 		tr, err := run.RunTransientBaseline(ppc, 0)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "wampde-vco:", err)
-			os.Exit(1)
+			die(err)
 		}
 		ph := wampde.UnwrappedPhase(tr.Result.T, tr.Result.Component(run.VCO.TankNode))
 		row := []string{fmt.Sprintf("transient %.0f pts/cycle", ppc)}
@@ -313,8 +318,7 @@ func phaseErrorFigure(run *wampde.VCORun, dir string) {
 	tsw, ysw := run.Result.Reconstruct(run.VCO.TankNode, t0, t1, 600)
 	tr50, err := run.RunTransientBaseline(50, t1*1.02)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wampde-vco:", err)
-		os.Exit(1)
+		die(err)
 	}
 	y50 := make([]float64, len(tsw))
 	yrf := make([]float64, len(tsw))

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cached is one stored response: the exact bytes served for a canonical
+// request hash. Storing the encoded body (rather than the Outcome) is what
+// makes the bitwise-identity guarantee structural — a hit replays the same
+// bytes the first solve produced, with no re-encoding step to drift.
+type cached struct {
+	hash string
+	body []byte
+}
+
+// Cache is a byte-budgeted LRU keyed by canonical request hash. Only
+// successful (HTTP 200) bodies are inserted; errors and partial results are
+// never cached, so a transient failure cannot poison the content address.
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	order  *list.List // front = most recent; values are *cached
+	byHash map[string]*list.Element
+	m      *Metrics
+}
+
+// NewCache builds a cache holding at most budget bytes of response bodies
+// (keys and bookkeeping are not counted). A zero or negative budget
+// disables storage: Get always misses and Put is a no-op, which keeps the
+// single-flight path (a correctness feature) independent of the cache (a
+// performance feature).
+func NewCache(budget int64, m *Metrics) *Cache {
+	if m == nil {
+		m = NewMetrics()
+	}
+	return &Cache{
+		budget: budget,
+		order:  list.New(),
+		byHash: make(map[string]*list.Element),
+		m:      m,
+	}
+}
+
+// Get returns the stored body for hash, or nil. The returned slice is
+// shared and must not be mutated (the HTTP layer only writes it).
+func (c *Cache) Get(hash string) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byHash[hash]
+	if !ok {
+		c.m.CacheMisses.Add(1)
+		return nil
+	}
+	c.order.MoveToFront(el)
+	c.m.CacheHits.Add(1)
+	return el.Value.(*cached).body
+}
+
+// Put stores body under hash, evicting least-recently-used entries to stay
+// within the byte budget. Bodies larger than the whole budget are not
+// stored.
+func (c *Cache) Put(hash string, body []byte) {
+	n := int64(len(body))
+	if n == 0 || n > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byHash[hash]; ok {
+		// Deterministic encoding means a re-insert carries identical bytes;
+		// just refresh recency.
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.used+n > c.budget {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*cached)
+		c.order.Remove(back)
+		delete(c.byHash, ev.hash)
+		c.used -= int64(len(ev.body))
+		c.m.CacheEvictions.Add(1)
+	}
+	c.byHash[hash] = c.order.PushFront(&cached{hash: hash, body: body})
+	c.used += n
+}
+
+// Len returns the number of cached entries (for tests and metrics).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Bytes returns the cached body bytes currently held.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheHitReturnsSameBytes(t *testing.T) {
+	c := NewCache(1<<20, NewMetrics())
+	body := []byte(`{"hash":"abc","analysis":"transient"}`)
+	c.Put("abc", body)
+	got := c.Get("abc")
+	if !bytes.Equal(got, body) {
+		t.Fatalf("cache returned different bytes: %q", got)
+	}
+	if &got[0] != &body[0] {
+		t.Fatal("cache should return the stored slice, not a copy")
+	}
+}
+
+func TestCacheByteBudgetEviction(t *testing.T) {
+	m := NewMetrics()
+	c := NewCache(100, m)
+	// Four 30-byte bodies: the fourth insert must evict the least recently
+	// used of the first three.
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("h%d", i), bytes.Repeat([]byte{byte('a' + i)}, 30))
+	}
+	c.Get("h0") // refresh h0; h1 becomes LRU
+	c.Put("h3", bytes.Repeat([]byte{'d'}, 30))
+	if c.Get("h1") != nil {
+		t.Fatal("h1 should have been evicted")
+	}
+	if c.Get("h0") == nil || c.Get("h2") == nil || c.Get("h3") == nil {
+		t.Fatal("h0/h2/h3 should have survived")
+	}
+	if got := c.Bytes(); got != 90 {
+		t.Fatalf("cache holds %d bytes, want 90", got)
+	}
+	if m.CacheEvictions.Load() != 1 {
+		t.Fatalf("evictions=%d, want 1", m.CacheEvictions.Load())
+	}
+}
+
+func TestCacheOversizeBodyNotStored(t *testing.T) {
+	c := NewCache(10, NewMetrics())
+	c.Put("big", make([]byte, 11))
+	if c.Len() != 0 {
+		t.Fatal("oversize body must not be stored")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0, NewMetrics())
+	c.Put("h", []byte("body"))
+	if c.Get("h") != nil {
+		t.Fatal("disabled cache must always miss")
+	}
+}
+
+func TestCacheReinsertRefreshesRecency(t *testing.T) {
+	c := NewCache(60, NewMetrics())
+	c.Put("a", bytes.Repeat([]byte{'a'}, 30))
+	c.Put("b", bytes.Repeat([]byte{'b'}, 30))
+	c.Put("a", bytes.Repeat([]byte{'a'}, 30)) // refresh, not duplicate
+	if c.Bytes() != 60 {
+		t.Fatalf("bytes=%d, want 60", c.Bytes())
+	}
+	c.Put("c", bytes.Repeat([]byte{'c'}, 30)) // should evict b (LRU), not a
+	if c.Get("a") == nil {
+		t.Fatal("refreshed entry evicted")
+	}
+	if c.Get("b") != nil {
+		t.Fatal("stale entry survived")
+	}
+}

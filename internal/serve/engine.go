@@ -1,0 +1,452 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"math/cmplx"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/hb"
+	"repro/internal/netlist"
+	"repro/internal/shooting"
+	"repro/internal/solverr"
+	"repro/internal/transient"
+)
+
+// maxSeriesPoints bounds every time series in a response body. Longer runs
+// are decimated with a fixed stride, so the body size (and hence the cache
+// budget arithmetic) stays bounded regardless of how many steps a solve
+// took.
+const maxSeriesPoints = 256
+
+// Stats are per-stage wall-clock timings of one fresh solve. They feed the
+// metrics only — never the response body, which must be a pure function of
+// the canonical request for the bitwise cache-identity guarantee to hold.
+type Stats struct {
+	BuildNS, ICNS, SolveNS int64
+}
+
+// Engine turns a canonical request into an outcome. Implementations must be
+// deterministic: the same Canonical must produce a byte-identical encoded
+// Outcome on every call (the engine below inherits this from the solver
+// determinism contract pinned by the repository's determinism tests).
+type Engine interface {
+	Solve(ctx context.Context, c *Canonical) (*Outcome, Stats, error)
+}
+
+// Outcome is the analysis-specific response payload. Exactly one of the
+// per-analysis fields is set. On a canceled or failed run the engine still
+// returns the partial outcome computed so far (with Partial set) alongside
+// the error; the error boundary embeds it in the error body.
+type Outcome struct {
+	Analysis    string         `json:"analysis"`
+	Partial     bool           `json:"partial,omitempty"`
+	Transient   *TransientOut  `json:"transient,omitempty"`
+	Envelope    *EnvelopeOut   `json:"envelope,omitempty"`
+	Quasi       *QuasiOut      `json:"quasiperiodic,omitempty"`
+	Shooting    *ShootingOut   `json:"shooting,omitempty"`
+	HB          *HBOut         `json:"hb,omitempty"`
+	Supervision map[string]int `json:"supervision,omitempty"`
+}
+
+// TransientOut summarizes a transient run: the observed variable's
+// decimated waveform plus the final full state.
+type TransientOut struct {
+	Steps int       `json:"steps"`
+	TEnd  float64   `json:"t_end"`
+	Var   string    `json:"var"`
+	T     []float64 `json:"t"`
+	X     []float64 `json:"x"`
+	Final []float64 `json:"final"`
+}
+
+// EnvelopeOut summarizes an envelope-following WaMPDE run: the local
+// frequency and warping phase along t2 (decimated).
+type EnvelopeOut struct {
+	Steps      int       `json:"steps"`
+	T2         []float64 `json:"t2"`
+	Omega      []float64 `json:"omega"`
+	Phi        []float64 `json:"phi"`
+	FinalOmega float64   `json:"final_omega"`
+}
+
+// QuasiOut summarizes a quasiperiodic WaMPDE solve.
+type QuasiOut struct {
+	T2Period  float64   `json:"t2_period"`
+	OmegaMean float64   `json:"omega_mean"`
+	Omega     []float64 `json:"omega"`
+}
+
+// ShootingOut summarizes a periodic steady state from shooting.
+type ShootingOut struct {
+	Period float64   `json:"period"`
+	Freq   float64   `json:"freq"`
+	X0     []float64 `json:"x0"`
+}
+
+// HBOut summarizes a harmonic-balance solve: the period and the magnitude
+// spectrum of the observed variable's leading harmonics.
+type HBOut struct {
+	Period    float64   `json:"period"`
+	Freq      float64   `json:"freq"`
+	Harmonics []float64 `json:"harmonics"`
+}
+
+// CircuitEngine is the real engine: it builds the requested circuit and
+// runs the requested analysis under the job context.
+type CircuitEngine struct{}
+
+// buildSystem compiles the canonical request's circuit.
+func (CircuitEngine) buildSystem(c *Canonical) (*circuit.System, error) {
+	if c.Circuit != "" {
+		p := circuit.DefaultVCOParams()
+		if c.Circuit == CircuitPaperVCOAir {
+			p = circuit.AirVCOParams()
+		}
+		if c.VCtlDC != 0 {
+			// The sweep knob: freeze the control at a DC value so a family
+			// of requests samples the tuning curve.
+			p.VCtl = circuit.DC(c.VCtlDC)
+		}
+		vco, err := circuit.NewVCO(p)
+		if err != nil {
+			return nil, solverr.Wrap(solverr.KindBadInput, "serve.engine", err)
+		}
+		return vco.System, nil
+	}
+	ckt, err := netlist.Parse(c.Netlist)
+	if err != nil {
+		return nil, solverr.Wrap(solverr.KindBadInput, "serve.engine", err)
+	}
+	sys, err := ckt.Build()
+	if err != nil {
+		return nil, solverr.Wrap(solverr.KindBadInput, "serve.engine", err)
+	}
+	return sys, nil
+}
+
+// needsOscVar reports whether the canonical request runs an analysis that
+// requires an oscillation variable (autonomous phase condition).
+func (c *Canonical) needsOscVar() bool {
+	switch c.Analysis {
+	case AnalysisEnvelope, AnalysisQuasiperiodic:
+		return true
+	case AnalysisShooting, AnalysisHB:
+		return c.Period == 0 // autonomous variant
+	}
+	return false
+}
+
+// Solve implements Engine.
+func (e CircuitEngine) Solve(ctx context.Context, c *Canonical) (*Outcome, Stats, error) {
+	var st Stats
+	t0 := time.Now()
+	sys, err := e.buildSystem(c)
+	st.BuildNS = time.Since(t0).Nanoseconds()
+	if err != nil {
+		return nil, st, err
+	}
+	if c.needsOscVar() && sys.OscVar() < 0 {
+		return nil, st, solverr.New(solverr.KindBadInput, "serve.engine",
+			"analysis %q needs an oscillation variable ('.oscvar <node>' in the netlist)", c.Analysis)
+	}
+	out := &Outcome{Analysis: c.Analysis}
+	switch c.Analysis {
+	case AnalysisTransient:
+		err = e.transient(ctx, sys, c, out)
+	case AnalysisEnvelope:
+		err = e.envelope(ctx, sys, c, out, &st)
+	case AnalysisQuasiperiodic:
+		err = e.quasiperiodic(ctx, sys, c, out, &st)
+	case AnalysisShooting:
+		err = e.shooting(ctx, sys, c, out)
+	case AnalysisHB:
+		err = e.harmonicBalance(ctx, sys, c, out)
+	default:
+		return nil, st, solverr.New(solverr.KindBadInput, "serve.engine", "unknown analysis %q", c.Analysis)
+	}
+	st.SolveNS = time.Since(t0).Nanoseconds() - st.BuildNS - st.ICNS
+	if err != nil {
+		if out.Transient == nil && out.Envelope == nil && out.Quasi == nil && out.Shooting == nil && out.HB == nil {
+			return nil, st, err
+		}
+		out.Partial = true
+		return out, st, err
+	}
+	return out, st, nil
+}
+
+// observedVar is the state the summary waveforms report: the oscillation
+// variable when one is set, state 0 otherwise.
+func observedVar(sys *circuit.System) int {
+	if k := sys.OscVar(); k >= 0 {
+		return k
+	}
+	return 0
+}
+
+func (CircuitEngine) transient(ctx context.Context, sys *circuit.System, c *Canonical, out *Outcome) error {
+	x := make([]float64, sys.Dim())
+	if err := transient.DCOperatingPoint(sys, 0, x, transient.DCOptions{}); err != nil {
+		return err
+	}
+	res, err := transient.Simulate(sys, x, 0, c.TStop, transient.Options{
+		Method: transient.Trap, H: c.H, Ctx: ctx,
+	})
+	if res == nil || len(res.T) == 0 {
+		return err
+	}
+	k := observedVar(sys)
+	idx := decimate(len(res.T))
+	to := &TransientOut{
+		Steps: len(res.T) - 1,
+		TEnd:  res.T[len(res.T)-1],
+		Var:   sys.StateName(k),
+		T:     make([]float64, len(idx)),
+		X:     make([]float64, len(idx)),
+		Final: append([]float64(nil), res.X[len(res.X)-1]...),
+	}
+	for i, j := range idx {
+		to.T[i] = res.T[j]
+		to.X[i] = res.X[j][k]
+	}
+	out.Transient = to
+	return err
+}
+
+// initialCondition runs the standard envelope preamble: DC operating point,
+// a kick off the equilibrium, then settle + autonomous shooting onto the
+// limit cycle.
+func (CircuitEngine) initialCondition(ctx context.Context, sys *circuit.System, n1 int, f0 float64) (xhat0 []float64, omega0 float64, err error) {
+	xg := make([]float64, sys.Dim())
+	if err := transient.DCOperatingPoint(sys, 0, xg, transient.DCOptions{}); err != nil {
+		return nil, 0, err
+	}
+	xg[sys.OscVar()] += 0.5
+	return core.InitialCondition(sys, xg, 1/f0, core.ICOptions{
+		N1:       n1,
+		Shooting: shooting.Options{Ctx: ctx},
+	})
+}
+
+func (e CircuitEngine) envelope(ctx context.Context, sys *circuit.System, c *Canonical, out *Outcome, st *Stats) error {
+	t0 := time.Now()
+	xhat0, omega0, err := e.initialCondition(ctx, sys, c.N1, c.F0)
+	st.ICNS = time.Since(t0).Nanoseconds()
+	if err != nil {
+		return err
+	}
+	res, err := core.Envelope(sys, xhat0, omega0, c.TStop, core.EnvelopeOptions{
+		N1: c.N1, H2: c.TStop / float64(c.Steps), Trap: true, Ctx: ctx,
+	})
+	if res == nil || len(res.T2) == 0 {
+		return err
+	}
+	idx := decimate(len(res.T2))
+	eo := &EnvelopeOut{
+		Steps:      len(res.T2) - 1,
+		T2:         make([]float64, len(idx)),
+		Omega:      make([]float64, len(idx)),
+		Phi:        make([]float64, len(idx)),
+		FinalOmega: res.Omega[len(res.Omega)-1],
+	}
+	for i, j := range idx {
+		eo.T2[i] = res.T2[j]
+		eo.Omega[i] = res.Omega[j]
+		eo.Phi[i] = res.Phi[j]
+	}
+	out.Envelope = eo
+	out.Supervision = envelopeSupervision(res)
+	return err
+}
+
+func (e CircuitEngine) quasiperiodic(ctx context.Context, sys *circuit.System, c *Canonical, out *Outcome, st *Stats) error {
+	t0 := time.Now()
+	xhat0, omega0, err := e.initialCondition(ctx, sys, c.N1, c.F0)
+	st.ICNS = time.Since(t0).Nanoseconds()
+	if err != nil {
+		return err
+	}
+	// Seed the global quasiperiodic solve from one control period of
+	// envelope following — the standard bootstrap (§4.1's natural initial
+	// condition extended along t2).
+	env, err := core.Envelope(sys, xhat0, omega0, c.Period, core.EnvelopeOptions{
+		N1: c.N1, H2: c.Period / 100, Trap: true, Ctx: ctx,
+	})
+	if err != nil {
+		return err
+	}
+	guess, err := core.GuessFromEnvelope(env, c.Period, c.N1, c.N2)
+	if err != nil {
+		return err
+	}
+	res, err := core.Quasiperiodic(sys, c.Period, guess, core.QPOptions{
+		N1: c.N1, N2: c.N2, Ctx: ctx,
+	})
+	if res == nil || len(res.Omega) == 0 {
+		return err
+	}
+	out.Quasi = &QuasiOut{
+		T2Period:  res.T2,
+		OmegaMean: res.OmegaMean(),
+		Omega:     append([]float64(nil), res.Omega...),
+	}
+	out.Supervision = qpSupervision(res)
+	return err
+}
+
+func (CircuitEngine) shooting(ctx context.Context, sys *circuit.System, c *Canonical, out *Outcome) error {
+	x := make([]float64, sys.Dim())
+	if err := transient.DCOperatingPoint(sys, 0, x, transient.DCOptions{}); err != nil {
+		return err
+	}
+	var pss *shooting.PSS
+	var err error
+	if c.Period > 0 {
+		pss, err = shooting.Forced(sys, x, c.Period, shooting.Options{Method: transient.Trap, Ctx: ctx})
+	} else {
+		pss, err = settleAndShoot(ctx, sys, x, 1/c.F0)
+	}
+	if err != nil {
+		return err
+	}
+	out.Shooting = &ShootingOut{
+		Period: pss.T,
+		Freq:   1 / pss.T,
+		X0:     append([]float64(nil), pss.X0...),
+	}
+	return nil
+}
+
+// settleAndShoot kicks the oscillation variable, settles onto the limit
+// cycle by transient integration of the frozen-input system, and sharpens
+// with autonomous shooting (the same preamble core.InitialCondition uses).
+func settleAndShoot(ctx context.Context, sys *circuit.System, x []float64, tGuess float64) (*shooting.PSS, error) {
+	xg := append([]float64(nil), x...)
+	xg[sys.OscVar()] += 0.5
+	frozen := shooting.Freeze(sys, 0)
+	settle, err := transient.Simulate(frozen, xg, 0, 20*tGuess,
+		transient.Options{Method: transient.Trap, H: tGuess / 128, Ctx: ctx})
+	if err != nil {
+		return nil, err
+	}
+	return shooting.Autonomous(sys, settle.X[len(settle.X)-1], tGuess, shooting.Options{Ctx: ctx})
+}
+
+func (CircuitEngine) harmonicBalance(ctx context.Context, sys *circuit.System, c *Canonical, out *Outcome) error {
+	var sol *hb.Solution
+	if c.Period > 0 {
+		var err error
+		sol, err = hb.Forced(sys, c.Period, nil, hb.Options{N: c.NHarm, Damping: true})
+		if err != nil {
+			return err
+		}
+	} else {
+		// Autonomous HB needs a non-trivial seed or Newton lands on the
+		// equilibrium; seed from a shooting orbit (cancelable), then polish
+		// in the frequency domain.
+		x := make([]float64, sys.Dim())
+		if err := transient.DCOperatingPoint(sys, 0, x, transient.DCOptions{}); err != nil {
+			return err
+		}
+		pss, err := settleAndShoot(ctx, sys, x, 1/c.F0)
+		if err != nil {
+			return err
+		}
+		guess := make([][]float64, c.NHarm)
+		n := sys.Dim()
+		for j := 0; j < c.NHarm; j++ {
+			tt := pss.T * float64(j) / float64(c.NHarm)
+			row := make([]float64, n)
+			for i := 0; i < n; i++ {
+				row[i] = pss.Orbit.At(tt, i)
+			}
+			guess[j] = row
+		}
+		sol, err = hb.Autonomous(sys, pss.T, guess, hb.Options{N: c.NHarm, Damping: true})
+		if err != nil {
+			return err
+		}
+	}
+	k := observedVar(sys)
+	harm := sol.Harmonics(k)
+	nh := len(harm)/2 + 1
+	if nh > 8 {
+		nh = 8
+	}
+	mags := make([]float64, nh)
+	for h := 0; h < nh; h++ {
+		mags[h] = cmplx.Abs(harm[h])
+	}
+	out.HB = &HBOut{Period: sol.T, Freq: 1 / sol.T, Harmonics: mags}
+	return nil
+}
+
+// decimate returns ≤ maxSeriesPoints indices into a series of length n,
+// always including the first and last points, with a fixed stride in
+// between (deterministic for a given n).
+func decimate(n int) []int {
+	if n <= maxSeriesPoints {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	stride := int(math.Ceil(float64(n-1) / float64(maxSeriesPoints-1)))
+	idx := make([]int, 0, maxSeriesPoints)
+	for j := 0; j < n-1; j += stride {
+		idx = append(idx, j)
+	}
+	return append(idx, n-1)
+}
+
+// envelopeSupervision flattens the envelope run's supervision counters for
+// the response body. Only non-zero counters are emitted (the common
+// all-converged case reports an empty map, elided by omitempty).
+func envelopeSupervision(r *core.EnvelopeResult) map[string]int {
+	return prune(map[string]int{
+		"newton_iter_total":     r.NewtonIterTotal,
+		"linear_solves":         r.LinearSolves,
+		"rejected_steps":        r.Rejected,
+		"jacobian_evals":        r.JacobianEvals,
+		"jacobian_reuses":       r.JacobianReuses,
+		"gmres_stagnations":     r.GMRESStagnations,
+		"gmres_breakdowns":      r.GMRESBreakdowns,
+		"linear_gmres_rescues":  r.LinearGMRESRescues,
+		"linear_lu_rescues":     r.LinearLURescues,
+		"full_newton_rescues":   r.FullNewtonRescues,
+		"damped_newton_rescues": r.DampedNewtonRescues,
+		"continuation_rescues":  r.ContinuationRescues,
+		"step_halvings":         r.StepHalvings,
+	})
+}
+
+func qpSupervision(r *core.QPResult) map[string]int {
+	return prune(map[string]int{
+		"newton_iter_total":     r.NewtonIterTotal,
+		"jacobian_evals":        r.JacobianEvals,
+		"jacobian_reuses":       r.JacobianReuses,
+		"gmres_stagnations":     r.GMRESStagnations,
+		"gmres_breakdowns":      r.GMRESBreakdowns,
+		"linear_gmres_rescues":  r.LinearGMRESRescues,
+		"linear_lu_rescues":     r.LinearLURescues,
+		"full_newton_rescues":   r.FullNewtonRescues,
+		"damped_newton_rescues": r.DampedNewtonRescues,
+		"continuation_rescues":  r.ContinuationRescues,
+	})
+}
+
+func prune(m map[string]int) map[string]int {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+	if len(m) == 0 {
+		return nil
+	}
+	return m
+}

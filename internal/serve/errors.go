@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/solverr"
+)
+
+// ErrorBody is the structured JSON error response. It carries the failure
+// taxonomy end to end: the solverr kind and stage, the recovery trail the
+// escalation ladders walked before giving up, the supervision counters of
+// the failed run, and any partial result computed before the failure (a
+// deadline-killed envelope run, for instance, returns the t2 points it
+// accepted).
+type ErrorBody struct {
+	Error       string          `json:"error"`
+	Kind        string          `json:"kind"`
+	Stage       string          `json:"stage,omitempty"`
+	Trail       []string        `json:"trail,omitempty"`
+	Supervision map[string]int  `json:"supervision,omitempty"`
+	Partial     json.RawMessage `json:"partial,omitempty"`
+}
+
+// statusForKind maps a failure kind to the HTTP status of the error
+// boundary:
+//
+//   - bad input is the client's fault → 400
+//   - canceled means the job's deadline expired → 408 Request Timeout
+//   - budget means the solver's iteration/step budget ran out before
+//     convergence — the request was well-formed but unprocessable as
+//     posed → 422
+//   - everything else (singular, breakdown, stagnation, non-finite,
+//     unknown) is a solver failure with the escalation ladder exhausted → 500
+func statusForKind(k solverr.Kind) int {
+	switch k {
+	case solverr.KindBadInput:
+		return http.StatusBadRequest
+	case solverr.KindCanceled:
+		return http.StatusRequestTimeout
+	case solverr.KindBudget:
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// errorResponse builds the status and encoded body for err. partial, when
+// non-nil, is the already-encoded partial outcome; supervision carries the
+// failed run's solver counters. The body is built with the same
+// deterministic encoder as success bodies.
+func errorResponse(err error, partial json.RawMessage, supervision map[string]int) (int, []byte) {
+	kind := solverr.KindOf(err)
+	body := ErrorBody{
+		Error:       err.Error(),
+		Kind:        kind.String(),
+		Partial:     partial,
+		Supervision: supervision,
+	}
+	var se *solverr.Error
+	if errors.As(err, &se) {
+		body.Stage = se.Stage
+	}
+	if tr := solverr.TrailOf(err); len(tr) > 0 {
+		body.Trail = tr
+	}
+	return statusForKind(kind), mustJSON(body)
+}
+
+// mustJSON marshals v, which must be a marshalable response type.
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic("serve: response encode: " + err.Error())
+	}
+	return b
+}

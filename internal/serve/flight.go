@@ -1,0 +1,64 @@
+package serve
+
+import "sync"
+
+// flightResult is what a completed flight delivers to every joined caller:
+// the exact response (status + body) the leader computed. Followers replay
+// it verbatim, so N coalesced requests receive N bitwise-identical bodies
+// from one engine solve.
+type flightResult struct {
+	status int
+	body   []byte
+}
+
+// flight is one in-progress solve for a canonical hash.
+type flight struct {
+	done chan struct{}
+	res  flightResult
+}
+
+// flightGroup coalesces duplicate in-flight requests: the first caller for
+// a hash becomes the leader (runs the solve), later callers for the same
+// hash become followers (wait for the leader's result). Unlike the cache,
+// the group holds results only for the duration of the flight — completed
+// flights are forgotten immediately, and it is the cache's job to remember
+// successes.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+	m       *Metrics
+}
+
+func newFlightGroup(m *Metrics) *flightGroup {
+	if m == nil {
+		m = NewMetrics()
+	}
+	return &flightGroup{flights: make(map[string]*flight), m: m}
+}
+
+// join registers interest in hash. If a flight is already up, it is
+// returned with leader=false and the caller must wait on f.done. Otherwise
+// a new flight is created and the caller is its leader: it must eventually
+// call complete (even on error paths), or followers block forever.
+func (g *flightGroup) join(hash string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.flights[hash]; ok {
+		g.m.Coalesced.Add(1)
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.flights[hash] = f
+	return f, true
+}
+
+// complete publishes the leader's result to all followers and retires the
+// flight. Callers that join after complete start a fresh flight (they will
+// normally hit the cache first).
+func (g *flightGroup) complete(hash string, f *flight, res flightResult) {
+	g.mu.Lock()
+	delete(g.flights, hash)
+	g.mu.Unlock()
+	f.res = res
+	close(f.done)
+}

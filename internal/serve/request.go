@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/netlist"
+	"repro/internal/solverr"
+)
+
+// Named paper circuits a request may reference instead of embedding a
+// netlist.
+const (
+	// CircuitPaperVCO is the §5 MEMS-varactor VCO, vacuum cavity
+	// (Figures 7–9).
+	CircuitPaperVCO = "paper-vco"
+	// CircuitPaperVCOAir is the air-damped configuration (Figures 10–12).
+	CircuitPaperVCOAir = "paper-vco-air"
+)
+
+// Analysis kinds.
+const (
+	AnalysisEnvelope      = "envelope"
+	AnalysisQuasiperiodic = "quasiperiodic"
+	AnalysisTransient     = "transient"
+	AnalysisShooting      = "shooting"
+	AnalysisHB            = "hb"
+)
+
+// Admission caps: a request outside these bounds is rejected at decode
+// time, before it can occupy a scheduler slot. They bound the work and the
+// response size one job may cost, which is what lets the queue and the
+// cache budget mean anything.
+const (
+	// MaxNetlistBytes bounds an embedded netlist source.
+	MaxNetlistBytes = 64 << 10
+	// MaxN1 bounds the warped-axis collocation grid.
+	MaxN1 = 129
+	// MaxN2 bounds the quasiperiodic slow-axis grid.
+	MaxN2 = 128
+	// MaxSteps bounds envelope t2 steps.
+	MaxSteps = 20000
+	// MaxTransientSteps bounds tstop/h for transient analyses.
+	MaxTransientSteps = 5e6
+	// MaxHarmonics bounds harmonic-balance samples per period.
+	MaxHarmonics = 257
+	// MaxVCtl bounds the named-VCO control-voltage override.
+	MaxVCtl = 20.0
+)
+
+// RequestOptions are the per-analysis knobs of the wire request. Zero
+// values mean "engine default"; Canonicalize spells the defaults out so
+// differently-elided requests canonicalize identically.
+type RequestOptions struct {
+	N1     int     `json:"n1,omitempty"`     // warped-axis points (envelope/quasiperiodic)
+	N2     int     `json:"n2,omitempty"`     // slow-axis points (quasiperiodic)
+	Steps  int     `json:"steps,omitempty"`  // envelope t2 steps
+	TStop  float64 `json:"tstop,omitempty"`  // end time (envelope/transient), seconds
+	H      float64 `json:"h,omitempty"`      // transient step, seconds
+	Period float64 `json:"period,omitempty"` // forcing period (shooting/hb, quasiperiodic slow period)
+	F0     float64 `json:"f0,omitempty"`     // oscillation frequency guess, Hz
+	NHarm  int     `json:"nharm,omitempty"`  // hb samples per period
+}
+
+// Request is the wire form of a simulation job: a circuit (named paper
+// circuit or embedded netlist), an analysis kind and options. DeadlineMS is
+// the per-job wall-clock budget; it deliberately does not participate in
+// the canonical encoding — two requests for the same solve under different
+// deadlines are the same solve.
+type Request struct {
+	Circuit  string         `json:"circuit,omitempty"` // named circuit; mutually exclusive with Netlist
+	Netlist  string         `json:"netlist,omitempty"` // inline netlist source
+	VCtlDC   float64        `json:"vctl_dc,omitempty"` // named-VCO DC control override (sweep knob), volts
+	Analysis string         `json:"analysis"`
+	Options  RequestOptions `json:"options"`
+	// DeadlineMS, when positive, is this job's wall-clock budget in
+	// milliseconds (queue wait + solve). Expiry cancels the solve through
+	// the context path and returns the partial result with status 408.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+}
+
+// Canonical is the canonicalized request: validated, defaults applied,
+// inapplicable fields zeroed. Its JSON encoding (fixed field order, Go's
+// shortest-float number formatting) is the deterministic canonical byte
+// string whose SHA-256 content-addresses the result cache.
+type Canonical struct {
+	Circuit  string  `json:"circuit,omitempty"`
+	Netlist  string  `json:"netlist,omitempty"`
+	VCtlDC   float64 `json:"vctl_dc,omitempty"`
+	Analysis string  `json:"analysis"`
+	N1       int     `json:"n1,omitempty"`
+	N2       int     `json:"n2,omitempty"`
+	Steps    int     `json:"steps,omitempty"`
+	TStop    float64 `json:"tstop,omitempty"`
+	H        float64 `json:"h,omitempty"`
+	Period   float64 `json:"period,omitempty"`
+	F0       float64 `json:"f0,omitempty"`
+	NHarm    int     `json:"nharm,omitempty"`
+}
+
+// Encode returns the canonical byte encoding.
+func (c *Canonical) Encode() []byte {
+	b, err := json.Marshal(c)
+	if err != nil {
+		// Canonical holds only strings, ints and validated finite floats;
+		// Marshal cannot fail on it.
+		panic(fmt.Sprintf("serve: canonical encode: %v", err))
+	}
+	return b
+}
+
+// Hash returns the hex SHA-256 of the canonical encoding — the request's
+// content address in the result cache and single-flight group.
+func (c *Canonical) Hash() string {
+	sum := sha256.Sum256(c.Encode())
+	return hex.EncodeToString(sum[:])
+}
+
+// badInput builds the uniform decode/validation failure.
+func badInput(format string, args ...any) error {
+	return solverr.New(solverr.KindBadInput, "serve.request", format, args...)
+}
+
+// DecodeRequest parses one JSON request from r. It is strict — unknown
+// fields and trailing garbage are rejected — so a typoed option name
+// cannot silently canonicalize to a different solve than the caller meant.
+func DecodeRequest(r io.Reader) (*Request, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		return nil, badInput("invalid request JSON: %v", err)
+	}
+	// Reject trailing non-whitespace so "{}garbage" is not accepted.
+	if dec.More() {
+		return nil, badInput("trailing data after request JSON")
+	}
+	return &req, nil
+}
+
+// finitePos reports v > 0 and finite.
+func finitePos(v float64) bool {
+	return v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v)
+}
+
+// Canonicalize validates the request and returns its canonical form. All
+// validation happens here, before the request can touch the scheduler: a
+// request that canonicalizes will build and run (netlist sources are parsed
+// now), and one that will not is rejected as bad input.
+func (r *Request) Canonicalize() (*Canonical, error) {
+	c := &Canonical{Analysis: r.Analysis}
+
+	// Circuit source.
+	hasNamed := r.Circuit != ""
+	hasNetlist := r.Netlist != ""
+	switch {
+	case hasNamed == hasNetlist:
+		return nil, badInput("exactly one of circuit and netlist is required")
+	case hasNamed:
+		if r.Circuit != CircuitPaperVCO && r.Circuit != CircuitPaperVCOAir {
+			return nil, badInput("unknown circuit %q (want %s or %s)", r.Circuit, CircuitPaperVCO, CircuitPaperVCOAir)
+		}
+		c.Circuit = r.Circuit
+		if r.VCtlDC != 0 {
+			if !finitePos(r.VCtlDC) || r.VCtlDC > MaxVCtl {
+				return nil, badInput("vctl_dc must be in (0, %g], got %v", MaxVCtl, r.VCtlDC)
+			}
+			c.VCtlDC = r.VCtlDC
+		}
+	default:
+		if len(r.Netlist) > MaxNetlistBytes {
+			return nil, badInput("netlist too large: %d bytes (cap %d)", len(r.Netlist), MaxNetlistBytes)
+		}
+		if r.VCtlDC != 0 {
+			return nil, badInput("vctl_dc applies only to named circuits")
+		}
+		ckt, err := netlist.Parse(r.Netlist)
+		if err != nil {
+			return nil, badInput("netlist: %v", err)
+		}
+		if _, err := ckt.Build(); err != nil {
+			return nil, badInput("netlist build: %v", err)
+		}
+		// Canonicalize line endings and trailing whitespace only; the source
+		// text itself is the canonical circuit identity (two syntactically
+		// different netlists of the same circuit are distinct solves, which
+		// is the conservative direction for a result cache).
+		c.Netlist = strings.ReplaceAll(r.Netlist, "\r\n", "\n")
+	}
+
+	o := r.Options
+	switch r.Analysis {
+	case AnalysisEnvelope:
+		if !finitePos(o.TStop) {
+			return nil, badInput("envelope needs options.tstop > 0")
+		}
+		c.TStop = o.TStop
+		c.N1 = defaultInt(o.N1, 25)
+		c.Steps = defaultInt(o.Steps, 400)
+		c.F0 = defaultFloat(o.F0, circuit.VCONominalFreq)
+		if c.N1 > MaxN1 || c.N1 < 5 {
+			return nil, badInput("options.n1 must be in [5, %d], got %d", MaxN1, c.N1)
+		}
+		if c.Steps > MaxSteps || c.Steps < 1 {
+			return nil, badInput("options.steps must be in [1, %d], got %d", MaxSteps, c.Steps)
+		}
+		if !finitePos(c.F0) {
+			return nil, badInput("options.f0 must be positive and finite")
+		}
+	case AnalysisQuasiperiodic:
+		if !finitePos(o.Period) {
+			return nil, badInput("quasiperiodic needs options.period > 0 (the slow-time period)")
+		}
+		c.Period = o.Period
+		c.N1 = defaultInt(o.N1, 17)
+		c.N2 = defaultInt(o.N2, 15)
+		c.F0 = defaultFloat(o.F0, circuit.VCONominalFreq)
+		if c.N1 > MaxN1 || c.N1 < 5 {
+			return nil, badInput("options.n1 must be in [5, %d], got %d", MaxN1, c.N1)
+		}
+		if c.N2 > MaxN2 || c.N2 < 3 {
+			return nil, badInput("options.n2 must be in [3, %d], got %d", MaxN2, c.N2)
+		}
+		if !finitePos(c.F0) {
+			return nil, badInput("options.f0 must be positive and finite")
+		}
+	case AnalysisTransient:
+		if !finitePos(o.TStop) || !finitePos(o.H) {
+			return nil, badInput("transient needs options.tstop > 0 and options.h > 0")
+		}
+		if o.TStop/o.H > MaxTransientSteps {
+			return nil, badInput("transient span tstop/h = %.3g exceeds the %g-step cap", o.TStop/o.H, float64(MaxTransientSteps))
+		}
+		c.TStop = o.TStop
+		c.H = o.H
+	case AnalysisShooting:
+		if o.Period != 0 && !finitePos(o.Period) {
+			return nil, badInput("options.period must be positive and finite")
+		}
+		if o.Period == 0 {
+			// Autonomous shooting: needs a frequency guess and an
+			// oscillation variable (checked at build time for netlists,
+			// always present on the named VCOs).
+			c.F0 = defaultFloat(o.F0, circuit.VCONominalFreq)
+			if !finitePos(c.F0) {
+				return nil, badInput("options.f0 must be positive and finite")
+			}
+		} else {
+			c.Period = o.Period
+		}
+	case AnalysisHB:
+		c.NHarm = defaultInt(o.NHarm, 33)
+		if c.NHarm > MaxHarmonics || c.NHarm < 3 {
+			return nil, badInput("options.nharm must be in [3, %d], got %d", MaxHarmonics, c.NHarm)
+		}
+		if o.Period != 0 && !finitePos(o.Period) {
+			return nil, badInput("options.period must be positive and finite")
+		}
+		if o.Period == 0 {
+			c.F0 = defaultFloat(o.F0, circuit.VCONominalFreq)
+			if !finitePos(c.F0) {
+				return nil, badInput("options.f0 must be positive and finite")
+			}
+		} else {
+			c.Period = o.Period
+		}
+	case "":
+		return nil, badInput("analysis is required")
+	default:
+		return nil, badInput("unknown analysis %q", r.Analysis)
+	}
+
+	// Cross-check: unused options must be zero, so a request cannot carry
+	// stray knobs that silently don't apply (and would fracture the cache
+	// into spuriously distinct keys if they were encoded).
+	if err := rejectStrayOptions(r.Analysis, o); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// rejectStrayOptions fails when an option that does not apply to the
+// analysis is set.
+func rejectStrayOptions(analysis string, o RequestOptions) error {
+	type knob struct {
+		name string
+		set  bool
+	}
+	knobs := []knob{
+		{"n1", o.N1 != 0}, {"n2", o.N2 != 0}, {"steps", o.Steps != 0},
+		{"tstop", o.TStop != 0}, {"h", o.H != 0}, {"period", o.Period != 0},
+		{"f0", o.F0 != 0}, {"nharm", o.NHarm != 0},
+	}
+	allowed := map[string]map[string]bool{
+		AnalysisEnvelope:      {"n1": true, "steps": true, "tstop": true, "f0": true},
+		AnalysisQuasiperiodic: {"n1": true, "n2": true, "period": true, "f0": true},
+		AnalysisTransient:     {"tstop": true, "h": true},
+		AnalysisShooting:      {"period": true, "f0": true},
+		AnalysisHB:            {"period": true, "f0": true, "nharm": true},
+	}[analysis]
+	for _, k := range knobs {
+		if k.set && !allowed[k.name] {
+			return badInput("options.%s does not apply to analysis %q", k.name, analysis)
+		}
+	}
+	return nil
+}
+
+func defaultInt(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+func defaultFloat(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// ErrTooLarge is reported when the request body exceeds the server's size
+// cap (http.MaxBytesReader).
+var ErrTooLarge = errors.New("serve: request body too large")

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+const rcNetlist = "I1 0 out SIN(0 1m 10k)\nR1 out 0 1k\nC1 out 0 1u\n"
+
+func TestCanonicalizeDefaultsCohere(t *testing.T) {
+	// A request that spells out the defaults and one that elides them must
+	// canonicalize — and therefore hash — identically, or the cache
+	// fractures into spuriously distinct entries.
+	elided := Request{Circuit: CircuitPaperVCO, Analysis: AnalysisEnvelope,
+		Options: RequestOptions{TStop: 60e-6}}
+	spelled := Request{Circuit: CircuitPaperVCO, Analysis: AnalysisEnvelope,
+		Options: RequestOptions{TStop: 60e-6, N1: 25, Steps: 400, F0: 0.75e6}}
+	c1, err := elided.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := spelled.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c1.Encode()) != string(c2.Encode()) {
+		t.Fatalf("canonical encodings differ:\n%s\n%s", c1.Encode(), c2.Encode())
+	}
+	if c1.Hash() != c2.Hash() {
+		t.Fatalf("hashes differ: %s vs %s", c1.Hash(), c2.Hash())
+	}
+}
+
+func TestCanonicalizeDeadlineExcluded(t *testing.T) {
+	a := Request{Circuit: CircuitPaperVCO, Analysis: AnalysisTransient,
+		Options: RequestOptions{TStop: 1e-5, H: 1e-7}}
+	b := a
+	b.DeadlineMS = 5000
+	ca, err := a.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.Hash() != cb.Hash() {
+		t.Fatal("deadline_ms must not participate in the canonical hash")
+	}
+}
+
+func TestCanonicalizeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"no circuit", Request{Analysis: AnalysisTransient, Options: RequestOptions{TStop: 1, H: 1e-3}}},
+		{"both circuits", Request{Circuit: CircuitPaperVCO, Netlist: rcNetlist,
+			Analysis: AnalysisTransient, Options: RequestOptions{TStop: 1, H: 1e-3}}},
+		{"unknown circuit", Request{Circuit: "nope", Analysis: AnalysisTransient,
+			Options: RequestOptions{TStop: 1, H: 1e-3}}},
+		{"no analysis", Request{Circuit: CircuitPaperVCO}},
+		{"unknown analysis", Request{Circuit: CircuitPaperVCO, Analysis: "ac"}},
+		{"transient missing h", Request{Circuit: CircuitPaperVCO, Analysis: AnalysisTransient,
+			Options: RequestOptions{TStop: 1}}},
+		{"transient step-count cap", Request{Circuit: CircuitPaperVCO, Analysis: AnalysisTransient,
+			Options: RequestOptions{TStop: 1, H: 1e-12}}},
+		{"envelope missing tstop", Request{Circuit: CircuitPaperVCO, Analysis: AnalysisEnvelope}},
+		{"envelope n1 cap", Request{Circuit: CircuitPaperVCO, Analysis: AnalysisEnvelope,
+			Options: RequestOptions{TStop: 1e-5, N1: 1000}}},
+		{"stray option", Request{Circuit: CircuitPaperVCO, Analysis: AnalysisTransient,
+			Options: RequestOptions{TStop: 1e-5, H: 1e-7, NHarm: 9}}},
+		{"bad netlist", Request{Netlist: "R1 a 0", Analysis: AnalysisTransient,
+			Options: RequestOptions{TStop: 1e-5, H: 1e-7}}},
+		{"netlist too large", Request{Netlist: strings.Repeat("* pad\n", MaxNetlistBytes),
+			Analysis: AnalysisTransient, Options: RequestOptions{TStop: 1e-5, H: 1e-7}}},
+		{"vctl on netlist", Request{Netlist: rcNetlist, VCtlDC: 2,
+			Analysis: AnalysisTransient, Options: RequestOptions{TStop: 1e-5, H: 1e-7}}},
+		{"vctl out of range", Request{Circuit: CircuitPaperVCO, VCtlDC: -3,
+			Analysis: AnalysisTransient, Options: RequestOptions{TStop: 1e-5, H: 1e-7}}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.req.Canonicalize(); err == nil {
+			t.Errorf("%s: want error, got none", tc.name)
+		}
+	}
+}
+
+func TestCanonicalizeAccepts(t *testing.T) {
+	cases := []Request{
+		{Circuit: CircuitPaperVCO, Analysis: AnalysisEnvelope, Options: RequestOptions{TStop: 60e-6}},
+		{Circuit: CircuitPaperVCOAir, Analysis: AnalysisEnvelope, Options: RequestOptions{TStop: 3e-3}},
+		{Circuit: CircuitPaperVCO, VCtlDC: 1.7, Analysis: AnalysisTransient,
+			Options: RequestOptions{TStop: 1e-5, H: 1e-8}},
+		{Netlist: rcNetlist, Analysis: AnalysisTransient, Options: RequestOptions{TStop: 1e-4, H: 1e-6}},
+		{Netlist: rcNetlist, Analysis: AnalysisShooting, Options: RequestOptions{Period: 1e-4}},
+		{Netlist: rcNetlist, Analysis: AnalysisHB, Options: RequestOptions{Period: 1e-4, NHarm: 17}},
+		{Circuit: CircuitPaperVCO, Analysis: AnalysisShooting},
+		{Circuit: CircuitPaperVCO, Analysis: AnalysisQuasiperiodic, Options: RequestOptions{Period: 4e-5}},
+	}
+	for i, req := range cases {
+		c, err := req.Canonicalize()
+		if err != nil {
+			t.Errorf("case %d: %v", i, err)
+			continue
+		}
+		if len(c.Hash()) != 64 {
+			t.Errorf("case %d: bad hash %q", i, c.Hash())
+		}
+	}
+}
+
+func TestDecodeRequestStrict(t *testing.T) {
+	if _, err := DecodeRequest(strings.NewReader(`{"circuit":"paper-vco","analysis":"transient","options":{"tstop":1e-5,"h":1e-8}}`)); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	bad := []string{
+		``,
+		`not json`,
+		`{"circuit":"paper-vco","bogus":1}`,      // unknown field
+		`{"options":{"tstep":1}}`,                // unknown option
+		`{"circuit":"paper-vco"}{"circuit":"x"}`, // trailing object
+		`{"circuit":"paper-vco","analysis":"tran"} x`, // trailing garbage
+	}
+	for _, src := range bad {
+		if _, err := DecodeRequest(strings.NewReader(src)); err == nil {
+			t.Errorf("decode accepted %q", src)
+		}
+	}
+}
+
+func TestCanonicalHashDistinguishesRequests(t *testing.T) {
+	// Distinct solves must get distinct content addresses.
+	base := Request{Circuit: CircuitPaperVCO, Analysis: AnalysisTransient,
+		Options: RequestOptions{TStop: 1e-5, H: 1e-8}}
+	variants := []Request{
+		{Circuit: CircuitPaperVCOAir, Analysis: AnalysisTransient, Options: RequestOptions{TStop: 1e-5, H: 1e-8}},
+		{Circuit: CircuitPaperVCO, VCtlDC: 1.9, Analysis: AnalysisTransient, Options: RequestOptions{TStop: 1e-5, H: 1e-8}},
+		{Circuit: CircuitPaperVCO, Analysis: AnalysisTransient, Options: RequestOptions{TStop: 2e-5, H: 1e-8}},
+		{Circuit: CircuitPaperVCO, Analysis: AnalysisEnvelope, Options: RequestOptions{TStop: 1e-5}},
+	}
+	cb, err := base.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{cb.Hash(): true}
+	for i, v := range variants {
+		cv, err := v.Canonicalize()
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if seen[cv.Hash()] {
+			t.Fatalf("variant %d collides with a previous canonical hash", i)
+		}
+		seen[cv.Hash()] = true
+	}
+}

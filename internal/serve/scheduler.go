@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrSaturated is returned by Submit when the queue is full: the service is
+// at capacity and the caller should retry later (the HTTP boundary turns
+// this into 429 + Retry-After).
+var ErrSaturated = errors.New("serve: scheduler saturated")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("serve: scheduler closed")
+
+// task is one admitted unit of work. The job function receives the job's
+// context (deadline already attached by the caller); completion is signaled
+// by the job itself (jobs deliver results through the single-flight group,
+// not through the scheduler).
+type task struct {
+	ctx context.Context
+	fn  func(ctx context.Context)
+}
+
+// Scheduler is a bounded job scheduler: a fixed pool of workers draining a
+// bounded queue, with non-blocking admission. It bounds the service's
+// concurrency independently of the HTTP layer's (net/http spawns a
+// goroutine per connection; the scheduler is what keeps the number of
+// simultaneous engine solves at the worker budget, and the queue bound is
+// the backpressure signal).
+//
+// The solver's own data parallelism lives a layer below in internal/par;
+// the scheduler bounds how many solves run at once, par bounds how many
+// cores one solve uses. The two budgets multiply, so servers set both (see
+// cmd/wampde-server's -workers and -solver-workers).
+type Scheduler struct {
+	queue chan task
+
+	mu     sync.RWMutex // guards closed against concurrent Submit/Close
+	closed bool
+
+	wg sync.WaitGroup
+
+	m *Metrics
+}
+
+// NewScheduler starts workers goroutines draining a queue of at most
+// queueCap pending tasks. Metrics m may be nil.
+func NewScheduler(workers, queueCap int, m *Metrics) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	if m == nil {
+		m = NewMetrics()
+	}
+	s := &Scheduler{queue: make(chan task, queueCap), m: m}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		s.m.QueueDepth.Add(-1)
+		// A job whose deadline expired while queued still runs: the engine
+		// observes the dead context immediately and returns the canceled
+		// error with an empty partial, which is the honest answer (the
+		// deadline covered queue wait too).
+		s.m.InFlight.Add(1)
+		t.fn(t.ctx)
+		s.m.InFlight.Add(-1)
+	}
+}
+
+// Submit offers fn to the queue without blocking. On admission fn will be
+// called exactly once, on a worker goroutine, with ctx. ErrSaturated means
+// the queue was full at the instant of the call; ErrClosed means Close has
+// begun.
+func (s *Scheduler) Submit(ctx context.Context, fn func(ctx context.Context)) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	select {
+	case s.queue <- task{ctx: ctx, fn: fn}:
+		s.m.QueueDepth.Add(1)
+		s.m.Admitted.Add(1)
+		return nil
+	default:
+		s.m.Rejected.Add(1)
+		return ErrSaturated
+	}
+}
+
+// Close stops admission and waits for the queue to drain and all running
+// jobs to finish.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSchedulerRunsAdmittedJobs(t *testing.T) {
+	m := NewMetrics()
+	s := NewScheduler(4, 16, m)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		err := s.Submit(context.Background(), func(context.Context) {
+			ran.Add(1)
+			wg.Done()
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	s.Close()
+	if got := ran.Load(); got != 16 {
+		t.Fatalf("ran %d jobs, want 16", got)
+	}
+	if got := m.Admitted.Load(); got != 16 {
+		t.Fatalf("admitted=%d, want 16", got)
+	}
+}
+
+func TestSchedulerBackpressure(t *testing.T) {
+	m := NewMetrics()
+	s := NewScheduler(1, 1, m)
+	defer s.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	// Occupy the single worker...
+	if err := s.Submit(context.Background(), func(context.Context) {
+		close(started)
+		<-block
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// ...fill the one queue slot...
+	if err := s.Submit(context.Background(), func(context.Context) {}); err != nil {
+		t.Fatalf("queue slot submit: %v", err)
+	}
+	// ...and the next submission must be rejected, not queued.
+	if err := s.Submit(context.Background(), func(context.Context) {}); err != ErrSaturated {
+		t.Fatalf("saturated submit: got %v, want ErrSaturated", err)
+	}
+	if got := m.Rejected.Load(); got != 1 {
+		t.Fatalf("rejected=%d, want 1", got)
+	}
+	close(block)
+}
+
+func TestSchedulerSubmitAfterClose(t *testing.T) {
+	s := NewScheduler(1, 1, NewMetrics())
+	s.Close()
+	if err := s.Submit(context.Background(), func(context.Context) {}); err != ErrClosed {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	// Closing twice is safe.
+	s.Close()
+}
+
+func TestSchedulerDrainsQueueOnClose(t *testing.T) {
+	s := NewScheduler(2, 32, NewMetrics())
+	var ran atomic.Int64
+	for i := 0; i < 20; i++ {
+		if err := s.Submit(context.Background(), func(context.Context) { ran.Add(1) }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	s.Close() // must wait for all queued jobs
+	if got := ran.Load(); got != 20 {
+		t.Fatalf("ran %d jobs after Close, want 20", got)
+	}
+}

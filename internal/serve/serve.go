@@ -1,0 +1,40 @@
+// Package serve is the simulation service subsystem: it turns the
+// in-process analyses (envelope WaMPDE, quasiperiodic, transient, shooting,
+// harmonic balance) into an HTTP job API suitable for the parameter-sweep
+// workloads the MPDE literature motivates — many near-identical requests
+// over netlist/tuning-voltage variants, which deduplication and caching
+// turn from O(requests) into O(distinct solves).
+//
+// The pieces, each in its own file:
+//
+//   - request.go: the canonical request model. A request names a circuit
+//     (inline netlist or a named paper circuit), an analysis kind and its
+//     options; Canonicalize validates it, applies the engine defaults and
+//     produces a deterministic canonical encoding whose SHA-256 is the
+//     request's content address. Two requests that differ only in spelled-
+//     out defaults hash identically, so the cache coheres across clients.
+//   - scheduler.go: a bounded job scheduler — fixed worker budget layered
+//     on internal/par, bounded queue, non-blocking admission. A saturated
+//     queue rejects instead of queueing unboundedly (HTTP 429 with
+//     Retry-After); each admitted job carries a deadline context that flows
+//     into the solver cancellation path, so a killed request still returns
+//     the partial result computed before the deadline.
+//   - cache.go + flight.go: a single-flight, content-addressed result
+//     cache. Duplicate in-flight requests coalesce onto one engine solve;
+//     completed successes land in a byte-budgeted LRU. Cached and fresh
+//     responses are bitwise identical (the engine's determinism guarantee,
+//     pinned end to end by the repository's determinism tests).
+//   - engine.go: the real engine adapter — builds the circuit, runs the
+//     analysis under the job context, reports stage timings, and encodes
+//     the outcome as deterministic JSON.
+//   - errors.go: the error boundary mapping solverr kinds to HTTP statuses
+//     (canceled→408, budget→422, bad input→400, exhausted-ladder solver
+//     failures→500 carrying the recovery trail as structured JSON).
+//   - metrics.go + server.go: expvar-style observability (queue depth,
+//     admissions/rejections, cache hits, in-flight, per-stage solve
+//     latencies), net/http/pprof behind a debug flag, and the HTTP surface
+//     itself.
+//
+// cmd/wampde-server serves this package; cmd/wampde-load is the
+// deterministic closed-loop load generator that benchmarks it.
+package serve

@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Config sizes one Server.
+type Config struct {
+	// Workers is the engine-solve concurrency budget (default 2). Each
+	// worker runs one solve at a time; the solver's internal data
+	// parallelism (internal/par) multiplies on top.
+	Workers int
+	// QueueCap bounds the admission queue (default 2·Workers). A full queue
+	// rejects with 429 + Retry-After rather than queueing unboundedly.
+	QueueCap int
+	// CacheBytes budgets the result cache (default 32 MiB; ≤0 disables
+	// caching but keeps single-flight coalescing).
+	CacheBytes int64
+	// MaxBodyBytes caps the request body (default 128 KiB).
+	MaxBodyBytes int64
+	// DefaultDeadline bounds jobs whose request carries no deadline_ms
+	// (default 2 minutes).
+	DefaultDeadline time.Duration
+	// Debug mounts net/http/pprof and expvar under /debug/.
+	Debug bool
+	// Engine overrides the solve engine (tests); nil means CircuitEngine.
+	Engine Engine
+	// Metrics, when non-nil, is the counter set to use (lets a cmd publish
+	// the same instance via expvar); nil allocates a fresh set.
+	Metrics *Metrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 2
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 2 * c.Workers
+	}
+	if c.QueueCap < 0 {
+		c.QueueCap = 0
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 32 << 20
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 128 << 10
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 2 * time.Minute
+	}
+	if c.Engine == nil {
+		c.Engine = CircuitEngine{}
+	}
+	if c.Metrics == nil {
+		c.Metrics = NewMetrics()
+	}
+	return c
+}
+
+// Response is the success body: the canonical request hash (the cache
+// address, which clients can use to correlate sweeps) plus the outcome.
+type Response struct {
+	Hash string `json:"hash"`
+	*Outcome
+}
+
+// Server is the simulation service: scheduler + single-flight cache +
+// engine behind an http.Handler.
+type Server struct {
+	cfg     Config
+	sched   *Scheduler
+	cache   *Cache
+	flights *flightGroup
+	m       *Metrics
+	mux     *http.ServeMux
+}
+
+// NewServer builds a Server and starts its worker pool. Close releases it.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		m:       cfg.Metrics,
+		flights: newFlightGroup(cfg.Metrics),
+		cache:   NewCache(cfg.CacheBytes, cfg.Metrics),
+	}
+	s.sched = NewScheduler(cfg.Workers, cfg.QueueCap, cfg.Metrics)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Debug {
+		s.mux.Handle("GET /debug/vars", expvar.Handler())
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's counter set.
+func (s *Server) Metrics() *Metrics { return s.m }
+
+// Close drains the scheduler (running jobs finish; admission stops).
+func (s *Server) Close() { s.sched.Close() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte(`{"ok":true}` + "\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.m.Snapshot())
+}
+
+// handleSimulate is the job endpoint. The flow is: decode → canonicalize →
+// cache → single-flight join → (leader only) schedule the solve under the
+// job deadline → everyone waits for the flight's result and replays the
+// exact same bytes.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.m.Requests.Add(1)
+	req, err := DecodeRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	c, err := req.Canonicalize()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	hash := c.Hash()
+
+	if body := s.cache.Get(hash); body != nil {
+		s.m.Succeeded.Add(1)
+		writeResult(w, http.StatusOK, body, "hit")
+		return
+	}
+
+	f, leader := s.flights.join(hash)
+	xcache := "coalesced"
+	if leader {
+		xcache = "miss"
+		s.launch(hash, f, req, c)
+	}
+
+	<-f.done
+	s.countStatus(f.res.status)
+	writeResult(w, f.res.status, f.res.body, xcache)
+}
+
+// launch schedules the leader's solve and guarantees the flight completes
+// on every path (admission rejection included), so followers never hang.
+func (s *Server) launch(hash string, f *flight, req *Request, c *Canonical) {
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	// The deadline clock starts at admission: queue wait spends the same
+	// budget the solve does, which is what a caller's wall-clock deadline
+	// means.
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	err := s.sched.Submit(ctx, func(ctx context.Context) {
+		defer cancel()
+		status, body := s.runJob(ctx, hash, c)
+		if status == http.StatusOK {
+			// Insert before completing the flight so a request arriving
+			// after retirement cannot slip between flight and cache.
+			s.cache.Put(hash, body)
+		}
+		s.flights.complete(hash, f, flightResult{status: status, body: body})
+	})
+	if err != nil {
+		cancel()
+		status := http.StatusServiceUnavailable
+		if err == ErrSaturated {
+			status = http.StatusTooManyRequests
+		}
+		s.flights.complete(hash, f, flightResult{
+			status: status,
+			body:   mustJSON(ErrorBody{Error: err.Error(), Kind: "saturated"}),
+		})
+	}
+}
+
+// runJob runs the engine and encodes the response exactly once; the
+// returned bytes are what every coalesced caller and every future cache hit
+// will see.
+func (s *Server) runJob(ctx context.Context, hash string, c *Canonical) (int, []byte) {
+	out, st, err := s.cfg.Engine.Solve(ctx, c)
+	s.m.BuildNS.Add(st.BuildNS)
+	s.m.ICNS.Add(st.ICNS)
+	s.m.SolveNS.Add(st.SolveNS)
+	s.m.Solves.Add(1)
+	if err != nil {
+		var partial json.RawMessage
+		var sup map[string]int
+		if out != nil {
+			partial = mustJSON(Response{Hash: hash, Outcome: out})
+			sup = out.Supervision
+		}
+		return errorResponse(err, partial, sup)
+	}
+	t0 := time.Now()
+	body := mustJSON(Response{Hash: hash, Outcome: out})
+	s.m.EncodeNS.Add(time.Since(t0).Nanoseconds())
+	return http.StatusOK, body
+}
+
+// countStatus attributes a finished flight's status to the outcome
+// counters. Every waiter counts (a coalesced 200 is still a served 200);
+// 429s are already counted at rejection time.
+func (s *Server) countStatus(status int) {
+	switch {
+	case status == http.StatusOK:
+		s.m.Succeeded.Add(1)
+	case status == http.StatusBadRequest:
+		s.m.BadInput.Add(1)
+	case status == http.StatusRequestTimeout:
+		s.m.Canceled.Add(1)
+	case status >= 500:
+		s.m.Failed.Add(1)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status, body := errorResponse(err, nil, nil)
+	if status == http.StatusBadRequest {
+		s.m.BadInput.Add(1)
+	} else {
+		s.countStatus(status)
+	}
+	writeResult(w, status, body, "")
+}
+
+func writeResult(w http.ResponseWriter, status int, body []byte, xcache string) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	if xcache != "" {
+		h.Set("X-Cache", xcache)
+	}
+	if status == http.StatusTooManyRequests {
+		h.Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}

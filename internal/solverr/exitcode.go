@@ -1,0 +1,48 @@
+package solverr
+
+// Process exit codes for the cmd/ drivers, one per failure kind. A batch
+// harness sweeping many netlists (or the serve load generator shelling out
+// to the CLIs) can dispatch on the exit status alone — retry canceled runs,
+// file singular ones as model bugs, treat bad-input as caller error —
+// without parsing stderr. 0 is success and 1 the catch-all, matching the
+// historical behavior for unclassified errors; 2 doubles as the usage /
+// bad-flag status the drivers already used, which is exactly KindBadInput's
+// class.
+const (
+	ExitOK         = 0
+	ExitUnknown    = 1 // unclassified failure (historical catch-all)
+	ExitBadInput   = 2 // caller error: bad flags, malformed netlist, bad dimensions
+	ExitSingular   = 3 // singular matrix with the escalation ladder exhausted
+	ExitBreakdown  = 4 // Krylov breakdown with the ladder exhausted
+	ExitStagnation = 5 // iteration stopped progressing (Newton/GMRES/homotopy)
+	ExitNonFinite  = 6 // NaN/Inf reached a stage boundary
+	ExitBudget     = 7 // step or work budget exhausted
+	ExitCanceled   = 8 // context deadline/cancellation (partial results printed)
+)
+
+// ExitCode maps an error to the process exit code for its failure kind:
+// nil maps to ExitOK, a classified *Error to its kind's code, and anything
+// else to ExitUnknown.
+func ExitCode(err error) int {
+	if err == nil {
+		return ExitOK
+	}
+	switch KindOf(err) {
+	case KindBadInput:
+		return ExitBadInput
+	case KindSingular:
+		return ExitSingular
+	case KindBreakdown:
+		return ExitBreakdown
+	case KindStagnation:
+		return ExitStagnation
+	case KindNonFinite:
+		return ExitNonFinite
+	case KindBudget:
+		return ExitBudget
+	case KindCanceled:
+		return ExitCanceled
+	default:
+		return ExitUnknown
+	}
+}

@@ -1,0 +1,54 @@
+package solverr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestExitCodeTable pins the kind→exit-code mapping: every kind gets a
+// distinct, stable code, nil is success, and unclassified errors keep the
+// historical catch-all status 1.
+func TestExitCodeTable(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{errors.New("plain"), ExitUnknown},
+		{New(KindUnknown, "s", "m"), ExitUnknown},
+		{New(KindBadInput, "s", "m"), ExitBadInput},
+		{New(KindSingular, "s", "m"), ExitSingular},
+		{New(KindBreakdown, "s", "m"), ExitBreakdown},
+		{New(KindStagnation, "s", "m"), ExitStagnation},
+		{New(KindNonFinite, "s", "m"), ExitNonFinite},
+		{New(KindBudget, "s", "m"), ExitBudget},
+		{New(KindCanceled, "s", "m"), ExitCanceled},
+		// Wrapped: the outermost classification wins, as in KindOf.
+		{fmt.Errorf("driver: %w", New(KindCanceled, "transient", "deadline")), ExitCanceled},
+		{Wrap(KindBudget, "outer", New(KindStagnation, "inner", "m")), ExitBudget},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// TestExitCodesDistinct guards against two kinds silently collapsing onto
+// one status as codes are added.
+func TestExitCodesDistinct(t *testing.T) {
+	kinds := []Kind{KindUnknown, KindBadInput, KindSingular, KindBreakdown,
+		KindStagnation, KindNonFinite, KindBudget, KindCanceled}
+	seen := map[int]Kind{}
+	for _, k := range kinds {
+		code := ExitCode(New(k, "s", "m"))
+		if code == ExitOK {
+			t.Errorf("kind %v maps to the success status", k)
+		}
+		if prev, dup := seen[code]; dup {
+			t.Errorf("kinds %v and %v share exit code %d", prev, k, code)
+		}
+		seen[code] = k
+	}
+}

@@ -1,0 +1,36 @@
+package transient
+
+// historyChunkRows is how many accepted-step rows one arena chunk holds.
+// Large enough that chunk allocation is invisible next to the per-step
+// Newton work, small enough that an aborted short run wastes little.
+const historyChunkRows = 256
+
+// history hands out state rows for the Result waveform from chunked arena
+// blocks instead of one heap allocation per accepted step — the remaining
+// per-step churn the ROADMAP's arena item pointed at (visible in the IC
+// shooting phase, whose settling transients store thousands of rows).
+//
+// Rows are full-capacity subslices of a shared chunk (three-index slicing),
+// so an append on one row can never bleed into its neighbor. Chunks are
+// never reused: the Result keeps the rows alive, so recycling would alias
+// live data. A run that stops mid-chunk strands at most historyChunkRows-1
+// rows of capacity, which dies with the Result.
+type history struct {
+	n     int // row width (state dimension)
+	chunk []float64
+	used  int
+}
+
+func newHistory(n int) *history { return &history{n: n} }
+
+// row copies x into the next arena slot and returns the row.
+func (h *history) row(x []float64) []float64 {
+	if h.used+h.n > len(h.chunk) {
+		h.chunk = make([]float64, h.n*historyChunkRows)
+		h.used = 0
+	}
+	r := h.chunk[h.used : h.used+h.n : h.used+h.n]
+	h.used += h.n
+	copy(r, x)
+	return r
+}

@@ -150,10 +150,11 @@ func Simulate(sys dae.System, x0 []float64, t0, t1 float64, opt Options) (*Resul
 
 	res := &Result{}
 	store := !(opt.NoStore && opt.OnStep != nil)
+	hist := newHistory(n)
 	record := func(t float64, x []float64) bool {
 		if store {
 			res.T = append(res.T, t)
-			res.X = append(res.X, append([]float64(nil), x...))
+			res.X = append(res.X, hist.row(x))
 		}
 		if opt.OnStep != nil {
 			return opt.OnStep(t, x)
@@ -173,6 +174,7 @@ func Simulate(sys dae.System, x0 []float64, t0, t1 float64, opt Options) (*Resul
 	havePrev, havePrev2 := false, false
 
 	endTol := 1e-12 * (t1 - t0)
+	xNew := make([]float64, n)
 	for t1-t > endTol && res.Steps < opt.MaxSteps {
 		if opt.Ctx != nil {
 			if cerr := opt.Ctx.Err(); cerr != nil {
@@ -182,7 +184,7 @@ func Simulate(sys dae.System, x0 []float64, t0, t1 float64, opt Options) (*Resul
 		if t+h > t1 {
 			h = t1 - t
 		}
-		xNew := append([]float64(nil), x...)
+		copy(xNew, x)
 		iters, err := st.step(t, h, x, xPrev, tPrev, havePrev, xNew)
 		res.NewtonIter += iters
 		if err != nil {
@@ -257,30 +259,96 @@ func Simulate(sys dae.System, x0 []float64, t0, t1 float64, opt Options) (*Resul
 	return res, nil
 }
 
-// stepper holds scratch space for implicit steps.
+// stepper holds scratch space for implicit steps. All per-step and
+// per-Newton-iteration buffers live here (including the residual/Jacobian
+// scratch the eval closures use, the Newton workspace and the LU
+// factorization slot), so the integration loop itself allocates nothing:
+// the arena history rows are the only storage that grows with the run.
 type stepper struct {
 	sys dae.System
 	n   int
 	opt Options
 
-	u    []float64
-	qOld []float64
-	qPrv []float64
-	fOld []float64
-	jq   *la.Dense
-	jf   *la.Dense
-	jac  *la.Dense
+	u      []float64
+	uOld   []float64
+	qOld   []float64
+	qPrv   []float64
+	fOld   []float64
+	fEntry []float64
+	qTmp   []float64
+	fTmp   []float64
+	scale  []float64
+	pred   []float64
+	diff   []float64
+	jq     *la.Dense
+	jf     *la.Dense
+	jac    *la.Dense
+	lu     *la.LU
+	nws    *newton.Workspace
+	prob   newton.Problem
+
+	// Per-step integration weights read by the eval/jacobian closures in
+	// prob (set by step before each Newton solve).
+	a0, a1, a2 float64
+	fMix       float64
+	h          float64
+	method     Method
 }
 
 func (st *stepper) init() {
 	n := st.n
 	st.u = make([]float64, st.sys.NumInputs())
+	st.uOld = make([]float64, st.sys.NumInputs())
 	st.qOld = make([]float64, n)
 	st.qPrv = make([]float64, n)
 	st.fOld = make([]float64, n)
+	st.fEntry = make([]float64, n)
+	st.qTmp = make([]float64, n)
+	st.fTmp = make([]float64, n)
+	st.scale = make([]float64, n)
+	st.pred = make([]float64, n)
+	st.diff = make([]float64, n)
 	st.jq = la.NewDense(n, n)
 	st.jf = la.NewDense(n, n)
 	st.jac = la.NewDense(n, n)
+	st.lu = la.NewLU(n)
+	st.nws = newton.NewWorkspace(n)
+	st.prob = newton.Problem{
+		N:    n,
+		Eval: st.evalResidual,
+		Jacobian: func(x []float64) (newton.LinearSolve, error) {
+			st.sys.JQ(x, st.jq)
+			st.sys.JF(x, st.u, st.jf)
+			for r := 0; r < n; r++ {
+				row := st.jac.Row(r)
+				jqRow := st.jq.Row(r)
+				jfRow := st.jf.Row(r)
+				for c := 0; c < n; c++ {
+					row[c] = (st.a0/st.h*jqRow[c] + st.fMix*jfRow[c]) / st.scale[r]
+				}
+			}
+			if err := st.lu.FactorInto(st.jac); err != nil {
+				return nil, err
+			}
+			return st.lu, nil
+		},
+	}
+}
+
+// evalResidual is the implicit-step residual the Newton iteration solves,
+// using only stepper-owned scratch.
+func (st *stepper) evalResidual(x, f []float64) error {
+	faultinject.FireSlow()
+	st.sys.Q(x, st.qTmp)
+	st.sys.F(x, st.u, st.fTmp)
+	for i := 0; i < st.n; i++ {
+		f[i] = (st.a0*st.qTmp[i]+st.a1*st.qOld[i]+st.a2*st.qPrv[i])/st.h + st.fMix*st.fTmp[i]
+		if st.method == Trap {
+			f[i] += (1 - st.fMix) * st.fOld[i]
+		}
+		f[i] /= st.scale[i]
+	}
+	return nil
 }
 
 func (st *stepper) order() int {
@@ -303,24 +371,23 @@ func (st *stepper) step(t, h float64, xOld, xPrev []float64, tPrev float64, have
 		method = BE // bootstrap the multistep formula
 	}
 
-	var a0, a1, a2 float64 // q-derivative weights: (a0 q(x) + a1 q_old + a2 q_prev)/h
-	var fMix float64       // weight of f(x_new); (1-fMix) applies to f(x_old)
+	st.method = method
+	st.h = h
 	switch method {
 	case BE:
-		a0, a1, a2, fMix = 1, -1, 0, 1
+		st.a0, st.a1, st.a2, st.fMix = 1, -1, 0, 1
 	case Trap:
-		a0, a1, a2, fMix = 1, -1, 0, 0.5 // (q-qold)/h = -(f+fold)/2
+		st.a0, st.a1, st.a2, st.fMix = 1, -1, 0, 0.5 // (q-qold)/h = -(f+fold)/2
 	case BDF2:
 		r := h / (t - tPrev)
-		a0 = (1 + 2*r) / (1 + r)
-		a1 = -(1 + r)
-		a2 = r * r / (1 + r)
-		fMix = 1
+		st.a0 = (1 + 2*r) / (1 + r)
+		st.a1 = -(1 + r)
+		st.a2 = r * r / (1 + r)
+		st.fMix = 1
 	}
 	if method == Trap {
-		uOld := make([]float64, sys.NumInputs())
-		sys.Input(t, uOld)
-		sys.F(xOld, uOld, st.fOld)
+		sys.Input(t, st.uOld)
+		sys.F(xOld, st.uOld, st.fOld)
 	}
 	if method == BDF2 {
 		sys.Q(xPrev, st.qPrv)
@@ -329,12 +396,11 @@ func (st *stepper) step(t, h float64, xOld, xPrev []float64, tPrev float64, have
 	// Per-row residual scales from the entry state: circuit rows can span
 	// many orders of magnitude (charges vs mechanical momenta), so Newton's
 	// tolerance must act relatively per row.
-	scale := make([]float64, n)
+	scale := st.scale
 	{
-		fEntry := make([]float64, n)
-		sys.F(xOld, st.u, fEntry)
+		sys.F(xOld, st.u, st.fEntry)
 		for i := 0; i < n; i++ {
-			scale[i] = math.Abs(st.qOld[i])/h + math.Abs(fEntry[i])
+			scale[i] = math.Abs(st.qOld[i])/h + math.Abs(st.fEntry[i])
 		}
 		smax := 0.0
 		for _, s := range scale {
@@ -353,36 +419,9 @@ func (st *stepper) step(t, h float64, xOld, xPrev []float64, tPrev float64, have
 		}
 	}
 
-	eval := func(x, f []float64) error {
-		faultinject.FireSlow()
-		q := make([]float64, n)
-		sys.Q(x, q)
-		ff := make([]float64, n)
-		sys.F(x, st.u, ff)
-		for i := 0; i < n; i++ {
-			f[i] = (a0*q[i]+a1*st.qOld[i]+a2*st.qPrv[i])/h + fMix*ff[i]
-			if method == Trap {
-				f[i] += (1 - fMix) * st.fOld[i]
-			}
-			f[i] /= scale[i]
-		}
-		return nil
-	}
-	jac := func(x []float64, j *la.Dense) error {
-		sys.JQ(x, st.jq)
-		sys.JF(x, st.u, st.jf)
-		for r := 0; r < n; r++ {
-			row := j.Row(r)
-			jqRow := st.jq.Row(r)
-			jfRow := st.jf.Row(r)
-			for c := 0; c < n; c++ {
-				row[c] = (a0/h*jqRow[c] + fMix*jfRow[c]) / scale[r]
-			}
-		}
-		return nil
-	}
-	p := newton.DenseProblem(n, eval, jac)
-	resN, err := newton.Solve(p, xNew, st.opt.Newton)
+	nopt := st.opt.Newton
+	nopt.Work = st.nws
+	resN, err := newton.Solve(st.prob, xNew, nopt)
 	return resN.Iterations, err
 }
 
@@ -393,7 +432,7 @@ func (st *stepper) step(t, h float64, xOld, xPrev []float64, tPrev float64, have
 // correctors' true local error.
 func (st *stepper) lteEstimate(h float64, xOld, xNew, xPrev, xPrev2 []float64, t, tPrev, tPrev2 float64, havePrev, havePrev2 bool, opt Options) float64 {
 	n := st.n
-	pred := make([]float64, n)
+	pred := st.pred
 	tNew := t + h
 	switch {
 	case havePrev2 && st.order() >= 2:
@@ -412,7 +451,7 @@ func (st *stepper) lteEstimate(h float64, xOld, xNew, xPrev, xPrev2 []float64, t
 	default:
 		copy(pred, xOld)
 	}
-	diff := make([]float64, n)
+	diff := st.diff
 	la.Sub(diff, xNew, pred)
 	la.Scal(0.5, diff)
 	return la.WeightedRMS(diff, xNew, opt.AbsTol, opt.RelTol)

@@ -35,6 +35,7 @@ import (
 	"repro/internal/mpde"
 	"repro/internal/netlist"
 	"repro/internal/shooting"
+	"repro/internal/solverr"
 	"repro/internal/transient"
 	"repro/internal/warp"
 	"repro/internal/wave"
@@ -246,3 +247,39 @@ type (
 func RunSpectralEnvelope(sys Autonomous, xhat0 []float64, omega0, t2End float64, opt SpectralOptions) (*SpectralResult, error) {
 	return core.SpectralEnvelope(sys, xhat0, omega0, t2End, opt)
 }
+
+// Solver failure taxonomy (see internal/solverr and DESIGN.md, "Failure
+// semantics"). Every analysis above reports failures as a *SolveError
+// carrying a Kind, the failing stage, position/progress fields and the
+// recovery trail the escalation ladders accumulated; the serving layer maps
+// kinds to HTTP statuses and the cmd drivers map them to process exit
+// codes. Use errors.As to recover the structure, or the helpers below.
+type (
+	// SolveError is the structured failure every solver returns.
+	SolveError = solverr.Error
+	// SolveErrorKind classifies a failure for dispatch.
+	SolveErrorKind = solverr.Kind
+)
+
+// The failure kinds.
+const (
+	KindBadInput   = solverr.KindBadInput
+	KindSingular   = solverr.KindSingular
+	KindBreakdown  = solverr.KindBreakdown
+	KindStagnation = solverr.KindStagnation
+	KindNonFinite  = solverr.KindNonFinite
+	KindBudget     = solverr.KindBudget
+	KindCanceled   = solverr.KindCanceled
+)
+
+// SolveKindOf returns the failure kind of the outermost SolveError in err's
+// chain (KindUnknown for unclassified errors).
+func SolveKindOf(err error) SolveErrorKind { return solverr.KindOf(err) }
+
+// SolveTrailOf collects the recovery trail recorded along err's chain,
+// outermost supervisor first.
+func SolveTrailOf(err error) []string { return solverr.TrailOf(err) }
+
+// SolveExitCode maps an error to the per-kind process exit code the cmd
+// drivers use (0 success, 2 bad input, 8 canceled, ...).
+func SolveExitCode(err error) int { return solverr.ExitCode(err) }
