@@ -32,6 +32,22 @@
 #               throughput/latency lines to a baseline file (second
 #               argument, default BENCH_pr5.json) via cmd/benchjson. Like
 #               bench, not part of "all" — refresh deliberately.
+#   sweep       batch-endpoint tier, two passes of the load harness -sweep
+#               -check. First a race-built server runs the correctness
+#               gates: cache dedup between /v1/sweep points and single
+#               solves (byte-identical both directions) and kill+resume
+#               (the resumed stream emits exactly the missing points and
+#               the server re-solves at most the one point that was in
+#               flight). Then a plain build runs the amortization gate — a
+#               200-point vctl sweep at ≤ 0.5× the wall-clock of the same
+#               number of independent cold solves — because the race
+#               runtime serializes the lanes and would distort the ratio.
+#   sweep-bench rerun the sweep phases with -bench and snapshot the
+#               per-point/cold-single numbers to a baseline file (second
+#               argument, default BENCH_pr6.json) via cmd/benchjson. Not
+#               part of "all" — refresh deliberately.
+#   sweep-bench-check rerun the sweep phases and compare against the
+#               committed baseline with cmd/benchjson -check.
 #
 # Run ./ci.sh for everything, ./ci.sh 1 / ./ci.sh 2 for one tier,
 # ./ci.sh bench [FILE] to refresh a baseline, or ./ci.sh bench-check [FILE]
@@ -99,6 +115,70 @@ if [ "$tier" = serve-bench ]; then
 	echo "== serve-bench: snapshotting service load numbers to $benchfile"
 	run_serve bench
 fi
+
+# One pass of the sweep harness against a freshly booted server. The server
+# gets one worker per lane (-workers 4) and a single-threaded solver per
+# worker, so the amortization measurement is lane parallelism rather than
+# intra-solve parallelism fighting over cores.
+#   $1: extra go build flags ("-race" or "")
+#   $2...: extra wampde-load flags
+run_sweep_pass() {
+	buildflags="$1"
+	shift
+	tmp="$(mktemp -d)"
+	trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+	# shellcheck disable=SC2086 # buildflags is deliberately word-split
+	go build $buildflags -o "$tmp/wampde-server" ./cmd/wampde-server
+	go build $buildflags -o "$tmp/wampde-load" ./cmd/wampde-load
+	"$tmp/wampde-server" -addr 127.0.0.1:0 -addr-file "$tmp/addr" \
+		-workers 4 -queue 8 -solver-workers 1 &
+	server_pid=$!
+	i=0
+	while [ ! -s "$tmp/addr" ]; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && { echo "ci: server did not start" >&2; exit 1; }
+		sleep 0.1
+	done
+	url="http://$(cat "$tmp/addr")"
+	# No pipe: `load | tee` would let set -e see only tee's exit status.
+	if ! "$tmp/wampde-load" -url "$url" -requests 0 -burst 0 -deadline-ms 0 \
+		-sweep -check "$@" >"$loadout"; then
+		cat "$loadout"
+		echo "ci: sweep load harness failed" >&2
+		exit 1
+	fi
+	cat "$loadout"
+	kill "$server_pid" 2>/dev/null || true
+	wait "$server_pid" 2>/dev/null || true
+	trap - EXIT
+	rm -rf "$tmp"
+}
+
+loadout="$(mktemp)"
+
+if [ "$tier" = sweep ] || [ "$tier" = all ]; then
+	echo "== sweep: correctness gates under race (dedup, resume)"
+	run_sweep_pass -race -sweep-gate 0
+	echo "== sweep: amortization gate against a plain build"
+	run_sweep_pass ""
+fi
+
+if [ "$tier" = sweep-bench ]; then
+	benchfile="${2:-BENCH_pr6.json}"
+	echo "== sweep-bench: snapshotting sweep amortization numbers to $benchfile"
+	run_sweep_pass "" -bench
+	go run ./cmd/benchjson <"$loadout" >"$benchfile"
+	cat "$benchfile"
+fi
+
+if [ "$tier" = sweep-bench-check ]; then
+	benchfile="${2:-BENCH_pr6.json}"
+	echo "== sweep-bench-check: comparing sweep amortization against $benchfile"
+	run_sweep_pass "" -bench
+	go run ./cmd/benchjson -check "$benchfile" <"$loadout"
+fi
+
+rm -f "$loadout"
 
 if [ "$tier" = bench ]; then
 	echo "== bench: snapshotting hot-loop benchmarks to $benchfile"

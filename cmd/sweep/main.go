@@ -1,11 +1,14 @@
-// Command sweep runs convergence and cost studies of the WaMPDE solver on
-// the paper's vacuum VCO, complementing the figure harnesses:
+// Command sweep runs parameter and convergence studies of the WaMPDE solver
+// on the paper's §5 VCO:
 //
-//   - t2-step refinement: accumulated-phase error vs step count (the
-//     trapezoidal rule's second order, and the absolute phase accuracy
-//     behind Figure 12's bounded-error behaviour);
-//   - warped-axis resolution: cost and initial-frequency consistency vs N1
-//     (spectral convergence of the t1 collocation).
+//   - tuning: the warm-started continuation sweep of the tuning curve
+//     f(Vctl) — each point's shooting restarts from its neighbor's orbit
+//     (internal/sweep + core.WarmStart), with a cold baseline for
+//     comparison;
+//   - steps: t2-step refinement — accumulated-phase error vs step count
+//     (the trapezoidal rule's second order behind Figure 12);
+//   - n1: warped-axis resolution — cost and initial-frequency consistency
+//     vs N1 (spectral convergence of the t1 collocation).
 package main
 
 import (
@@ -21,8 +24,80 @@ import (
 )
 
 func main() {
+	mode := flag.String("mode", "tuning", "study to run: tuning, steps, n1, or all")
+	from := flag.Float64("from", 1.2, "tuning: sweep start control voltage")
+	to := flag.Float64("to", 2.4, "tuning: sweep end control voltage")
+	points := flag.Int("points", 13, "tuning: number of grid points")
+	lanes := flag.Int("lanes", 1, "tuning: concurrent continuation chains")
+	air := flag.Bool("air", false, "tuning: air-damped configuration")
+	cold := flag.Bool("cold", false, "tuning: disable warm continuation")
 	flag.Parse()
 
+	switch *mode {
+	case "tuning":
+		runTuning(*from, *to, *points, *lanes, *air, *cold)
+	case "steps":
+		runStepRefinement()
+	case "n1":
+		runN1Resolution()
+	case "all":
+		runTuning(*from, *to, *points, *lanes, *air, *cold)
+		fmt.Println()
+		runStepRefinement()
+		fmt.Println()
+		runN1Resolution()
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown -mode %q (want tuning, steps, n1, or all)\n", *mode)
+		os.Exit(2)
+	}
+}
+
+// runTuning sweeps the VCO tuning curve by warm-started continuation and
+// reports the per-point start kind and the amortization against a cold run.
+func runTuning(from, to float64, points, lanes int, air, cold bool) {
+	cfg := wampde.TuningSweepConfig{From: from, To: to, Points: points, Lanes: lanes, Air: air, Cold: cold}
+	kind := "warm continuation"
+	if cold {
+		kind = "cold baseline"
+	}
+	fmt.Printf("== tuning curve f(Vctl), %d points in [%g, %g] V (%s, lanes=%d) ==\n",
+		points, from, to, kind, lanes)
+	res, err := wampde.TuningSweep(cfg)
+	fatal(err)
+
+	var rows [][]string
+	for _, p := range res.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.3f", p.VCtl),
+			fmt.Sprintf("%.6f", p.Freq/1e6),
+			fmt.Sprintf("%.4f", p.U),
+			p.Warm,
+			time.Duration(p.WallNS).Round(time.Microsecond).String(),
+		})
+	}
+	fmt.Print(textplot.Table([]string{"Vctl (V)", "f (MHz)", "u (static)", "start", "wall"}, rows))
+	fmt.Printf("points %d, warm %d, fallbacks %d, total %s\n",
+		len(res.Points), res.WarmUses, res.Fallbacks, time.Duration(res.WallNS).Round(time.Millisecond))
+
+	if !cold {
+		coldRes, err := wampde.TuningSweep(wampde.TuningSweepConfig{
+			From: from, To: to, Points: points, Lanes: lanes, Air: air, Cold: true})
+		fatal(err)
+		worst := 0.0
+		for i := range res.Points {
+			rel := math.Abs(res.Points[i].Freq-coldRes.Points[i].Freq) / coldRes.Points[i].Freq
+			if rel > worst {
+				worst = rel
+			}
+		}
+		fmt.Printf("vs cold baseline: %.2fx wall (%s vs %s), worst relative frequency diff %.2e\n",
+			float64(res.WallNS)/float64(coldRes.WallNS),
+			time.Duration(res.WallNS).Round(time.Millisecond),
+			time.Duration(coldRes.WallNS).Round(time.Millisecond), worst)
+	}
+}
+
+func runStepRefinement() {
 	vco, err := wampde.NewPaperVCO(false)
 	fatal(err)
 	t2End := 60e-6
@@ -66,8 +141,15 @@ func main() {
 		[]string{"t2 steps", "total phase (cycles)", "|phase err| vs 1600", "ratio", "wall"},
 		table))
 	fmt.Println("(ratio ≈ 4 per halving = the trapezoidal rule's order 2)")
+}
 
-	fmt.Println("\n== warped-axis resolution N1 (400 t2 steps) ==")
+func runN1Resolution() {
+	vco, err := wampde.NewPaperVCO(false)
+	fatal(err)
+	t2End := 60e-6
+	u0 := vco.StaticDisplacement(vco.Params.VCtl(0))
+
+	fmt.Println("== warped-axis resolution N1 (400 t2 steps) ==")
 	var t2 [][]string
 	var omegaRef float64
 	for _, n1 := range []int{9, 13, 17, 25, 33} {

@@ -11,10 +11,21 @@
 //  3. burst: a simultaneous volley of distinct requests sized to overrun
 //     the server's admission queue, which must produce 429 rejections.
 //
+// -sweep adds the batch-endpoint phases against /v1/sweep:
+//
+//  4. sweep-dedup: single solves and sweep points must dedup through the
+//     same content-addressed cache in both directions, byte-for-byte.
+//  5. sweep-amortization: a -sweep-points vctl grid sweep must cost at most
+//     half the wall-clock of the same number of independent cold single
+//     solves (estimated from a sequential cold sample).
+//  6. sweep-resume: a sweep killed mid-stream and resumed with the received
+//     line count must emit exactly the missing points, re-solving at most
+//     one (the point in flight at the kill).
+//
 // -check enforces the acceptance gates (hit rate ≥ 87%, zero 5xx in the
-// mix, ≥1 rejection, ≥1 deadline exercised); -bench additionally prints
-// `go test -bench`-style result lines, so the output pipes straight into
-// cmd/benchjson:
+// mix, ≥1 rejection, ≥1 deadline exercised, and the sweep gates above);
+// -bench additionally prints `go test -bench`-style result lines, so the
+// output pipes straight into cmd/benchjson:
 //
 //	wampde-load -url http://127.0.0.1:8080 -bench | benchjson > BENCH.json
 package main
@@ -81,12 +92,15 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 
 func main() {
 	url := flag.String("url", "", "server base URL (required), e.g. http://127.0.0.1:8080")
-	requests := flag.Int("requests", 64, "total requests in the mix phase")
+	requests := flag.Int("requests", 64, "total requests in the mix phase (0 skips)")
 	distinct := flag.Int("distinct", 8, "distinct canonical solves in the mix")
 	concurrency := flag.Int("concurrency", 8, "closed-loop workers")
 	seed := flag.Int64("seed", 1, "shuffle seed (the mix is deterministic given the seed)")
 	burst := flag.Int("burst", 16, "simultaneous distinct requests in the burst phase (0 skips)")
 	deadlineMS := flag.Int("deadline-ms", 100, "deadline of the over-budget request (0 skips the phase)")
+	sweepPhases := flag.Bool("sweep", false, "run the /v1/sweep phases (dedup, amortization, resume)")
+	sweepPoints := flag.Int("sweep-points", 200, "grid points in the sweep amortization phase")
+	sweepGate := flag.Float64("sweep-gate", 0.5, "amortization gate: sweep per-point wall ≤ gate × a cold single (0 reports only; race-instrumented servers serialize the lanes, so gate against a plain build)")
 	check := flag.Bool("check", false, "enforce the acceptance gates; non-zero exit on violation")
 	bench := flag.Bool("bench", false, "print go test -bench style lines for cmd/benchjson")
 	flag.Parse()
@@ -97,73 +111,81 @@ func main() {
 	h := &harness{url: strings.TrimRight(*url, "/"), client: &http.Client{Timeout: 5 * time.Minute}}
 
 	// ---- Phase 1: seeded closed-loop mix over the tuning sweep.
-	reqs := make([]string, *distinct)
-	for i := range reqs {
-		reqs[i] = sweepRequest(1.5+0.05*float64(i), 2e-6, 1e-8)
-	}
-	order := make([]int, *requests)
-	for i := range order {
-		order[i] = i % *distinct
-	}
-	rand.New(rand.NewSource(*seed)).Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-
-	results := make([]result, len(order))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	start := time.Now()
-	for w := 0; w < *concurrency; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(order) {
-					return
-				}
-				t0 := time.Now()
-				status, xcache, body, err := h.post(reqs[order[i]])
-				if err != nil {
-					status = -1
-				}
-				results[i] = result{req: order[i], status: status, xcache: xcache, body: body, latency: time.Since(t0)}
-			}
-		}()
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	var hits, misses, fiveXX, errs int
-	first := make(map[int][]byte)
-	lat := make([]time.Duration, 0, len(results))
-	for _, r := range results {
-		lat = append(lat, r.latency)
-		switch {
-		case r.status == 200:
-			if r.xcache == "hit" || r.xcache == "coalesced" {
-				hits++
-			} else {
-				misses++
-			}
-			if prev, ok := first[r.req]; !ok {
-				first[r.req] = r.body
-			} else if !bytes.Equal(prev, r.body) {
-				h.errf("request %d: response bytes differ between fresh and cached/coalesced replies", r.req)
-			}
-		case r.status >= 500:
-			fiveXX++
-		case r.status < 0:
-			errs++
+	var (
+		results                    []result
+		lat                        []time.Duration
+		elapsed                    time.Duration
+		hits, misses, fiveXX, errs int
+		hitRate                    float64
+	)
+	if *requests > 0 {
+		reqs := make([]string, *distinct)
+		for i := range reqs {
+			reqs[i] = sweepRequest(1.5+0.05*float64(i), 2e-6, 1e-8)
 		}
+		order := make([]int, *requests)
+		for i := range order {
+			order[i] = i % *distinct
+		}
+		rand.New(rand.NewSource(*seed)).Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+		results = make([]result, len(order))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < *concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(order) {
+						return
+					}
+					t0 := time.Now()
+					status, xcache, body, err := h.post(reqs[order[i]])
+					if err != nil {
+						status = -1
+					}
+					results[i] = result{req: order[i], status: status, xcache: xcache, body: body, latency: time.Since(t0)}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed = time.Since(start)
+
+		first := make(map[int][]byte)
+		lat = make([]time.Duration, 0, len(results))
+		for _, r := range results {
+			lat = append(lat, r.latency)
+			switch {
+			case r.status == 200:
+				if r.xcache == "hit" || r.xcache == "coalesced" {
+					hits++
+				} else {
+					misses++
+				}
+				if prev, ok := first[r.req]; !ok {
+					first[r.req] = r.body
+				} else if !bytes.Equal(prev, r.body) {
+					h.errf("request %d: response bytes differ between fresh and cached/coalesced replies", r.req)
+				}
+			case r.status >= 500:
+				fiveXX++
+			case r.status < 0:
+				errs++
+			}
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		hitRate = float64(hits) / float64(len(results))
+		fmt.Printf("mix: %d requests (%d distinct, concurrency %d, seed %d) in %v\n",
+			len(results), *distinct, *concurrency, *seed, elapsed.Round(time.Millisecond))
+		fmt.Printf("mix: throughput %.1f req/s, hit rate %.1f%% (%d hit/coalesced, %d solved), %d 5xx, %d transport errors\n",
+			float64(len(results))/elapsed.Seconds(), 100*hitRate, hits, misses, fiveXX, errs)
+		fmt.Printf("mix: latency p50 %v  p90 %v  p99 %v  max %v\n",
+			percentile(lat, 0.50).Round(time.Microsecond), percentile(lat, 0.90).Round(time.Microsecond),
+			percentile(lat, 0.99).Round(time.Microsecond), lat[len(lat)-1].Round(time.Microsecond))
 	}
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	hitRate := float64(hits) / float64(len(results))
-	fmt.Printf("mix: %d requests (%d distinct, concurrency %d, seed %d) in %v\n",
-		len(results), *distinct, *concurrency, *seed, elapsed.Round(time.Millisecond))
-	fmt.Printf("mix: throughput %.1f req/s, hit rate %.1f%% (%d hit/coalesced, %d solved), %d 5xx, %d transport errors\n",
-		float64(len(results))/elapsed.Seconds(), 100*hitRate, hits, misses, fiveXX, errs)
-	fmt.Printf("mix: latency p50 %v  p90 %v  p99 %v  max %v\n",
-		percentile(lat, 0.50).Round(time.Microsecond), percentile(lat, 0.90).Round(time.Microsecond),
-		percentile(lat, 0.99).Round(time.Microsecond), lat[len(lat)-1].Round(time.Microsecond))
 
 	// ---- Phase 2: one over-budget request must die at its deadline with a
 	// partial result.
@@ -222,7 +244,12 @@ func main() {
 		}
 	}
 
-	if *bench {
+	// ---- Phases 4–6: the /v1/sweep batch endpoint.
+	if *sweepPhases {
+		runSweepPhases(h, *sweepPoints, *sweepGate, *check, *bench)
+	}
+
+	if *bench && len(results) > 0 {
 		mean := elapsed.Nanoseconds() / int64(len(results))
 		fmt.Printf("BenchmarkServeMix %d %d ns/op\n", len(results), mean)
 		fmt.Printf("BenchmarkServeMixP50 1 %d ns/op\n", percentile(lat, 0.50).Nanoseconds())
@@ -230,14 +257,16 @@ func main() {
 	}
 
 	if *check {
-		if hitRate < 0.87 {
-			h.errf("check: hit rate %.1f%% < 87%%", 100*hitRate)
+		if *requests > 0 {
+			if hitRate < 0.87 {
+				h.errf("check: hit rate %.1f%% < 87%%", 100*hitRate)
+			}
+			if errs > 0 {
+				h.errf("check: %d transport errors", errs)
+			}
 		}
 		if fiveXX > 0 {
 			h.errf("check: %d non-injected 5xx responses", fiveXX)
-		}
-		if errs > 0 {
-			h.errf("check: %d transport errors", errs)
 		}
 		if *burst > 0 && rejected == 0 {
 			h.errf("check: burst produced no 429 admission rejections")

@@ -92,6 +92,23 @@ type EnvelopeOptions struct {
 	// with a solverr.KindCanceled error (the cmd drivers expose this as
 	// -timeout).
 	Ctx context.Context
+	// Warm, when non-nil, is the sweep continuation carrier. On entry a
+	// compatible envelope payload is adopted: the chord LU factors (dense-LU
+	// path, with ChordNewton) or the harmonic preconditioner (GMRES path)
+	// from the neighboring parameter point, plus the GMRESDR deflation space
+	// via krylov.Recycler.Handoff — the handed-off space runs untrusted, so
+	// per-cycle true-residual verification guards the cross-point staleness,
+	// and the usual drift gates (ChordContraction, OmegaDriftTol) retire the
+	// carried factors the moment they stop paying. A warm run also starts
+	// directly with the trapezoidal rule when Trap is set: the BE startup
+	// damping exists to kill the phase-condition ringing of a cold initial
+	// waveform, which a carried converged envelope state does not have (and
+	// BE's θ=1 would immediately invalidate factors carried at θ=1/2). On a
+	// successful run the carrier is refreshed with this run's final
+	// waveform, factors and deflation space. Warm runs are deliberately
+	// bit-inexact relative to cold runs; nil Warm (the default) is the
+	// historical path the golden suite pins bitwise.
+	Warm *WarmStart
 }
 
 func (o EnvelopeOptions) withDefaults() EnvelopeOptions {
@@ -213,6 +230,7 @@ func Envelope(sys dae.Autonomous, xhat0 []float64, omega0, t2End float64, opt En
 	x := append([]float64(nil), xhat0...)
 	omega := omega0
 	if !record(t2, omega, x) {
+		asm.harvestInto(opt.Warm, x, omega)
 		return res, nil
 	}
 	h := opt.H2
@@ -240,7 +258,10 @@ func Envelope(sys dae.Autonomous, xhat0 []float64, omega0, t2End float64, opt En
 		// Damp startup with Backward Euler: if the initial waveform does
 		// not satisfy the phase condition exactly, the snap would otherwise
 		// seed an undamped even/odd ringing of ω under the trapezoidal rule.
-		useTrap := opt.Trap && stepIdx >= 2
+		// A warm continuation run starts from a converged envelope state that
+		// has no such ringing, and BE's θ=1 would invalidate chord factors
+		// carried at θ=1/2 — so it skips the damping (see Warm).
+		useTrap := opt.Trap && (stepIdx >= 2 || asm.adoptedCarry)
 		resN, err := asm.step(t2, h, x, omega, xNew, &omegaNew, useTrap)
 		res.NewtonIterTotal += resN.Iterations
 		res.LinearSolves += resN.Iterations
@@ -299,6 +320,7 @@ func Envelope(sys dae.Autonomous, xhat0 []float64, omega0, t2End float64, opt En
 			copy(x, xNew)
 			omega = omegaNew
 			if !record(t2, omega, x) {
+				asm.harvestInto(opt.Warm, x, omega)
 				return res, nil
 			}
 			h = math.Min(math.Max(h*fac, hMin), opt.H2)
@@ -315,6 +337,7 @@ func Envelope(sys dae.Autonomous, xhat0 []float64, omega0, t2End float64, opt En
 		copy(x, xNew)
 		omega = omegaNew
 		if !record(t2, omega, x) {
+			asm.harvestInto(opt.Warm, x, omega)
 			return res, nil
 		}
 		if h < opt.H2 {
@@ -325,6 +348,7 @@ func Envelope(sys dae.Autonomous, xhat0 []float64, omega0, t2End float64, opt En
 			}
 		}
 	}
+	asm.harvestInto(opt.Warm, x, omega)
 	return res, nil
 }
 
@@ -408,7 +432,14 @@ type envAssembler struct {
 	// Krylov subspace recycler (RecycleKrylov mode), the supervised linear
 	// escalation ladder the iterative path solves through, and the failure /
 	// rescue counters accumulated across all steps of the run.
-	rec          *krylov.Recycler
+	rec *krylov.Recycler
+	// Warm-adoption state: adoptedCarry marks that cross-point chord/
+	// preconditioner factors were taken from EnvelopeOptions.Warm (which also
+	// switches the trapezoidal startup on); adoptedRec defers the recycler
+	// invalidation at the first fresh linearization so the handed-off
+	// deflation space gets one verified window on the new operator.
+	adoptedCarry bool
+	adoptedRec   bool
 	lad          *linearLadder
 	linStats     linearStats
 	nlStats      nonlinearStats
@@ -459,10 +490,37 @@ func newEnvAssembler(sys dae.Autonomous, n1, n, k int, w []float64, c float64, o
 		nws:     newton.NewWorkspace(n1*n + 1),
 	}
 	if opt.RecycleKrylov && opt.Linear == LinearGMRES {
-		a.rec = krylov.NewRecycler(0)
-		// jac() and buildHarmonicPrec invalidate the space at every operator
-		// or preconditioner change, so the exact-space contract holds.
-		a.rec.Trusted = true
+		if opt.Warm != nil && opt.Warm.Rec != nil && opt.Warm.Rec.Size() > 0 {
+			// Cross-point handoff: keep the neighbor's deflation space but run
+			// it untrusted (true-residual verification) for this whole solve;
+			// the first fresh linearization below would otherwise drop it
+			// before it ever deflated anything.
+			a.rec = opt.Warm.Rec.Handoff()
+			a.adoptedRec = true
+		} else {
+			a.rec = krylov.NewRecycler(0)
+			// jac() and buildHarmonicPrec invalidate the space at every
+			// operator or preconditioner change, so the exact-space contract
+			// holds.
+			a.rec.Trusted = true
+		}
+	}
+	if ec := opt.Warm.takeEnv(n1, n, opt.Linear); ec != nil {
+		a.adoptedCarry = true
+		if ec.lu != nil {
+			// Dense-LU chord carry: the factors and reuse state transfer
+			// ownership; step()'s drift gates (h, θ, ω, ChordContraction)
+			// decide whether they survive the first step of this point.
+			a.lu = ec.lu
+			a.reuse = ec.reuse
+			a.lastH, a.lastTheta, a.omegaAtFactor = ec.lastH, ec.lastTheta, ec.omegaAtFactor
+		}
+		if ec.prec != nil {
+			// GMRES-path carry: the harmonic preconditioner is reused while ω
+			// stays inside OmegaDriftTol of where it was factored.
+			a.prec = ec.prec
+			a.precH, a.precTheta, a.precOmega = ec.precH, ec.precTheta, ec.precOmega
+		}
 	}
 	a.lad = newLinearLadder(opt.GMRESTol, a.rec, &a.linStats)
 	a.uStart = make([]float64, sys.NumInputs())
@@ -680,8 +738,16 @@ func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNe
 		// deflation directions amplify like 1/θ_min, so even a small Jacobian
 		// drift can turn them harmful. Newton's factorization-reuse windows
 		// (within a step, and across steps in ChordNewton mode) are where the
-		// operator holds still and the space earns its keep.
-		a.rec.Invalidate()
+		// operator holds still and the space earns its keep. The one
+		// exception is a deflation space handed off from a neighboring sweep
+		// point: it survives its first linearization here under true-residual
+		// verification (Handoff dropped Trusted), which is exactly the window
+		// where cross-point recycling pays.
+		if a.adoptedRec {
+			a.adoptedRec = false
+		} else {
+			a.rec.Invalidate()
+		}
 		switch a.opt.Linear {
 		case LinearGMRES:
 			// Harmonic (averaged-Jacobian, block-circulant) preconditioner:

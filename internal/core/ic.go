@@ -22,6 +22,16 @@ type ICOptions struct {
 	// t1 = 0 (only PhaseDerivativeZero alignment is performed; the other
 	// conditions adapt their anchors instead).
 	Phase PhaseKind
+	// Warm, when non-nil, is the sweep continuation carrier. When it holds a
+	// finite orbit of the right dimension, the settling transient is skipped
+	// and shooting starts directly from the carried orbit — the neighboring
+	// parameter point's limit cycle, which for a small parameter step is
+	// already inside shooting's convergence basin. If that warm shooting
+	// fails supervision, the full cold preamble runs instead and the
+	// fallback is counted on the carrier. On success (either path) the
+	// carrier is refreshed with this point's orbit, so a sweep driver only
+	// threads one carrier down the chain.
+	Warm *WarmStart
 }
 
 // InitialCondition computes (x̂(·,0), ω(0)) for Envelope: it settles onto
@@ -49,16 +59,34 @@ func InitialCondition(sys dae.Autonomous, xGuess []float64, TGuess float64, opt 
 	if TGuess <= 0 {
 		return nil, 0, solverr.New(solverr.KindBadInput, "core.ic", "TGuess must be positive")
 	}
-	frozen := shooting.Freeze(sys, opt.Shooting.FrozenInputTime)
-	settle, err := transient.Simulate(frozen, xGuess, 0, float64(opt.SettleCycles)*TGuess,
-		transient.Options{Method: transient.Trap, H: TGuess / 128})
-	if err != nil {
-		return nil, 0, solverr.Wrap(solverr.KindOf(err), "core.ic", err).WithMsg("settling transient failed")
+	var pss *shooting.PSS
+	if opt.Warm.HasOrbit(n) {
+		// Warm continuation: shoot straight from the carried neighbor orbit.
+		p, werr := shooting.Autonomous(sys, opt.Warm.X0, opt.Warm.T, opt.Shooting)
+		switch {
+		case werr == nil:
+			opt.Warm.Uses++
+			pss = p
+		case solverr.IsKind(werr, solverr.KindCanceled):
+			return nil, 0, werr
+		default:
+			// Supervision failed on the carried state: fall back to the cold
+			// preamble below and record it.
+			opt.Warm.Fallbacks++
+		}
 	}
-	x0 := settle.X[len(settle.X)-1]
-	pss, err := shooting.Autonomous(sys, x0, TGuess, opt.Shooting)
-	if err != nil {
-		return nil, 0, err
+	if pss == nil {
+		frozen := shooting.Freeze(sys, opt.Shooting.FrozenInputTime)
+		settle, serr := transient.Simulate(frozen, xGuess, 0, float64(opt.SettleCycles)*TGuess,
+			transient.Options{Method: transient.Trap, H: TGuess / 128})
+		if serr != nil {
+			return nil, 0, solverr.Wrap(solverr.KindOf(serr), "core.ic", serr).WithMsg("settling transient failed")
+		}
+		x0 := settle.X[len(settle.X)-1]
+		pss, err = shooting.Autonomous(sys, x0, TGuess, opt.Shooting)
+		if err != nil {
+			return nil, 0, err
+		}
 	}
 	k := sys.OscVar()
 	// Locate the peak of the oscillation variable over the orbit.
@@ -72,6 +100,7 @@ func InitialCondition(sys dae.Autonomous, xGuess []float64, TGuess float64, opt 
 			xhat0[j*n+i] = pss.Orbit.At(tt, i)
 		}
 	}
+	opt.Warm.SetOrbit(pss.X0, pss.T)
 	return xhat0, 1 / pss.T, nil
 }
 

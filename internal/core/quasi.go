@@ -46,6 +46,14 @@ type QPOptions struct {
 	// reached so far as a partial QPResult together with a
 	// solverr.KindCanceled error.
 	Ctx context.Context
+	// Warm, when non-nil, is the sweep continuation carrier. The
+	// quasiperiodic solve adopts the carried GMRESDR deflation space (via
+	// krylov.Recycler.Handoff, so the stale space runs verified for one
+	// linearization window before the usual refresh-invalidation contract
+	// takes over) and, on success, hands its own space back for the next
+	// sweep point. Only the recycler payload participates: the global dense
+	// factors are grid-shaped and rebuilt per linearization anyway.
+	Warm *WarmStart
 }
 
 func (o QPOptions) withDefaults() QPOptions {
@@ -271,19 +279,34 @@ func Quasiperiodic(sys dae.Autonomous, t2Period float64, guess *QPGuess, opt QPO
 	jj := la.NewDense(total, total)
 	flu := la.NewLU(total)
 	var rec *krylov.Recycler
+	adoptedRec := false
 	if opt.RecycleKrylov && opt.Linear == LinearGMRES {
-		rec = krylov.NewRecycler(0)
-		// jac() invalidates at every fresh linearization, so the exact-space
-		// contract holds.
-		rec.Trusted = true
+		if opt.Warm != nil && opt.Warm.Rec != nil && opt.Warm.Rec.Size() > 0 {
+			// Warm continuation: adopt the neighboring point's deflation
+			// space untrusted; it gets one verified window below.
+			rec = opt.Warm.Rec.Handoff()
+			adoptedRec = true
+		} else {
+			rec = krylov.NewRecycler(0)
+			// jac() invalidates at every fresh linearization, so the
+			// exact-space contract holds.
+			rec.Trusted = true
+		}
 	}
 	var linSt linearStats
 	var nlSt nonlinearStats
 	lad := newLinearLadder(opt.GMRESTol, rec, &linSt)
 	jac := func(z []float64) (newton.LinearSolve, error) {
 		// Fresh linearization: the recycled deflation space no longer matches
-		// the operator (see EnvelopeOptions.RecycleKrylov) and is dropped.
-		rec.Invalidate()
+		// the operator (see EnvelopeOptions.RecycleKrylov) and is dropped —
+		// except at the very first linearization of a warm-continued solve,
+		// where the handed-off space is given one verified window against the
+		// new operator before the refresh contract resumes.
+		if adoptedRec {
+			adoptedRec = false
+		} else {
+			rec.Invalidate()
+		}
 		par.For(total, 64, func(lo, hi int) {
 			for r := lo; r < hi; r++ {
 				row := jj.Row(r)
@@ -492,6 +515,10 @@ func Quasiperiodic(sys dae.Autonomous, t2Period float64, guess *QPGuess, opt QPO
 	}
 	if serr := checkState("core.quasi", z); serr != nil {
 		return nil, serr
+	}
+	if opt.Warm != nil && rec != nil {
+		// Hand the deflation space to the next sweep point.
+		opt.Warm.Rec = rec
 	}
 	return build(), nil
 }

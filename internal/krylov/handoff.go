@@ -1,0 +1,21 @@
+package krylov
+
+// Handoff prepares the recycler's carried deflation space for adoption by a
+// solve of a *different* operator — the neighboring point of a
+// continuation-ordered parameter sweep. The space stays, but Trusted is
+// dropped: the pairs were exact for the donor point's operator only, so the
+// adopting solve must run GMRESDR's per-cycle true-residual verification
+// instead of certifying convergence on the inner Givens estimate. GMRESDR's
+// stall guard already discards a space whose deflated cycle stops making
+// progress, so a badly drifted space costs one cycle, never correctness.
+//
+// The receiver itself is returned (the donor solve is finished and gives up
+// ownership); a nil receiver stays nil so callers can chain unconditionally.
+func (r *Recycler) Handoff() *Recycler {
+	if r == nil {
+		return nil
+	}
+	r.Trusted = false
+	r.cooldown = false
+	return r
+}

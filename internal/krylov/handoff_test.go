@@ -1,0 +1,68 @@
+package krylov
+
+import (
+	"testing"
+
+	"repro/internal/la"
+)
+
+func TestHandoffDropsTrustKeepsSpace(t *testing.T) {
+	// Harvest a real deflation space (outlier spectrum converges harmonic
+	// Ritz pairs within one cycle, as in TestRecyclerInvalidation), then
+	// hand it off.
+	n := 40
+	m := outlierMatrix(n, 7)
+	b := randVec(n, 8)
+	rec := NewRecycler(4)
+	rec.Trusted = true
+	x := make([]float64, n)
+	if _, err := GMRESDR(DenseOp{M: m}, b, x, Options{Tol: 1e-12, Restart: 20}, rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Size() == 0 {
+		t.Fatal("no deflation space harvested")
+	}
+	got := rec.Handoff()
+	if got != rec {
+		t.Fatal("Handoff must return its receiver")
+	}
+	if rec.Trusted {
+		t.Fatal("Handoff must drop Trusted: the space was exact for the donor operator only")
+	}
+	if rec.cooldown {
+		t.Fatal("Handoff must clear the donor's stall cooldown")
+	}
+	if rec.Size() == 0 {
+		t.Fatal("Handoff must keep the deflation space")
+	}
+	// The handed-off space must still be usable on a drifted operator: a
+	// small perturbation of the matrix, solved untrusted, converges.
+	m2 := la.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		copy(m2.Row(i), m.Row(i))
+		m2.Row(i)[i] *= 1.01
+	}
+	for i := range x {
+		x[i] = 0
+	}
+	if _, err := GMRESDR(DenseOp{M: m2}, b, x, Options{Tol: 1e-10, Restart: 20}, rec); err != nil {
+		t.Fatalf("untrusted handed-off space broke the solve: %v", err)
+	}
+	r := make([]float64, n)
+	m2.MulVec(x, r)
+	var rn float64
+	for i := range r {
+		d := r[i] - b[i]
+		rn += d * d
+	}
+	if rn > 1e-12 {
+		t.Fatalf("residual too large after handoff solve: %v", rn)
+	}
+}
+
+func TestHandoffNilReceiver(t *testing.T) {
+	var rec *Recycler
+	if rec.Handoff() != nil {
+		t.Fatal("nil.Handoff() must stay nil")
+	}
+}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// sweepCheckpoints remembers the completed points of in-progress (or
+// interrupted) sweep jobs, keyed by the sweep's content hash. A client whose
+// connection died mid-stream resends the sweep with resume=true and the
+// count of lines it received; points the server already solved are replayed
+// from here instead of recomputed — including points that were solved and
+// emitted but lost on the wire, which is why the checkpoint keeps every
+// completed point and the client's received count decides what to skip.
+//
+// The store is a small LRU over whole sweeps: checkpoints exist to survive a
+// dropped connection, not to be a second result cache (the point bodies are
+// in the content-addressed cache anyway; this map is what remembers which
+// seqs of which sweep are done).
+type sweepCheckpoints struct {
+	mu  sync.Mutex
+	cap int
+	lru *list.List               // of *sweepCheckpoint, front = most recent
+	m   map[string]*list.Element // sweep hash → element
+}
+
+type sweepCheckpoint struct {
+	hash   string
+	bodies map[int][]byte // seq → emitted-identical body
+}
+
+func newSweepCheckpoints(capacity int) *sweepCheckpoints {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &sweepCheckpoints{cap: capacity, lru: list.New(), m: make(map[string]*list.Element)}
+}
+
+// put records one completed point. The sweep's entry is created on first
+// use and refreshed in the LRU on every write.
+func (s *sweepCheckpoints) put(hash string, seq int, body []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[hash]
+	if !ok {
+		el = s.lru.PushFront(&sweepCheckpoint{hash: hash, bodies: make(map[int][]byte)})
+		s.m[hash] = el
+		for s.lru.Len() > s.cap {
+			old := s.lru.Back()
+			s.lru.Remove(old)
+			delete(s.m, old.Value.(*sweepCheckpoint).hash)
+		}
+	} else {
+		s.lru.MoveToFront(el)
+	}
+	el.Value.(*sweepCheckpoint).bodies[seq] = body
+}
+
+// snapshot returns a copy of the sweep's completed points (nil when none):
+// the resuming run reads a stable view while new points keep checkpointing.
+func (s *sweepCheckpoints) snapshot(hash string) map[int][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[hash]
+	if !ok {
+		return nil
+	}
+	s.lru.MoveToFront(el)
+	ck := el.Value.(*sweepCheckpoint)
+	out := make(map[int][]byte, len(ck.bodies))
+	for seq, b := range ck.bodies {
+		out[seq] = b
+	}
+	return out
+}
+
+// drop forgets a sweep's checkpoint — called when a run completes and
+// streams its trailer, after which there is nothing left to resume.
+func (s *sweepCheckpoints) drop(hash string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[hash]; ok {
+		s.lru.Remove(el)
+		delete(s.m, hash)
+	}
+}

@@ -60,3 +60,69 @@ func FuzzDecodeRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeSweepRequest is the sweep-endpoint mirror of FuzzDecodeRequest:
+// arbitrary bytes must decode + canonicalize to a job or an error, never a
+// panic, so degenerate sweeps (0/1 points, reversed or non-finite bounds,
+// duplicate values or corner names) are rejected before they can touch the
+// scheduler.
+func FuzzDecodeSweepRequest(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`null`,
+		`{"sweep":{}}`,
+		// Valid shapes: grid, values, corners.
+		`{"circuit":"paper-vco","analysis":"transient","options":{"tstop":1e-5,"h":1e-8},"sweep":{"param":"vctl_dc","from":1,"to":2,"points":5},"lanes":2}`,
+		`{"circuit":"paper-vco","analysis":"envelope","options":{"tstop":6e-5},"sweep":{"param":"vctl_dc","values":[2.5,1.0,4.0]},"resume":true,"have":1}`,
+		`{"analysis":"transient","options":{"tstop":1e-5,"h":1e-8},"sweep":{"param":"circuit","corners":["paper-vco","paper-vco-air"]}}`,
+		// Reversed bounds are legal (the planner normalizes them)...
+		`{"circuit":"paper-vco","analysis":"transient","options":{"tstop":1e-5,"h":1e-8},"sweep":{"param":"vctl_dc","from":2,"to":1,"points":4}}`,
+		// ...but degenerate grids, duplicate names and non-finite endpoints
+		// must be rejected cleanly.
+		`{"circuit":"paper-vco","analysis":"transient","options":{"tstop":1e-5,"h":1e-8},"sweep":{"param":"vctl_dc","from":1,"to":2,"points":0}}`,
+		`{"circuit":"paper-vco","analysis":"transient","options":{"tstop":1e-5,"h":1e-8},"sweep":{"param":"vctl_dc","from":1,"to":2,"points":1}}`,
+		`{"circuit":"paper-vco","analysis":"transient","options":{"tstop":1e-5,"h":1e-8},"sweep":{"param":"vctl_dc","from":2,"to":2,"points":3}}`,
+		`{"circuit":"paper-vco","analysis":"transient","options":{"tstop":1e-5,"h":1e-8},"sweep":{"param":"vctl_dc","from":1e400,"to":2,"points":3}}`,
+		`{"circuit":"paper-vco","analysis":"transient","options":{"tstop":1e-5,"h":1e-8},"sweep":{"param":"vctl_dc","values":[1.5,1.5]}}`,
+		`{"circuit":"paper-vco","analysis":"transient","options":{"tstop":1e-5,"h":1e-8},"sweep":{"param":"vctl_dc","values":[]}}`,
+		`{"analysis":"transient","options":{"tstop":1e-5,"h":1e-8},"sweep":{"param":"circuit","corners":["a","a"]}}`,
+		`{"analysis":"transient","options":{"tstop":1e-5,"h":1e-8},"sweep":{"param":"circuit","corners":[]}}`,
+		`{"circuit":"paper-vco","analysis":"transient","options":{"tstop":1e-5,"h":1e-8},"vctl_dc":1.5,"sweep":{"param":"vctl_dc","values":[1,2]}}`,
+		`{"circuit":"paper-vco","analysis":"transient","options":{"tstop":1e-5,"h":1e-8},"sweep":{"param":"vctl_dc","values":[1,2]},"lanes":-3,"have":99}`,
+		`{"circuit":"paper-vco","analysis":"transient","options":{"tstop":1e-5,"h":1e-8},"sweep":{"param":"frequency","values":[1,2]}}`,
+		`{"circuit":"paper-vco","analysis":"transient","options":{"tstop":1e-5,"h":1e-8},"sweep":{"param":"vctl_dc","values":[1,2]}}trailing`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		req, err := DecodeSweepRequest(strings.NewReader(src))
+		if err != nil {
+			if req != nil {
+				t.Fatal("DecodeSweepRequest returned both a request and an error")
+			}
+			return
+		}
+		job, err := req.Canonicalize()
+		if err != nil {
+			return
+		}
+		// An accepted sweep must be fully materialized and addressable.
+		if len(job.Hash()) != 64 {
+			t.Fatalf("bad sweep hash %q", job.Hash())
+		}
+		n := job.Plan.N()
+		if n < 1 || n > MaxSweepPoints || len(job.Points) != n || len(job.Hashes) != n {
+			t.Fatalf("inconsistent job shape: n=%d points=%d hashes=%d", n, len(job.Points), len(job.Hashes))
+		}
+		if job.Lanes < 1 || job.Lanes > MaxSweepLanes || job.Lanes > n {
+			t.Fatalf("lanes %d out of range for %d points", job.Lanes, n)
+		}
+		for seq, c := range job.Points {
+			if c == nil || len(job.Hashes[seq]) != 64 {
+				t.Fatalf("point %d not canonicalized", seq)
+			}
+		}
+	})
+}

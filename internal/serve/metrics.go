@@ -26,6 +26,20 @@ type Metrics struct {
 	Failed    atomic.Int64 // 5xx engine failures
 	Succeeded atomic.Int64 // 200s (fresh, cached, or coalesced)
 
+	// Sweep-job accounting. Per-point counters classify how each planned
+	// point was produced; a point served from the result cache or a joined
+	// flight deliberately does not count toward the single-request
+	// CacheHits/Coalesced columns (those measure /v1/simulate traffic).
+	SweepRequests        atomic.Int64 // requests reaching the sweep handler
+	SweepPoints          atomic.Int64 // points entering the per-point solve path
+	SweepPointsSolved    atomic.Int64 // fresh engine solves
+	SweepPointsCached    atomic.Int64 // served from the result cache
+	SweepPointsCoalesced atomic.Int64 // joined an in-flight solve
+	SweepPointsReplayed  atomic.Int64 // replayed from a resume checkpoint
+	SweepPointsFailed    atomic.Int64 // error records streamed
+	SweepCompleted       atomic.Int64 // sweeps that streamed their trailer clean
+	SweepCanceled        atomic.Int64 // sweeps cut by deadline or client hangup
+
 	// Per-stage solve time, nanoseconds, accumulated over fresh solves:
 	// build (circuit construction), ic (DC + settle + shooting initial
 	// condition), solve (the analysis proper), encode (response encoding).
@@ -44,24 +58,33 @@ func NewMetrics() *Metrics { return &Metrics{} }
 // consistent cut, which is fine for monitoring).
 func (m *Metrics) Snapshot() map[string]int64 {
 	return map[string]int64{
-		"queue_depth":     m.QueueDepth.Load(),
-		"in_flight":       m.InFlight.Load(),
-		"admitted":        m.Admitted.Load(),
-		"rejected":        m.Rejected.Load(),
-		"cache_hits":      m.CacheHits.Load(),
-		"cache_misses":    m.CacheMisses.Load(),
-		"cache_evictions": m.CacheEvictions.Load(),
-		"coalesced":       m.Coalesced.Load(),
-		"requests":        m.Requests.Load(),
-		"bad_input":       m.BadInput.Load(),
-		"canceled":        m.Canceled.Load(),
-		"failed":          m.Failed.Load(),
-		"succeeded":       m.Succeeded.Load(),
-		"build_ns":        m.BuildNS.Load(),
-		"ic_ns":           m.ICNS.Load(),
-		"solve_ns":        m.SolveNS.Load(),
-		"encode_ns":       m.EncodeNS.Load(),
-		"solves":          m.Solves.Load(),
+		"queue_depth":            m.QueueDepth.Load(),
+		"in_flight":              m.InFlight.Load(),
+		"admitted":               m.Admitted.Load(),
+		"rejected":               m.Rejected.Load(),
+		"cache_hits":             m.CacheHits.Load(),
+		"cache_misses":           m.CacheMisses.Load(),
+		"cache_evictions":        m.CacheEvictions.Load(),
+		"coalesced":              m.Coalesced.Load(),
+		"requests":               m.Requests.Load(),
+		"bad_input":              m.BadInput.Load(),
+		"canceled":               m.Canceled.Load(),
+		"failed":                 m.Failed.Load(),
+		"succeeded":              m.Succeeded.Load(),
+		"sweep_requests":         m.SweepRequests.Load(),
+		"sweep_points":           m.SweepPoints.Load(),
+		"sweep_points_solved":    m.SweepPointsSolved.Load(),
+		"sweep_points_cached":    m.SweepPointsCached.Load(),
+		"sweep_points_coalesced": m.SweepPointsCoalesced.Load(),
+		"sweep_points_replayed":  m.SweepPointsReplayed.Load(),
+		"sweep_points_failed":    m.SweepPointsFailed.Load(),
+		"sweep_completed":        m.SweepCompleted.Load(),
+		"sweep_canceled":         m.SweepCanceled.Load(),
+		"build_ns":               m.BuildNS.Load(),
+		"ic_ns":                  m.ICNS.Load(),
+		"solve_ns":               m.SolveNS.Load(),
+		"encode_ns":              m.EncodeNS.Load(),
+		"solves":                 m.Solves.Load(),
 	}
 }
 

@@ -77,6 +77,7 @@ type Server struct {
 	sched   *Scheduler
 	cache   *Cache
 	flights *flightGroup
+	checks  *sweepCheckpoints
 	m       *Metrics
 	mux     *http.ServeMux
 }
@@ -89,10 +90,12 @@ func NewServer(cfg Config) *Server {
 		m:       cfg.Metrics,
 		flights: newFlightGroup(cfg.Metrics),
 		cache:   NewCache(cfg.CacheBytes, cfg.Metrics),
+		checks:  newSweepCheckpoints(8),
 	}
 	s.sched = NewScheduler(cfg.Workers, cfg.QueueCap, cfg.Metrics)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.Debug {

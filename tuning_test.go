@@ -1,0 +1,151 @@
+package wampde
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestTuningSweepWarmMatchesCold is the offline warm-start contract: a
+// warm-continued tuning sweep visits every point without a single fallback
+// and reproduces the cold sweep's frequencies to solver tolerance.
+func TestTuningSweepWarmMatchesCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning sweep runs real shooting solves")
+	}
+	vals := []float64{2.1, 1.2, 1.8, 1.5} // deliberately unsorted
+
+	cold, err := TuningSweep(TuningSweepConfig{Values: vals, Cold: true})
+	if err != nil {
+		t.Fatalf("cold sweep: %v", err)
+	}
+	warm, err := TuningSweep(TuningSweepConfig{Values: vals})
+	if err != nil {
+		t.Fatalf("warm sweep: %v", err)
+	}
+
+	if len(cold.Points) != len(vals) || len(warm.Points) != len(vals) {
+		t.Fatalf("point counts: cold %d warm %d, want %d", len(cold.Points), len(warm.Points), len(vals))
+	}
+	// Continuation order: ascending control voltage, original indexes kept.
+	wantV := []float64{1.2, 1.5, 1.8, 2.1}
+	wantIdx := []int{1, 3, 2, 0}
+	for i, p := range warm.Points {
+		if p.VCtl != wantV[i] || p.Index != wantIdx[i] {
+			t.Fatalf("point %d = vctl %g index %d, want %g %d", i, p.VCtl, p.Index, wantV[i], wantIdx[i])
+		}
+	}
+
+	// One chain: the first point is cold, every later one adopts the
+	// neighbor's orbit, and none falls back.
+	if warm.WarmUses != len(vals)-1 || warm.Fallbacks != 0 {
+		t.Fatalf("warm uses = %d fallbacks = %d, want %d and 0", warm.WarmUses, warm.Fallbacks, len(vals)-1)
+	}
+	if warm.Points[0].Warm != "cold" {
+		t.Fatalf("chain start = %q, want cold", warm.Points[0].Warm)
+	}
+	for _, p := range cold.Points {
+		if p.Warm != "cold" {
+			t.Fatalf("cold sweep produced a %q point", p.Warm)
+		}
+	}
+
+	// Warm and cold converge to the same limit cycle.
+	for i := range cold.Points {
+		c, w := cold.Points[i], warm.Points[i]
+		if rel := math.Abs(w.Freq-c.Freq) / c.Freq; rel > 1e-6 {
+			t.Fatalf("vctl %g: warm freq %.6f MHz vs cold %.6f MHz (rel %.2e)",
+				c.VCtl, w.Freq/1e6, c.Freq/1e6, rel)
+		}
+		if !(c.Freq > 0) || math.IsInf(c.Freq, 0) {
+			t.Fatalf("vctl %g: bad frequency %g", c.VCtl, c.Freq)
+		}
+	}
+	// The §5 varactor tunes upward: more control force, smaller capacitance.
+	for i := 1; i < len(cold.Points); i++ {
+		if cold.Points[i].Freq <= cold.Points[i-1].Freq {
+			t.Fatalf("tuning curve not increasing: f(%g)=%.0f, f(%g)=%.0f",
+				cold.Points[i-1].VCtl, cold.Points[i-1].Freq,
+				cold.Points[i].VCtl, cold.Points[i].Freq)
+		}
+	}
+}
+
+// TestTuningSweepLanes: lane count changes scheduling, not results — each
+// lane runs its own continuation chain over a contiguous segment.
+func TestTuningSweepLanes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning sweep runs real shooting solves")
+	}
+	cfg := TuningSweepConfig{From: 1.2, To: 2.2, Points: 6}
+	one, err := TuningSweep(cfg)
+	if err != nil {
+		t.Fatalf("lanes=1: %v", err)
+	}
+	cfg.Lanes = 3
+	three, err := TuningSweep(cfg)
+	if err != nil {
+		t.Fatalf("lanes=3: %v", err)
+	}
+	if len(one.Points) != 6 || len(three.Points) != 6 {
+		t.Fatalf("point counts %d/%d, want 6", len(one.Points), len(three.Points))
+	}
+	// Three chains → three cold chain starts, the rest warm.
+	if three.WarmUses != 3 || three.Fallbacks != 0 {
+		t.Fatalf("lanes=3 warm uses = %d fallbacks = %d, want 3 and 0", three.WarmUses, three.Fallbacks)
+	}
+	for i := range one.Points {
+		a, b := one.Points[i], three.Points[i]
+		if a.VCtl != b.VCtl {
+			t.Fatalf("point %d order differs: %g vs %g", i, a.VCtl, b.VCtl)
+		}
+		if rel := math.Abs(a.Freq-b.Freq) / a.Freq; rel > 1e-6 {
+			t.Fatalf("vctl %g: lanes=1 freq %.6f MHz vs lanes=3 %.6f MHz (rel %.2e)",
+				a.VCtl, a.Freq/1e6, b.Freq/1e6, rel)
+		}
+	}
+}
+
+func TestTuningSweepRejectsBadConfig(t *testing.T) {
+	cases := []TuningSweepConfig{
+		{}, // nothing swept
+		{Values: []float64{1, 2}, Points: 3, From: 1, To: 2}, // both
+		{From: 1, To: 1, Points: 4},                          // degenerate grid
+		{From: 1, To: 2, Points: 1},                          // one-point grid
+		{Values: []float64{1.5, 1.5}},                        // duplicate values
+		{Values: []float64{math.NaN()}},                      // non-finite
+	}
+	for i, cfg := range cases {
+		if _, err := TuningSweep(cfg); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+}
+
+func TestTuningSweepCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := TuningSweep(TuningSweepConfig{Values: []float64{1.5, 1.8}, Ctx: ctx})
+	if err == nil {
+		t.Fatal("canceled sweep returned no error")
+	}
+}
+
+// BenchmarkTuningSweepWarm and ...Cold measure the sweep amortization the
+// warm carrier buys: the settling transient is the dominant per-point cost
+// and warm points skip it.
+func BenchmarkTuningSweepWarm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := TuningSweep(TuningSweepConfig{From: 1.3, To: 2.1, Points: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTuningSweepCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := TuningSweep(TuningSweepConfig{From: 1.3, To: 2.1, Points: 5, Cold: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
