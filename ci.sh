@@ -21,6 +21,17 @@
 #   bench-check rerun the same benchmarks and compare against the committed
 #               baseline with cmd/benchjson -check: an allocs/op regression
 #               fails, ns/op drift beyond ±20% only warns.
+#   ring-bench  N-stage ring-VCO scaling sweep: runs BenchmarkRingScaling
+#               (dense bordered Jacobian vs the matrix-free spectral operator,
+#               stages 3..31), snapshots the curve to a baseline file (second
+#               argument, default BENCH_pr7.json), and gates the run with
+#               cmd/benchjson -ring-gate. Expensive (tens of minutes — the
+#               31-stage settle+shoot preamble and dense factorizations
+#               dominate); not part of "all".
+#   ring-bench-check rerun the scaling sweep and apply only the -ring-gate
+#               crossover claim (matrix-free >= 3x dense at 15 stages, never
+#               slower from there up). A pure within-run ratio, so it holds on
+#               any machine, unlike the ns/op baselines.
 #   serve       service smoke tier: builds wampde-server and wampde-load with
 #               the race detector, boots the server on a free port with a
 #               deliberately small worker/queue budget, and runs the load
@@ -191,6 +202,37 @@ if [ "$tier" = bench-check ]; then
 	echo "== bench-check: comparing hot-loop benchmarks against $benchfile"
 	go test -run '^$' -bench "$benchre" \
 		-benchmem -benchtime 3x . | go run ./cmd/benchjson -check "$benchfile"
+fi
+
+# One full RingScaling sweep into $ringout. A temp file rather than a pipe so
+# set -e sees go test's exit status, and so one run can feed both the JSON
+# snapshot and the ratio gate.
+run_ring_sweep() {
+	ringout="$(mktemp)"
+	if ! go test -run '^$' -bench 'BenchmarkRingScaling' \
+		-benchtime 1x -timeout 60m . >"$ringout"; then
+		cat "$ringout"
+		echo "ci: ring scaling benchmark failed" >&2
+		exit 1
+	fi
+	cat "$ringout"
+}
+
+if [ "$tier" = ring-bench ]; then
+	benchfile="${2:-BENCH_pr7.json}"
+	echo "== ring-bench: snapshotting ring-VCO scaling curve to $benchfile"
+	run_ring_sweep
+	go run ./cmd/benchjson <"$ringout" >"$benchfile"
+	cat "$benchfile"
+	go run ./cmd/benchjson -ring-gate <"$ringout"
+	rm -f "$ringout"
+fi
+
+if [ "$tier" = ring-bench-check ]; then
+	echo "== ring-bench-check: dense vs matrix-free crossover gate"
+	run_ring_sweep
+	go run ./cmd/benchjson -ring-gate <"$ringout"
+	rm -f "$ringout"
 fi
 
 echo "ci: ok"

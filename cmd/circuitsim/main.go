@@ -35,6 +35,7 @@ func main() {
 	steps := flag.Int("steps", 400, "t2 steps for envelope")
 	n1 := flag.Int("n1", 25, "warped-axis points for envelope")
 	f0 := flag.String("f0", "", "oscillation frequency guess for pss/envelope (e.g. 750k)")
+	matfree := flag.Bool("matfree", false, "envelope only: apply the bordered step Jacobian matrix-free (spectral operator) instead of assembling it — the large-circuit path")
 	out := flag.String("out", "", "node to print (default: all states)")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the analysis (0 = none); tran/envelope print the partial waveform computed before expiry")
 	flag.Parse()
@@ -119,9 +120,13 @@ func main() {
 		xg[sys.OscVar()] += 0.5
 		xhat0, omega0, err := core.InitialCondition(sys, xg, 1/fGuess, core.ICOptions{N1: *n1})
 		fatal(err)
-		res, err := core.Envelope(sys, xhat0, omega0, tstop, core.EnvelopeOptions{
+		eopt := core.EnvelopeOptions{
 			N1: *n1, H2: tstop / float64(*steps), Trap: true, Ctx: ctx,
-		})
+		}
+		if *matfree {
+			eopt.Linear = core.LinearMatrixFree
+		}
+		res, err := core.Envelope(sys, xhat0, omega0, tstop, eopt)
 		if err != nil && (res == nil || len(res.T2) == 0) {
 			fatal(err)
 		}

@@ -36,6 +36,13 @@ type VCORunConfig struct {
 	// solves (see core.EnvelopeOptions.RecycleKrylov). Only meaningful with
 	// GMRES; off by default so the goldens pin the historical path.
 	RecycleKrylov bool
+	// MatrixFree applies the bordered step Jacobian without assembling it —
+	// core.LinearMatrixFree, the spectral-operator path (see DESIGN.md,
+	// "Matrix-free operator"). Implies an iterative solve; takes precedence
+	// over GMRES. Off by default: at the paper's 4-state VCO the assembled
+	// Jacobian is tiny and the dense path is both faster and the one the
+	// goldens pin.
+	MatrixFree bool
 	// Ctx, when non-nil, makes the run cancelable (see
 	// core.EnvelopeOptions.Ctx). On cancellation RunPaperVCO returns the
 	// partial run accumulated so far together with the error, so a driver
@@ -93,6 +100,9 @@ func RunPaperVCO(cfg VCORunConfig) (*VCORun, error) {
 	linear := core.LinearDenseLU
 	if cfg.GMRES {
 		linear = core.LinearGMRES
+	}
+	if cfg.MatrixFree {
+		linear = core.LinearMatrixFree
 	}
 	res, err := core.Envelope(vco, xhat0, omega0, cfg.T2End, core.EnvelopeOptions{
 		N1:            cfg.N1,

@@ -34,6 +34,16 @@ const (
 	// block-Jacobi preconditioner — the paper's §1/§4 "iterative linear
 	// techniques [Saa96]" path for large systems.
 	LinearGMRES
+	// LinearMatrixFree solves the Jacobian system with GMRESDR applied to a
+	// matrix-free operator (core.SpectralOp): the spectral-differentiation
+	// term runs through the cached FFT plans and the device Jacobians apply
+	// block-diagonally per collocation point, so the (N1·n+1)² matrix is
+	// never formed and per-iteration cost is near-linear in circuit size.
+	// The direct-rescue rung of the supervision ladder assembles the same
+	// entries sparsely instead of falling back to dense LU. This is the
+	// scalable path for large circuits (N-stage rings); at the paper's sizes
+	// dense LU remains faster.
+	LinearMatrixFree
 )
 
 // EnvelopeOptions configures the envelope-following WaMPDE solver.
@@ -199,6 +209,7 @@ func Envelope(sys dae.Autonomous, xhat0 []float64, omega0, t2End float64, opt En
 		res.GMRESBreakdowns = asm.linStats.breakdowns
 		res.LinearGMRESRescues = asm.linStats.gmresRescues
 		res.LinearLURescues = asm.linStats.luRescues
+		res.LinearSparseLURescues = asm.linStats.sparseRescues
 		res.FullNewtonRescues = asm.nlStats.fullRescues
 		res.DampedNewtonRescues = asm.nlStats.deepRescues
 		res.ContinuationRescues = asm.nlStats.continuationRescues
@@ -413,7 +424,8 @@ type envAssembler struct {
 	qNew    []float64
 	rhsNew  []float64
 	rhsPrev []float64
-	jj      *la.Dense
+	jj      *la.Dense // dense Jacobian; nil until first use (never on matrix-free)
+	mf      *SpectralOp
 
 	// Persistent solver state: the dense factorization workspace refactored
 	// in place every Jacobian refresh, the Newton iteration scratch, and the
@@ -485,11 +497,17 @@ func newEnvAssembler(sys dae.Autonomous, n1, n, k int, w []float64, c float64, o
 		qNew:    make([]float64, n1*n),
 		rhsNew:  make([]float64, n1*n),
 		rhsPrev: make([]float64, n1*n),
-		jj:      la.NewDense(n1*n+1, n1*n+1),
-		lu:      la.NewLU(n1*n + 1),
 		nws:     newton.NewWorkspace(n1*n + 1),
 	}
-	if opt.RecycleKrylov && opt.Linear == LinearGMRES {
+	// The dense Jacobian and its LU workspace are the dominant memory of a
+	// large run (O((N1·n)²) each); the matrix-free path must never pay for
+	// them, so they are allocated only where a dense assembly can happen
+	// (lazily, from assembleJacobian / the dense jac branch).
+	if opt.Linear != LinearMatrixFree {
+		a.jj = la.NewDense(n1*n+1, n1*n+1)
+		a.lu = la.NewLU(n1*n + 1)
+	}
+	if opt.RecycleKrylov && (opt.Linear == LinearGMRES || opt.Linear == LinearMatrixFree) {
 		if opt.Warm != nil && opt.Warm.Rec != nil && opt.Warm.Rec.Size() > 0 {
 			// Cross-point handoff: keep the neighbor's deflation space but run
 			// it untrusted (true-residual verification) for this whole solve;
@@ -731,6 +749,26 @@ func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNe
 		return nil
 	}
 	jac := func(z []float64) (newton.LinearSolve, error) {
+		if a.opt.Linear == LinearMatrixFree {
+			// Matrix-free linearization: refresh the operator's snapshots and
+			// device-Jacobian slots — no (N1·n+1)² assembly, no factorization.
+			// The harmonic preconditioner works unchanged (it only ever reads
+			// the averaged per-point blocks), and the ladder's direct rescue
+			// assembles sparsely from the same slots.
+			op := a.matFreeOpFor(z, h, theta)
+			a.omegaAtFactor = z[n1*n]
+			if a.adoptedRec {
+				a.adoptedRec = false
+			} else {
+				a.rec.Invalidate()
+			}
+			prec, err := a.harmonicPrecFor(z[:n1*n], z[n1*n], h, theta)
+			if err != nil {
+				return nil, err
+			}
+			a.lad.resetMatrixFree(op, prec, op.assembleSparse)
+			return a.lad, nil
+		}
 		jj := a.assembleJacobian(z, h, theta)
 		a.omegaAtFactor = z[n1*n]
 		// A fresh linearization invalidates the Krylov recycler: its carried
@@ -895,6 +933,9 @@ func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNe
 // points m in ascending order, so the result is worker-count independent.
 func (a *envAssembler) assembleJacobian(z []float64, h, theta float64) *la.Dense {
 	n1, n := a.n1, a.n
+	if a.jj == nil {
+		a.jj = la.NewDense(n1*n+1, n1*n+1)
+	}
 	jj := a.jj
 	q := a.qBuf
 	a.sampleQ(z[:n1*n], q)

@@ -32,9 +32,14 @@ type QPOptions struct {
 	// global dense LU (O((N1·N2·n)³) per factorization) with restarted
 	// GMRES over a block-Jacobi preconditioner whose blocks are the
 	// per-t2-line systems — the scalable path for fine grids.
+	// LinearMatrixFree goes further: the global Jacobian is never assembled
+	// at all — GMRESDR applies it through the spectral-differentiation FFT
+	// plans and the per-point device blocks (see SpectralOp), with the same
+	// per-line block-Jacobi preconditioner built directly from the device
+	// slots. Memory drops from O((N1·N2·n)²) to O(N1·N2·n).
 	Linear   LinearKind
 	GMRESTol float64 // default 1e-10
-	// RecycleKrylov (LinearGMRES only) carries a GCRO-DR deflation space
+	// RecycleKrylov (iterative Linear kinds only) carries a GCRO-DR deflation space
 	// across the global solve's GMRES calls; see
 	// EnvelopeOptions.RecycleKrylov. The space is dropped at every Jacobian
 	// refresh (it is exact only for the linearization it was harvested
@@ -275,12 +280,34 @@ func Quasiperiodic(sys dae.Autonomous, t2Period float64, guess *QPGuess, opt QPO
 	// zero, so every matrix element has a single contributor and gathering
 	// along rows is bitwise identical to scattering from columns. The matrix
 	// and its LU workspace persist across refreshes; assembly accumulates, so
-	// the rows are zeroed (in disjoint parallel chunks) first.
-	jj := la.NewDense(total, total)
-	flu := la.NewLU(total)
+	// the rows are zeroed (in disjoint parallel chunks) first. On the
+	// matrix-free path neither exists — the O(total²) allocation is the wall
+	// that path removes.
+	var jj *la.Dense
+	var flu *la.LU
+	var mfOp *qpSpectralOp
+	var lineBlocks []*la.Dense
+	if opt.Linear == LinearMatrixFree {
+		mfOp = newQPSpectralOp(n, N1, N2, k, t2Period, d1, d2, w, jqs, jfs)
+		// One preconditioner block per t2 line, plus an identity block for
+		// the N2 trailing ω rows (their diagonal block is structurally zero;
+		// the Krylov iteration resolves the bordering).
+		lineBlocks = make([]*la.Dense, N2+1)
+		for j2 := 0; j2 < N2; j2++ {
+			lineBlocks[j2] = la.NewDense(N1*n, N1*n)
+		}
+		id := la.NewDense(N2, N2)
+		for j2 := 0; j2 < N2; j2++ {
+			id.Set(j2, j2, 1)
+		}
+		lineBlocks[N2] = id
+	} else {
+		jj = la.NewDense(total, total)
+		flu = la.NewLU(total)
+	}
 	var rec *krylov.Recycler
 	adoptedRec := false
-	if opt.RecycleKrylov && opt.Linear == LinearGMRES {
+	if opt.RecycleKrylov && (opt.Linear == LinearGMRES || opt.Linear == LinearMatrixFree) {
 		if opt.Warm != nil && opt.Warm.Rec != nil && opt.Warm.Rec.Size() > 0 {
 			// Warm continuation: adopt the neighboring point's deflation
 			// space untrusted; it gets one verified window below.
@@ -306,6 +333,73 @@ func Quasiperiodic(sys dae.Autonomous, t2Period float64, guess *QPGuess, opt QPO
 			adoptedRec = false
 		} else {
 			rec.Invalidate()
+		}
+		if opt.Linear == LinearMatrixFree {
+			// Matrix-free linearization: refresh q and the per-point device
+			// blocks (the same parallel kernels the dense assembly uses),
+			// snapshot the operator, and build the line-block preconditioner
+			// straight from the slots — no global matrix is touched.
+			computeQ(z)
+			par.For(N1*N2, qpGrain, func(lo, hi int) {
+				for p := lo; p < hi; p++ {
+					x := z[p*n : (p+1)*n]
+					sys.JQ(x, jqs[p])
+					sys.JF(x, us[p/N1], jfs[p])
+				}
+			})
+			mfOp.build(z, q, scale)
+			// Line block j2: ω_{j2}·D1⊗JQ plus the JF point diagonal, rows
+			// scaled like the full system (the D2 diagonal is exactly zero,
+			// so no t2 term lands inside a line's own block).
+			par.For(N2, 1, func(lo, hi int) {
+				for j2 := lo; j2 < hi; j2++ {
+					blk := lineBlocks[j2]
+					omega := z[nx+j2]
+					for j1r := 0; j1r < N1; j1r++ {
+						for r := 0; r < n; r++ {
+							row := blk.Row(j1r*n + r)
+							for i := range row {
+								row[i] = 0
+							}
+						}
+						for j1 := 0; j1 < N1; j1++ {
+							wgt := omega * d1[j1r*N1+j1]
+							if wgt == 0 {
+								continue
+							}
+							jq := jqs[j2*N1+j1]
+							for r := 0; r < n; r++ {
+								row := blk.Row(j1r*n + r)
+								qrow := jq.Row(r)
+								for c := 0; c < n; c++ {
+									row[j1*n+c] += wgt * qrow[c]
+								}
+							}
+						}
+						jf := jfs[j2*N1+j1r]
+						for r := 0; r < n; r++ {
+							row := blk.Row(j1r*n + r)
+							frow := jf.Row(r)
+							for c := 0; c < n; c++ {
+								row[j1r*n+c] += frow[c]
+							}
+						}
+						for r := 0; r < n; r++ {
+							s := scale[qpIdx(j1r, j2, r, n, N1)]
+							row := blk.Row(j1r*n + r)
+							for i := range row {
+								row[i] /= s
+							}
+						}
+					}
+				}
+			})
+			prec, err := krylov.NewBlockJacobiFromBlocks(lineBlocks)
+			if err != nil {
+				return nil, err
+			}
+			lad.resetMatrixFree(mfOp, prec, mfOp.assembleSparse)
+			return lad, nil
 		}
 		par.For(total, 64, func(lo, hi int) {
 			for r := lo; r < hi; r++ {
@@ -478,6 +572,7 @@ func Quasiperiodic(sys dae.Autonomous, t2Period float64, guess *QPGuess, opt QPO
 		res.GMRESBreakdowns = linSt.breakdowns
 		res.LinearGMRESRescues = linSt.gmresRescues
 		res.LinearLURescues = linSt.luRescues
+		res.LinearSparseLURescues = linSt.sparseRescues
 		res.FullNewtonRescues = nlSt.fullRescues
 		res.DampedNewtonRescues = nlSt.deepRescues
 		res.ContinuationRescues = nlSt.continuationRescues

@@ -43,14 +43,18 @@ type EnvelopeResult struct {
 	// Supervision accounting: failures the escalation ladders observed and
 	// the rescues they ran (see DESIGN.md, "Failure semantics"). All zero on
 	// a run where every first-choice solve converged — the common case.
-	GMRESStagnations    int // iterative solves that stagnated / hit budget
-	GMRESBreakdowns     int // iterative solves that broke down
-	LinearGMRESRescues  int // linear rung 2: deflation-free GMRES restarts
-	LinearLURescues     int // linear rung 3: direct dense LU fallbacks
-	FullNewtonRescues   int // nonlinear rung 2: full Newton after chord
-	DampedNewtonRescues int // nonlinear rung 3: deep damped Newton
-	ContinuationRescues int // nonlinear rung 4: source-stepping continuation
-	StepHalvings        int // ladder exhausted; t2 step halved and reset
+	GMRESStagnations   int // iterative solves that stagnated / hit budget
+	GMRESBreakdowns    int // iterative solves that broke down
+	LinearGMRESRescues int // linear rung 2: deflation-free GMRES restarts
+	LinearLURescues    int // linear rung 3: direct factorization fallbacks
+	// LinearSparseLURescues counts the subset of LinearLURescues that ran
+	// through the sparse LU — matrix-free operators, and assembled systems
+	// past the dense-rescue size threshold (see LinearMatrixFree).
+	LinearSparseLURescues int
+	FullNewtonRescues     int // nonlinear rung 2: full Newton after chord
+	DampedNewtonRescues   int // nonlinear rung 3: deep damped Newton
+	ContinuationRescues   int // nonlinear rung 4: source-stepping continuation
+	StepHalvings          int // ladder exhausted; t2 step halved and reset
 }
 
 // Slice returns the t1 waveform (N1 samples) of state i at t2 index k.
@@ -153,13 +157,14 @@ type QPResult struct {
 	RecycleHits     int
 	RecycleHarvests int
 	// Supervision accounting, as in EnvelopeResult.
-	GMRESStagnations    int
-	GMRESBreakdowns     int
-	LinearGMRESRescues  int
-	LinearLURescues     int
-	FullNewtonRescues   int
-	DampedNewtonRescues int
-	ContinuationRescues int
+	GMRESStagnations      int
+	GMRESBreakdowns       int
+	LinearGMRESRescues    int
+	LinearLURescues       int
+	LinearSparseLURescues int
+	FullNewtonRescues     int
+	DampedNewtonRescues   int
+	ContinuationRescues   int
 }
 
 // OmegaMean returns the average local frequency ω₀ of eq. (21).

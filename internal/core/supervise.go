@@ -1,10 +1,13 @@
 package core
 
 import (
+	"errors"
+
 	"repro/internal/krylov"
 	"repro/internal/la"
 	"repro/internal/newton"
 	"repro/internal/solverr"
+	"repro/internal/sparse"
 )
 
 // This file holds the solve-supervision machinery shared by the envelope and
@@ -22,32 +25,77 @@ type linearStats struct {
 	solves, matvecs         int
 	stagnations, breakdowns int // iterative-rung failures observed
 	gmresRescues, luRescues int // rungs entered after a failure
+	sparseRescues           int // direct rescues that ran through sparse LU
 	exhausted               int // ladders that failed every rung
 }
 
 // linearLadder adapts the iterative Krylov solvers to newton.LinearSolveErr
 // with escalation: recycled GMRESDR first, deflation-free GMRES on failure,
-// and a direct dense LU factorization as the last rung. It is the supervised
+// and a direct factorization as the last rung. It is the supervised
 // replacement for the old gmresSolver adapter, which discarded the GMRESDR
 // error entirely and handed Newton whatever partial iterate the stagnated
 // solve left behind.
 //
+// The operator is a krylov.Operator, so the ladder serves both the
+// assembled-matrix path (reset, where the dense Jacobian also backs the
+// direct rung) and the matrix-free path (resetMatrixFree, where the direct
+// rung assembles the entries sparsely on demand). At large dimension the
+// direct rescue runs through the sparse LU instead of dense — the dense
+// O(n³) fallback was exactly the wall the matrix-free path exists to avoid,
+// and a rescue rung that rebuilt it would make every large-N failure
+// pathological.
+//
 // The ladder is persistent (one per assembler/solve): the Krylov workspace
-// and the fallback LU factors are pooled across solves, so the unarmed hot
-// path allocates nothing after warmup.
+// and the fallback factors (dense or sparse, including the sparse symbolic
+// pattern) are pooled across solves, so the unarmed hot path allocates
+// nothing after warmup.
 type linearLadder struct {
-	op    krylov.DenseOp // the assembled (dense, bordered) Jacobian
-	prec  krylov.Preconditioner
-	tol   float64
-	rec   *krylov.Recycler // nil when recycling is off
-	ws    *krylov.Workspace
-	lu    *la.LU // direct-solve rung, sized lazily
-	stats *linearStats
+	op      krylov.Operator
+	dense   *la.Dense                // assembled Jacobian; nil on the matrix-free path
+	asm     func(tr *sparse.Triplet) // sparse assembly for the direct rung (matrix-free path)
+	prec    krylov.Preconditioner
+	tol     float64
+	rec     *krylov.Recycler // nil when recycling is off
+	ws      *krylov.Workspace
+	lu      *la.LU // dense direct-solve rung, sized lazily
+	trip    *sparse.Triplet
+	slu     *sparse.LU // sparse direct-solve rung; symbolic pattern reused
+	restart int        // GMRES restart length; 0 keeps the krylov default
+	stats   *linearStats
 }
 
 // gmresLadderMaxIter bounds each iterative rung, matching the historical
 // adapter's budget.
 const gmresLadderMaxIter = 400
+
+// sparseRescueThreshold is the system size above which the ladder's direct
+// rescue abandons dense LU for the sparse factorization. Below it the dense
+// rung is bitwise the historical fallback (and at the paper's sizes, faster);
+// above it the dense O(n³)+O(n²) memory cost stops being a rescue at all.
+const sparseRescueThreshold = 600
+
+// Matrix-free restart sizing: GMRES(50) is plenty at the paper's sizes, but
+// on large bordered systems the harmonic preconditioner weakens (the t1-
+// averaged JF misses ever-stronger waveform-dependent conductance as the
+// circuit grows) and a 50-vector cycle stagnates. The matrix-free path
+// therefore scales the restart length with the operator dimension — an extra
+// basis vector costs O(total) memory, nothing next to the dense Jacobian the
+// path exists to avoid. The dense path keeps the historical default.
+const (
+	matFreeRestartMax = 200
+	matFreeRestartDiv = 8
+)
+
+func matFreeRestart(total int) int {
+	r := total / matFreeRestartDiv
+	if r < 50 {
+		r = 50
+	}
+	if r > matFreeRestartMax {
+		r = matFreeRestartMax
+	}
+	return r
+}
 
 func newLinearLadder(tol float64, rec *krylov.Recycler, stats *linearStats) *linearLadder {
 	return &linearLadder{tol: tol, rec: rec, ws: krylov.NewWorkspace(), stats: stats}
@@ -58,7 +106,21 @@ func newLinearLadder(tol float64, rec *krylov.Recycler, stats *linearStats) *lin
 // the references change).
 func (g *linearLadder) reset(m *la.Dense, prec krylov.Preconditioner) {
 	g.op = krylov.DenseOp{M: m}
+	g.dense = m
+	g.asm = nil
 	g.prec = prec
+	g.restart = 0
+}
+
+// resetMatrixFree points the ladder at a matrix-free operator; asm emits the
+// operator's entries into a triplet when (and only when) the direct-rescue
+// rung needs a factorization.
+func (g *linearLadder) resetMatrixFree(op krylov.Operator, prec krylov.Preconditioner, asm func(tr *sparse.Triplet)) {
+	g.op = op
+	g.dense = nil
+	g.asm = asm
+	g.prec = prec
+	g.restart = matFreeRestart(op.Dim())
 }
 
 // note classifies one iterative-rung failure into the stats.
@@ -77,7 +139,11 @@ func (g *linearLadder) note(err error) {
 func (g *linearLadder) SolveErr(b, x []float64) error {
 	g.stats.solves++
 	la.Fill(x, 0)
-	opt := krylov.Options{Tol: g.tol, Prec: g.prec, MaxIter: gmresLadderMaxIter, Work: g.ws}
+	opt := krylov.Options{Tol: g.tol, Prec: g.prec, MaxIter: gmresLadderMaxIter, Restart: g.restart, Work: g.ws}
+	if opt.MaxIter < 2*opt.Restart {
+		// Keep at least two full cycles available at enlarged restart lengths.
+		opt.MaxIter = 2 * opt.Restart
+	}
 	res, err := krylov.GMRESDR(g.op, b, x, opt, g.rec)
 	g.stats.matvecs += res.MatVecs
 	if err == nil {
@@ -100,22 +166,75 @@ func (g *linearLadder) SolveErr(b, x []float64) error {
 	g.note(err)
 	secondErr := err
 
-	// Rung 3: direct dense LU of the same assembled matrix. This trades
-	// O(n³) work for a guaranteed direction whenever the Jacobian is
-	// nonsingular — the rung of last resort before Newton-level rescue.
+	// Rung 3: a direct factorization — the rung of last resort before
+	// Newton-level rescue, trading factorization work for a guaranteed
+	// direction whenever the Jacobian is nonsingular. Small assembled
+	// systems keep the historical dense LU bitwise; large or matrix-free
+	// systems go through the sparse LU (see sparseRescueThreshold).
 	g.stats.luRescues++
-	n := g.op.M.Rows
-	if g.lu == nil || g.lu.N() != n {
-		g.lu = la.NewLU(n)
+	n := g.op.Dim()
+	if g.dense != nil && n <= sparseRescueThreshold {
+		if g.lu == nil || g.lu.N() != n {
+			g.lu = la.NewLU(n)
+		}
+		if ferr := g.lu.FactorInto(g.dense); ferr != nil {
+			g.stats.exhausted++
+			e := solverr.Wrap(propagateLadderKind(ferr), "core.linear", ferr).
+				WithMsg("linear ladder exhausted (gmresdr: %v; gmres: %v)", firstErr, secondErr)
+			e.Attempt("gmresdr").Attempt("gmres").Attempt("dense-lu")
+			return e
+		}
+		g.lu.Solve(b, x)
+		return nil
 	}
-	if ferr := g.lu.FactorInto(g.op.M); ferr != nil {
+	g.stats.sparseRescues++
+	if ferr := g.sparseFactor(n); ferr != nil {
 		g.stats.exhausted++
 		e := solverr.Wrap(propagateLadderKind(ferr), "core.linear", ferr).
 			WithMsg("linear ladder exhausted (gmresdr: %v; gmres: %v)", firstErr, secondErr)
-		e.Attempt("gmresdr").Attempt("gmres").Attempt("dense-lu")
+		e.Attempt("gmresdr").Attempt("gmres").Attempt("sparse-lu")
 		return e
 	}
-	g.lu.Solve(b, x)
+	g.slu.Solve(b, x)
+	return nil
+}
+
+// sparseFactor assembles the current operator sparsely and (re)factors it,
+// reusing the symbolic pattern when the structure is unchanged. On the
+// assembled path the triplet is gathered from the dense rows (skipping
+// zeros); on the matrix-free path the operator's own assembly emits exactly
+// the entries its Apply evaluates.
+func (g *linearLadder) sparseFactor(n int) error {
+	if g.trip == nil || g.trip.Rows != n {
+		g.trip = sparse.NewTriplet(n, n)
+	}
+	g.trip.Reset()
+	if g.asm != nil {
+		g.asm(g.trip)
+	} else {
+		for r := 0; r < n; r++ {
+			for c, v := range g.dense.Row(r) {
+				if v != 0 {
+					g.trip.Add(r, c, v)
+				}
+			}
+		}
+	}
+	csr := g.trip.ToCSR()
+	if g.slu != nil && g.slu.N() == n {
+		err := g.slu.Refactor(csr)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, sparse.ErrPatternChanged) {
+			return err
+		}
+	}
+	slu, err := sparse.FactorLU(csr)
+	if err != nil {
+		return err
+	}
+	g.slu = slu
 	return nil
 }
 

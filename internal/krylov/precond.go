@@ -123,6 +123,43 @@ func NewBlockJacobi(m *la.Dense, blockSize int) (Preconditioner, error) {
 	return p, nil
 }
 
+// NewBlockJacobiFromBlocks builds a block-Jacobi preconditioner from
+// pre-assembled contiguous diagonal blocks (block b covers the unknowns
+// after blocks 0..b-1). Matrix-free operators use this: they can produce
+// their diagonal blocks directly from per-point device Jacobians without
+// ever assembling the full matrix NewBlockJacobi would extract them from.
+// The blocks are not modified; factoring spreads over the worker pool with
+// the same deterministic chunk layout as NewBlockJacobi.
+func NewBlockJacobiFromBlocks(blocks []*la.Dense) (Preconditioner, error) {
+	if len(blocks) == 0 {
+		return nil, errors.New("krylov: block-Jacobi needs at least one block")
+	}
+	p := &blockJacobiPrec{
+		offsets: make([]int, len(blocks)+1),
+		facts:   make([]*la.LU, len(blocks)),
+	}
+	for b, blk := range blocks {
+		if blk.Rows != blk.Cols {
+			return nil, fmt.Errorf("krylov: block %d is %dx%d, want square", b, blk.Rows, blk.Cols)
+		}
+		p.offsets[b+1] = p.offsets[b] + blk.Rows
+	}
+	err := par.ForErr(len(blocks), blockGrain(blocks[0].Rows), func(lo, hi int) error {
+		for b := lo; b < hi; b++ {
+			f, err := la.FactorLU(blocks[b])
+			if err != nil {
+				return fmt.Errorf("krylov: block [%d:%d): %w", p.offsets[b], p.offsets[b+1], err)
+			}
+			p.facts[b] = f
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
 func (p *blockJacobiPrec) Precondition(r, z []float64) {
 	blockSize := 1
 	if len(p.facts) > 0 {

@@ -19,6 +19,9 @@ func FuzzParse(f *testing.F) {
 		"L1 tank 0 10u esr=5\nN1 tank 0 g1=-10m g3=3.3m\nM1 tank 0 c0=8.37n d0=1 m=4.05e-13 b=1.27e-7 k=1 gamma=0.382 ctl=SIN(1.5 3.3 25k)\n.oscvar tank\n",
 		"VDD vdd 0 DC(2.5)\nT1 d g 0 type=n k=2m vt=0.7 lambda=0.01\nT2 d g vdd type=p k=1m vt=0.6\nR1 d 0 10k\nR2 g 0 10k\n",
 		"V1 a 0 PWL(0 0 1m 5)\nI1 a 0 PULSE(0 1m 0 1u 1u 0.5m 1m)\n",
+		// Subcircuits: definition + instances, nesting, and scoped .oscvar.
+		".subckt div top bot\nR1 top mid 1k\nR2 mid bot 1k\n.ends\nV1 in 0 DC(10)\nXa in 0 div\nXb in 0 div\n",
+		".subckt half top bot\nR1 top bot 1k\n.ends\n.subckt div top bot\nXu top mid half\nXl mid bot half\n.ends\nV1 in 0 DC(8)\nXd in 0 div\n.oscvar in\n",
 		// Known-bad shapes: wrong arity, bad values, duplicates, bad groups.
 		"R1 a 0",
 		"R1 a 0 1x",
@@ -31,6 +34,12 @@ func FuzzParse(f *testing.F) {
 		"T1 d g",
 		"T1 d g 0 type=x",
 		".oscvar nowhere\nR1 a 0 1k",
+		".subckt s a b\nR1 a b 1k\n",
+		"X1 a 0 nosuch",
+		".subckt s a b\nR1 a b 1k\n.ends\nX1 a s\n",
+		".subckt s a\nX1 a s\n.ends\nX0 n s\n",
+		".subckt s a\n.subckt t c d\n.ends\n.ends\n",
+		".ends\n.subckt s\nX1\n",
 		"V1 a 0 SIN(1 2 3 x=4",
 		"R1 a 0 )k(",
 		"\x00\x01\x02",

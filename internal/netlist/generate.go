@@ -1,0 +1,172 @@
+package netlist
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Named-circuit generators: parameterized netlists for the N-stage ring VCO
+// and its pseudodifferential variant, built on the .subckt facility so the
+// serving catalog can expose `ring-vco?stages=N` as a one-line circuit.
+//
+// Each stage is a capacitively loaded transconductor: a MEMS varactor to
+// ground (the voltage-controlled tank capacitance, as in the paper's VCO), a
+// cubic conductor whose negative small-signal conductance sustains the wave
+// and whose cubic term saturates it at amplitude 1, and a VCCS driven by the
+// previous stage. With per-stage capacitance C(u) and transconductance gm,
+// the dominant traveling-wave mode oscillates at
+//
+//	ω = gm·sin(π/N) / C(u)    (rad/s),
+//
+// so gm = 2π·F0Base·C0/sin(π/N) pins the base frequency to F0Base at u = 0,
+// and the MEMS displacement u = γ·Vc²/K tunes it: C(u) = C0·D0/(D0+u) gives
+// f = F0Base·(D0 + γ·Vc²/K)/D0 — the value RingVCONominalFreq reports.
+
+// Ring/pseudodiff stage parameters. The MEMS resonance sits well below the
+// electrical carrier (1e5 vs 1e6 Hz) so the mechanical tuning acts as the
+// slow time scale, mirroring the paper's two-time setup.
+const (
+	genF0Base  = 1e6   // electrical base frequency at u=0, Hz
+	genC0      = 1e-9  // MEMS zero-displacement capacitance, F
+	genD0      = 1.0   // MEMS gap
+	genK       = 1.0   // MEMS spring constant
+	genGamma   = 0.382 // MEMS electrostatic gain: u_eq = γ·Vc²/K
+	genZeta    = 0.9   // MEMS damping ratio
+	genFMech   = 1e5   // MEMS mechanical resonance, Hz
+	genVctlDef = 1.5   // default control bias, V
+	genVctlAmp = 0.5   // default control modulation amplitude, V
+	genCtlDiv  = 200.0 // control modulation frequency = fNom/genCtlDiv
+)
+
+// RingStageBounds are the accepted `stages` range for RingVCO (odd) and
+// PseudoDiffVCO (even).
+const (
+	RingStagesMin = 3
+	RingStagesMax = 63
+	PDStagesMin   = 2
+	PDStagesMax   = 30
+)
+
+// VctlDefault is the control bias the default slow sweep centres on — the
+// operating point RingVCONominalFreq should be evaluated at when no DC
+// control override is in play.
+const VctlDefault = genVctlDef
+
+func genMems() (m, b float64) {
+	wm := 2 * math.Pi * genFMech
+	m = genK / (wm * wm)
+	b = 2 * genZeta * math.Sqrt(genK*m)
+	return
+}
+
+// genCtl renders the stage control source: a DC bias when vctl > 0, else the
+// default slow sinusoid around genVctlDef whose frequency scales with the
+// ring's nominal oscillation (so every N sees the same cycles-per-sweep).
+func genCtl(vctl, fNom float64) string {
+	if vctl > 0 {
+		return fmt.Sprintf("DC(%.12g)", vctl)
+	}
+	return fmt.Sprintf("SIN(%.12g %.12g %.12g)", genVctlDef, genVctlAmp, fNom/genCtlDiv)
+}
+
+// RingVCONominalFreq returns the small-signal oscillation frequency (Hz) of
+// RingVCO(stages, ·) at control voltage vc: the stage transconductance is
+// chosen so f = F0Base·(D0 + γ·vc²/K)/D0 independent of the stage count.
+func RingVCONominalFreq(stages int, vc float64) float64 {
+	_ = stages
+	return genF0Base * (genD0 + genGamma*vc*vc/genK) / genD0
+}
+
+// PseudoDiffVCONominalFreq is RingVCONominalFreq for the pseudodifferential
+// ring (the same frequency pinning applies).
+func PseudoDiffVCONominalFreq(stages int, vc float64) float64 {
+	return RingVCONominalFreq(stages, vc)
+}
+
+// RingVCO generates an N-stage single-ended ring VCO netlist. stages must be
+// odd (an even inverting ring latches instead of oscillating) and within
+// [RingStagesMin, RingStagesMax]. vctl > 0 fixes the MEMS control at a DC
+// bias; vctl <= 0 applies the default slow sinusoidal sweep. The oscillation
+// variable is stage 0's output node s0.
+func RingVCO(stages int, vctl float64) (string, error) {
+	if stages < RingStagesMin || stages > RingStagesMax || stages%2 == 0 {
+		return "", fmt.Errorf("netlist: ring-vco stages must be odd in [%d, %d], got %d",
+			RingStagesMin, RingStagesMax, stages)
+	}
+	sinN := math.Sin(math.Pi / float64(stages))
+	cosN := math.Cos(math.Pi / float64(stages))
+	gm := 2 * math.Pi * genF0Base * genC0 / sinN
+	g1 := 0.5 * gm * cosN
+	g3 := 2.0 / 3.0 * gm * cosN
+	m, b := genMems()
+	fNom := RingVCONominalFreq(stages, genVctlDef)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "* ring-vco stages=%d f0=%.6g Hz\n", stages, fNom)
+	fmt.Fprintf(&sb, ".subckt stage in out\n")
+	fmt.Fprintf(&sb, "Mc out 0 c0=%.12g d0=%.12g m=%.12g b=%.12g k=%.12g gamma=%.12g ctl=%s\n",
+		genC0, genD0, m, b, genK, genGamma, genCtl(vctl, fNom))
+	fmt.Fprintf(&sb, "Nl out 0 g1=%.12g g3=%.12g\n", g1, g3)
+	fmt.Fprintf(&sb, "Gd out 0 in 0 %.12g\n", gm)
+	fmt.Fprintf(&sb, ".ends\n")
+	for j := 0; j < stages; j++ {
+		prev := (j + stages - 1) % stages
+		fmt.Fprintf(&sb, "Xs%d s%d s%d stage\n", j, prev, j)
+	}
+	fmt.Fprintf(&sb, ".oscvar s0\n")
+	return sb.String(), nil
+}
+
+// PseudoDiffVCO generates an S-stage pseudodifferential ring VCO: two
+// capacitively loaded rails per stage, cross-coupled (gx) so the
+// differential mode sees a negative conductance while the common mode is
+// damped, with the rails crossed once (at stage 0) so an even stage count
+// oscillates differentially at ω = gm·sin(π/S)/C. stages must be even and
+// within [PDStagesMin, PDStagesMax]. The oscillation variable is p0.
+func PseudoDiffVCO(stages int, vctl float64) (string, error) {
+	if stages < PDStagesMin || stages > PDStagesMax || stages%2 != 0 {
+		return "", fmt.Errorf("netlist: pseudodiff-vco stages must be even in [%d, %d], got %d",
+			PDStagesMin, PDStagesMax, stages)
+	}
+	sinS := math.Sin(math.Pi / float64(stages))
+	cosS := math.Cos(math.Pi / float64(stages))
+	gm := 2 * math.Pi * genF0Base * genC0 / sinS
+	gx := 0.8 * gm
+	// Small-signal growth margin of the dominant differential mode
+	// (θ = π − π/S): σ·C = gx + gm·cos(π/S) − g1 = δ. Tying δ to ω keeps the
+	// orbit quasi-sinusoidal at every S, so the oscillation frequency stays
+	// near the linear-mode value instead of being pulled relaxation-style.
+	delta := 0.25 * gm * sinS
+	g1 := gx + gm*cosS - delta
+	// Describing-function saturation at per-rail amplitude 1:
+	// g1 + (3/4)·g3 = gx + gm·cos(π/S).
+	g3 := 4.0 / 3.0 * delta
+	m, b := genMems()
+	fNom := PseudoDiffVCONominalFreq(stages, genVctlDef)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "* pseudodiff-vco stages=%d f0=%.6g Hz\n", stages, fNom)
+	fmt.Fprintf(&sb, ".subckt pdstage inp inn outp outn\n")
+	for _, rail := range []string{"p", "n"} {
+		fmt.Fprintf(&sb, "Mc%s out%s 0 c0=%.12g d0=%.12g m=%.12g b=%.12g k=%.12g gamma=%.12g ctl=%s\n",
+			rail, rail, genC0, genD0, m, b, genK, genGamma, genCtl(vctl, fNom))
+		fmt.Fprintf(&sb, "Nl%s out%s 0 g1=%.12g g3=%.12g\n", rail, rail, g1, g3)
+	}
+	fmt.Fprintf(&sb, "Gfp outp 0 inp 0 %.12g\n", gm)
+	fmt.Fprintf(&sb, "Gfn outn 0 inn 0 %.12g\n", gm)
+	fmt.Fprintf(&sb, "Gxp outp 0 outn 0 %.12g\n", gx)
+	fmt.Fprintf(&sb, "Gxn outn 0 outp 0 %.12g\n", gx)
+	fmt.Fprintf(&sb, ".ends\n")
+	for j := 0; j < stages; j++ {
+		prev := (j + stages - 1) % stages
+		if j == 0 {
+			// The single rail crossing that makes the even ring invert.
+			fmt.Fprintf(&sb, "Xs%d n%d p%d p%d n%d pdstage\n", j, prev, prev, j, j)
+		} else {
+			fmt.Fprintf(&sb, "Xs%d p%d n%d p%d n%d pdstage\n", j, prev, prev, j, j)
+		}
+	}
+	fmt.Fprintf(&sb, ".oscvar p0\n")
+	return sb.String(), nil
+}

@@ -1,0 +1,232 @@
+package netlist
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/transient"
+)
+
+func TestRingVCOParsesAndBuilds(t *testing.T) {
+	for _, stages := range []int{3, 7, 15} {
+		src, err := RingVCO(stages, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckt, err := Parse(src)
+		if err != nil {
+			t.Fatalf("stages=%d: %v", stages, err)
+		}
+		sys, err := ckt.Build()
+		if err != nil {
+			t.Fatalf("stages=%d: %v", stages, err)
+		}
+		// One node plus two MEMS mechanical states per stage.
+		if want := 3 * stages; sys.Dim() != want {
+			t.Fatalf("stages=%d: dim = %d, want %d", stages, sys.Dim(), want)
+		}
+		if sys.NumInputs() != stages {
+			t.Fatalf("stages=%d: inputs = %d, want %d", stages, sys.NumInputs(), stages)
+		}
+		k := sys.OscVar()
+		if k < 0 || sys.StateName(k) != "v(s0)" {
+			t.Fatalf("stages=%d: oscvar %d (%q), want v(s0)", stages, k, sys.StateName(k))
+		}
+	}
+}
+
+func TestRingVCORejectsBadStageCounts(t *testing.T) {
+	for _, stages := range []int{1, 4, 65, -3} {
+		if _, err := RingVCO(stages, 0); err == nil {
+			t.Fatalf("RingVCO(%d) accepted", stages)
+		}
+	}
+	for _, stages := range []int{0, 3, 32} {
+		if _, err := PseudoDiffVCO(stages, 0); err == nil {
+			t.Fatalf("PseudoDiffVCO(%d) accepted", stages)
+		}
+	}
+}
+
+func TestPseudoDiffVCOParsesAndBuilds(t *testing.T) {
+	src, err := PseudoDiffVCO(4, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := ckt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two rails per stage, each with a node and two MEMS states.
+	if want := 4 * 6; sys.Dim() != want {
+		t.Fatalf("dim = %d, want %d", sys.Dim(), want)
+	}
+	if k := sys.OscVar(); k < 0 || sys.StateName(k) != "v(p0)" {
+		t.Fatalf("oscvar %q, want v(p0)", sys.StateName(k))
+	}
+}
+
+// ringIC seeds the dominant traveling-wave mode: node s_j at cos(2π·j·k̂/N)
+// with k̂ = (N−1)/2, MEMS displacements at their electrostatic equilibrium.
+func ringIC(sys *circuit.System, stages int, vc float64) []float64 {
+	x := make([]float64, sys.Dim())
+	uEq := 0.382 * vc * vc
+	khat := float64(stages-1) / 2
+	for i := range x {
+		name := sys.StateName(i)
+		switch {
+		case strings.HasSuffix(name, "#0"):
+			x[i] = uEq
+		case strings.HasSuffix(name, "#1"):
+			x[i] = 0
+		case strings.HasPrefix(name, "v("):
+			var j int
+			if _, err := fmtSscanf(name, &j); err == nil {
+				x[i] = math.Cos(2 * math.Pi * float64(j) * khat / float64(stages))
+			}
+		}
+	}
+	return x
+}
+
+// fmtSscanf pulls the stage index out of "v(s<j>)" / "v(p<j>)" / "v(n<j>)".
+func fmtSscanf(name string, j *int) (int, error) {
+	inner := strings.TrimSuffix(strings.TrimPrefix(name, "v("), ")")
+	if len(inner) < 2 {
+		return 0, errNoIndex
+	}
+	n := 0
+	for _, r := range inner[1:] {
+		if r < '0' || r > '9' {
+			return 0, errNoIndex
+		}
+		n = 10*n + int(r-'0')
+	}
+	*j = n
+	return 1, nil
+}
+
+var errNoIndex = &parseIndexError{}
+
+type parseIndexError struct{}
+
+func (*parseIndexError) Error() string { return "no stage index" }
+
+// measureFreq estimates the oscillation frequency from upward zero crossings
+// over the trailing portion of a transient run.
+func measureFreq(res *transient.Result, k int, tMin float64) float64 {
+	var first, last float64
+	count := 0
+	for i := 1; i < len(res.T); i++ {
+		if res.T[i] < tMin {
+			continue
+		}
+		v0, v1 := res.X[i-1][k], res.X[i][k]
+		if v0 <= 0 && v1 > 0 {
+			tc := res.T[i-1] + (res.T[i]-res.T[i-1])*(-v0)/(v1-v0)
+			if count == 0 {
+				first = tc
+			}
+			last = tc
+			count++
+		}
+	}
+	if count < 2 {
+		return 0
+	}
+	return float64(count-1) / (last - first)
+}
+
+func TestRingVCOOscillatesAtNominalFreq(t *testing.T) {
+	const stages, vc = 3, 1.5
+	src, err := RingVCO(stages, vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := ckt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fNom := RingVCONominalFreq(stages, vc)
+	x0 := ringIC(sys, stages, vc)
+	tEnd := 30 / fNom
+	res, err := transient.Simulate(sys, x0, 0, tEnd, transient.Options{H: 1 / (200 * fNom)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sys.OscVar()
+	f := measureFreq(res, k, tEnd/3)
+	if math.Abs(f-fNom) > 0.1*fNom {
+		t.Fatalf("measured f = %v, nominal %v (error %.1f%%)", f, fNom, 100*math.Abs(f-fNom)/fNom)
+	}
+	// The cubic saturation pins the amplitude near 1.
+	peak := 0.0
+	for i, tt := range res.T {
+		if tt < tEnd/3 {
+			continue
+		}
+		if v := math.Abs(res.X[i][k]); v > peak {
+			peak = v
+		}
+	}
+	if peak < 0.5 || peak > 2 {
+		t.Fatalf("amplitude %v outside the saturation design range", peak)
+	}
+}
+
+func TestPseudoDiffVCOOscillatesAtNominalFreq(t *testing.T) {
+	const stages, vc = 4, 1.5
+	src, err := PseudoDiffVCO(stages, vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := ckt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fNom := PseudoDiffVCONominalFreq(stages, vc)
+	// Seed an antisymmetric (differential) wave: p rails positive phase,
+	// n rails opposite.
+	x := make([]float64, sys.Dim())
+	uEq := 0.382 * vc * vc
+	for i := range x {
+		name := sys.StateName(i)
+		switch {
+		case strings.HasSuffix(name, "#0"):
+			x[i] = uEq
+		case strings.HasPrefix(name, "v(p"):
+			var j int
+			if _, err := fmtSscanf(name, &j); err == nil {
+				x[i] = math.Cos(2 * math.Pi * float64(j) / float64(2*stages))
+			}
+		case strings.HasPrefix(name, "v(n"):
+			var j int
+			if _, err := fmtSscanf(name, &j); err == nil {
+				x[i] = -math.Cos(2 * math.Pi * float64(j) / float64(2*stages))
+			}
+		}
+	}
+	tEnd := 30 / fNom
+	res, err := transient.Simulate(sys, x, 0, tEnd, transient.Options{H: 1 / (200 * fNom)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := measureFreq(res, sys.OscVar(), tEnd/3)
+	if math.Abs(f-fNom) > 0.1*fNom {
+		t.Fatalf("measured f = %v, nominal %v (error %.1f%%)", f, fNom, 100*math.Abs(f-fNom)/fNom)
+	}
+}

@@ -14,6 +14,8 @@
 //	T<name> d g s [type=n|p] [k=<value>] [vt=<value>] [lambda=<value>]
 //	N<name> n1 n2 g1=<value> g3=<value>        (cubic negative conductor)
 //	M<name> n1 n2 c0= d0= m= b= k= gamma= ctl=<source>  (MEMS varactor)
+//	X<name> node... <subckt>                   (subcircuit instance)
+//	.subckt <name> port... / .ends             (subcircuit definition)
 //	.oscvar <node>
 //
 // Sources: DC(<v>) | SIN(<offset> <amp> <freq> [phase]) |
@@ -29,19 +31,20 @@ import (
 	"repro/internal/circuit"
 )
 
-// Parse builds a circuit from netlist text.
+// Parse builds a circuit from netlist text. Subcircuit definitions are
+// expanded first (see subckt.go), so parseLine only ever sees flat elements.
 func Parse(src string) (*circuit.Circuit, error) {
+	lines, err := expandSubckts(src)
+	if err != nil {
+		return nil, err
+	}
 	ckt := circuit.New()
-	for ln, raw := range strings.Split(src, "\n") {
-		line := strings.TrimSpace(raw)
-		if i := strings.IndexAny(line, ";"); i >= 0 {
-			line = strings.TrimSpace(line[:i])
-		}
-		if line == "" || strings.HasPrefix(line, "*") {
-			continue
-		}
-		if err := parseLine(ckt, line); err != nil {
-			return nil, fmt.Errorf("netlist: line %d: %w", ln+1, err)
+	for _, l := range lines {
+		if err := parseLine(ckt, l.text); err != nil {
+			if l.ctx != "" {
+				return nil, fmt.Errorf("netlist: line %d (in %s): %w", l.num, l.ctx, err)
+			}
+			return nil, fmt.Errorf("netlist: line %d: %w", l.num, err)
 		}
 	}
 	return ckt, nil

@@ -1,0 +1,195 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Subcircuit support: `.subckt NAME port...` / `.ends` define a reusable
+// block, and `X<name> node... NAME` instantiates it. Expansion is textual and
+// hierarchical: instance devices are renamed `<dev>.<instancePath>` (the kind
+// letter stays first), port nodes map to the instance's connections, ground
+// "0" is global, and every other node is scoped as `<instancePath>.<node>`.
+// Instances may nest; definitions may not.
+
+const (
+	// maxSubcktDepth caps instance nesting so mutually recursive definitions
+	// fail fast instead of expanding forever.
+	maxSubcktDepth = 8
+	// maxSubcktLines caps the expanded netlist size (a 63-stage ring is ~260
+	// lines; the cap only exists to bound adversarial inputs, e.g. fuzzing).
+	maxSubcktLines = 50000
+)
+
+// srcLine is one expanded netlist line: the element text, the source line it
+// came from, and the instance path it was expanded under ("" at top level).
+type srcLine struct {
+	num  int
+	ctx  string
+	text string
+}
+
+type subcktDef struct {
+	name  string
+	ports []string
+	body  []srcLine
+	line  int // the .subckt line, for missing-.ends diagnostics
+}
+
+// expandSubckts strips comments, collects subcircuit definitions, and returns
+// the fully expanded element lines in source order.
+func expandSubckts(src string) ([]srcLine, error) {
+	defs := map[string]*subcktDef{}
+	var top []srcLine
+	var cur *subcktDef
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexAny(line, ";"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" || strings.HasPrefix(line, "*") {
+			continue
+		}
+		fields := tokenize(line)
+		switch strings.ToLower(fields[0]) {
+		case ".subckt":
+			if cur != nil {
+				return nil, fmt.Errorf("netlist: line %d: .subckt inside .subckt %s", ln+1, cur.name)
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("netlist: line %d: .subckt wants a name", ln+1)
+			}
+			name := strings.ToLower(fields[1])
+			if _, dup := defs[name]; dup {
+				return nil, fmt.Errorf("netlist: line %d: duplicate .subckt %s", ln+1, name)
+			}
+			cur = &subcktDef{name: name, ports: fields[2:], line: ln + 1}
+			continue
+		case ".ends":
+			if cur == nil {
+				return nil, fmt.Errorf("netlist: line %d: .ends without .subckt", ln+1)
+			}
+			defs[cur.name] = cur
+			cur = nil
+			continue
+		}
+		sl := srcLine{num: ln + 1, text: line}
+		if cur != nil {
+			cur.body = append(cur.body, sl)
+		} else {
+			top = append(top, sl)
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("netlist: line %d: .subckt %s missing .ends", cur.line, cur.name)
+	}
+	var out []srcLine
+	for _, sl := range top {
+		if err := expandLine(sl, nil, "", defs, 0, &out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// nodeIndices returns which token positions of an element line are node
+// names, by element kind. Unknown kinds map nothing (parseLine rejects them
+// later with its own diagnostic).
+func nodeIndices(fields []string) []int {
+	head := fields[0]
+	if strings.HasPrefix(head, ".") {
+		if strings.EqualFold(head, ".oscvar") {
+			return []int{1}
+		}
+		return nil
+	}
+	switch strings.ToUpper(head[:1]) {
+	case "R", "C", "L", "D", "V", "I", "N", "M":
+		return []int{1, 2}
+	case "G":
+		return []int{1, 2, 3, 4}
+	case "T":
+		return []int{1, 2, 3}
+	}
+	return nil
+}
+
+// mapNode resolves one node name inside an instance: global ground, a port,
+// or an instance-scoped internal node.
+func mapNode(node string, portMap map[string]string, path string) string {
+	if node == "0" {
+		return "0"
+	}
+	if n, ok := portMap[node]; ok {
+		return n
+	}
+	return path + "." + node
+}
+
+// expandLine appends the element lines produced by one source line: either
+// the (possibly port-mapped) line itself, or — for an X instance — the
+// recursively expanded subcircuit body.
+func expandLine(sl srcLine, portMap map[string]string, path string, defs map[string]*subcktDef, depth int, out *[]srcLine) error {
+	fail := func(format string, args ...any) error {
+		loc := fmt.Sprintf("line %d", sl.num)
+		if sl.ctx != "" {
+			loc += fmt.Sprintf(" (in %s)", sl.ctx)
+		}
+		return fmt.Errorf("netlist: %s: %s", loc, fmt.Sprintf(format, args...))
+	}
+	fields := tokenize(sl.text)
+	if strings.ToUpper(fields[0][:1]) == "X" && !strings.HasPrefix(fields[0], ".") {
+		if len(fields) < 2 {
+			return fail("subcircuit instance %s wants nodes and a subcircuit name", fields[0])
+		}
+		def, ok := defs[strings.ToLower(fields[len(fields)-1])]
+		if !ok {
+			return fail("unknown subcircuit %q", fields[len(fields)-1])
+		}
+		if depth+1 > maxSubcktDepth {
+			return fail("subcircuit nesting deeper than %d (recursive definition?)", maxSubcktDepth)
+		}
+		nodes := fields[1 : len(fields)-1]
+		if len(nodes) != len(def.ports) {
+			return fail("subcircuit %s wants %d nodes, got %d", def.name, len(def.ports), len(nodes))
+		}
+		childPath := fields[0]
+		if path != "" {
+			childPath = path + "." + fields[0]
+		}
+		childMap := make(map[string]string, len(def.ports))
+		for i, p := range def.ports {
+			n := nodes[i]
+			if path != "" || portMap != nil {
+				n = mapNode(n, portMap, path)
+			}
+			childMap[p] = n
+		}
+		for _, bl := range def.body {
+			bl.ctx = childPath
+			if err := expandLine(bl, childMap, childPath, defs, depth+1, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if len(*out) >= maxSubcktLines {
+		return fail("expanded netlist exceeds %d lines", maxSubcktLines)
+	}
+	if path == "" {
+		*out = append(*out, sl)
+		return nil
+	}
+	// Inside an instance: scope the device name and its node tokens.
+	mapped := append([]string(nil), fields...)
+	if !strings.HasPrefix(mapped[0], ".") {
+		mapped[0] = mapped[0] + "." + path
+	}
+	for _, i := range nodeIndices(fields) {
+		if i < len(mapped) {
+			mapped[i] = mapNode(mapped[i], portMap, path)
+		}
+	}
+	*out = append(*out, srcLine{num: sl.num, ctx: path, text: strings.Join(mapped, " ")})
+	return nil
+}

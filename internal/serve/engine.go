@@ -15,6 +15,15 @@ import (
 	"repro/internal/transient"
 )
 
+// matrixFreeCutover is the bordered-system unknown count above which the
+// engine switches the WaMPDE linear solves to the matrix-free spectral
+// operator: below it the dense path's small factorizations are cheap (and
+// bitwise-historical); above it the dense Jacobian's quadratic memory and
+// cubic factorization dominate the solve. Selection depends only on the
+// canonical request (grid sizes × system dimension), so a cached response
+// stays a pure function of the request.
+const matrixFreeCutover = 1500
+
 // maxSeriesPoints bounds every time series in a response body. Longer runs
 // are decimated with a fixed stride, so the body size (and hence the cache
 // budget arithmetic) stays bounded regardless of how many steps a solve
@@ -100,6 +109,23 @@ type CircuitEngine struct{}
 
 // buildSystem compiles the canonical request's circuit.
 func (CircuitEngine) buildSystem(c *Canonical) (*circuit.System, error) {
+	if base, stages, _ := parseGeneratorCircuit(c.Circuit); base != "" {
+		// Generator circuits: render the netlist (a DC control override flows
+		// into the generated control sources) and compile it like any other.
+		src, err := generatorFor(base)(stages, c.VCtlDC)
+		if err != nil {
+			return nil, solverr.Wrap(solverr.KindBadInput, "serve.engine", err)
+		}
+		ckt, err := netlist.Parse(src)
+		if err != nil {
+			return nil, solverr.Wrap(solverr.KindUnknown, "serve.engine", err)
+		}
+		sys, err := ckt.Build()
+		if err != nil {
+			return nil, solverr.Wrap(solverr.KindUnknown, "serve.engine", err)
+		}
+		return sys, nil
+	}
 	if c.Circuit != "" {
 		p := circuit.DefaultVCOParams()
 		if c.Circuit == CircuitPaperVCOAir {
@@ -238,9 +264,13 @@ func (e CircuitEngine) envelope(ctx context.Context, sys *circuit.System, c *Can
 	if err != nil {
 		return err
 	}
-	res, err := core.Envelope(sys, xhat0, omega0, c.TStop, core.EnvelopeOptions{
+	eopt := core.EnvelopeOptions{
 		N1: c.N1, H2: c.TStop / float64(c.Steps), Trap: true, Ctx: ctx,
-	})
+	}
+	if c.N1*sys.Dim()+1 > matrixFreeCutover {
+		eopt.Linear = core.LinearMatrixFree
+	}
+	res, err := core.Envelope(sys, xhat0, omega0, c.TStop, eopt)
 	if res == nil || len(res.T2) == 0 {
 		return err
 	}
@@ -272,9 +302,13 @@ func (e CircuitEngine) quasiperiodic(ctx context.Context, sys *circuit.System, c
 	// Seed the global quasiperiodic solve from one control period of
 	// envelope following — the standard bootstrap (§4.1's natural initial
 	// condition extended along t2).
-	env, err := core.Envelope(sys, xhat0, omega0, c.Period, core.EnvelopeOptions{
+	eopt := core.EnvelopeOptions{
 		N1: c.N1, H2: c.Period / 100, Trap: true, Ctx: ctx,
-	})
+	}
+	if c.N1*sys.Dim()+1 > matrixFreeCutover {
+		eopt.Linear = core.LinearMatrixFree
+	}
+	env, err := core.Envelope(sys, xhat0, omega0, c.Period, eopt)
 	if err != nil {
 		return err
 	}
@@ -282,9 +316,11 @@ func (e CircuitEngine) quasiperiodic(ctx context.Context, sys *circuit.System, c
 	if err != nil {
 		return err
 	}
-	res, err := core.Quasiperiodic(sys, c.Period, guess, core.QPOptions{
-		N1: c.N1, N2: c.N2, Ctx: ctx,
-	})
+	qopt := core.QPOptions{N1: c.N1, N2: c.N2, Ctx: ctx}
+	if c.N1*c.N2*sys.Dim()+c.N2 > matrixFreeCutover {
+		qopt.Linear = core.LinearMatrixFree
+	}
+	res, err := core.Quasiperiodic(sys, c.Period, guess, qopt)
 	if res == nil || len(res.Omega) == 0 {
 		return err
 	}
@@ -408,34 +444,36 @@ func decimate(n int) []int {
 // all-converged case reports an empty map, elided by omitempty).
 func envelopeSupervision(r *core.EnvelopeResult) map[string]int {
 	return prune(map[string]int{
-		"newton_iter_total":     r.NewtonIterTotal,
-		"linear_solves":         r.LinearSolves,
-		"rejected_steps":        r.Rejected,
-		"jacobian_evals":        r.JacobianEvals,
-		"jacobian_reuses":       r.JacobianReuses,
-		"gmres_stagnations":     r.GMRESStagnations,
-		"gmres_breakdowns":      r.GMRESBreakdowns,
-		"linear_gmres_rescues":  r.LinearGMRESRescues,
-		"linear_lu_rescues":     r.LinearLURescues,
-		"full_newton_rescues":   r.FullNewtonRescues,
-		"damped_newton_rescues": r.DampedNewtonRescues,
-		"continuation_rescues":  r.ContinuationRescues,
-		"step_halvings":         r.StepHalvings,
+		"newton_iter_total":        r.NewtonIterTotal,
+		"linear_solves":            r.LinearSolves,
+		"rejected_steps":           r.Rejected,
+		"jacobian_evals":           r.JacobianEvals,
+		"jacobian_reuses":          r.JacobianReuses,
+		"gmres_stagnations":        r.GMRESStagnations,
+		"gmres_breakdowns":         r.GMRESBreakdowns,
+		"linear_gmres_rescues":     r.LinearGMRESRescues,
+		"linear_lu_rescues":        r.LinearLURescues,
+		"linear_sparse_lu_rescues": r.LinearSparseLURescues,
+		"full_newton_rescues":      r.FullNewtonRescues,
+		"damped_newton_rescues":    r.DampedNewtonRescues,
+		"continuation_rescues":     r.ContinuationRescues,
+		"step_halvings":            r.StepHalvings,
 	})
 }
 
 func qpSupervision(r *core.QPResult) map[string]int {
 	return prune(map[string]int{
-		"newton_iter_total":     r.NewtonIterTotal,
-		"jacobian_evals":        r.JacobianEvals,
-		"jacobian_reuses":       r.JacobianReuses,
-		"gmres_stagnations":     r.GMRESStagnations,
-		"gmres_breakdowns":      r.GMRESBreakdowns,
-		"linear_gmres_rescues":  r.LinearGMRESRescues,
-		"linear_lu_rescues":     r.LinearLURescues,
-		"full_newton_rescues":   r.FullNewtonRescues,
-		"damped_newton_rescues": r.DampedNewtonRescues,
-		"continuation_rescues":  r.ContinuationRescues,
+		"newton_iter_total":        r.NewtonIterTotal,
+		"jacobian_evals":           r.JacobianEvals,
+		"jacobian_reuses":          r.JacobianReuses,
+		"gmres_stagnations":        r.GMRESStagnations,
+		"gmres_breakdowns":         r.GMRESBreakdowns,
+		"linear_gmres_rescues":     r.LinearGMRESRescues,
+		"linear_lu_rescues":        r.LinearLURescues,
+		"linear_sparse_lu_rescues": r.LinearSparseLURescues,
+		"full_newton_rescues":      r.FullNewtonRescues,
+		"damped_newton_rescues":    r.DampedNewtonRescues,
+		"continuation_rescues":     r.ContinuationRescues,
 	})
 }
 

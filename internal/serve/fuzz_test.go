@@ -24,6 +24,11 @@ func FuzzDecodeRequest(f *testing.F) {
 		`{"netlist":"L1 tank 0 10u esr=5\nN1 tank 0 g1=-10m g3=3.3m\n.oscvar tank\n","analysis":"shooting","options":{"f0":7.5e5}}`,
 		`{"circuit":"paper-vco","analysis":"hb","options":{"nharm":33}}`,
 		`{"circuit":"paper-vco","analysis":"quasiperiodic","options":{"period":4e-5,"n1":17,"n2":15}}`,
+		`{"circuit":"ring-vco?stages=15","analysis":"envelope","options":{"tstop":2e-5}}`,
+		`{"circuit":"pseudodiff-vco?stages=4","vctl_dc":1.5,"analysis":"transient","options":{"tstop":1e-6,"h":1e-8}}`,
+		`{"circuit":"ring-vco?stages=4","analysis":"transient","options":{"tstop":1e-6,"h":1e-8}}`,
+		`{"circuit":"ring-vco?stages=","analysis":"transient","options":{"tstop":1e-6,"h":1e-8}}`,
+		`{"circuit":"pseudodiff-vco","analysis":"transient","options":{"tstop":1e-6,"h":1e-8}}`,
 		// Known-bad shapes the decoder must reject cleanly.
 		`{"circuit":"paper-vco","netlist":"R1 a 0 1k","analysis":"transient"}`,
 		`{"analysis":"transient","options":{"tstop":1e300,"h":1e-300}}`,

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestCanonicalizeGeneratorCircuits(t *testing.T) {
+	opts := RequestOptions{TStop: 1e-6, H: 1e-8}
+	a := Request{Circuit: "ring-vco?stages=15", Analysis: AnalysisTransient, Options: opts}
+	b := Request{Circuit: "ring-vco?stages=015", Analysis: AnalysisTransient, Options: opts}
+	ca, err := a.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.Circuit != "ring-vco?stages=15" {
+		t.Fatalf("canonical circuit %q, want normalized spelling", ca.Circuit)
+	}
+	if ca.Hash() != cb.Hash() {
+		t.Fatal("equivalent stages spellings canonicalize to different hashes")
+	}
+
+	// The envelope frequency default is the ring's designed frequency at the
+	// effective control bias, not the paper VCO's.
+	env := Request{Circuit: "pseudodiff-vco?stages=4", VCtlDC: 2.0,
+		Analysis: AnalysisEnvelope, Options: RequestOptions{TStop: 1e-5}}
+	ce, err := env.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := netlist.PseudoDiffVCONominalFreq(4, 2.0); ce.F0 != want {
+		t.Fatalf("default f0 = %v, want generator nominal %v", ce.F0, want)
+	}
+
+	bad := []string{
+		"ring-vco",                // missing parameter
+		"ring-vco?stages=",        // empty stages
+		"ring-vco?stages=x",       // non-integer
+		"ring-vco?stage=3",        // unknown parameter
+		"ring-vco?stages=4",       // even stage count on the odd ring
+		"ring-vco?stages=65",      // above the cap
+		"pseudodiff-vco?stages=3", // odd stage count on the even ring
+		"pseudodiff-vco?stages=0",
+		"ring-vco-extra",
+	}
+	for _, name := range bad {
+		req := Request{Circuit: name, Analysis: AnalysisTransient, Options: opts}
+		if _, err := req.Canonicalize(); err == nil {
+			t.Fatalf("circuit %q canonicalized", name)
+		}
+	}
+}
+
+func TestEngineSolvesRingVCOTransient(t *testing.T) {
+	req := Request{Circuit: "ring-vco?stages=3", VCtlDC: 1.5,
+		Analysis: AnalysisTransient, Options: RequestOptions{TStop: 2e-6, H: 1e-8}}
+	c, err := req.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := CircuitEngine{}.Solve(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Transient == nil {
+		t.Fatal("no transient outcome")
+	}
+	if out.Transient.Var != "v(s0)" {
+		t.Fatalf("observed var %q, want the ring's .oscvar v(s0)", out.Transient.Var)
+	}
+	if got := len(out.Transient.Final); got != 9 {
+		t.Fatalf("final state dim = %d, want 9 (3 stages × 3 states)", got)
+	}
+}
+
+func TestEngineRejectsGeneratedEnvelopeWithoutStages(t *testing.T) {
+	// A named generator circuit must never reach buildSystem un-normalized;
+	// the decode layer owns the failure.
+	req := Request{Circuit: "pseudodiff-vco?stages=31", Analysis: AnalysisEnvelope,
+		Options: RequestOptions{TStop: 1e-5}}
+	if _, err := req.Canonicalize(); err == nil || !strings.Contains(err.Error(), "stages") {
+		t.Fatalf("err = %v, want a stages bound failure", err)
+	}
+}

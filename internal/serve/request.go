@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 	"strings"
 
 	"repro/internal/circuit"
@@ -23,6 +24,12 @@ const (
 	CircuitPaperVCO = "paper-vco"
 	// CircuitPaperVCOAir is the air-damped configuration (Figures 10–12).
 	CircuitPaperVCOAir = "paper-vco-air"
+	// CircuitRingVCO is the generated N-stage single-ended ring VCO; requests
+	// spell it "ring-vco?stages=N" (N odd, netlist.RingStagesMin..Max).
+	CircuitRingVCO = "ring-vco"
+	// CircuitPseudoDiffVCO is the generated pseudodifferential ring,
+	// "pseudodiff-vco?stages=N" (N even, netlist.PDStagesMin..Max).
+	CircuitPseudoDiffVCO = "pseudodiff-vco"
 )
 
 // Analysis kinds.
@@ -128,6 +135,41 @@ func badInput(format string, args ...any) error {
 	return solverr.New(solverr.KindBadInput, "serve.request", format, args...)
 }
 
+// parseGeneratorCircuit recognizes the generated named circuits
+// ("ring-vco?stages=N", "pseudodiff-vco?stages=N"). base is "" when s does
+// not name a generator circuit at all; a recognized base with a malformed or
+// missing stages parameter is an error. Stage-count bounds and parity are
+// left to the generator itself.
+func parseGeneratorCircuit(s string) (base string, stages int, err error) {
+	for _, b := range []string{CircuitRingVCO, CircuitPseudoDiffVCO} {
+		if s == b || strings.HasPrefix(s, b+"?") {
+			base = b
+			break
+		}
+	}
+	if base == "" {
+		return "", 0, nil
+	}
+	rest := strings.TrimPrefix(s, base)
+	val, ok := strings.CutPrefix(rest, "?stages=")
+	if !ok {
+		return "", 0, badInput("circuit %s takes exactly one parameter: %s?stages=N", base, base)
+	}
+	stages, aerr := strconv.Atoi(val)
+	if aerr != nil {
+		return "", 0, badInput("circuit %s: stages %q is not an integer", base, val)
+	}
+	return base, stages, nil
+}
+
+// generatorFor maps a generator circuit base name to its netlist generator.
+func generatorFor(base string) func(int, float64) (string, error) {
+	if base == CircuitPseudoDiffVCO {
+		return netlist.PseudoDiffVCO
+	}
+	return netlist.RingVCO
+}
+
 // DecodeRequest parses one JSON request from r. It is strict — unknown
 // fields and trailing garbage are rejected — so a typoed option name
 // cannot silently canonicalize to a different solve than the caller meant.
@@ -164,10 +206,25 @@ func (r *Request) Canonicalize() (*Canonical, error) {
 	case hasNamed == hasNetlist:
 		return nil, badInput("exactly one of circuit and netlist is required")
 	case hasNamed:
-		if r.Circuit != CircuitPaperVCO && r.Circuit != CircuitPaperVCOAir {
-			return nil, badInput("unknown circuit %q (want %s or %s)", r.Circuit, CircuitPaperVCO, CircuitPaperVCOAir)
+		base, stages, err := parseGeneratorCircuit(r.Circuit)
+		if err != nil {
+			return nil, err
 		}
-		c.Circuit = r.Circuit
+		switch {
+		case base != "":
+			// Validate stages by generating (the generator owns the bounds
+			// and parity rules), and normalize the spelling so e.g.
+			// "stages=015" canonicalizes identically to "stages=15".
+			if _, gerr := generatorFor(base)(stages, 0); gerr != nil {
+				return nil, badInput("%v", gerr)
+			}
+			c.Circuit = fmt.Sprintf("%s?stages=%d", base, stages)
+		case r.Circuit == CircuitPaperVCO || r.Circuit == CircuitPaperVCOAir:
+			c.Circuit = r.Circuit
+		default:
+			return nil, badInput("unknown circuit %q (want %s, %s, %s?stages=N or %s?stages=N)",
+				r.Circuit, CircuitPaperVCO, CircuitPaperVCOAir, CircuitRingVCO, CircuitPseudoDiffVCO)
+		}
 		if r.VCtlDC != 0 {
 			if !finitePos(r.VCtlDC) || r.VCtlDC > MaxVCtl {
 				return nil, badInput("vctl_dc must be in (0, %g], got %v", MaxVCtl, r.VCtlDC)
@@ -195,6 +252,18 @@ func (r *Request) Canonicalize() (*Canonical, error) {
 		c.Netlist = strings.ReplaceAll(r.Netlist, "\r\n", "\n")
 	}
 
+	// Frequency-guess default: the paper VCO's nominal, or — for generator
+	// circuits — the ring's designed oscillation frequency at the effective
+	// control bias.
+	f0def := circuit.VCONominalFreq
+	if base, stages, _ := parseGeneratorCircuit(c.Circuit); base != "" {
+		vc := c.VCtlDC
+		if vc == 0 {
+			vc = netlist.VctlDefault
+		}
+		f0def = netlist.RingVCONominalFreq(stages, vc)
+	}
+
 	o := r.Options
 	switch r.Analysis {
 	case AnalysisEnvelope:
@@ -204,7 +273,7 @@ func (r *Request) Canonicalize() (*Canonical, error) {
 		c.TStop = o.TStop
 		c.N1 = defaultInt(o.N1, 25)
 		c.Steps = defaultInt(o.Steps, 400)
-		c.F0 = defaultFloat(o.F0, circuit.VCONominalFreq)
+		c.F0 = defaultFloat(o.F0, f0def)
 		if c.N1 > MaxN1 || c.N1 < 5 {
 			return nil, badInput("options.n1 must be in [5, %d], got %d", MaxN1, c.N1)
 		}
@@ -221,7 +290,7 @@ func (r *Request) Canonicalize() (*Canonical, error) {
 		c.Period = o.Period
 		c.N1 = defaultInt(o.N1, 17)
 		c.N2 = defaultInt(o.N2, 15)
-		c.F0 = defaultFloat(o.F0, circuit.VCONominalFreq)
+		c.F0 = defaultFloat(o.F0, f0def)
 		if c.N1 > MaxN1 || c.N1 < 5 {
 			return nil, badInput("options.n1 must be in [5, %d], got %d", MaxN1, c.N1)
 		}
@@ -248,7 +317,7 @@ func (r *Request) Canonicalize() (*Canonical, error) {
 			// Autonomous shooting: needs a frequency guess and an
 			// oscillation variable (checked at build time for netlists,
 			// always present on the named VCOs).
-			c.F0 = defaultFloat(o.F0, circuit.VCONominalFreq)
+			c.F0 = defaultFloat(o.F0, f0def)
 			if !finitePos(c.F0) {
 				return nil, badInput("options.f0 must be positive and finite")
 			}
@@ -264,7 +333,7 @@ func (r *Request) Canonicalize() (*Canonical, error) {
 			return nil, badInput("options.period must be positive and finite")
 		}
 		if o.Period == 0 {
-			c.F0 = defaultFloat(o.F0, circuit.VCONominalFreq)
+			c.F0 = defaultFloat(o.F0, f0def)
 			if !finitePos(c.F0) {
 				return nil, badInput("options.f0 must be positive and finite")
 			}

@@ -1,0 +1,151 @@
+package wampde_test
+
+// BenchmarkRingScaling pins the scaling claim behind the matrix-free spectral
+// WaMPDE operator: envelope-following on the generated N-stage ring VCO, dense
+// bordered Jacobian versus core.LinearMatrixFree, as the circuit grows. Each
+// step's bordered system has N1·(3·stages)+1 unknowns, so the dense path's
+// O(total³) factorizations fall behind the matrix-free path's O(total·log N1)
+// matvecs as stages grows; `ci.sh ring-bench` snapshots the curve into
+// BENCH_pr7.json and `ci.sh ring-bench-check` gates that matrix-free wins
+// from 15 stages up (see cmd/benchjson -ring-gate).
+//
+// The envelope starts from the true limit cycle: the standard settle+shoot
+// preamble (core.InitialCondition), seeded with the analytic dominant-mode
+// wave the generator designs for (see internal/netlist/generate.go) and
+// cached per stage count, runs outside the timer, so both modes solve the
+// identical sequence of envelope steps and only the step linear algebra is
+// measured.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+// ringBenchStages is the scaling sweep. It stops at 31 stages (32·93+1 =
+// 2977 unknowns, 2× past the serving layer's matrix-free cutover): the bound
+// is the shared settle+shoot preamble, not the envelope under test —
+// autonomous shooting builds its monodromy by central finite differences
+// (2n transits per Newton iteration), which at 63 stages (189 states) burns
+// more than half an hour on one core before a single op is measured, for
+// either mode. A large-N preamble that scales (iterative/adjoint monodromy,
+// or warm continuation across stage counts) is ROADMAP work; the generators
+// themselves go to 63.
+var ringBenchStages = []int{3, 7, 15, 31}
+
+func ringBenchSystem(b *testing.B, stages int) *circuit.System {
+	b.Helper()
+	src, err := netlist.RingVCO(stages, 0) // default slow control sweep
+	if err != nil {
+		b.Fatal(err)
+	}
+	ckt, err := netlist.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := ckt.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// ringStageIndex parses the stage number out of a ring state name
+// ("v(s12)" → 12).
+func ringStageIndex(name string) (int, bool) {
+	inner := strings.TrimSuffix(strings.TrimPrefix(name, "v("), ")")
+	if len(inner) < 2 {
+		return 0, false
+	}
+	j := 0
+	for _, r := range inner[1:] {
+		if r < '0' || r > '9' {
+			return 0, false
+		}
+		j = 10*j + int(r-'0')
+	}
+	return j, true
+}
+
+// ringWaveGuess is the analytic dominant-mode state at t = 0: stage k at
+// cos(−2π·k·k̂/N) with k̂ = (N−1)/2 (the traveling-wave mode the generator's
+// gain margin selects, amplitude 1 by the cubic's describing function), MEMS
+// displacements at their electrostatic equilibrium. It seeds the settling
+// transient inside core.InitialCondition.
+func ringWaveGuess(sys *circuit.System, stages int) []float64 {
+	khat := float64(stages-1) / 2
+	uEq := 0.382 * netlist.VctlDefault * netlist.VctlDefault
+	x := make([]float64, sys.Dim())
+	for i := range x {
+		name := sys.StateName(i)
+		switch {
+		case strings.HasSuffix(name, "#0"):
+			x[i] = uEq
+		case strings.HasSuffix(name, "#1"):
+			x[i] = 0
+		default:
+			if k, ok := ringStageIndex(name); ok {
+				x[i] = math.Cos(-2 * math.Pi * float64(k) * khat / float64(stages))
+			}
+		}
+	}
+	return x
+}
+
+// ringICCache memoizes the settle+shoot initial condition per stage count,
+// exactly like vcoICCache does for the paper VCO, so -cpu reruns and the
+// dense/matfree pair share one preamble.
+var ringICCache sync.Map // stages -> *vcoICEntry
+
+func prepRingIC(b *testing.B, sys *circuit.System, stages, n1 int) ([]float64, float64) {
+	b.Helper()
+	v, _ := ringICCache.LoadOrStore(stages, &vcoICEntry{})
+	e := v.(*vcoICEntry)
+	e.once.Do(func() {
+		fNom := netlist.RingVCONominalFreq(stages, netlist.VctlDefault)
+		e.ic, e.w0, e.err = core.InitialCondition(sys, ringWaveGuess(sys, stages), 1/fNom,
+			core.ICOptions{N1: n1})
+	})
+	if e.err != nil {
+		b.Fatal(e.err)
+	}
+	return e.ic, e.w0
+}
+
+func BenchmarkRingScaling(b *testing.B) {
+	// Power-of-two collocation: at N1=25 every spectral matvec pays the
+	// Bluestein chirp path (three padded 64-point FFTs per transform), which
+	// dominates the matrix-free profile; N1=32 keeps the differentiation on
+	// the radix-2 path — the configuration anyone scaling N1 up would pick.
+	const n1 = 32
+	for _, stages := range ringBenchStages {
+		for _, mode := range []string{"dense", "matfree"} {
+			b.Run(fmt.Sprintf("stages=%d/%s", stages, mode), func(b *testing.B) {
+				sys := ringBenchSystem(b, stages)
+				fNom := netlist.RingVCONominalFreq(stages, netlist.VctlDefault)
+				xhat0, w0 := prepRingIC(b, sys, stages, n1)
+				h2 := 20 / fNom
+				opt := core.EnvelopeOptions{
+					N1: n1, H2: h2, Trap: true, ChordNewton: true,
+				}
+				if mode == "matfree" {
+					opt.Linear = core.LinearMatrixFree
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := core.Envelope(sys, xhat0, w0, 3*h2, opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sinkF = res.Omega[len(res.Omega)-1]
+				}
+			})
+		}
+	}
+}
