@@ -59,6 +59,24 @@
 #               part of "all" — refresh deliberately.
 #   sweep-bench-check rerun the sweep phases and compare against the
 #               committed baseline with cmd/benchjson -check.
+#   cluster     3-node cluster tier: race-builds wampde-server and
+#               wampde-load, boots three nodes on free ports (-addr-file +
+#               @file peer resolution) with disk stores and prewarm, and
+#               runs the -cluster gates: mix (every request posted to every
+#               node twice — bitwise-identical bodies from all nodes, exactly
+#               one engine solve per distinct hash cluster-wide, forwarding
+#               exercised), then kills and restarts node 1 on the same port
+#               and gates the warm start (replays byte-identical with zero
+#               engine solves anywhere; the restarted node's prewarm came
+#               back from its disk store), then kills node 3 and gates
+#               degradation (fresh load against the survivors: all 200, no
+#               5xx, ≥1 forward fallback).
+#   cluster-bench rerun the cluster mix against a plain (non-race) build and
+#               snapshot throughput/latency/forward-latency lines to a
+#               baseline file (second argument, default BENCH_pr8.json) via
+#               cmd/benchjson. Not part of "all" — refresh deliberately.
+#   cluster-bench-check rerun the cluster mix and compare against the
+#               committed baseline with cmd/benchjson -check.
 #
 # Run ./ci.sh for everything, ./ci.sh 1 / ./ci.sh 2 for one tier,
 # ./ci.sh bench [FILE] to refresh a baseline, or ./ci.sh bench-check [FILE]
@@ -186,6 +204,103 @@ if [ "$tier" = sweep-bench-check ]; then
 	benchfile="${2:-BENCH_pr6.json}"
 	echo "== sweep-bench-check: comparing sweep amortization against $benchfile"
 	run_sweep_pass "" -bench
+	go run ./cmd/benchjson -check "$benchfile" <"$loadout"
+fi
+
+# One full pass of the 3-node cluster story. Node logs land in
+# $WAMPDE_LOG_DIR when set (CI uploads them on failure), else in the temp dir.
+#   $1: go build flags ("-race" or "")
+#   $2: mode (check | bench)
+run_cluster() {
+	buildflags="$1"
+	mode="$2"
+	tmp="$(mktemp -d)"
+	logdir="${WAMPDE_LOG_DIR:-$tmp}"
+	mkdir -p "$logdir"
+	trap 'for p in "$tmp"/pid*; do kill "$(cat "$p")" 2>/dev/null || true; done; rm -rf "$tmp"' EXIT
+	# shellcheck disable=SC2086 # buildflags is deliberately word-split
+	go build $buildflags -o "$tmp/wampde-server" ./cmd/wampde-server
+	go build $buildflags -o "$tmp/wampde-load" ./cmd/wampde-load
+	peers="@$tmp/addr1,@$tmp/addr2,@$tmp/addr3"
+
+	start_node() { # $1: node number, $2: listen address
+		"$tmp/wampde-server" -addr "$2" -addr-file "$tmp/addr$1" \
+			-store-dir "$tmp/store$1" -prewarm -peers "$peers" \
+			-workers 2 -queue 8 -solver-workers 1 \
+			>>"$logdir/cluster-node$1.log" 2>&1 &
+		echo $! >"$tmp/pid$1"
+	}
+	stop_node() { # $1: node number
+		kill "$(cat "$tmp/pid$1")" 2>/dev/null || true
+		wait "$(cat "$tmp/pid$1")" 2>/dev/null || true
+	}
+
+	start_node 1 127.0.0.1:0
+	start_node 2 127.0.0.1:0
+	start_node 3 127.0.0.1:0
+	for n in 1 2 3; do
+		i=0
+		while [ ! -s "$tmp/addr$n" ]; do
+			i=$((i + 1))
+			[ "$i" -gt 100 ] && { echo "ci: cluster node $n did not start" >&2; exit 1; }
+			sleep 0.1
+		done
+	done
+	addr1="$(cat "$tmp/addr1")"
+	addr2="$(cat "$tmp/addr2")"
+	addr3="$(cat "$tmp/addr3")"
+	nodes="http://$addr1,http://$addr2,http://$addr3"
+	for a in "$addr1" "$addr2" "$addr3"; do
+		"$tmp/wampde-load" -wait-ready "http://$a"
+	done
+
+	echo "-- cluster: mix phase (byte-identity + global single-flight)"
+	mixflags="-check"
+	[ "$mode" = bench ] && mixflags="-check -bench"
+	# shellcheck disable=SC2086 # mixflags is deliberately word-split
+	if ! "$tmp/wampde-load" -cluster "$nodes" -cluster-phase mix \
+		-cluster-bodies "$tmp/bodies.json" -distinct 16 $mixflags >"$loadout"; then
+		cat "$loadout"
+		echo "ci: cluster mix phase failed" >&2
+		exit 1
+	fi
+	cat "$loadout"
+
+	echo "-- cluster: killing node 1 and restarting it on $addr1 (warm disk store)"
+	stop_node 1
+	start_node 1 "$addr1"
+	"$tmp/wampde-load" -wait-ready "http://$addr1"
+	"$tmp/wampde-load" -cluster "$nodes" -cluster-phase restart \
+		-cluster-bodies "$tmp/bodies.json" -cluster-restarted "http://$addr1" -check
+
+	echo "-- cluster: killing node 3 and gating degradation on the survivors"
+	stop_node 3
+	"$tmp/wampde-load" -cluster "http://$addr1,http://$addr2" \
+		-cluster-phase down -distinct 24 -check
+
+	stop_node 1
+	stop_node 2
+	trap - EXIT
+	rm -rf "$tmp"
+}
+
+if [ "$tier" = cluster ] || [ "$tier" = all ]; then
+	echo "== cluster: 3-node sharded serving gates (race detector)"
+	run_cluster -race check
+fi
+
+if [ "$tier" = cluster-bench ]; then
+	benchfile="${2:-BENCH_pr8.json}"
+	echo "== cluster-bench: snapshotting cluster mix numbers to $benchfile"
+	run_cluster "" bench
+	go run ./cmd/benchjson <"$loadout" >"$benchfile"
+	cat "$benchfile"
+fi
+
+if [ "$tier" = cluster-bench-check ]; then
+	benchfile="${2:-BENCH_pr8.json}"
+	echo "== cluster-bench-check: comparing cluster mix against $benchfile"
+	run_cluster "" bench
 	go run ./cmd/benchjson -check "$benchfile" <"$loadout"
 fi
 

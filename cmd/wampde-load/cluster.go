@@ -1,0 +1,365 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Cluster phases. -cluster takes the base URLs of every live node and drives
+// the whole membership through one of three gated phases:
+//
+//   - mix: every distinct request is posted to every node, twice (the second
+//     round shuffled). Gates: all 200, responses for the same request are
+//     bitwise identical no matter which node served them, the cluster solved
+//     each distinct hash exactly once (global single-flight through
+//     forwarding), and forwarding actually happened. Saves the canonical
+//     bodies to -cluster-bodies for the restart phase.
+//   - restart: replays the saved bodies against the one restarted node
+//     (-cluster-restarted). Gates: all 200 and byte-identical to the saved
+//     bodies, zero new engine solves anywhere in the cluster (the restarted
+//     node serves from its disk store or forwards to warm peers), and the
+//     restarted node's boot showed disk activity (disk_hits ≥ 1,
+//     prewarm_skipped ≥ 1 — its prewarm set came back from disk).
+//   - down: -cluster lists only the surviving nodes. Fresh distinct requests
+//     are spread across them. Gates: all 200 with zero 5xx (the dead owner's
+//     share degrades to local solves, it does not error), and at least one
+//     forward fallback was taken.
+
+// waitReady polls url/healthz until the body reports `"ready":true` (prewarm
+// finished), the stand-in for curl in `ci.sh cluster`.
+func waitReady(url string, timeout time.Duration) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(timeout)
+	var last error
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(strings.TrimRight(url, "/") + "/healthz")
+		if err == nil {
+			body, rerr := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if rerr == nil && resp.StatusCode == 200 && bytes.Contains(body, []byte(`"ready":true`)) {
+				return nil
+			}
+			last = fmt.Errorf("status %d (%.200s)", resp.StatusCode, body)
+		} else {
+			last = err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("%s not ready within %v: %v", url, timeout, last)
+}
+
+// postTo is h.post against an explicit node instead of the fixed -url.
+func (h *harness) postTo(base, body string) (status int, xcache string, data []byte, err error) {
+	resp, err := h.client.Post(strings.TrimRight(base, "/")+"/v1/simulate", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	data, err = io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header.Get("X-Cache"), data, err
+}
+
+func (h *harness) metricsAt(base, phase string) map[string]int64 {
+	resp, err := h.client.Get(strings.TrimRight(base, "/") + "/metrics")
+	if err != nil {
+		h.errf("%s: metrics %s: %v", phase, base, err)
+		return nil
+	}
+	defer resp.Body.Close()
+	m := map[string]int64{}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		h.errf("%s: metrics %s decode: %v", phase, base, err)
+		return nil
+	}
+	return m
+}
+
+// clusterMetrics snapshots every node's counters, index-aligned with nodes.
+func (h *harness) clusterMetrics(nodes []string, phase string) []map[string]int64 {
+	out := make([]map[string]int64, len(nodes))
+	for i, n := range nodes {
+		if out[i] = h.metricsAt(n, phase); out[i] == nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// sumDelta totals key across the cluster between two snapshots.
+func sumDelta(m0, m1 []map[string]int64, key string) int64 {
+	var d int64
+	for i := range m1 {
+		d += m1[i][key] - m0[i][key]
+	}
+	return d
+}
+
+// clusterBody is one saved canonical response: the request that produced it
+// and the exact bytes every node must keep returning for it.
+type clusterBody struct {
+	Req  string          `json:"req"`
+	Body json.RawMessage `json:"body"`
+}
+
+// runClusterMix is the healthy-cluster phase: D distinct requests, each
+// posted to every node twice (second round in seeded-shuffled order).
+func runClusterMix(h *harness, nodes []string, bodiesPath string, distinct int, seed int64, check, bench bool) {
+	reqs := make([]string, distinct)
+	for i := range reqs {
+		reqs[i] = sweepRequest(1.5+0.05*float64(i), 2e-6, 1e-8)
+	}
+	m0 := h.clusterMetrics(nodes, "cluster-mix")
+	if m0 == nil {
+		return
+	}
+
+	// Round 1 in order, round 2 shuffled: the second visit to any (request,
+	// node) pair must be served from a cache tier somewhere, and all replies
+	// for a request must be the same bytes regardless of the serving node.
+	type post struct{ req, node int }
+	var posts []post
+	for i := range reqs {
+		for n := range nodes {
+			posts = append(posts, post{i, n})
+		}
+	}
+	round2 := append([]post(nil), posts...)
+	rand.New(rand.NewSource(seed)).Shuffle(len(round2), func(i, j int) { round2[i], round2[j] = round2[j], round2[i] })
+	posts = append(posts, round2...)
+
+	canonical := make([][]byte, distinct)
+	var lat []time.Duration
+	bad := 0
+	t0 := time.Now()
+	for _, p := range posts {
+		pt0 := time.Now()
+		status, _, body, err := h.postTo(nodes[p.node], reqs[p.req])
+		lat = append(lat, time.Since(pt0))
+		if err != nil || status != 200 {
+			h.errf("cluster-mix: req %d via node %d: status %d err %v", p.req, p.node, status, err)
+			bad++
+			continue
+		}
+		if canonical[p.req] == nil {
+			canonical[p.req] = body
+		} else if !bytes.Equal(canonical[p.req], body) {
+			h.errf("cluster-mix: req %d: node %d returned different bytes than the first reply", p.req, p.node)
+			bad++
+		}
+	}
+	elapsed := time.Since(t0)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+
+	m1 := h.clusterMetrics(nodes, "cluster-mix")
+	if m1 == nil {
+		return
+	}
+	solves := sumDelta(m0, m1, "solves")
+	fwdOK := sumDelta(m0, m1, "forward_ok")
+	fwdIn := sumDelta(m0, m1, "forwarded_in")
+	fwdNS := sumDelta(m0, m1, "forward_ns")
+	fmt.Printf("cluster-mix: %d posts (%d distinct x %d nodes x 2 rounds) in %v — %d engine solves, %d forwards served, %d forwarded-in\n",
+		len(posts), distinct, len(nodes), elapsed.Round(time.Millisecond), solves, fwdOK, fwdIn)
+	fmt.Printf("cluster-mix: latency p50 %v  p99 %v  max %v\n",
+		percentile(lat, 0.50).Round(time.Microsecond), percentile(lat, 0.99).Round(time.Microsecond),
+		lat[len(lat)-1].Round(time.Microsecond))
+
+	if check {
+		if bad > 0 {
+			h.errf("cluster-mix: %d failed or divergent posts", bad)
+		}
+		if solves != int64(distinct) {
+			h.errf("cluster-mix: cluster solved %d times for %d distinct hashes, want exactly one solve per hash", solves, distinct)
+		}
+		if fwdOK < 1 {
+			h.errf("cluster-mix: no successful forwards — cross-node ownership never exercised")
+		}
+		if fwdIn < 1 {
+			h.errf("cluster-mix: no node received a forwarded request")
+		}
+	}
+	if bench {
+		fmt.Printf("BenchmarkClusterMix %d %d ns/op\n", len(posts), elapsed.Nanoseconds()/int64(len(posts)))
+		fmt.Printf("BenchmarkClusterMixP99 1 %d ns/op\n", percentile(lat, 0.99).Nanoseconds())
+		if fwdOK > 0 {
+			fmt.Printf("BenchmarkClusterForward %d %d ns/op\n", fwdOK, fwdNS/fwdOK)
+		}
+	}
+
+	if bodiesPath != "" {
+		saved := make([]clusterBody, 0, distinct)
+		for i, b := range canonical {
+			if b != nil {
+				saved = append(saved, clusterBody{Req: reqs[i], Body: b})
+			}
+		}
+		data, err := json.Marshal(saved)
+		if err == nil {
+			err = os.WriteFile(bodiesPath, data, 0o644)
+		}
+		if err != nil {
+			h.errf("cluster-mix: saving bodies to %s: %v", bodiesPath, err)
+		}
+	}
+}
+
+// runClusterRestart replays the mix phase's saved bodies against a node that
+// was killed and restarted onto its disk store.
+func runClusterRestart(h *harness, nodes []string, restarted, bodiesPath string, check bool) {
+	if restarted == "" || bodiesPath == "" {
+		h.errf("cluster-restart: -cluster-restarted and -cluster-bodies are required")
+		return
+	}
+	data, err := os.ReadFile(bodiesPath)
+	if err != nil {
+		h.errf("cluster-restart: %v", err)
+		return
+	}
+	var saved []clusterBody
+	if err := json.Unmarshal(data, &saved); err != nil {
+		h.errf("cluster-restart: decoding %s: %v", bodiesPath, err)
+		return
+	}
+	if len(saved) == 0 {
+		h.errf("cluster-restart: %s holds no bodies", bodiesPath)
+		return
+	}
+
+	m0 := h.clusterMetrics(nodes, "cluster-restart")
+	if m0 == nil {
+		return
+	}
+	bad := 0
+	for i, s := range saved {
+		status, _, body, err := h.postTo(restarted, s.Req)
+		if err != nil || status != 200 {
+			h.errf("cluster-restart: replay %d: status %d err %v", i, status, err)
+			bad++
+			continue
+		}
+		if !bytes.Equal(body, s.Body) {
+			h.errf("cluster-restart: replay %d: bytes differ from the pre-restart reply", i)
+			bad++
+		}
+	}
+	m1 := h.clusterMetrics(nodes, "cluster-restart")
+	if m1 == nil {
+		return
+	}
+	solves := sumDelta(m0, m1, "solves")
+
+	// Absolute counters on the restarted node: its boot prewarm must have
+	// found the named circuits already on disk (disk_hits counts the loads,
+	// prewarm_skipped the entries it therefore did not re-solve).
+	var ri = -1
+	for i, n := range nodes {
+		if strings.TrimRight(n, "/") == strings.TrimRight(restarted, "/") {
+			ri = i
+		}
+	}
+	var diskHits, prewarmSkipped int64 = -1, -1
+	if ri >= 0 {
+		diskHits, prewarmSkipped = m1[ri]["disk_hits"], m1[ri]["prewarm_skipped"]
+	} else if m := h.metricsAt(restarted, "cluster-restart"); m != nil {
+		diskHits, prewarmSkipped = m["disk_hits"], m["prewarm_skipped"]
+	}
+	fmt.Printf("cluster-restart: replayed %d bodies against the restarted node — %d new solves cluster-wide, restarted disk_hits=%d prewarm_skipped=%d\n",
+		len(saved), solves, diskHits, prewarmSkipped)
+
+	if check {
+		if bad > 0 {
+			h.errf("cluster-restart: %d failed or divergent replays", bad)
+		}
+		if solves != 0 {
+			h.errf("cluster-restart: %d engine solves during replay, want 0 (warm tiers must carry the whole set)", solves)
+		}
+		if diskHits < 1 {
+			h.errf("cluster-restart: restarted node disk_hits=%d, want ≥1 (disk store never served)", diskHits)
+		}
+		if prewarmSkipped < 1 {
+			h.errf("cluster-restart: restarted node prewarm_skipped=%d, want ≥1 (prewarm re-solved a warm store)", prewarmSkipped)
+		}
+	}
+}
+
+// runClusterDown drives fresh load with one owner dead: -cluster lists only
+// the survivors. Requests whose hash the dead node owns must degrade to
+// local solves (forward fallback), never to errors.
+func runClusterDown(h *harness, nodes []string, distinct int, check bool) {
+	m0 := h.clusterMetrics(nodes, "cluster-down")
+	if m0 == nil {
+		return
+	}
+	bad, fiveXX, posted := 0, 0, 0
+	var fallbacks int64
+	// A fresh voltage family per attempt; with ~1/3 of hash space owned by
+	// the dead node one family all but guarantees a fallback, the retry
+	// covers the astronomically unlucky draw.
+	for attempt := 0; attempt < 3; attempt++ {
+		for i := 0; i < distinct; i++ {
+			req := sweepRequest(5.0+0.05*float64(attempt*distinct+i), 2e-6, 1e-8)
+			status, _, _, err := h.postTo(nodes[i%len(nodes)], req)
+			posted++
+			if err != nil || status != 200 {
+				h.errf("cluster-down: req %d: status %d err %v", attempt*distinct+i, status, err)
+				bad++
+			}
+			if status >= 500 {
+				fiveXX++
+			}
+		}
+		m1 := h.clusterMetrics(nodes, "cluster-down")
+		if m1 == nil {
+			return
+		}
+		if fallbacks = sumDelta(m0, m1, "forward_fallbacks"); fallbacks >= 1 {
+			break
+		}
+	}
+	fmt.Printf("cluster-down: %d fresh requests against %d survivors — %d forward fallbacks, %d 5xx\n",
+		posted, len(nodes), fallbacks, fiveXX)
+
+	if check {
+		if bad > 0 {
+			h.errf("cluster-down: %d failed posts with a node down", bad)
+		}
+		if fiveXX > 0 {
+			h.errf("cluster-down: %d 5xx responses — degradation must not surface errors", fiveXX)
+		}
+		if fallbacks < 1 {
+			h.errf("cluster-down: no forward fallbacks recorded — the dead owner's share was never exercised")
+		}
+	}
+}
+
+// runClusterPhase dispatches -cluster-phase.
+func runClusterPhase(h *harness, phase, nodeList, bodiesPath, restarted string, distinct int, seed int64, check, bench bool) {
+	var nodes []string
+	for _, n := range strings.Split(nodeList, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodes = append(nodes, n)
+		}
+	}
+	if len(nodes) == 0 {
+		h.errf("cluster: -cluster lists no nodes")
+		return
+	}
+	switch phase {
+	case "mix":
+		runClusterMix(h, nodes, bodiesPath, distinct, seed, check, bench)
+	case "restart":
+		runClusterRestart(h, nodes, restarted, bodiesPath, check)
+	case "down":
+		runClusterDown(h, nodes, distinct, check)
+	default:
+		h.errf("cluster: unknown -cluster-phase %q (want mix, restart, or down)", phase)
+	}
+}

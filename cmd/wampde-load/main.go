@@ -22,6 +22,13 @@
 //     line count must emit exactly the missing points, re-solving at most
 //     one (the point in flight at the kill).
 //
+// -cluster switches to the cluster phases (see cluster.go): -cluster lists
+// every live node's base URL and -cluster-phase picks mix (healthy-cluster
+// byte-identity + global dedup), restart (warm disk-store replay against a
+// restarted node), or down (degradation with an owner dead). -wait-ready URL
+// just polls /healthz for readiness and exits — the curl stand-in `ci.sh
+// cluster` uses to sequence node boots.
+//
 // -check enforces the acceptance gates (hit rate ≥ 87%, zero 5xx in the
 // mix, ≥1 rejection, ≥1 deadline exercised, and the sweep gates above);
 // -bench additionally prints `go test -bench`-style result lines, so the
@@ -103,7 +110,30 @@ func main() {
 	sweepGate := flag.Float64("sweep-gate", 0.5, "amortization gate: sweep per-point wall ≤ gate × a cold single (0 reports only; race-instrumented servers serialize the lanes, so gate against a plain build)")
 	check := flag.Bool("check", false, "enforce the acceptance gates; non-zero exit on violation")
 	bench := flag.Bool("bench", false, "print go test -bench style lines for cmd/benchjson")
+	cluster := flag.String("cluster", "", "comma-separated base URLs of the live cluster nodes; runs the cluster phases instead of the single-node ones")
+	clusterPhase := flag.String("cluster-phase", "mix", "cluster phase: mix, restart, or down")
+	clusterBodies := flag.String("cluster-bodies", "", "file the mix phase saves canonical bodies to and the restart phase replays from")
+	clusterRestarted := flag.String("cluster-restarted", "", "base URL of the restarted node (restart phase)")
+	waitReadyURL := flag.String("wait-ready", "", "poll this base URL's /healthz until ready, then exit (no other phases run)")
 	flag.Parse()
+
+	if *waitReadyURL != "" {
+		if err := waitReady(*waitReadyURL, time.Minute); err != nil {
+			fmt.Fprintln(os.Stderr, "wampde-load:", err)
+			os.Exit(1)
+		}
+		fmt.Println("ready")
+		return
+	}
+	if *cluster != "" {
+		h := &harness{client: &http.Client{Timeout: 5 * time.Minute}}
+		runClusterPhase(h, *clusterPhase, *cluster, *clusterBodies, *clusterRestarted, *distinct, *seed, *check, *bench)
+		if h.fail > 0 {
+			os.Exit(1)
+		}
+		fmt.Println("ok")
+		return
+	}
 	if *url == "" {
 		fmt.Fprintln(os.Stderr, "wampde-load: -url is required")
 		os.Exit(2)

@@ -10,6 +10,26 @@
 // -addr-file writes the actually-bound address to a file after listening
 // starts, so harnesses can pass -addr 127.0.0.1:0 and discover the port
 // (see `ci.sh serve`).
+//
+// Persistence and cluster mode:
+//
+//   - -store-dir DIR enables the disk-backed second cache tier: solved
+//     bodies are appended to checksummed segment files and reloaded on
+//     boot, so a restarted node serves its previously-solved hashes
+//     without recomputing. -prewarm solves the named paper circuits on
+//     startup when absent (a restart onto a warm store skips them all).
+//
+//   - -peers wires the node into a static cluster: a comma-separated list
+//     of every member's advertised host:port, where an entry of the form
+//     @FILE is resolved by polling FILE for an address (the -addr-file
+//     another node wrote — how a CI harness boots N nodes on free ports).
+//     Content hashes are owned by consistent hashing over the peer list;
+//     a node forwards requests it does not own to the owner, so
+//     single-flight dedup stays global. The node's own advertised address
+//     defaults to the bound address and can be overridden with -self.
+//
+//     wampde-server -addr 127.0.0.1:7101 -store-dir /var/lib/wampde/n1 \
+//     -prewarm -peers 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103
 package main
 
 import (
@@ -21,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -28,12 +49,51 @@ import (
 	"repro/internal/serve"
 )
 
+// resolvePeers expands a -peers list: literal host:port entries pass
+// through, @FILE entries poll the file until it holds an address (another
+// node's -addr-file, written once that node is listening).
+func resolvePeers(spec string, timeout time.Duration) ([]string, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	deadline := time.Now().Add(timeout)
+	var peers []string
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		path, isFile := strings.CutPrefix(entry, "@")
+		if !isFile {
+			peers = append(peers, entry)
+			continue
+		}
+		for {
+			if b, err := os.ReadFile(path); err == nil && len(strings.TrimSpace(string(b))) > 0 {
+				peers = append(peers, strings.TrimSpace(string(b)))
+				break
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("peer file %s not written within %v", path, timeout)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	return peers, nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	self := flag.String("self", "", "advertised cluster address (default: the bound address)")
+	peers := flag.String("peers", "", "cluster peer list: comma-separated host:port or @addr-file entries (empty = single node)")
 	workers := flag.Int("workers", 2, "concurrent engine solves")
 	queue := flag.Int("queue", 0, "admission queue capacity (0 = 2x workers)")
 	cacheMB := flag.Int("cache-mb", 32, "result cache budget in MiB (0 disables caching)")
+	storeDir := flag.String("store-dir", "", "disk cache tier directory (empty disables persistence)")
+	storeSegMB := flag.Int("store-segment-mb", 64, "segment roll threshold in MiB for the disk store")
+	prewarm := flag.Bool("prewarm", false, "solve the named paper circuits on startup when absent from the cache tiers")
+	forwardTimeout := flag.Duration("forward-timeout", 0, "per-attempt cluster forwarding budget (0 = default-deadline + 15s)")
 	maxBodyKB := flag.Int("max-body-kb", 128, "request body cap in KiB")
 	defaultDeadline := flag.Duration("default-deadline", 2*time.Minute, "job deadline when the request has no deadline_ms")
 	solverWorkers := flag.Int("solver-workers", 0, "worker budget of each solve's internal parallelism (0 = library default)")
@@ -44,18 +104,11 @@ func main() {
 		par.SetWorkers(*solverWorkers)
 	}
 
-	m := serve.NewMetrics()
-	m.PublishExpvar()
-	srv := serve.NewServer(serve.Config{
-		Workers:         *workers,
-		QueueCap:        *queue,
-		CacheBytes:      int64(*cacheMB) << 20,
-		MaxBodyBytes:    int64(*maxBodyKB) << 10,
-		DefaultDeadline: *defaultDeadline,
-		Debug:           *debug,
-		Metrics:         m,
-	})
-
+	// Listen before building the server: cluster peer resolution needs the
+	// bound address (it is the default advertised identity, and writing
+	// -addr-file first is what lets the other nodes' @FILE entries resolve
+	// without a boot-order deadlock). Connections arriving before Serve
+	// starts wait in the accept backlog.
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wampde-server:", err)
@@ -67,8 +120,47 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "wampde-server: listening on %s (workers=%d queue=%d cache=%dMiB solver-workers=%d)\n",
-		ln.Addr(), *workers, *queue, *cacheMB, par.Workers())
+
+	var cluster *serve.ClusterConfig
+	if *peers != "" {
+		resolved, err := resolvePeers(*peers, time.Minute)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wampde-server:", err)
+			os.Exit(1)
+		}
+		advertised := *self
+		if advertised == "" {
+			advertised = ln.Addr().String()
+		}
+		cluster = &serve.ClusterConfig{
+			Self:           advertised,
+			Peers:          resolved,
+			ForwardTimeout: *forwardTimeout,
+		}
+		fmt.Fprintf(os.Stderr, "wampde-server: cluster self=%s peers=%v\n", advertised, resolved)
+	}
+
+	m := serve.NewMetrics()
+	m.PublishExpvar()
+	srv, err := serve.NewServer(serve.Config{
+		Workers:           *workers,
+		QueueCap:          *queue,
+		CacheBytes:        int64(*cacheMB) << 20,
+		MaxBodyBytes:      int64(*maxBodyKB) << 10,
+		DefaultDeadline:   *defaultDeadline,
+		Debug:             *debug,
+		StoreDir:          *storeDir,
+		StoreSegmentBytes: int64(*storeSegMB) << 20,
+		Prewarm:           *prewarm,
+		Cluster:           cluster,
+		Metrics:           m,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wampde-server:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wampde-server: listening on %s (workers=%d queue=%d cache=%dMiB store=%q solver-workers=%d)\n",
+		ln.Addr(), *workers, *queue, *cacheMB, *storeDir, par.Workers())
 
 	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)

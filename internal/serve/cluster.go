@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Cluster mode: a static peer list with consistent-hash ownership of
+// content hashes. Any node accepts any request; a request whose hash it
+// does not own is forwarded to the owner over HTTP, so the owner's
+// single-flight group dedups the solve cluster-wide (exactly one engine
+// solve per distinct hash, no matter which nodes the requests land on).
+// Forwarding is bounded — per-attempt timeout, one retry on connection
+// failure (which also absorbs stale keep-alive connections to a restarted
+// peer) — and degrades gracefully: when the owner is unreachable the
+// receiving node solves locally instead of erroring, trading global dedup
+// for availability until the owner returns.
+
+// forwardHeader marks a forwarded request. The owner solves it locally
+// unconditionally; a node never re-forwards, so inconsistent peer lists
+// cannot produce forwarding loops.
+const forwardHeader = "X-Wampde-Forward"
+
+// originHeader names the node that actually served a proxied response.
+const originHeader = "X-Wampde-Origin"
+
+// ClusterConfig wires one node into a cluster.
+type ClusterConfig struct {
+	// Self is this node's advertised address (host:port), as it appears in
+	// the peer lists of the other nodes.
+	Self string
+	// Peers is the static membership: every cluster node's advertised
+	// address, in any order, with or without Self included.
+	Peers []string
+	// Replicas is the virtual-node count per peer on the hash ring
+	// (default 64).
+	Replicas int
+	// ForwardTimeout bounds one forwarding attempt end to end (default:
+	// the server's DefaultDeadline plus 15 seconds of proxy slack, so a
+	// forwarded solve can use its whole budget before the proxy gives up).
+	ForwardTimeout time.Duration
+}
+
+// forwarder is the bounded HTTP client a node uses to reach hash owners.
+type forwarder struct {
+	client  *http.Client
+	timeout time.Duration
+	m       *Metrics
+}
+
+func newForwarder(timeout time.Duration, m *Metrics) *forwarder {
+	return &forwarder{
+		client: &http.Client{
+			Transport: &http.Transport{
+				DialContext:         (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
+				MaxIdleConnsPerHost: 16,
+				IdleConnTimeout:     60 * time.Second,
+			},
+		},
+		timeout: timeout,
+		m:       m,
+	}
+}
+
+// simulate forwards a raw /v1/simulate body to owner and returns the
+// owner's verbatim response. A transport-level failure (connection refused,
+// reset, stale pooled connection) is retried exactly once against a fresh
+// connection; an HTTP response of any status is returned as-is — the owner
+// answered, and its answer (including its error mapping) is authoritative.
+func (f *forwarder) simulate(ctx context.Context, owner string, raw []byte) (status int, xcache string, body []byte, err error) {
+	f.m.ForwardAttempts.Add(1)
+	t0 := time.Now()
+	defer func() { f.m.ForwardNS.Add(time.Since(t0).Nanoseconds()) }()
+	for attempt := 0; ; attempt++ {
+		status, xcache, body, err = f.post(ctx, owner, raw)
+		if err == nil {
+			f.m.ForwardOK.Add(1)
+			return status, xcache, body, nil
+		}
+		if attempt > 0 || ctx.Err() != nil {
+			return 0, "", nil, err
+		}
+		f.m.ForwardRetries.Add(1)
+	}
+}
+
+func (f *forwarder) post(ctx context.Context, owner string, raw []byte) (int, string, []byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, f.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+owner+"/v1/simulate", strings.NewReader(string(raw)))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardHeader, "1")
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return resp.StatusCode, resp.Header.Get("X-Cache"), body, nil
+}
+
+// prewarmSet is the boot-time cache warming list: the named paper circuits
+// (vacuum and air MEMS VCOs) plus small ring-VCO stage counts, each as a
+// short fixed-step transient — cheap, deterministic solves whose hashes are
+// stable across every node and every boot. Prewarm solves any entry absent
+// from the cache tiers and persists it, so a node restarted onto its disk
+// store skips all of them (the skip is itself the disk tier's boot
+// self-check). The set is a pure function of nothing: all nodes agree on it.
+func prewarmSet() []*Canonical {
+	reqs := []Request{
+		{Circuit: CircuitPaperVCO, Analysis: AnalysisTransient, Options: RequestOptions{TStop: 2e-6, H: 1e-8}},
+		{Circuit: CircuitPaperVCOAir, Analysis: AnalysisTransient, Options: RequestOptions{TStop: 2e-6, H: 1e-8}},
+		{Circuit: CircuitRingVCO + "?stages=3", Analysis: AnalysisTransient, Options: RequestOptions{TStop: 2e-6, H: 1e-8}},
+		{Circuit: CircuitRingVCO + "?stages=5", Analysis: AnalysisTransient, Options: RequestOptions{TStop: 2e-6, H: 1e-8}},
+	}
+	out := make([]*Canonical, 0, len(reqs))
+	for i := range reqs {
+		c, err := reqs[i].Canonicalize()
+		if err != nil {
+			// The set is static and covered by tests; a failure here is a
+			// programming error, not an input error.
+			panic("serve: prewarm set: " + err.Error())
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// prewarm solves every absent prewarm entry sequentially, bypassing the
+// admission queue (boot work must not occupy client slots) but joining the
+// single-flight group so a concurrent client request for the same hash
+// still coalesces. Every node prewarms the full set locally — the set is
+// small and global, and a warm local copy on every node is the point.
+func (s *Server) prewarm(ctx context.Context) {
+	defer s.prewarmWG.Done()
+	defer s.prewarmDone.Store(true)
+	for _, c := range prewarmSet() {
+		if ctx.Err() != nil {
+			return
+		}
+		hash := c.Hash()
+		if body, _ := s.lookup(hash); body != nil {
+			s.m.PrewarmSkipped.Add(1)
+			continue
+		}
+		f, leader := s.flights.join(hash)
+		if !leader {
+			<-f.done
+			continue
+		}
+		jctx, cancel := context.WithTimeout(ctx, s.cfg.DefaultDeadline)
+		status, body := s.runJob(jctx, hash, c)
+		cancel()
+		if status == http.StatusOK {
+			s.persist(hash, body)
+			s.m.PrewarmSolved.Add(1)
+		}
+		s.flights.complete(hash, f, flightResult{status: status, body: body})
+	}
+}

@@ -40,6 +40,35 @@ type Metrics struct {
 	SweepCompleted       atomic.Int64 // sweeps that streamed their trailer clean
 	SweepCanceled        atomic.Int64 // sweeps cut by deadline or client hangup
 
+	// Cluster forwarding. Attempts count decisions to proxy a request to
+	// its hash owner; OK means the owner answered (any status), Retries
+	// count second attempts after a transport failure, and Fallbacks are
+	// the degradation path — the owner stayed unreachable and the request
+	// was solved locally instead. ForwardedIn counts requests this node
+	// received as a hash owner from a peer.
+	ForwardAttempts  atomic.Int64
+	ForwardOK        atomic.Int64
+	ForwardRetries   atomic.Int64
+	ForwardFallbacks atomic.Int64
+	ForwardedIn      atomic.Int64
+	ForwardNS        atomic.Int64 // total wall time spent proxying (latency numerator)
+
+	// Disk cache tier (the append-only segment store). DiskRecords and
+	// DiskBytes are gauges of the indexed store contents; DiskDropped
+	// counts corrupt or truncated records discarded at load or read time.
+	DiskHits    atomic.Int64 // lookups served from disk (and promoted to memory)
+	DiskPuts    atomic.Int64 // records appended
+	DiskErrors  atomic.Int64 // failed appends (the solve still succeeds)
+	DiskDropped atomic.Int64
+	DiskRecords atomic.Int64
+	DiskBytes   atomic.Int64
+
+	// Boot-time prewarm accounting: entries solved fresh vs found already
+	// present in a cache tier (after a restart onto a warm disk store, the
+	// whole set skips).
+	PrewarmSolved  atomic.Int64
+	PrewarmSkipped atomic.Int64
+
 	// Per-stage solve time, nanoseconds, accumulated over fresh solves:
 	// build (circuit construction), ic (DC + settle + shooting initial
 	// condition), solve (the analysis proper), encode (response encoding).
@@ -80,6 +109,20 @@ func (m *Metrics) Snapshot() map[string]int64 {
 		"sweep_points_failed":    m.SweepPointsFailed.Load(),
 		"sweep_completed":        m.SweepCompleted.Load(),
 		"sweep_canceled":         m.SweepCanceled.Load(),
+		"forward_attempts":       m.ForwardAttempts.Load(),
+		"forward_ok":             m.ForwardOK.Load(),
+		"forward_retries":        m.ForwardRetries.Load(),
+		"forward_fallbacks":      m.ForwardFallbacks.Load(),
+		"forwarded_in":           m.ForwardedIn.Load(),
+		"forward_ns":             m.ForwardNS.Load(),
+		"disk_hits":              m.DiskHits.Load(),
+		"disk_puts":              m.DiskPuts.Load(),
+		"disk_errors":            m.DiskErrors.Load(),
+		"disk_dropped":           m.DiskDropped.Load(),
+		"disk_records":           m.DiskRecords.Load(),
+		"disk_bytes":             m.DiskBytes.Load(),
+		"prewarm_solved":         m.PrewarmSolved.Load(),
+		"prewarm_skipped":        m.PrewarmSkipped.Load(),
 		"build_ns":               m.BuildNS.Load(),
 		"ic_ns":                  m.ICNS.Load(),
 		"solve_ns":               m.SolveNS.Load(),

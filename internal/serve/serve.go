@@ -34,7 +34,19 @@
 //     admissions/rejections, cache hits, in-flight, per-stage solve
 //     latencies), net/http/pprof behind a debug flag, and the HTTP surface
 //     itself.
+//   - store.go: the disk-backed second cache tier — an append-only segment
+//     store of checksummed, length-prefixed records keyed by content hash,
+//     reloaded into an index on boot with torn-tail detection, so solved
+//     results survive restarts.
+//   - shard.go + cluster.go: cluster mode — consistent-hash ownership of
+//     content hashes over a static peer list (order-independent, virtual
+//     nodes), bounded HTTP forwarding to the hash owner so single-flight
+//     dedup is cluster-wide (retry-once on transport failure, local-solve
+//     fallback when the owner is down), and the boot-time prewarm pass
+//     that solves the named paper circuits when absent (and, via /healthz
+//     readiness, self-checks the disk tier after a restart).
 //
 // cmd/wampde-server serves this package; cmd/wampde-load is the
-// deterministic closed-loop load generator that benchmarks it.
+// deterministic closed-loop load generator that benchmarks it (and, with
+// -cluster, drives the 3-node gates behind ./ci.sh cluster).
 package serve

@@ -1,11 +1,16 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"expvar"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,6 +33,21 @@ type Config struct {
 	DefaultDeadline time.Duration
 	// Debug mounts net/http/pprof and expvar under /debug/.
 	Debug bool
+	// StoreDir, when non-empty, enables the disk-backed second cache tier:
+	// an append-only segment store of solved bodies under this directory,
+	// loaded into the index on boot (see store.go). A memory-cache miss
+	// falls through to disk before solving, and every fresh success is
+	// appended, so solved hashes survive restarts.
+	StoreDir string
+	// StoreSegmentBytes is the segment roll threshold (default 64 MiB).
+	StoreSegmentBytes int64
+	// Prewarm solves the named paper circuits (prewarmSet) in the
+	// background on startup when absent from the cache tiers; /healthz
+	// reports ready:false until the pass completes.
+	Prewarm bool
+	// Cluster, when non-nil, wires this node into a static peer cluster
+	// with consistent-hash ownership of content hashes (see cluster.go).
+	Cluster *ClusterConfig
 	// Engine overrides the solve engine (tests); nil means CircuitEngine.
 	Engine Engine
 	// Metrics, when non-nil, is the counter set to use (lets a cmd publish
@@ -71,19 +91,31 @@ type Response struct {
 }
 
 // Server is the simulation service: scheduler + single-flight cache +
-// engine behind an http.Handler.
+// engine behind an http.Handler. In cluster mode it additionally routes
+// each content hash to its consistent-hash owner, and with a store
+// configured it persists every solved body to the disk tier.
 type Server struct {
 	cfg     Config
 	sched   *Scheduler
 	cache   *Cache
+	store   *Store // nil without StoreDir
+	ring    *Ring  // nil outside cluster mode
+	self    string
+	fwd     *forwarder
 	flights *flightGroup
 	checks  *sweepCheckpoints
 	m       *Metrics
 	mux     *http.ServeMux
+
+	prewarmDone   atomic.Bool
+	prewarmCancel context.CancelFunc
+	prewarmWG     sync.WaitGroup
 }
 
-// NewServer builds a Server and starts its worker pool. Close releases it.
-func NewServer(cfg Config) *Server {
+// NewServer builds a Server and starts its worker pool (and, when
+// configured, opens the disk store, joins the cluster ring, and launches
+// the prewarm pass). Close releases it.
+func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -92,7 +124,34 @@ func NewServer(cfg Config) *Server {
 		cache:   NewCache(cfg.CacheBytes, cfg.Metrics),
 		checks:  newSweepCheckpoints(8),
 	}
+	if cfg.StoreDir != "" {
+		store, err := OpenStore(cfg.StoreDir, cfg.StoreSegmentBytes, cfg.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+	}
+	if cc := cfg.Cluster; cc != nil {
+		if cc.Self == "" {
+			return nil, fmt.Errorf("serve: cluster config needs Self")
+		}
+		s.self = cc.Self
+		s.ring = NewRing(append([]string{cc.Self}, cc.Peers...), cc.Replicas)
+		timeout := cc.ForwardTimeout
+		if timeout <= 0 {
+			timeout = cfg.DefaultDeadline + 15*time.Second
+		}
+		s.fwd = newForwarder(timeout, cfg.Metrics)
+	}
 	s.sched = NewScheduler(cfg.Workers, cfg.QueueCap, cfg.Metrics)
+	s.prewarmDone.Store(true)
+	if cfg.Prewarm {
+		s.prewarmDone.Store(false)
+		ctx, cancel := context.WithCancel(context.Background())
+		s.prewarmCancel = cancel
+		s.prewarmWG.Add(1)
+		go s.prewarm(ctx)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
@@ -106,7 +165,7 @@ func NewServer(cfg Config) *Server {
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP surface.
@@ -115,12 +174,60 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Metrics returns the server's counter set.
 func (s *Server) Metrics() *Metrics { return s.m }
 
-// Close drains the scheduler (running jobs finish; admission stops).
-func (s *Server) Close() { s.sched.Close() }
+// Close stops the prewarm pass, drains the scheduler (running jobs finish;
+// admission stops), and closes the disk store.
+func (s *Server) Close() {
+	if s.prewarmCancel != nil {
+		s.prewarmCancel()
+	}
+	s.prewarmWG.Wait()
+	s.sched.Close()
+	if s.store != nil {
+		s.store.Close()
+	}
+}
 
+// handleHealthz reports liveness plus boot readiness: ready flips to true
+// once the prewarm pass (when configured) has completed, which is what CI
+// harnesses wait on before measuring solve accounting.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	w.Write([]byte(`{"ok":true}` + "\n"))
+	body := map[string]any{"ok": true, "ready": s.prewarmDone.Load()}
+	if s.ring != nil {
+		body["node"] = s.self
+		body["cluster_nodes"] = len(s.ring.Nodes())
+	}
+	json.NewEncoder(w).Encode(body)
+}
+
+// lookup consults the cache tiers for hash: memory first, then the disk
+// store. A disk hit is promoted into the memory LRU and reported with its
+// own X-Cache marker so harnesses can see the tier that answered.
+func (s *Server) lookup(hash string) (body []byte, source string) {
+	if body := s.cache.Get(hash); body != nil {
+		return body, "hit"
+	}
+	if s.store == nil {
+		return nil, ""
+	}
+	body = s.store.Get(hash)
+	if body == nil {
+		return nil, ""
+	}
+	s.m.DiskHits.Add(1)
+	s.cache.Put(hash, body)
+	return body, "hit-disk"
+}
+
+// persist records a solved body in both cache tiers. Disk append failures
+// are counted but do not fail the solve — the memory tier still serves it.
+func (s *Server) persist(hash string, body []byte) {
+	s.cache.Put(hash, body)
+	if s.store != nil {
+		if err := s.store.Put(hash, body); err != nil {
+			s.m.DiskErrors.Add(1)
+		}
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -129,12 +236,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleSimulate is the job endpoint. The flow is: decode → canonicalize →
-// cache → single-flight join → (leader only) schedule the solve under the
-// job deadline → everyone waits for the flight's result and replays the
-// exact same bytes.
+// cache tiers (memory, then disk) → cluster routing (forward to the hash
+// owner unless this node owns it or the request already arrived forwarded)
+// → single-flight join → (leader only) schedule the solve under the job
+// deadline → everyone waits for the flight's result and replays the exact
+// same bytes. Forwarding keeps single-flight dedup global: every node sends
+// a given hash to its one owner, whose flight group coalesces cluster-wide.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	s.m.Requests.Add(1)
-	req, err := DecodeRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.writeError(w, badInput("reading request body: %v", err))
+		return
+	}
+	req, err := DecodeRequest(bytes.NewReader(raw))
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -145,11 +260,41 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hash := c.Hash()
+	forwarded := r.Header.Get(forwardHeader) != ""
+	if forwarded {
+		s.m.ForwardedIn.Add(1)
+	}
 
-	if body := s.cache.Get(hash); body != nil {
+	if body, source := s.lookup(hash); body != nil {
 		s.m.Succeeded.Add(1)
-		writeResult(w, http.StatusOK, body, "hit")
+		writeResult(w, http.StatusOK, body, source)
 		return
+	}
+
+	// Cluster routing: a hash this node does not own goes to its owner (the
+	// raw body is relayed verbatim, so the owner canonicalizes to the same
+	// hash). A request that arrived forwarded is solved here no matter what
+	// the local ring says — the sender made the routing decision, and never
+	// re-forwarding is what makes routing loops impossible.
+	if s.ring != nil && !forwarded {
+		if owner := s.ring.Owner(hash); owner != s.self {
+			status, xcache, body, ferr := s.fwd.simulate(r.Context(), owner, raw)
+			if ferr == nil {
+				if status == http.StatusOK {
+					// Edge-cache the owner's exact bytes so repeats served by
+					// this node hit memory without another hop.
+					s.cache.Put(hash, body)
+				}
+				s.countStatus(status)
+				w.Header().Set(originHeader, owner)
+				writeResult(w, status, body, xcache)
+				return
+			}
+			// Owner unreachable after the retry: degrade to a local solve
+			// rather than failing the request. Dedup is per-node until the
+			// owner comes back, which is the documented trade.
+			s.m.ForwardFallbacks.Add(1)
+		}
 	}
 
 	f, leader := s.flights.join(hash)
@@ -180,8 +325,9 @@ func (s *Server) launch(hash string, f *flight, req *Request, c *Canonical) {
 		status, body := s.runJob(ctx, hash, c)
 		if status == http.StatusOK {
 			// Insert before completing the flight so a request arriving
-			// after retirement cannot slip between flight and cache.
-			s.cache.Put(hash, body)
+			// after retirement cannot slip between flight and cache; the
+			// disk append in persist makes the result survive restarts.
+			s.persist(hash, body)
 		}
 		s.flights.complete(hash, f, flightResult{status: status, body: body})
 	})

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Consistent-hash ownership of content hashes across a static peer list.
+// Every node derives the same ring from the same membership (the
+// construction is a pure function of the sorted node set, so peer-list
+// ordering does not matter), and each content hash has exactly one owner —
+// the node whose single-flight group globally dedups that solve. Virtual
+// nodes smooth the shares; when a node leaves, only the keys it owned move
+// (to their next point clockwise), which is the property that makes the
+// disk cache tier's per-node shard stable across unrelated membership
+// events.
+
+// ringReplicas is the default virtual-node count per peer. 64 points per
+// node keeps the max/min share ratio within ~1.5x for small clusters while
+// the ring stays tiny (a 3-node ring is 192 points).
+const ringReplicas = 64
+
+// ringPoint is one virtual node: a position on the 64-bit ring and the peer
+// that owns the arc ending there.
+type ringPoint struct {
+	point uint64
+	node  string
+}
+
+// Ring maps content hashes to their owning node.
+type Ring struct {
+	points []ringPoint
+	nodes  []string // deduped, sorted membership
+}
+
+// ringHash positions a string on the ring: the first 8 bytes of its SHA-256,
+// the same family of hash the content addresses themselves use.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds the ring for the given membership. Nodes are deduped and
+// sorted first, so any ordering of the same peer list yields an identical
+// ring. replicas ≤ 0 uses the default.
+func NewRing(nodes []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = ringReplicas
+	}
+	seen := make(map[string]bool, len(nodes))
+	var uniq []string
+	for _, n := range nodes {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{nodes: uniq, points: make([]ringPoint, 0, len(uniq)*replicas)}
+	for _, n := range uniq {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{point: ringHash(fmt.Sprintf("%s#%d", n, i)), node: n})
+		}
+	}
+	// Ties (two vnodes at the same point) break by node name, so the sort —
+	// and therefore ownership — is fully deterministic.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].point != r.points[j].point {
+			return r.points[i].point < r.points[j].point
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Owner returns the node owning key: the first ring point at or after the
+// key's position, wrapping at the top. An empty ring owns nothing ("").
+func (r *Ring) Owner(key string) string {
+	if r == nil || len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].point >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the deduped, sorted membership.
+func (r *Ring) Nodes() []string {
+	if r == nil {
+		return nil
+	}
+	return append([]string(nil), r.nodes...)
+}

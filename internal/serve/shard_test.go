@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("content-hash-%05d", i)
+	}
+	return keys
+}
+
+// TestRingOrderIndependence: every ordering (and duplication) of the same
+// membership must produce identical ownership — that is what lets each node
+// build its ring from its own peer list without coordination.
+func TestRingOrderIndependence(t *testing.T) {
+	nodes := []string{"10.0.0.1:7101", "10.0.0.2:7101", "10.0.0.3:7101"}
+	base := NewRing(nodes, 0)
+	keys := ringKeys(2000)
+	variants := map[string]*Ring{
+		"reversed":   NewRing([]string{nodes[2], nodes[1], nodes[0]}, 0),
+		"rotated":    NewRing([]string{nodes[1], nodes[2], nodes[0]}, 0),
+		"duplicated": NewRing([]string{nodes[0], nodes[1], nodes[2], nodes[0], nodes[1]}, 0),
+		"with-empty": NewRing([]string{nodes[0], "", nodes[1], nodes[2]}, 0),
+	}
+	for name, r := range variants {
+		if got, want := len(r.Nodes()), len(nodes); got != want {
+			t.Fatalf("%s: %d nodes, want %d", name, got, want)
+		}
+		for _, k := range keys {
+			if got, want := r.Owner(k), base.Owner(k); got != want {
+				t.Fatalf("%s: Owner(%s) = %s, want %s", name, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRingDeterminism: the same membership must yield the same ownership in
+// a separately-built ring (no per-process or per-boot state leaks in).
+func TestRingDeterminism(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1", "d:1"}
+	r1, r2 := NewRing(nodes, 0), NewRing(nodes, 0)
+	for _, k := range ringKeys(1000) {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("two rings over the same membership disagree on %s", k)
+		}
+	}
+}
+
+// TestRingRebalanceBound: when one node leaves, only the keys it owned may
+// move — everything another node owned stays put. This is the property that
+// keeps the per-node disk shards stable across unrelated membership events.
+func TestRingRebalanceBound(t *testing.T) {
+	nodes := []string{"10.0.0.1:7101", "10.0.0.2:7101", "10.0.0.3:7101"}
+	const gone = "10.0.0.2:7101"
+	full := NewRing(nodes, 0)
+	reduced := NewRing([]string{nodes[0], nodes[2]}, 0)
+	keys := ringKeys(6000)
+	moved, owned := 0, 0
+	for _, k := range keys {
+		before, after := full.Owner(k), reduced.Owner(k)
+		if before == gone {
+			owned++
+			if after == gone {
+				t.Fatalf("key %s still owned by the removed node", k)
+			}
+			continue
+		}
+		if before != after {
+			moved++
+			t.Errorf("key %s moved %s -> %s though its owner stayed", k, before, after)
+		}
+	}
+	if moved > 0 {
+		t.Fatalf("%d keys moved that the departed node did not own", moved)
+	}
+	if owned == 0 {
+		t.Fatal("departed node owned no keys — distribution is broken")
+	}
+	t.Logf("departure moved %d/%d keys (the departed node's share)", owned, len(keys))
+}
+
+// TestRingDistribution: virtual nodes must keep the shares of a small
+// cluster roughly balanced (no node starved, none dominant).
+func TestRingDistribution(t *testing.T) {
+	nodes := []string{"n1:1", "n2:1", "n3:1"}
+	r := NewRing(nodes, 0)
+	keys := ringKeys(9000)
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / float64(len(keys))
+		if share < 0.10 || share > 0.60 {
+			t.Errorf("node %s owns %.1f%% of keys — outside the 10–60%% band", n, 100*share)
+		}
+	}
+	t.Logf("shares: %v", counts)
+}
+
+// TestRingEdgeCases: empty and single-node rings.
+func TestRingEdgeCases(t *testing.T) {
+	if got := NewRing(nil, 0).Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	solo := NewRing([]string{"only:1"}, 0)
+	for _, k := range ringKeys(50) {
+		if got := solo.Owner(k); got != "only:1" {
+			t.Fatalf("single-node ring owner = %q", got)
+		}
+	}
+}

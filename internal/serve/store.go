@@ -1,0 +1,349 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The disk cache tier is an append-only segment store of checksummed,
+// length-prefixed records keyed by content hash. Results are canonical
+// deterministic bytes addressed by the SHA-256 of the canonical request, so
+// the store never needs updates or deletes: a record, once written, is the
+// record forever, and the whole persistence problem reduces to "append
+// safely, detect a torn tail on reload". Segments roll at a size threshold
+// so no single file grows without bound.
+//
+// Record layout (all integers big-endian):
+//
+//	u32 keyLen | u32 bodyLen | key | body | u32 crc32c(header+key+body)
+//
+// On boot every segment is scanned in order and the key → (segment, offset)
+// index rebuilt. A truncated or corrupted record ends the scan of its
+// segment: the bad tail is counted and dropped, and — for the active (last)
+// segment — the file is truncated back to the last good record so future
+// appends start from a clean tail. Reads re-verify the checksum, so bit rot
+// after boot is detected rather than served.
+
+const (
+	// storeSegmentPrefix names segment files: cas-000001.seg, cas-000002.seg…
+	storeSegmentPrefix = "cas-"
+	storeSegmentSuffix = ".seg"
+	// storeMaxKeyLen bounds a record key (content hashes are 64 hex bytes;
+	// anything much larger in a header means the bytes are not a record).
+	storeMaxKeyLen = 256
+	// storeMaxBodyLen bounds a record body on load; a length field beyond it
+	// is treated as corruption, not as a 4 GiB allocation request.
+	storeMaxBodyLen = 256 << 20
+	// storeHeaderLen is the fixed record prefix: two u32 lengths.
+	storeHeaderLen = 8
+	// storeTrailerLen is the fixed record suffix: the u32 CRC.
+	storeTrailerLen = 4
+)
+
+var storeCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// storeLoc locates one record inside a segment.
+type storeLoc struct {
+	seg int   // segment number
+	off int64 // record start offset
+	n   int64 // full record length (header + key + body + crc)
+}
+
+// Store is the persistent content-addressed cache tier. All methods are safe
+// for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	dir      string
+	segBytes int64
+	index    map[string]storeLoc
+	files    map[int]*os.File // open segments, by number
+	active   int              // number of the append segment
+	size     int64            // current size of the append segment
+	records  int64
+	bytes    int64
+	dropped  int64 // corrupt/truncated records dropped (load + read)
+	closed   bool
+	m        *Metrics
+}
+
+// segmentName renders the file name of segment n.
+func segmentName(n int) string {
+	return fmt.Sprintf("%s%06d%s", storeSegmentPrefix, n, storeSegmentSuffix)
+}
+
+// parseSegmentName returns the segment number of a store file name, or
+// ok=false for files that are not segments.
+func parseSegmentName(name string) (int, bool) {
+	rest, found := strings.CutPrefix(name, storeSegmentPrefix)
+	if !found {
+		return 0, false
+	}
+	rest, found = strings.CutSuffix(rest, storeSegmentSuffix)
+	if !found {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
+}
+
+// OpenStore opens (creating if needed) the segment store in dir. segBytes is
+// the roll threshold for the active segment (≤0 uses 64 MiB). The whole
+// directory is scanned and indexed; corrupt tails are dropped and, on the
+// active segment, truncated away.
+func OpenStore(dir string, segBytes int64, m *Metrics) (*Store, error) {
+	if segBytes <= 0 {
+		segBytes = 64 << 20
+	}
+	if m == nil {
+		m = NewMetrics()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		segBytes: segBytes,
+		index:    make(map[string]storeLoc),
+		files:    make(map[int]*os.File),
+		m:        m,
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var segs []int
+	for _, e := range entries {
+		if n, ok := parseSegmentName(e.Name()); ok && !e.IsDir() {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	for i, n := range segs {
+		if err := s.loadSegment(n, i == len(segs)-1); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	if len(segs) == 0 {
+		if err := s.openActive(1); err != nil {
+			s.Close()
+			return nil, err
+		}
+	} else {
+		s.active = segs[len(segs)-1]
+		st, err := s.files[s.active].Stat()
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		s.size = st.Size()
+	}
+	s.m.DiskRecords.Store(s.records)
+	s.m.DiskBytes.Store(s.bytes)
+	s.m.DiskDropped.Add(s.dropped)
+	return s, nil
+}
+
+// openActive creates segment n and makes it the append target.
+func (s *Store) openActive(n int) error {
+	f, err := os.OpenFile(filepath.Join(s.dir, segmentName(n)), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.files[n] = f
+	s.active = n
+	s.size = 0
+	return nil
+}
+
+// loadSegment scans segment n into the index. The first short or
+// checksum-failing record ends the scan; when truncate is set (the active
+// segment) the file is cut back to the last good offset so appends resume
+// from a clean tail.
+func (s *Store) loadSegment(n int, truncate bool) error {
+	f, err := os.OpenFile(filepath.Join(s.dir, segmentName(n)), os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.files[n] = f
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	size := st.Size()
+	var off int64
+	var hdr [storeHeaderLen]byte
+	for off < size {
+		good := false
+		if size-off >= storeHeaderLen {
+			if _, err := f.ReadAt(hdr[:], off); err != nil {
+				return fmt.Errorf("store: %w", err)
+			}
+			keyLen := int64(binary.BigEndian.Uint32(hdr[0:4]))
+			bodyLen := int64(binary.BigEndian.Uint32(hdr[4:8]))
+			if keyLen >= 1 && keyLen <= storeMaxKeyLen && bodyLen <= storeMaxBodyLen {
+				total := storeHeaderLen + keyLen + bodyLen + storeTrailerLen
+				if size-off >= total {
+					rec := make([]byte, total)
+					if _, err := f.ReadAt(rec, off); err != nil {
+						return fmt.Errorf("store: %w", err)
+					}
+					payload := rec[:total-storeTrailerLen]
+					want := binary.BigEndian.Uint32(rec[total-storeTrailerLen:])
+					if crc32.Checksum(payload, storeCRC) == want {
+						key := string(rec[storeHeaderLen : storeHeaderLen+keyLen])
+						if _, dup := s.index[key]; !dup {
+							s.records++
+							s.bytes += bodyLen
+						}
+						s.index[key] = storeLoc{seg: n, off: off, n: total}
+						off += total
+						good = true
+					}
+				}
+			}
+		}
+		if !good {
+			// Torn or corrupted tail: everything from here on is untrusted.
+			s.dropped++
+			if truncate {
+				if err := f.Truncate(off); err != nil {
+					return fmt.Errorf("store: %w", err)
+				}
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// encodeRecord renders one record.
+func encodeRecord(key string, body []byte) []byte {
+	total := storeHeaderLen + len(key) + len(body) + storeTrailerLen
+	rec := make([]byte, total)
+	binary.BigEndian.PutUint32(rec[0:4], uint32(len(key)))
+	binary.BigEndian.PutUint32(rec[4:8], uint32(len(body)))
+	copy(rec[storeHeaderLen:], key)
+	copy(rec[storeHeaderLen+len(key):], body)
+	binary.BigEndian.PutUint32(rec[total-storeTrailerLen:],
+		crc32.Checksum(rec[:total-storeTrailerLen], storeCRC))
+	return rec
+}
+
+// Get returns the stored body for key, or nil. The checksum is re-verified
+// on every read; a record that fails it is dropped from the index and
+// reported as a miss.
+func (s *Store) Get(key string) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	loc, ok := s.index[key]
+	if !ok {
+		return nil
+	}
+	rec := make([]byte, loc.n)
+	if _, err := s.files[loc.seg].ReadAt(rec, loc.off); err != nil {
+		s.dropRecord(key, loc)
+		return nil
+	}
+	want := binary.BigEndian.Uint32(rec[loc.n-storeTrailerLen:])
+	if crc32.Checksum(rec[:loc.n-storeTrailerLen], storeCRC) != want {
+		s.dropRecord(key, loc)
+		return nil
+	}
+	keyLen := int64(binary.BigEndian.Uint32(rec[0:4]))
+	return rec[storeHeaderLen+keyLen : loc.n-storeTrailerLen]
+}
+
+// dropRecord removes a record that failed verification at read time.
+func (s *Store) dropRecord(key string, loc storeLoc) {
+	delete(s.index, key)
+	s.records--
+	s.bytes -= loc.n - storeHeaderLen - int64(len(key)) - storeTrailerLen
+	s.dropped++
+	s.m.DiskDropped.Add(1)
+	s.m.DiskRecords.Store(s.records)
+	s.m.DiskBytes.Store(s.bytes)
+}
+
+// Put appends body under key. Re-puts of a present key are no-ops (the
+// store is content-addressed: same key, same bytes). Rolls to a fresh
+// segment when the active one is over the size threshold.
+func (s *Store) Put(key string, body []byte) error {
+	if key == "" || len(key) > storeMaxKeyLen || len(body) == 0 || int64(len(body)) > storeMaxBodyLen {
+		return fmt.Errorf("store: record out of bounds (key %d bytes, body %d bytes)", len(key), len(body))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if _, ok := s.index[key]; ok {
+		return nil
+	}
+	if s.size >= s.segBytes {
+		if err := s.openActive(s.active + 1); err != nil {
+			return err
+		}
+	}
+	rec := encodeRecord(key, body)
+	off := s.size
+	// WriteAt against the tracked tail, not Write: a segment reloaded on
+	// boot has its file offset at 0 (the scan uses ReadAt), and an append
+	// through the implicit offset would overwrite the first record.
+	if _, err := s.files[s.active].WriteAt(rec, off); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.size += int64(len(rec))
+	s.index[key] = storeLoc{seg: s.active, off: off, n: int64(len(rec))}
+	s.records++
+	s.bytes += int64(len(body))
+	s.m.DiskPuts.Add(1)
+	s.m.DiskRecords.Store(s.records)
+	s.m.DiskBytes.Store(s.bytes)
+	return nil
+}
+
+// Len returns the number of indexed records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Dropped returns how many corrupt or truncated records were discarded over
+// the store's lifetime (load-time tail drops plus read-time failures).
+func (s *Store) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Close releases the segment files. Get/Put after Close fail safely.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, f := range s.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

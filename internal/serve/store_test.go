@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestStore(t *testing.T, dir string, segBytes int64) *Store {
+	t.Helper()
+	s, err := OpenStore(dir, segBytes, nil)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestStoreRoundtripReload is the basic persistence contract: bodies put
+// under content hashes come back byte-identical, both from the live store
+// and from a fresh store opened over the same directory.
+func TestStoreRoundtripReload(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, 0)
+	want := map[string][]byte{}
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("%064d", i)
+		body := bytes.Repeat([]byte{byte(i + 1)}, 100+i*37)
+		want[key] = body
+		if err := s.Put(key, body); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	// Re-puts of a present key are no-ops.
+	if err := s.Put(fmt.Sprintf("%064d", 0), []byte("different")); err != nil {
+		t.Fatalf("re-Put: %v", err)
+	}
+	check := func(s *Store, when string) {
+		t.Helper()
+		if s.Len() != len(want) {
+			t.Fatalf("%s: Len %d, want %d", when, s.Len(), len(want))
+		}
+		for key, body := range want {
+			if got := s.Get(key); !bytes.Equal(got, body) {
+				t.Fatalf("%s: Get(%s) = %d bytes, want %d", when, key[:8], len(got), len(body))
+			}
+		}
+		if got := s.Get("absent-key"); got != nil {
+			t.Fatalf("%s: Get(absent) = %d bytes, want nil", when, len(got))
+		}
+	}
+	check(s, "live")
+	s.Close()
+	check(openTestStore(t, dir, 0), "reloaded")
+}
+
+// TestStoreSegmentRoll forces tiny segments: the store must spread records
+// over several files and still index all of them on reload.
+func TestStoreSegmentRoll(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, 64) // roll after ~one record
+	const n = 8
+	for i := 0; i < n; i++ {
+		if err := s.Put(fmt.Sprintf("key-%02d", i), bytes.Repeat([]byte{byte(i)}, 128)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 2 {
+		t.Fatalf("%d segment files after %d oversized puts, want a roll", len(entries), n)
+	}
+	s.Close()
+	r := openTestStore(t, dir, 64)
+	if r.Len() != n {
+		t.Fatalf("reload over %d segments indexed %d records, want %d", len(entries), r.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if got := r.Get(fmt.Sprintf("key-%02d", i)); !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 128)) {
+			t.Fatalf("record %d lost across the roll", i)
+		}
+	}
+}
+
+// activeSegment returns the path of the store directory's highest segment.
+func activeSegment(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		if n, ok := parseSegmentName(e.Name()); ok && n > bestN {
+			best, bestN = filepath.Join(dir, e.Name()), n
+		}
+	}
+	if best == "" {
+		t.Fatal("no segment files")
+	}
+	return best
+}
+
+// TestStoreTruncatedTail simulates a crash mid-append: the torn record must
+// be detected, dropped, and truncated away, and the store must keep serving
+// the intact prefix and accepting new appends.
+func TestStoreTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, 0)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("body-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	seg := activeSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the last record in half — a torn append.
+	rec := encodeRecord("key-2", []byte("body-2"))
+	torn := data[:len(data)-len(rec)/2]
+	if err := os.WriteFile(seg, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openTestStore(t, dir, 0)
+	if r.Len() != 2 {
+		t.Fatalf("after torn tail: Len %d, want 2", r.Len())
+	}
+	if r.Dropped() != 1 {
+		t.Fatalf("after torn tail: Dropped %d, want 1", r.Dropped())
+	}
+	if got := r.Get("key-2"); got != nil {
+		t.Fatalf("torn record served: %q", got)
+	}
+	if got := r.Get("key-1"); !bytes.Equal(got, []byte("body-1")) {
+		t.Fatalf("intact record lost: %q", got)
+	}
+	// The tail was truncated, so a new append lands on a clean boundary…
+	if err := r.Put("key-3", []byte("body-3")); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	// …and a third open sees everything, with nothing further dropped.
+	r2 := openTestStore(t, dir, 0)
+	if r2.Len() != 3 || r2.Dropped() != 0 {
+		t.Fatalf("after repair: Len %d Dropped %d, want 3 and 0", r2.Len(), r2.Dropped())
+	}
+	if got := r2.Get("key-3"); !bytes.Equal(got, []byte("body-3")) {
+		t.Fatalf("post-repair append lost: %q", got)
+	}
+}
+
+// TestStoreBitFlippedTail flips one body byte in the last record: the
+// checksum must catch it at load, the record is dropped, and the store stays
+// serviceable.
+func TestStoreBitFlippedTail(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, 0)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("body-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	seg := activeSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit inside the last record's body (just before its CRC).
+	data[len(data)-storeTrailerLen-1] ^= 0x01
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openTestStore(t, dir, 0)
+	if r.Len() != 2 || r.Dropped() != 1 {
+		t.Fatalf("after bit flip: Len %d Dropped %d, want 2 and 1", r.Len(), r.Dropped())
+	}
+	if got := r.Get("key-2"); got != nil {
+		t.Fatalf("corrupt record served: %q", got)
+	}
+	if got := r.Get("key-0"); !bytes.Equal(got, []byte("body-0")) {
+		t.Fatalf("intact record lost: %q", got)
+	}
+	if err := r.Put("key-2", []byte("body-2")); err != nil {
+		t.Fatalf("store not serviceable after drop: %v", err)
+	}
+	if got := r.Get("key-2"); !bytes.Equal(got, []byte("body-2")) {
+		t.Fatalf("re-put of dropped key not served: %q", got)
+	}
+}
+
+// TestStoreReadTimeCorruption rots a record under a live store: Get must
+// re-verify the checksum, report a miss, and drop the record from the index.
+func TestStoreReadTimeCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, 0)
+	if err := s.Put("key-0", []byte("body-0")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(activeSegment(t, dir), os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := f.Stat()
+	if _, err := f.WriteAt([]byte{0xFF}, st.Size()-storeTrailerLen-1); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if got := s.Get("key-0"); got != nil {
+		t.Fatalf("rotted record served: %q", got)
+	}
+	if s.Len() != 0 || s.Dropped() != 1 {
+		t.Fatalf("after read-time drop: Len %d Dropped %d, want 0 and 1", s.Len(), s.Dropped())
+	}
+}
+
+// TestStorePutBounds rejects out-of-bounds records instead of writing
+// headers the loader would treat as corruption.
+func TestStorePutBounds(t *testing.T) {
+	s := openTestStore(t, t.TempDir(), 0)
+	if err := s.Put("", []byte("x")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := s.Put(string(bytes.Repeat([]byte{'k'}, storeMaxKeyLen+1)), []byte("x")); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+	if err := s.Put("k", nil); err == nil {
+		t.Fatal("empty body accepted")
+	}
+}
+
+// FuzzSegmentStore feeds arbitrary bytes to the segment loader as an
+// on-disk segment: whatever the file holds, opening the store must not
+// panic, every indexed record must round-trip through Get, and the store
+// must stay serviceable for new appends.
+func FuzzSegmentStore(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeRecord("key-a", []byte("body-a")))
+	f.Add(append(encodeRecord("key-a", []byte("body-a")), encodeRecord("key-b", []byte("body-b"))...))
+	f.Add(encodeRecord("key-a", []byte("body-a"))[:10])       // torn tail
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 1, 'x'})    // absurd key length
+	f.Add([]byte{0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF, 'k', 0}) // absurd body length
+	flipped := encodeRecord("key-a", []byte("body-a"))
+	flipped[len(flipped)-storeTrailerLen-1] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := OpenStore(dir, 0, nil)
+		if err != nil {
+			// I/O errors are legal outcomes; panics and corruption are not.
+			return
+		}
+		defer s.Close()
+		for key := range s.index {
+			if got := s.Get(key); got == nil {
+				t.Fatalf("indexed key %q did not round-trip", key)
+			}
+		}
+		if err := s.Put("fuzz-probe", []byte("probe-body")); err != nil {
+			t.Fatalf("store not serviceable after load: %v", err)
+		}
+		if got := s.Get("fuzz-probe"); !bytes.Equal(got, []byte("probe-body")) {
+			t.Fatalf("probe body did not round-trip: %q", got)
+		}
+	})
+}

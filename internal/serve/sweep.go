@@ -124,7 +124,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			rec.Cache = res.Meta.Cache
 			rec.Body = res.Body
 			switch res.Meta.Cache {
-			case "hit":
+			case "hit", "hit-disk":
 				tr.CacheHits++
 			case "coalesced":
 				tr.Coalesced++
@@ -225,9 +225,9 @@ func (s *Server) sweepSolver(job *SweepJob) sweep.Solver {
 		s.m.SweepPoints.Add(1)
 		t0 := time.Now()
 
-		if body := s.cache.Get(hash); body != nil {
+		if body, source := s.lookup(hash); body != nil {
 			s.m.SweepPointsCached.Add(1)
-			return body, sweep.Meta{Cache: "hit", NS: time.Since(t0).Nanoseconds()}, nil, nil
+			return body, sweep.Meta{Cache: source, NS: time.Since(t0).Nanoseconds()}, nil, nil
 		}
 		f, leader := s.flights.join(hash)
 		if !leader {
@@ -245,7 +245,7 @@ func (s *Server) sweepSolver(job *SweepJob) sweep.Solver {
 		}
 		status, body := s.runJob(ctx, hash, c)
 		if status == http.StatusOK {
-			s.cache.Put(hash, body)
+			s.persist(hash, body)
 		}
 		s.flights.complete(hash, f, flightResult{status: status, body: body})
 		if status != http.StatusOK {
