@@ -22,16 +22,20 @@
 #               baseline with cmd/benchjson -check: an allocs/op regression
 #               fails, ns/op drift beyond ±20% only warns.
 #   ring-bench  N-stage ring-VCO scaling sweep: runs BenchmarkRingScaling
-#               (dense bordered Jacobian vs the matrix-free spectral operator,
-#               stages 3..31), snapshots the curve to a baseline file (second
-#               argument, default BENCH_pr7.json), and gates the run with
-#               cmd/benchjson -ring-gate. Expensive (tens of minutes — the
-#               31-stage settle+shoot preamble and dense factorizations
-#               dominate); not part of "all".
+#               (envelope-following, stages 3..31) and BenchmarkQPRingScaling
+#               (global quasiperiodic solve, stages 3..15) — dense bordered
+#               Jacobian vs the matrix-free spectral operator in both —
+#               snapshots the curves to a baseline file (second argument,
+#               default BENCH_pr9.json; BENCH_pr7.json is the pre-QP
+#               historical baseline), and gates the run with cmd/benchjson
+#               -ring-gate. Expensive (tens of minutes — the 31-stage
+#               settle+shoot preamble and dense factorizations dominate);
+#               not part of "all".
 #   ring-bench-check rerun the scaling sweep and apply only the -ring-gate
 #               crossover claim (matrix-free >= 3x dense at 15 stages, never
-#               slower from there up). A pure within-run ratio, so it holds on
-#               any machine, unlike the ns/op baselines.
+#               slower from there up, enforced per benchmark family). A pure
+#               within-run ratio, so it holds on any machine, unlike the
+#               ns/op baselines.
 #   serve       service smoke tier: builds wampde-server and wampde-load with
 #               the race detector, boots the server on a free port with a
 #               deliberately small worker/queue budget, and runs the load
@@ -59,18 +63,29 @@
 #               part of "all" — refresh deliberately.
 #   sweep-bench-check rerun the sweep phases and compare against the
 #               committed baseline with cmd/benchjson -check.
-#   cluster     3-node cluster tier: race-builds wampde-server and
+#   cluster     self-healing cluster tier: race-builds wampde-server and
 #               wampde-load, boots three nodes on free ports (-addr-file +
-#               @file peer resolution) with disk stores and prewarm, and
-#               runs the -cluster gates: mix (every request posted to every
-#               node twice — bitwise-identical bodies from all nodes, exactly
-#               one engine solve per distinct hash cluster-wide, forwarding
-#               exercised), then kills and restarts node 1 on the same port
-#               and gates the warm start (replays byte-identical with zero
-#               engine solves anywhere; the restarted node's prewarm came
-#               back from its disk store), then kills node 3 and gates
-#               degradation (fresh load against the survivors: all 200, no
-#               5xx, ≥1 forward fallback).
+#               @file peer resolution) with disk stores, prewarm, R=2
+#               replication, heartbeats and a seeded backoff, then drives
+#               the join/leave/kill choreography: mix (every request posted
+#               to every node twice — bitwise-identical bodies from all
+#               nodes, exactly one engine solve per distinct hash
+#               cluster-wide, every fresh solve written through to its
+#               replica owner with zero failures), warm restart of node 1
+#               (replays byte-identical with zero engine solves anywhere;
+#               its prewarm came back from its disk store), a node joining
+#               mid-traffic (background replay keeps flowing while node 4
+#               boots with -join; the joiner must stream in exactly its
+#               consistent-hash share — handoff counters checked against
+#               the harness's own ring math, within the rebalance bound
+#               pinned in shard_test.go), then killing node 3 outright
+#               (every body the cluster ever served still comes back 200
+#               and byte-identical from the survivors with zero re-solves
+#               and zero 5xx — replication lost nothing), and finally the
+#               breaker gate (fresh dead-owner requests all answer 200
+#               while breaker_opens/short_circuits fire and the jittered
+#               backoff retries run; the exact counter choreography is
+#               pinned in-process by breaker_test.go/forward_test.go).
 #   cluster-bench rerun the cluster mix against a plain (non-race) build and
 #               snapshot throughput/latency/forward-latency lines to a
 #               baseline file (second argument, default BENCH_pr8.json) via
@@ -207,8 +222,11 @@ if [ "$tier" = sweep-bench-check ]; then
 	go run ./cmd/benchjson -check "$benchfile" <"$loadout"
 fi
 
-# One full pass of the 3-node cluster story. Node logs land in
-# $WAMPDE_LOG_DIR when set (CI uploads them on failure), else in the temp dir.
+# One full pass of the self-healing cluster story: 3 nodes with R=2
+# replication and heartbeats, a warm restart, a mid-traffic join with
+# segment-streamed handoff, a kill with the zero-loss gate, and the breaker
+# choreography against the dead node. Node logs land in $WAMPDE_LOG_DIR when
+# set (CI uploads them on failure), else in the temp dir.
 #   $1: go build flags ("-race" or "")
 #   $2: mode (check | bench)
 run_cluster() {
@@ -222,11 +240,17 @@ run_cluster() {
 	go build $buildflags -o "$tmp/wampde-server" ./cmd/wampde-server
 	go build $buildflags -o "$tmp/wampde-load" ./cmd/wampde-load
 	peers="@$tmp/addr1,@$tmp/addr2,@$tmp/addr3"
+	# Shared cluster knobs: R=2 write-through, heartbeats fast enough that a
+	# join propagates within a phase, a 3-failure breaker with a seeded
+	# jittered backoff (deterministic retry schedule), and a capped disk tier.
+	knobs="-replication 2 -heartbeat-interval 250ms -breaker-threshold 3
+		-breaker-cooldown 2s -backoff-base 25ms -backoff-max 250ms
+		-backoff-seed 7 -store-max-mb 64 -workers 2 -queue 8 -solver-workers 1"
 
 	start_node() { # $1: node number, $2: listen address
+		# shellcheck disable=SC2086 # knobs is deliberately word-split
 		"$tmp/wampde-server" -addr "$2" -addr-file "$tmp/addr$1" \
-			-store-dir "$tmp/store$1" -prewarm -peers "$peers" \
-			-workers 2 -queue 8 -solver-workers 1 \
+			-store-dir "$tmp/store$1" -prewarm -peers "$peers" $knobs \
 			>>"$logdir/cluster-node$1.log" 2>&1 &
 		echo $! >"$tmp/pid$1"
 	}
@@ -234,18 +258,19 @@ run_cluster() {
 		kill "$(cat "$tmp/pid$1")" 2>/dev/null || true
 		wait "$(cat "$tmp/pid$1")" 2>/dev/null || true
 	}
+	wait_addr() { # $1: node number
+		i=0
+		while [ ! -s "$tmp/addr$1" ]; do
+			i=$((i + 1))
+			[ "$i" -gt 100 ] && { echo "ci: cluster node $1 did not start" >&2; exit 1; }
+			sleep 0.1
+		done
+	}
 
 	start_node 1 127.0.0.1:0
 	start_node 2 127.0.0.1:0
 	start_node 3 127.0.0.1:0
-	for n in 1 2 3; do
-		i=0
-		while [ ! -s "$tmp/addr$n" ]; do
-			i=$((i + 1))
-			[ "$i" -gt 100 ] && { echo "ci: cluster node $n did not start" >&2; exit 1; }
-			sleep 0.1
-		done
-	done
+	for n in 1 2 3; do wait_addr "$n"; done
 	addr1="$(cat "$tmp/addr1")"
 	addr2="$(cat "$tmp/addr2")"
 	addr3="$(cat "$tmp/addr3")"
@@ -254,12 +279,13 @@ run_cluster() {
 		"$tmp/wampde-load" -wait-ready "http://$a"
 	done
 
-	echo "-- cluster: mix phase (byte-identity + global single-flight)"
+	echo "-- cluster: mix phase (byte-identity + global single-flight + replication)"
 	mixflags="-check"
 	[ "$mode" = bench ] && mixflags="-check -bench"
 	# shellcheck disable=SC2086 # mixflags is deliberately word-split
 	if ! "$tmp/wampde-load" -cluster "$nodes" -cluster-phase mix \
-		-cluster-bodies "$tmp/bodies.json" -distinct 16 $mixflags >"$loadout"; then
+		-cluster-bodies "$tmp/bodies.json" -cluster-replication 2 \
+		-distinct 16 $mixflags >"$loadout"; then
 		cat "$loadout"
 		echo "ci: cluster mix phase failed" >&2
 		exit 1
@@ -273,13 +299,38 @@ run_cluster() {
 	"$tmp/wampde-load" -cluster "$nodes" -cluster-phase restart \
 		-cluster-bodies "$tmp/bodies.json" -cluster-restarted "http://$addr1" -check
 
-	echo "-- cluster: killing node 3 and gating degradation on the survivors"
+	echo "-- cluster: node 4 joins mid-traffic (segment-streamed handoff)"
+	# The joiner gets only a seed (-join -peers @addr1), no prewarm — every
+	# byte it serves must arrive over the handoff stream. Replay traffic
+	# keeps flowing against the old nodes while it boots and pulls.
+	# shellcheck disable=SC2086 # knobs is deliberately word-split
+	"$tmp/wampde-server" -addr 127.0.0.1:0 -addr-file "$tmp/addr4" \
+		-store-dir "$tmp/store4" -join -peers "@$tmp/addr1" $knobs \
+		>>"$logdir/cluster-node4.log" 2>&1 &
+	echo $! >"$tmp/pid4"
+	"$tmp/wampde-load" -cluster "$nodes" -cluster-phase replay \
+		-cluster-bodies "$tmp/bodies.json" -check
+	wait_addr 4
+	addr4="$(cat "$tmp/addr4")"
+	"$tmp/wampde-load" -wait-ready "http://$addr4"
+	"$tmp/wampde-load" -cluster "$nodes" -cluster-phase join \
+		-cluster-bodies "$tmp/bodies.json" -cluster-joined "http://$addr4" \
+		-cluster-replication 2 -check
+
+	echo "-- cluster: killing node 3 — zero cached bytes and zero availability lost"
 	stop_node 3
-	"$tmp/wampde-load" -cluster "http://$addr1,http://$addr2" \
-		-cluster-phase down -distinct 24 -check
+	survivors="http://$addr1,http://$addr2,http://$addr4"
+	"$tmp/wampde-load" -cluster "$survivors" -cluster-phase kill \
+		-cluster-bodies "$tmp/bodies.json" -check
+
+	echo "-- cluster: breaker + jittered backoff against the dead owner"
+	"$tmp/wampde-load" -cluster "$survivors" -cluster-phase breaker \
+		-cluster-ring "$addr1,$addr2,$addr3,$addr4" -cluster-dead "$addr3" \
+		-distinct 6 -check
 
 	stop_node 1
 	stop_node 2
+	stop_node 4
 	trap - EXIT
 	rm -rf "$tmp"
 }
@@ -319,13 +370,13 @@ if [ "$tier" = bench-check ]; then
 		-benchmem -benchtime 3x . | go run ./cmd/benchjson -check "$benchfile"
 fi
 
-# One full RingScaling sweep into $ringout. A temp file rather than a pipe so
-# set -e sees go test's exit status, and so one run can feed both the JSON
-# snapshot and the ratio gate.
+# One full scaling sweep (envelope + quasiperiodic families) into $ringout.
+# A temp file rather than a pipe so set -e sees go test's exit status, and so
+# one run can feed both the JSON snapshot and the ratio gate.
 run_ring_sweep() {
 	ringout="$(mktemp)"
-	if ! go test -run '^$' -bench 'BenchmarkRingScaling' \
-		-benchtime 1x -timeout 60m . >"$ringout"; then
+	if ! go test -run '^$' -bench 'BenchmarkRingScaling|BenchmarkQPRingScaling' \
+		-benchtime 1x -timeout 90m . >"$ringout"; then
 		cat "$ringout"
 		echo "ci: ring scaling benchmark failed" >&2
 		exit 1
@@ -334,8 +385,8 @@ run_ring_sweep() {
 }
 
 if [ "$tier" = ring-bench ]; then
-	benchfile="${2:-BENCH_pr7.json}"
-	echo "== ring-bench: snapshotting ring-VCO scaling curve to $benchfile"
+	benchfile="${2:-BENCH_pr9.json}"
+	echo "== ring-bench: snapshotting ring-VCO scaling curves to $benchfile"
 	run_ring_sweep
 	go run ./cmd/benchjson <"$ringout" >"$benchfile"
 	cat "$benchfile"

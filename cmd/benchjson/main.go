@@ -13,11 +13,15 @@
 // ignored; the -cpu suffix goos appends to benchmark names is kept, since it
 // distinguishes runs at different worker counts.
 //
-// With -ring-gate it instead reads a BenchmarkRingScaling run from stdin and
-// enforces the dense/matrix-free crossover: at every stage count where both
-// modes ran and stages >= -ring-gate-stages, the matrix-free envelope must be
-// no slower than the dense one, and at the crossover stage count itself it
-// must win by at least -ring-min-speedup. This is a ratio gate — both numbers
+// With -ring-gate it instead reads a ring scaling run from stdin and
+// enforces the dense/matrix-free crossover per benchmark family. Any
+// benchmark shaped Benchmark*/stages=N/{dense,matfree} participates —
+// BenchmarkRingScaling (envelope-following) and BenchmarkQPRingScaling
+// (global quasiperiodic solve) today — and each family is gated
+// independently: at every stage count where both modes ran and
+// stages >= -ring-gate-stages, the matrix-free solve must be no slower than
+// the dense one, and at the family's crossover stage count itself it must
+// win by at least -ring-min-speedup. This is a ratio gate — both numbers
 // come from the same run on the same machine — so it holds across hardware,
 // unlike the absolute ns/op baselines.
 package main
@@ -150,26 +154,27 @@ func check(baseline Report, run []Benchmark, tol float64, allocSlack int64, w *o
 	return pass
 }
 
-// ringResult is one BenchmarkRingScaling/stages=N/{dense,matfree} timing.
+// ringResult is one family's stages=N/{dense,matfree} timing pair.
 type ringResult struct {
 	dense, matfree float64 // ns/op; 0 when that mode did not run
 }
 
-// parseRingName extracts (stages, mode) from a RingScaling benchmark name
-// like "BenchmarkRingScaling/stages=15/matfree-8". The trailing -cpu suffix
-// goos appends is stripped from the mode segment.
-func parseRingName(name string) (stages int, mode string, ok bool) {
+// parseRingName extracts (family, stages, mode) from a scaling benchmark name
+// like "BenchmarkRingScaling/stages=15/matfree-8". Any top-level benchmark
+// with the stages=N/{dense,matfree} sub-benchmark shape participates; the
+// trailing -cpu suffix goos appends is stripped from the mode segment.
+func parseRingName(name string) (family string, stages int, mode string, ok bool) {
 	parts := strings.Split(name, "/")
-	if len(parts) != 3 || parts[0] != "BenchmarkRingScaling" {
-		return 0, "", false
+	if len(parts) != 3 || !strings.HasPrefix(parts[0], "Benchmark") {
+		return "", 0, "", false
 	}
 	s, found := strings.CutPrefix(parts[1], "stages=")
 	if !found {
-		return 0, "", false
+		return "", 0, "", false
 	}
 	stages, err := strconv.Atoi(s)
 	if err != nil || stages <= 0 {
-		return 0, "", false
+		return "", 0, "", false
 	}
 	mode = parts[2]
 	if i := strings.LastIndexByte(mode, '-'); i >= 0 {
@@ -178,29 +183,39 @@ func parseRingName(name string) (stages int, mode string, ok bool) {
 		}
 	}
 	if mode != "dense" && mode != "matfree" {
-		return 0, "", false
+		return "", 0, "", false
 	}
-	return stages, mode, true
+	return parts[0], stages, mode, true
 }
 
-// ringGate enforces the crossover claim on one RingScaling run: wherever both
-// modes were measured at stages >= from, matrix-free must be at least as fast
-// as dense, and at the crossover point itself (the smallest gated stage count
-// with both modes) it must win by minSpeedup. One line per stage count is
-// printed either way, so the report doubles as the scaling table.
+// ringGate enforces the crossover claim on one scaling run, independently per
+// benchmark family: wherever both modes were measured at stages >= from,
+// matrix-free must be at least as fast as dense, and at each family's
+// crossover point (its smallest gated stage count with both modes) it must
+// win by minSpeedup. One line per (family, stage count) is printed either
+// way, so the report doubles as the scaling table.
 func ringGate(run []Benchmark, from int, minSpeedup float64, w *os.File) bool {
-	byStages := map[int]*ringResult{}
-	var order []int
+	type ringKey struct {
+		family string
+		stages int
+	}
+	byKey := map[ringKey]*ringResult{}
+	var families []string
+	stagesOf := map[string][]int{}
 	for _, b := range run {
-		stages, mode, ok := parseRingName(b.Name)
+		family, stages, mode, ok := parseRingName(b.Name)
 		if !ok {
 			continue
 		}
-		r := byStages[stages]
+		k := ringKey{family, stages}
+		r := byKey[k]
 		if r == nil {
 			r = &ringResult{}
-			byStages[stages] = r
-			order = append(order, stages)
+			byKey[k] = r
+			if len(stagesOf[family]) == 0 {
+				families = append(families, family)
+			}
+			stagesOf[family] = append(stagesOf[family], stages)
 		}
 		if mode == "dense" {
 			r.dense = b.NsPerOp
@@ -208,40 +223,48 @@ func ringGate(run []Benchmark, from int, minSpeedup float64, w *os.File) bool {
 			r.matfree = b.NsPerOp
 		}
 	}
-	sort.Ints(order)
+	sort.Strings(families)
 	pass := true
-	crossoverSeen := false
-	for _, stages := range order {
-		r := byStages[stages]
-		if r.dense == 0 || r.matfree == 0 {
-			fmt.Fprintf(w, "ok   stages=%d: single mode only (dense %.3g ns/op, matfree %.3g ns/op)\n",
-				stages, r.dense, r.matfree)
-			continue
+	for _, family := range families {
+		order := stagesOf[family]
+		sort.Ints(order)
+		crossoverSeen := false
+		for _, stages := range order {
+			r := byKey[ringKey{family, stages}]
+			if r.dense == 0 || r.matfree == 0 {
+				fmt.Fprintf(w, "ok   %s stages=%d: single mode only (dense %.3g ns/op, matfree %.3g ns/op)\n",
+					family, stages, r.dense, r.matfree)
+				continue
+			}
+			ratio := r.dense / r.matfree
+			switch {
+			case stages < from:
+				fmt.Fprintf(w, "ok   %s stages=%d: ungated, matfree %.2fx dense\n", family, stages, ratio)
+			case !crossoverSeen:
+				crossoverSeen = true
+				if ratio < minSpeedup {
+					fmt.Fprintf(w, "FAIL %s stages=%d: crossover speedup %.2fx < required %.2fx (dense %.3g ns/op, matfree %.3g ns/op)\n",
+						family, stages, ratio, minSpeedup, r.dense, r.matfree)
+					pass = false
+				} else {
+					fmt.Fprintf(w, "ok   %s stages=%d: crossover speedup %.2fx >= %.2fx\n", family, stages, ratio, minSpeedup)
+				}
+			default:
+				if ratio < 1 {
+					fmt.Fprintf(w, "FAIL %s stages=%d: matfree slower than dense (%.2fx)\n", family, stages, ratio)
+					pass = false
+				} else {
+					fmt.Fprintf(w, "ok   %s stages=%d: matfree %.2fx dense\n", family, stages, ratio)
+				}
+			}
 		}
-		ratio := r.dense / r.matfree
-		switch {
-		case stages < from:
-			fmt.Fprintf(w, "ok   stages=%d: ungated, matfree %.2fx dense\n", stages, ratio)
-		case !crossoverSeen:
-			crossoverSeen = true
-			if ratio < minSpeedup {
-				fmt.Fprintf(w, "FAIL stages=%d: crossover speedup %.2fx < required %.2fx (dense %.3g ns/op, matfree %.3g ns/op)\n",
-					stages, ratio, minSpeedup, r.dense, r.matfree)
-				pass = false
-			} else {
-				fmt.Fprintf(w, "ok   stages=%d: crossover speedup %.2fx >= %.2fx\n", stages, ratio, minSpeedup)
-			}
-		default:
-			if ratio < 1 {
-				fmt.Fprintf(w, "FAIL stages=%d: matfree slower than dense (%.2fx)\n", stages, ratio)
-				pass = false
-			} else {
-				fmt.Fprintf(w, "ok   stages=%d: matfree %.2fx dense\n", stages, ratio)
-			}
+		if !crossoverSeen {
+			fmt.Fprintf(w, "FAIL %s: no stage count >= %d measured in both modes; crossover unverified\n", family, from)
+			pass = false
 		}
 	}
-	if !crossoverSeen {
-		fmt.Fprintf(w, "FAIL no stage count >= %d measured in both modes; crossover unverified\n", from)
+	if len(families) == 0 {
+		fmt.Fprintf(w, "FAIL no stages=N/{dense,matfree} benchmarks on stdin; crossover unverified\n")
 		pass = false
 	}
 	return pass
@@ -251,9 +274,9 @@ func main() {
 	checkFile := flag.String("check", "", "compare stdin against the baseline JSON `file` instead of emitting JSON")
 	tol := flag.Float64("tol", 0.20, "relative ns/op drift that triggers a warning in -check mode")
 	allocSlack := flag.Int64("alloc-slack", 2, "allocs/op above baseline tolerated in -check mode")
-	ringGateMode := flag.Bool("ring-gate", false, "gate a BenchmarkRingScaling run on stdin: matrix-free must beat dense from -ring-gate-stages up")
+	ringGateMode := flag.Bool("ring-gate", false, "gate a ring scaling run on stdin: matrix-free must beat dense from -ring-gate-stages up, per benchmark family")
 	ringFrom := flag.Int("ring-gate-stages", 15, "smallest stage count the -ring-gate crossover claim covers")
-	ringMin := flag.Float64("ring-min-speedup", 3.0, "required matfree-over-dense speedup at the -ring-gate crossover point")
+	ringMin := flag.Float64("ring-min-speedup", 3.0, "required matfree-over-dense speedup at each family's -ring-gate crossover point")
 	flag.Parse()
 
 	sc := bufio.NewScanner(os.Stdin)

@@ -24,9 +24,15 @@
 //
 // -cluster switches to the cluster phases (see cluster.go): -cluster lists
 // every live node's base URL and -cluster-phase picks mix (healthy-cluster
-// byte-identity + global dedup), restart (warm disk-store replay against a
-// restarted node), or down (degradation with an owner dead). -wait-ready URL
-// just polls /healthz for readiness and exits — the curl stand-in `ci.sh
+// byte-identity + global dedup + replication write-through), restart (warm
+// disk-store replay against a restarted node), replay (byte-identity
+// traffic with no solve gate — the mid-join background load), kill
+// (zero-loss replay after a node death: byte-identical replicas, zero
+// re-solves, zero 5xx), join (a joined node received exactly its
+// consistent-hash share via handoff), breaker (a dead owner's circuit
+// breaker opens, short-circuits, and the jittered-backoff retry paths
+// fire), or down (legacy single-owner degradation). -wait-ready URL just
+// polls /healthz for readiness and exits — the curl stand-in `ci.sh
 // cluster` uses to sequence node boots.
 //
 // -check enforces the acceptance gates (hit rate ≥ 87%, zero 5xx in the
@@ -111,9 +117,13 @@ func main() {
 	check := flag.Bool("check", false, "enforce the acceptance gates; non-zero exit on violation")
 	bench := flag.Bool("bench", false, "print go test -bench style lines for cmd/benchjson")
 	cluster := flag.String("cluster", "", "comma-separated base URLs of the live cluster nodes; runs the cluster phases instead of the single-node ones")
-	clusterPhase := flag.String("cluster-phase", "mix", "cluster phase: mix, restart, or down")
-	clusterBodies := flag.String("cluster-bodies", "", "file the mix phase saves canonical bodies to and the restart phase replays from")
+	clusterPhase := flag.String("cluster-phase", "mix", "cluster phase: mix, restart, replay, kill, join, breaker, or down")
+	clusterBodies := flag.String("cluster-bodies", "", "file the mix phase saves canonical bodies to and the replay phases load from")
 	clusterRestarted := flag.String("cluster-restarted", "", "base URL of the restarted node (restart phase)")
+	clusterJoined := flag.String("cluster-joined", "", "base URL of the node that joined mid-traffic (join phase)")
+	clusterRing := flag.String("cluster-ring", "", "comma-separated host:port of the full membership, dead nodes included (breaker phase)")
+	clusterDead := flag.String("cluster-dead", "", "host:port of the dead owner whose breaker the phase exercises (breaker phase)")
+	clusterReplication := flag.Int("cluster-replication", 2, "owners per hash R the cluster runs with (replication and join gates)")
 	waitReadyURL := flag.String("wait-ready", "", "poll this base URL's /healthz until ready, then exit (no other phases run)")
 	flag.Parse()
 
@@ -127,7 +137,20 @@ func main() {
 	}
 	if *cluster != "" {
 		h := &harness{client: &http.Client{Timeout: 5 * time.Minute}}
-		runClusterPhase(h, *clusterPhase, *cluster, *clusterBodies, *clusterRestarted, *distinct, *seed, *check, *bench)
+		runClusterPhase(h, clusterOpts{
+			phase:       *clusterPhase,
+			nodeList:    *cluster,
+			bodiesPath:  *clusterBodies,
+			restarted:   *clusterRestarted,
+			joined:      *clusterJoined,
+			ring:        *clusterRing,
+			dead:        *clusterDead,
+			replication: *clusterReplication,
+			distinct:    *distinct,
+			seed:        *seed,
+			check:       *check,
+			bench:       *bench,
+		})
 		if h.fail > 0 {
 			os.Exit(1)
 		}

@@ -59,6 +59,16 @@ const (
 	// SiteSlowEval stalls a DAE residual evaluation (via the plan's Sleep
 	// hook) so cancellation and deadline paths can be exercised quickly.
 	SiteSlowEval Site = "dae.eval.slow"
+	// SiteForwardTransport fails a cluster forwarding attempt at the
+	// transport layer (before any bytes are sent), exercising the
+	// retry/backoff and circuit-breaker paths deterministically.
+	SiteForwardTransport Site = "serve.forward.transport"
+	// SiteReplicateTransport fails a replication push the same way,
+	// exercising the bounded replication retry.
+	SiteReplicateTransport Site = "serve.replicate.transport"
+	// SiteHeartbeatDrop drops a membership heartbeat or join exchange,
+	// exercising failure detection and partition behavior.
+	SiteHeartbeatDrop Site = "serve.heartbeat.drop"
 )
 
 // Trigger decides, from the 1-based occurrence number of a site, whether

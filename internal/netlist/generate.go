@@ -53,6 +53,13 @@ const (
 // control override is in play.
 const VctlDefault = genVctlDef
 
+// CtlDivDefault is the default slow sweep's frequency divisor: RingVCO and
+// PseudoDiffVCO modulate the control at fNom/CtlDivDefault, so one slow
+// period spans CtlDivDefault nominal carrier cycles. CtlDivDefault/fNom is
+// therefore the T2 a quasiperiodic solve of a generated circuit must use —
+// the modulation is the only forcing, and it is T2-periodic by construction.
+const CtlDivDefault = genCtlDiv
+
 func genMems() (m, b float64) {
 	wm := 2 * math.Pi * genFMech
 	m = genK / (wm * wm)

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Failure detection: each peer gets a circuit breaker fed by transport
+// outcomes (forwarding attempts, replication pushes, heartbeats). K
+// consecutive transport failures open the breaker; while open, the
+// forwarder skips the peer outright (short-circuit) instead of burning a
+// connect timeout per request; after a cooldown one probe is allowed
+// through (half-open), and its outcome either closes the breaker or
+// re-opens it for another cooldown. HTTP responses of any status count as
+// successes — the peer answered; only transport-level failures (refused,
+// reset, timeout) indicate a dead or partitioned node.
+//
+// State is deliberately counter-based and clock-injectable: tests drive
+// exact open/probe/close sequences with a fake clock, and the CI
+// choreography asserts the breaker_* counters after killing a node.
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+type breakerPeer struct {
+	state       int
+	consecutive int       // transport failures since the last success
+	openedAt    time.Time // when the breaker last opened
+	probing     bool      // a half-open probe is in flight
+}
+
+// breakerSet is the per-peer breaker table.
+type breakerSet struct {
+	mu        sync.Mutex
+	peers     map[string]*breakerPeer
+	threshold int           // consecutive failures that open (K)
+	cooldown  time.Duration // open duration before a half-open probe
+	now       func() time.Time
+	m         *Metrics
+}
+
+func newBreakerSet(threshold int, cooldown time.Duration, m *Metrics) *breakerSet {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &breakerSet{
+		peers:     make(map[string]*breakerPeer),
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		m:         m,
+	}
+}
+
+func (b *breakerSet) peer(addr string) *breakerPeer {
+	p, ok := b.peers[addr]
+	if !ok {
+		p = &breakerPeer{}
+		b.peers[addr] = p
+	}
+	return p
+}
+
+// allow reports whether a request to addr may proceed. Closed always
+// allows; open short-circuits until the cooldown has elapsed, then lets
+// exactly one probe through (half-open); half-open with a probe already
+// out short-circuits.
+func (b *breakerSet) allow(addr string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := b.peer(addr)
+	switch p.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(p.openedAt) >= b.cooldown {
+			p.state = breakerHalfOpen
+			p.probing = true
+			b.m.BreakerProbes.Add(1)
+			return true
+		}
+		b.m.BreakerShortCircuits.Add(1)
+		return false
+	default: // half-open
+		if p.probing {
+			b.m.BreakerShortCircuits.Add(1)
+			return false
+		}
+		p.probing = true
+		b.m.BreakerProbes.Add(1)
+		return true
+	}
+}
+
+// success records a transport-level success (the peer answered, any
+// status): the failure streak resets and an open or half-open breaker
+// closes.
+func (b *breakerSet) success(addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := b.peer(addr)
+	p.consecutive = 0
+	p.probing = false
+	if p.state != breakerClosed {
+		p.state = breakerClosed
+		b.m.BreakerCloses.Add(1)
+	}
+}
+
+// failure records a transport failure. A half-open probe failure re-opens
+// immediately; in closed state the K-th consecutive failure opens.
+func (b *breakerSet) failure(addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p := b.peer(addr)
+	p.consecutive++
+	p.probing = false
+	switch p.state {
+	case breakerHalfOpen:
+		p.state = breakerOpen
+		p.openedAt = b.now()
+		b.m.BreakerOpens.Add(1)
+	case breakerClosed:
+		if p.consecutive >= b.threshold {
+			p.state = breakerOpen
+			p.openedAt = b.now()
+			b.m.BreakerOpens.Add(1)
+		}
+	}
+}
+
+// backoff computes capped jittered exponential retry delays:
+// min(base·2^attempt, max) scaled by a uniform [0.5, 1) factor from a
+// seeded PRNG, so two backoffs built with the same seed produce the same
+// schedule — the determinism the retry tests pin — while distinct nodes
+// (seeded differently) decorrelate their retries against a recovering
+// peer.
+type backoff struct {
+	mu   sync.Mutex
+	base time.Duration
+	max  time.Duration
+	rng  *rand.Rand
+}
+
+func newBackoff(base, max time.Duration, seed int64) *backoff {
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 500 * time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	return &backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// delay returns the wait before retry number attempt (0-based: the delay
+// between the first failure and the second try is delay(0)).
+func (b *backoff) delay(attempt int) time.Duration {
+	d := b.base
+	for i := 0; i < attempt && d < b.max; i++ {
+		d *= 2
+	}
+	if d > b.max {
+		d = b.max
+	}
+	b.mu.Lock()
+	f := 0.5 + 0.5*b.rng.Float64()
+	b.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle drives one peer through the full state machine with
+// a fake clock and pins every counter transition: closed → open on the K-th
+// consecutive failure, short-circuit while open, half-open probe after the
+// cooldown, re-open on a failed probe, close on a successful one.
+func TestBreakerLifecycle(t *testing.T) {
+	m := NewMetrics()
+	b := newBreakerSet(3, time.Second, m)
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+	const peer = "p:1"
+
+	// Closed: failures below the threshold never block.
+	for i := 0; i < 2; i++ {
+		if !b.allow(peer) {
+			t.Fatalf("closed breaker blocked request %d", i)
+		}
+		b.failure(peer)
+	}
+	if got := m.BreakerOpens.Load(); got != 0 {
+		t.Fatalf("opened after %d failures (threshold 3): opens=%d", 2, got)
+	}
+	// Third consecutive failure opens.
+	b.allow(peer)
+	b.failure(peer)
+	if got := m.BreakerOpens.Load(); got != 1 {
+		t.Fatalf("BreakerOpens = %d after the threshold failure, want 1", got)
+	}
+	// Open: short-circuits until the cooldown elapses.
+	for i := 0; i < 2; i++ {
+		if b.allow(peer) {
+			t.Fatal("open breaker allowed a request inside the cooldown")
+		}
+	}
+	if got := m.BreakerShortCircuits.Load(); got != 2 {
+		t.Fatalf("BreakerShortCircuits = %d, want 2", got)
+	}
+
+	// Cooldown elapsed: exactly one probe goes through; a second concurrent
+	// request short-circuits while the probe is out.
+	now = now.Add(time.Second)
+	if !b.allow(peer) {
+		t.Fatal("cooldown elapsed but no probe allowed")
+	}
+	if got := m.BreakerProbes.Load(); got != 1 {
+		t.Fatalf("BreakerProbes = %d, want 1", got)
+	}
+	if b.allow(peer) {
+		t.Fatal("second request allowed while the probe is in flight")
+	}
+	// The probe fails: re-open for another full cooldown.
+	b.failure(peer)
+	if got := m.BreakerOpens.Load(); got != 2 {
+		t.Fatalf("BreakerOpens = %d after the failed probe, want 2", got)
+	}
+	if b.allow(peer) {
+		t.Fatal("re-opened breaker allowed a request immediately")
+	}
+
+	// Second probe succeeds: the breaker closes and traffic flows.
+	now = now.Add(time.Second)
+	if !b.allow(peer) {
+		t.Fatal("second probe not allowed")
+	}
+	b.success(peer)
+	if got := m.BreakerCloses.Load(); got != 1 {
+		t.Fatalf("BreakerCloses = %d, want 1", got)
+	}
+	for i := 0; i < 3; i++ {
+		if !b.allow(peer) {
+			t.Fatal("closed breaker blocked traffic after recovery")
+		}
+	}
+	// Final tallies: the exact deterministic counter set.
+	if opens, sc, probes, closes := m.BreakerOpens.Load(), m.BreakerShortCircuits.Load(),
+		m.BreakerProbes.Load(), m.BreakerCloses.Load(); opens != 2 || sc != 4 || probes != 2 || closes != 1 {
+		t.Fatalf("counters opens=%d shortCircuits=%d probes=%d closes=%d, want 2/4/2/1", opens, sc, probes, closes)
+	}
+}
+
+// TestBreakerSuccessResetsStreak: non-consecutive failures never open — a
+// success in between resets the count.
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	m := NewMetrics()
+	b := newBreakerSet(3, time.Second, m)
+	const peer = "p:1"
+	for round := 0; round < 4; round++ {
+		b.failure(peer)
+		b.failure(peer)
+		b.success(peer)
+	}
+	if got := m.BreakerOpens.Load(); got != 0 {
+		t.Fatalf("interleaved failures opened the breaker: opens=%d", got)
+	}
+	b.failure(peer)
+	b.failure(peer)
+	b.failure(peer)
+	if got := m.BreakerOpens.Load(); got != 1 {
+		t.Fatalf("three consecutive failures did not open: opens=%d", got)
+	}
+}
+
+// TestBreakerPerPeerIsolation: one peer's death must not affect another's
+// breaker.
+func TestBreakerPerPeerIsolation(t *testing.T) {
+	m := NewMetrics()
+	b := newBreakerSet(2, time.Hour, m)
+	b.failure("dead:1")
+	b.failure("dead:1")
+	if b.allow("dead:1") {
+		t.Fatal("dead peer's breaker still closed")
+	}
+	if !b.allow("alive:1") {
+		t.Fatal("healthy peer's breaker tripped by another peer's failures")
+	}
+}
+
+// TestBackoffDeterminism: the jittered schedule is a pure function of the
+// seed — same seed, same delays — and every delay respects the
+// min(base·2^n, max) envelope with the [0.5, 1) jitter factor.
+func TestBackoffDeterminism(t *testing.T) {
+	base, max := 25*time.Millisecond, 500*time.Millisecond
+	a := newBackoff(base, max, 42)
+	b := newBackoff(base, max, 42)
+	c := newBackoff(base, max, 7)
+	differs := false
+	for attempt := 0; attempt < 12; attempt++ {
+		da, db, dc := a.delay(attempt), b.delay(attempt), c.delay(attempt)
+		if da != db {
+			t.Fatalf("attempt %d: same seed produced %v vs %v", attempt, da, db)
+		}
+		if da != dc {
+			differs = true
+		}
+		envelope := base << uint(attempt)
+		if envelope > max || envelope <= 0 {
+			envelope = max
+		}
+		if da < envelope/2 || da >= envelope {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, da, envelope/2, envelope)
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestBackoffDefaults: zero and inverted configuration fall back to sane
+// bounds rather than zero sleeps or unbounded growth.
+func TestBackoffDefaults(t *testing.T) {
+	b := newBackoff(0, 0, 1)
+	if d := b.delay(0); d < 12*time.Millisecond || d >= 25*time.Millisecond {
+		t.Fatalf("default base delay %v outside [12.5ms, 25ms)", d)
+	}
+	if d := b.delay(20); d >= 500*time.Millisecond {
+		t.Fatalf("delay %v exceeds the default cap", d)
+	}
+	inv := newBackoff(time.Second, time.Millisecond, 1)
+	if d := inv.delay(5); d >= time.Second {
+		t.Fatalf("inverted max not clamped to base: %v", d)
+	}
+}

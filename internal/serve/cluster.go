@@ -2,23 +2,29 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"strings"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
-// Cluster mode: a static peer list with consistent-hash ownership of
-// content hashes. Any node accepts any request; a request whose hash it
-// does not own is forwarded to the owner over HTTP, so the owner's
-// single-flight group dedups the solve cluster-wide (exactly one engine
-// solve per distinct hash, no matter which nodes the requests land on).
-// Forwarding is bounded — per-attempt timeout, one retry on connection
-// failure (which also absorbs stale keep-alive connections to a restarted
-// peer) — and degrades gracefully: when the owner is unreachable the
-// receiving node solves locally instead of erroring, trading global dedup
-// for availability until the owner returns.
+// Cluster mode: consistent-hash ownership of content hashes over a
+// dynamic, epoch-versioned membership (membership.go). Each hash has R
+// owners (Owners, successor-distinct): the primary dedups the solve
+// cluster-wide through its single-flight group, and every fresh solve is
+// written through to the remaining owners (replicate.go), so any single
+// node death loses neither availability nor cached bytes. A node
+// receiving a request it is not primary for forwards it to the owners in
+// ring order, skipping peers whose circuit breaker is open (breaker.go)
+// and retrying transport failures with capped jittered exponential
+// backoff; only when every owner is unreachable does it degrade to a
+// local solve (trading global dedup for availability). A forwarded
+// request is never re-forwarded, so inconsistent membership views cannot
+// produce routing loops.
 
 // forwardHeader marks a forwarded request. The owner solves it locally
 // unconditionally; a node never re-forwards, so inconsistent peer lists
@@ -33,26 +39,63 @@ type ClusterConfig struct {
 	// Self is this node's advertised address (host:port), as it appears in
 	// the peer lists of the other nodes.
 	Self string
-	// Peers is the static membership: every cluster node's advertised
-	// address, in any order, with or without Self included.
+	// Peers seeds the membership: other nodes' advertised addresses, in
+	// any order, with or without Self included. With Join unset this is
+	// the boot membership (epoch 1); with Join set these are the seed
+	// nodes asked to admit this node.
 	Peers []string
+	// Join, when set, boots this node into an existing cluster: it asks
+	// the Peers (seed nodes) to admit it, adopts the answered membership
+	// view, and pulls its consistent-hash share from the other members
+	// via segment-streamed handoff before reporting ready.
+	Join bool
 	// Replicas is the virtual-node count per peer on the hash ring
 	// (default 64).
 	Replicas int
+	// Replication is R, the number of owners per content hash (default 2;
+	// 1 disables replication and restores single-owner PR-8 semantics).
+	Replication int
 	// ForwardTimeout bounds one forwarding attempt end to end (default:
 	// the server's DefaultDeadline plus 15 seconds of proxy slack, so a
 	// forwarded solve can use its whole budget before the proxy gives up).
 	ForwardTimeout time.Duration
+	// ForwardAttempts is the per-owner transport-retry budget of one
+	// forwarded request (default 2: the original try plus one retry).
+	ForwardAttempts int
+	// HeartbeatInterval paces the membership/health heartbeat loop
+	// (default 0 = disabled; cmd/wampde-server defaults it to 1s).
+	HeartbeatInterval time.Duration
+	// BreakerThreshold is K, the consecutive transport failures that open
+	// a peer's circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker short-circuits before
+	// allowing a half-open probe (default 2s).
+	BreakerCooldown time.Duration
+	// BackoffBase and BackoffMax shape the capped jittered exponential
+	// retry backoff (defaults 25ms and 500ms).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BackoffSeed seeds the jitter PRNG; any fixed seed makes the retry
+	// schedule exactly reproducible (default 1).
+	BackoffSeed int64
+	// ReplQueueCap bounds the async replication queue (default 256).
+	ReplQueueCap int
 }
 
 // forwarder is the bounded HTTP client a node uses to reach hash owners.
 type forwarder struct {
-	client  *http.Client
-	timeout time.Duration
-	m       *Metrics
+	client   *http.Client
+	timeout  time.Duration
+	attempts int
+	bo       *backoff
+	breakers *breakerSet
+	m        *Metrics
 }
 
-func newForwarder(timeout time.Duration, m *Metrics) *forwarder {
+func newForwarder(timeout time.Duration, attempts int, bo *backoff, breakers *breakerSet, m *Metrics) *forwarder {
+	if attempts <= 0 {
+		attempts = 2
+	}
 	return &forwarder{
 		client: &http.Client{
 			Transport: &http.Transport{
@@ -61,34 +104,61 @@ func newForwarder(timeout time.Duration, m *Metrics) *forwarder {
 				IdleConnTimeout:     60 * time.Second,
 			},
 		},
-		timeout: timeout,
-		m:       m,
+		timeout:  timeout,
+		attempts: attempts,
+		bo:       bo,
+		breakers: breakers,
+		m:        m,
 	}
 }
 
-// simulate forwards a raw /v1/simulate body to owner and returns the
-// owner's verbatim response. A transport-level failure (connection refused,
-// reset, stale pooled connection) is retried exactly once against a fresh
-// connection; an HTTP response of any status is returned as-is — the owner
-// answered, and its answer (including its error mapping) is authoritative.
-func (f *forwarder) simulate(ctx context.Context, owner string, raw []byte) (status int, xcache string, body []byte, err error) {
+// simulate forwards a raw /v1/simulate body to the hash's owners, in ring
+// order, and returns the first verbatim response along with the owner that
+// answered. Per owner: an open circuit breaker skips it outright; a
+// transport-level failure (connection refused, reset, stale pooled
+// connection, injected fault) is retried up to the attempt budget with
+// capped jittered backoff, feeding the breaker each time. An HTTP response
+// of any status ends the search — the owner answered, and its answer
+// (including its error mapping) is authoritative. Only when every owner is
+// exhausted does simulate return an error (the caller's local-solve
+// fallback).
+func (f *forwarder) simulate(ctx context.Context, owners []string, raw []byte) (status int, xcache string, body []byte, origin string, err error) {
 	f.m.ForwardAttempts.Add(1)
 	t0 := time.Now()
 	defer func() { f.m.ForwardNS.Add(time.Since(t0).Nanoseconds()) }()
-	for attempt := 0; ; attempt++ {
-		status, xcache, body, err = f.post(ctx, owner, raw)
-		if err == nil {
-			f.m.ForwardOK.Add(1)
-			return status, xcache, body, nil
+	err = fmt.Errorf("serve: no reachable owner")
+	for _, owner := range owners {
+		for attempt := 0; attempt < f.attempts; attempt++ {
+			if !f.breakers.allow(owner) {
+				break // open breaker: skip this owner entirely
+			}
+			if attempt > 0 {
+				f.m.ForwardRetries.Add(1)
+				select {
+				case <-time.After(f.bo.delay(attempt - 1)):
+				case <-ctx.Done():
+					return 0, "", nil, "", ctx.Err()
+				}
+			}
+			status, xcache, body, err = f.post(ctx, owner, raw)
+			if err == nil {
+				f.breakers.success(owner)
+				f.m.ForwardOK.Add(1)
+				return status, xcache, body, owner, nil
+			}
+			f.breakers.failure(owner)
+			if ctx.Err() != nil {
+				return 0, "", nil, "", err
+			}
 		}
-		if attempt > 0 || ctx.Err() != nil {
-			return 0, "", nil, err
-		}
-		f.m.ForwardRetries.Add(1)
 	}
+	return 0, "", nil, "", err
 }
 
 func (f *forwarder) post(ctx context.Context, owner string, raw []byte) (int, string, []byte, error) {
+	if faultinject.Fire(faultinject.SiteForwardTransport) {
+		return 0, "", nil, fmt.Errorf("serve: injected forward transport failure to %s", owner)
+	}
 	ctx, cancel := context.WithTimeout(ctx, f.timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
@@ -133,6 +203,18 @@ func prewarmSet() []*Canonical {
 			panic("serve: prewarm set: " + err.Error())
 		}
 		out = append(out, c)
+	}
+	return out
+}
+
+// PrewarmHashes returns the content hashes of the prewarm set, in order.
+// Harnesses (cmd/wampde-load) use it to compute which keys a joining node
+// is owed without re-deriving the canonical encoding.
+func PrewarmHashes() []string {
+	set := prewarmSet()
+	out := make([]string, len(set))
+	for i, c := range set {
+		out[i] = c.Hash()
 	}
 	return out
 }

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // testCluster is an in-process N-node cluster: real TCP listeners (so
@@ -35,7 +36,15 @@ func newTestCluster(t *testing.T, n int, cfg func(i int) Config) *testCluster {
 		c := cfg(i)
 		eng, _ := c.Engine.(*fakeEngine)
 		tc.engines = append(tc.engines, eng)
-		c.Cluster = &ClusterConfig{Self: tc.addrs[i], Peers: tc.addrs}
+		// Preserve a caller-provided cluster config (Replication, breaker and
+		// backoff knobs, heartbeat interval); fill in the wiring only.
+		if c.Cluster == nil {
+			c.Cluster = &ClusterConfig{}
+		}
+		c.Cluster.Self = tc.addrs[i]
+		if len(c.Cluster.Peers) == 0 {
+			c.Cluster.Peers = tc.addrs
+		}
 		s, err := NewServer(c)
 		if err != nil {
 			t.Fatalf("NewServer node %d: %v", i, err)
@@ -57,6 +66,65 @@ func newTestCluster(t *testing.T, n int, cfg func(i int) Config) *testCluster {
 // kill closes node i's listener and connections — the in-process stand-in
 // for a crashed node.
 func (tc *testCluster) kill(i int) { tc.https[i].Close() }
+
+// idx maps an advertised address back to its node index.
+func (tc *testCluster) idx(t *testing.T, addr string) int {
+	t.Helper()
+	for i, a := range tc.addrs {
+		if a == addr {
+			return i
+		}
+	}
+	t.Fatalf("address %s not in cluster", addr)
+	return -1
+}
+
+// add boots one more node into the cluster after the fact (the join-mode
+// path): a fresh listener, a server built from c with the cluster wiring
+// filled in, appended to the cluster's bookkeeping. Returns its index.
+func (tc *testCluster) add(t *testing.T, c Config) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	eng, _ := c.Engine.(*fakeEngine)
+	if c.Cluster == nil {
+		c.Cluster = &ClusterConfig{}
+	}
+	c.Cluster.Self = addr
+	s, err := NewServer(c)
+	if err != nil {
+		ln.Close()
+		t.Fatalf("NewServer joiner: %v", err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	tc.addrs = append(tc.addrs, addr)
+	tc.servers = append(tc.servers, s)
+	tc.engines = append(tc.engines, eng)
+	tc.https = append(tc.https, hs)
+	i := len(tc.servers) - 1
+	t.Cleanup(func() { tc.https[i].Close(); tc.servers[i].Close() })
+	return i
+}
+
+// waitReplDrained waits until every node's replication queue is empty and
+// accounted for (enqueued == sent + failed) — the quiescence point after
+// which replica stores are stable.
+func (tc *testCluster) waitReplDrained(t *testing.T) {
+	t.Helper()
+	waitFor(t, "replication drain", func() bool {
+		for _, s := range tc.servers {
+			if s.m.ReplQueueDepth.Load() != 0 ||
+				s.m.ReplEnqueued.Load() != s.m.ReplSent.Load()+s.m.ReplFailed.Load() {
+				return false
+			}
+		}
+		return true
+	})
+}
 
 func (tc *testCluster) totalSolves() int {
 	total := 0
@@ -83,13 +151,16 @@ func hashOf(t *testing.T, body string) string {
 	return c.Hash()
 }
 
-// TestClusterGlobalDedup is the tentpole contract: the same request posted
-// to every node must solve exactly once cluster-wide (the owner's
-// single-flight group, reached by forwarding) and every node must return
-// bitwise-identical bytes.
+// TestClusterGlobalDedup is the single-owner contract (Replication 1): the
+// same request posted to every node must solve exactly once cluster-wide
+// (the owner's single-flight group, reached by forwarding) and every node
+// must return bitwise-identical bytes. Replication 1 keeps the origin
+// assertions deterministic — with R > 1 the async write-through may land a
+// replica on a secondary owner between posts, which is its own test.
 func TestClusterGlobalDedup(t *testing.T) {
 	tc := newTestCluster(t, 3, func(i int) Config {
-		return Config{Workers: 2, QueueCap: 8, Engine: &fakeEngine{}}
+		return Config{Workers: 2, QueueCap: 8, Engine: &fakeEngine{},
+			Cluster: &ClusterConfig{Replication: 1}}
 	})
 	owner := NewRing(tc.addrs, 0).Owner(hashOf(t, transientReq))
 
@@ -178,11 +249,13 @@ func TestClusterForwardedInSolvesLocally(t *testing.T) {
 	}
 }
 
-// TestClusterOwnerDownFallback: with the hash owner dead, a surviving node
-// must retry once, fall back to a local solve, and still answer 200.
+// TestClusterOwnerDownFallback: with Replication 1 (no replicas to fail
+// over to) and the hash owner dead, a surviving node must retry once, fall
+// back to a local solve, and still answer 200 — availability over dedup.
 func TestClusterOwnerDownFallback(t *testing.T) {
 	tc := newTestCluster(t, 3, func(i int) Config {
-		return Config{Workers: 2, QueueCap: 8, Engine: &fakeEngine{}}
+		return Config{Workers: 2, QueueCap: 8, Engine: &fakeEngine{},
+			Cluster: &ClusterConfig{Replication: 1, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond}}
 	})
 	owner := NewRing(tc.addrs, 0).Owner(hashOf(t, transientReq))
 	ownerIdx, entryIdx := -1, -1

@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// stubPeer serves h at a real TCP address — a scriptable stand-in for a
+// cluster peer, used to pin how the forwarder treats owner responses the
+// real server would be awkward to produce on demand.
+func stubPeer(t *testing.T, h http.Handler) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	hs := &http.Server{Handler: h}
+	go hs.Serve(ln)
+	t.Cleanup(func() { hs.Close() })
+	return ln.Addr().String()
+}
+
+// reqOwnedBy returns a request body (from the distinctReq family) whose
+// primary owner on the given ring is owner, skipping any hashes already
+// used by the caller.
+func reqOwnedBy(t *testing.T, nodes []string, owner string, used map[string]bool) string {
+	t.Helper()
+	ring := NewRing(nodes, 0)
+	for i := 0; i < 256; i++ {
+		req := distinctReq(i)
+		hash := hashOf(t, req)
+		if used[hash] {
+			continue
+		}
+		if ring.Owner(hash) == owner {
+			used[hash] = true
+			return req
+		}
+	}
+	t.Fatalf("no request of 256 candidates hashed to owner %s", owner)
+	return ""
+}
+
+// newEntryWithStub builds a cluster entry node whose only peer is the stub
+// address, returning the entry server, its test URL, and its engine.
+func newEntryWithStub(t *testing.T, stub string, tune func(*ClusterConfig)) (*Server, string, *fakeEngine) {
+	t.Helper()
+	cc := &ClusterConfig{
+		Self:        "127.0.0.1:9", // never dialed: the stub owns the test hashes
+		Peers:       []string{stub},
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+	}
+	if tune != nil {
+		tune(cc)
+	}
+	eng := &fakeEngine{}
+	s, err := NewServer(Config{Workers: 2, QueueCap: 8, Engine: eng, Cluster: cc})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts.URL, eng
+}
+
+// TestForwardOwnerStatusPassThrough: an owner that answers — with any
+// status — is authoritative. A 429 (saturated owner) and a 408 (owner-side
+// deadline) mid-forward pass through verbatim with the origin header, no
+// retry, and no local fallback solve.
+func TestForwardOwnerStatusPassThrough(t *testing.T) {
+	var status atomic.Int64
+	stub := stubPeer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(int(status.Load()))
+		w.Write([]byte(`{"error":"scripted","kind":"test"}`))
+	}))
+	s, url, eng := newEntryWithStub(t, stub, nil)
+	used := map[string]bool{}
+
+	status.Store(http.StatusTooManyRequests)
+	resp, _ := post(t, url, reqOwnedBy(t, []string{"127.0.0.1:9", stub}, stub, used))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated owner: status %d, want 429 passed through", resp.StatusCode)
+	}
+	if origin := resp.Header.Get(originHeader); origin != stub {
+		t.Fatalf("X-Wampde-Origin %q, want %s", origin, stub)
+	}
+
+	status.Store(http.StatusRequestTimeout)
+	resp, _ = post(t, url, reqOwnedBy(t, []string{"127.0.0.1:9", stub}, stub, used))
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("owner deadline: status %d, want 408 passed through", resp.StatusCode)
+	}
+
+	if got := s.m.ForwardOK.Load(); got != 2 {
+		t.Fatalf("ForwardOK = %d, want 2 (the owner answered both times)", got)
+	}
+	if got := s.m.ForwardRetries.Load(); got != 0 {
+		t.Fatalf("ForwardRetries = %d, want 0 (an answered request is never retried)", got)
+	}
+	if got := s.m.ForwardFallbacks.Load(); got != 0 {
+		t.Fatalf("ForwardFallbacks = %d, want 0", got)
+	}
+	if got := eng.Solves(); got != 0 {
+		t.Fatalf("entry solved %d times for owner-answered requests, want 0", got)
+	}
+	if got := s.m.Canceled.Load(); got != 1 {
+		t.Fatalf("Canceled = %d, want 1 (the passed-through 408)", got)
+	}
+}
+
+// TestForwardSlowOwnerTimeout: an owner that accepts but never answers
+// within the per-attempt budget is a transport failure — the attempt times
+// out, retries once, then degrades to a local solve instead of hanging the
+// client for the owner's full deadline.
+func TestForwardSlowOwnerTimeout(t *testing.T) {
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	stub := stubPeer(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // hold every request until test end
+	}))
+	s, url, eng := newEntryWithStub(t, stub, func(cc *ClusterConfig) {
+		cc.ForwardTimeout = 50 * time.Millisecond
+	})
+	resp, _ := post(t, url, reqOwnedBy(t, []string{"127.0.0.1:9", stub}, stub, map[string]bool{}))
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d, want 200 from the local fallback", resp.StatusCode)
+	}
+	if xc := resp.Header.Get("X-Cache"); xc != "miss" {
+		t.Fatalf("X-Cache %q, want miss (fresh local solve)", xc)
+	}
+	if got := s.m.ForwardRetries.Load(); got != 1 {
+		t.Fatalf("ForwardRetries = %d, want 1 (one retry after the first timeout)", got)
+	}
+	if got := s.m.ForwardFallbacks.Load(); got != 1 {
+		t.Fatalf("ForwardFallbacks = %d, want 1", got)
+	}
+	if got := s.m.ForwardOK.Load(); got != 0 {
+		t.Fatalf("ForwardOK = %d, want 0", got)
+	}
+	if got := eng.Solves(); got != 1 {
+		t.Fatalf("entry solved %d times, want 1 (the fallback)", got)
+	}
+}
+
+// TestClusterBreakerRecovery is the failure-detection choreography over
+// real nodes: a dead owner's breaker opens after K consecutive transport
+// failures, open short-circuits requests outright (fallback without a
+// connect attempt), and after the cooldown a half-open probe against the
+// restarted owner closes it — every transition pinned by its counter.
+func TestClusterBreakerRecovery(t *testing.T) {
+	tc := newTestCluster(t, 3, func(i int) Config {
+		return Config{Workers: 2, QueueCap: 8, Engine: &fakeEngine{},
+			Cluster: &ClusterConfig{
+				Replication:      1, // single owner: every forward targets exactly the dead node
+				ForwardAttempts:  1, // one attempt per request: each post is one breaker sample
+				BreakerThreshold: 2,
+				BreakerCooldown:  time.Hour, // the fake clock, not the wall clock, ends it
+				BackoffBase:      time.Millisecond,
+				BackoffMax:       2 * time.Millisecond,
+			}}
+	})
+	// Pick an owner and an entry, and a family of requests the owner owns.
+	ownerAddr := tc.addrs[0]
+	owner := tc.idx(t, ownerAddr)
+	entry := (owner + 1) % 3
+	used := map[string]bool{}
+	nextReq := func() string { return reqOwnedBy(t, tc.addrs[:3], ownerAddr, used) }
+	es := tc.servers[entry]
+	now := time.Now()
+	es.breakers.now = func() time.Time { return now }
+
+	tc.kill(owner)
+
+	// Two refused connections open the breaker (threshold 2); both requests
+	// still answer 200 via the local fallback.
+	for i := 0; i < 2; i++ {
+		if resp, body := post(t, "http://"+tc.addrs[entry], nextReq()); resp.StatusCode != 200 {
+			t.Fatalf("post %d with owner dead: status %d (%s)", i, resp.StatusCode, body)
+		}
+	}
+	if got := es.m.BreakerOpens.Load(); got != 1 {
+		t.Fatalf("BreakerOpens = %d after %d refused connections, want 1", got, 2)
+	}
+	// Open: the next request is short-circuited — no dial, straight to the
+	// fallback.
+	if resp, _ := post(t, "http://"+tc.addrs[entry], nextReq()); resp.StatusCode != 200 {
+		t.Fatal("short-circuited request did not fall back to a local solve")
+	}
+	if got := es.m.BreakerShortCircuits.Load(); got != 1 {
+		t.Fatalf("BreakerShortCircuits = %d, want 1", got)
+	}
+	if got := es.m.ForwardFallbacks.Load(); got != 3 {
+		t.Fatalf("ForwardFallbacks = %d, want 3", got)
+	}
+
+	// Restart the owner on its old address and let the cooldown elapse: the
+	// next request rides the half-open probe, succeeds, and closes the
+	// breaker.
+	ln, err := net.Listen("tcp", ownerAddr)
+	if err != nil {
+		t.Fatalf("rebinding the owner address: %v", err)
+	}
+	hs := &http.Server{Handler: tc.servers[owner].Handler()}
+	go hs.Serve(ln)
+	t.Cleanup(func() { hs.Close() })
+	now = now.Add(2 * time.Hour)
+
+	resp, _ := post(t, "http://"+tc.addrs[entry], nextReq())
+	if resp.StatusCode != 200 {
+		t.Fatalf("probe-carried request: status %d", resp.StatusCode)
+	}
+	if origin := resp.Header.Get(originHeader); origin != ownerAddr {
+		t.Fatalf("probe-carried request served by %q, want the recovered owner %s", origin, ownerAddr)
+	}
+	if got := es.m.BreakerProbes.Load(); got != 1 {
+		t.Fatalf("BreakerProbes = %d, want 1", got)
+	}
+	if got := es.m.BreakerCloses.Load(); got != 1 {
+		t.Fatalf("BreakerCloses = %d, want 1", got)
+	}
+	if got := es.m.ForwardOK.Load(); got != 1 {
+		t.Fatalf("ForwardOK = %d, want 1 (the recovered owner answered)", got)
+	}
+	// Closed again: the next owned hash forwards normally, no new probe.
+	if resp, _ := post(t, "http://"+tc.addrs[entry], nextReq()); resp.StatusCode != 200 {
+		t.Fatal("post after recovery failed")
+	}
+	if got := es.m.BreakerProbes.Load(); got != 1 {
+		t.Fatalf("BreakerProbes grew to %d after recovery, want 1", got)
+	}
+}
+
+// TestFaultForwardTransportBackoff: injected transport failures on the
+// first two attempts are retried on the deterministic backoff schedule and
+// the third attempt lands — exactly two retries, one success, no fallback.
+func TestFaultForwardTransportBackoff(t *testing.T) {
+	disarm := faultinject.Arm(faultinject.NewPlan().
+		Fail(faultinject.SiteForwardTransport, faultinject.Times(2)))
+	defer disarm()
+	tc := newTestCluster(t, 2, func(i int) Config {
+		return Config{Workers: 2, QueueCap: 8, Engine: &fakeEngine{},
+			Cluster: &ClusterConfig{
+				Replication:     1,
+				ForwardAttempts: 3,
+				BackoffBase:     time.Millisecond,
+				BackoffMax:      4 * time.Millisecond,
+				BackoffSeed:     99,
+			}}
+	})
+	hash := hashOf(t, transientReq)
+	owner := tc.idx(t, tc.servers[0].ring().Owner(hash))
+	entry := 1 - owner
+
+	resp, _ := post(t, "http://"+tc.addrs[entry], transientReq)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	es := tc.servers[entry]
+	if got := es.m.ForwardRetries.Load(); got != 2 {
+		t.Fatalf("ForwardRetries = %d, want 2", got)
+	}
+	if got := es.m.ForwardOK.Load(); got != 1 {
+		t.Fatalf("ForwardOK = %d, want 1", got)
+	}
+	if got := es.m.ForwardFallbacks.Load(); got != 0 {
+		t.Fatalf("ForwardFallbacks = %d, want 0", got)
+	}
+	if got := tc.engines[owner].Solves(); got != 1 {
+		t.Fatalf("owner solved %d times, want 1", got)
+	}
+	if got := tc.engines[entry].Solves(); got != 0 {
+		t.Fatalf("entry solved %d times, want 0", got)
+	}
+}

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handoff: when a node joins, it must receive exactly the keys it now
+// owns — no more (joining must not copy whole stores around) and no less
+// (its share must serve without recomputing). Each existing member exposes
+// GET /v1/cluster/handoff?node=ADDR, which iterates its segment-store
+// index and streams precisely the records whose key would list ADDR among
+// its R owners once ADDR is in the ring. The stream reuses the segment
+// store's own record framing (length-prefixed, CRC32-C-trailed), so every
+// record is verified twice: read-time by the sender's store, and again by
+// the receiver before it persists — a corrupt record aborts the pull
+// rather than entering the store.
+//
+// The sender computes ownership against its current membership with ADDR
+// unioned in, a pure computation with no side effects — so a pull is
+// correct even before the join has propagated to that sender, and the
+// moved set is exactly the joiner's consistent-hash share (the rebalance
+// bound pinned in shard_test.go).
+
+// handoffCountHeader carries the number of records the sender will stream.
+const handoffCountHeader = "X-Wampde-Handoff-Count"
+
+// handleHandoff streams the records owed to the node named in the query.
+func (s *Server) handleHandoff(w http.ResponseWriter, r *http.Request) {
+	node := r.URL.Query().Get("node")
+	if err := validateNodeAddr(node); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.m.HandoffPulls.Add(1)
+	var keys []string
+	if s.store != nil {
+		view := s.member.view()
+		ring := NewRing(append(view.Nodes, node), s.cfg.Cluster.Replicas)
+		for _, key := range s.store.Keys() {
+			for _, owner := range ring.Owners(key, s.replication) {
+				if owner == node {
+					keys = append(keys, key)
+					break
+				}
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(handoffCountHeader, strconv.Itoa(len(keys)))
+	for _, key := range keys {
+		body := s.store.Get(key) // CRC re-verified by the store
+		if body == nil {
+			continue
+		}
+		if _, err := w.Write(encodeRecord(key, body)); err != nil {
+			return // receiver hung up; it will retry or re-pull
+		}
+		s.m.HandoffKeysSent.Add(1)
+		s.m.HandoffBytes.Add(int64(len(body)))
+	}
+}
+
+// decodeHandoffRecord reads one record from a handoff stream. Returns
+// io.EOF exactly at a clean record boundary; any truncated or
+// bounds-violating or checksum-failing record is an error. Never panics on
+// arbitrary input (the fuzz target's contract).
+func decodeHandoffRecord(br *bufio.Reader) (key string, body []byte, err error) {
+	var hdr [storeHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return "", nil, io.EOF
+		}
+		return "", nil, fmt.Errorf("serve: handoff record header: %w", err)
+	}
+	keyLen := int64(binary.BigEndian.Uint32(hdr[0:4]))
+	bodyLen := int64(binary.BigEndian.Uint32(hdr[4:8]))
+	if keyLen < 1 || keyLen > storeMaxKeyLen || bodyLen < 1 || bodyLen > storeMaxBodyLen {
+		return "", nil, fmt.Errorf("serve: handoff record out of bounds (key %d, body %d)", keyLen, bodyLen)
+	}
+	rec := make([]byte, storeHeaderLen+keyLen+bodyLen+storeTrailerLen)
+	copy(rec, hdr[:])
+	if _, err := io.ReadFull(br, rec[storeHeaderLen:]); err != nil {
+		return "", nil, fmt.Errorf("serve: handoff record truncated: %w", err)
+	}
+	n := int64(len(rec))
+	want := binary.BigEndian.Uint32(rec[n-storeTrailerLen:])
+	if crc32.Checksum(rec[:n-storeTrailerLen], storeCRC) != want {
+		return "", nil, fmt.Errorf("serve: handoff record checksum mismatch")
+	}
+	return string(rec[storeHeaderLen : storeHeaderLen+keyLen]),
+		rec[storeHeaderLen+keyLen : n-storeTrailerLen], nil
+}
+
+// pullHandoff fetches this node's share from every current member. Records
+// already present (a key replicated on two senders streams twice) are
+// skipped, so handoff_keys_received counts exactly the distinct keys that
+// moved — the number the CI join gate compares against the computed share.
+func (s *Server) pullHandoff(ctx context.Context) {
+	for _, peer := range s.member.peers() {
+		if err := s.pullHandoffFrom(ctx, peer); err != nil {
+			s.m.MemberHeartbeatMisses.Add(1)
+			s.breakers.failure(peer)
+			continue
+		}
+		s.breakers.success(peer)
+	}
+}
+
+func (s *Server) pullHandoffFrom(ctx context.Context, peer string) error {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+peer+"/v1/cluster/handoff?node="+s.self, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := s.fwd.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: handoff from %s: status %d", peer, resp.StatusCode)
+	}
+	br := bufio.NewReaderSize(resp.Body, 64<<10)
+	for {
+		key, body, err := decodeHandoffRecord(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			s.m.HandoffRejected.Add(1)
+			return err
+		}
+		if cached, _ := s.lookup(key); cached != nil {
+			continue // replicated copy already streamed by another sender
+		}
+		s.persist(key, body)
+		s.m.HandoffKeysReceived.Add(1)
+	}
+}

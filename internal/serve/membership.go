@@ -1,0 +1,395 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// Dynamic membership: every node carries a versioned view of the cluster —
+// an epoch counter plus the sorted node set — and derives its hash ring
+// from it. Views propagate two ways: a joining node POSTs /v1/cluster/join
+// to any seed (which bumps the epoch, adds the node, and answers with the
+// new view), and every node heartbeats its view to its peers on an
+// interval, adopting whatever it learns back. The merge rule is a join
+// semilattice — higher epoch wins outright, equal epochs union their node
+// sets — so concurrent joins and arbitrarily delayed heartbeats converge
+// to the same view on every node without coordination. Membership is
+// additive: a dead node stays in the view (the breaker and the replicas
+// cover its share) rather than being evicted, so a flapping node cannot
+// thrash ownership.
+
+// memberViewMaxNodes bounds a decoded view; a membership wire message
+// claiming more nodes than any sane cluster is rejected before it can
+// allocate or replace the ring.
+const memberViewMaxNodes = 64
+
+// memberAddrMaxLen bounds one advertised address.
+const memberAddrMaxLen = 256
+
+// MemberView is the wire form of one node's membership knowledge: the
+// version epoch and every advertised node address, sorted.
+type MemberView struct {
+	Epoch uint64   `json:"epoch"`
+	Nodes []string `json:"nodes"`
+}
+
+// validateNodeAddr rejects strings that cannot be an advertised host:port —
+// control characters, spaces, absent colon, or absurd length. Deliberately
+// loose beyond that (hostnames, IPv6 brackets, and test addresses all
+// pass); its job is to keep garbage out of rings and request URLs, not to
+// resolve anything.
+func validateNodeAddr(addr string) error {
+	if addr == "" {
+		return fmt.Errorf("serve: empty node address")
+	}
+	if len(addr) > memberAddrMaxLen {
+		return fmt.Errorf("serve: node address longer than %d bytes", memberAddrMaxLen)
+	}
+	if !strings.Contains(addr, ":") {
+		return fmt.Errorf("serve: node address %q has no port", addr)
+	}
+	for _, r := range addr {
+		if r <= ' ' || r == 0x7f {
+			return fmt.Errorf("serve: node address contains control or space characters")
+		}
+	}
+	return nil
+}
+
+// DecodeMemberView parses and validates one membership wire message.
+// Validation happens before anything is applied: a view that fails any
+// bound leaves the receiver's state untouched (the reject-before-apply
+// contract the fuzz target pins).
+func DecodeMemberView(r io.Reader) (MemberView, error) {
+	var v MemberView
+	dec := json.NewDecoder(io.LimitReader(r, 64<<10))
+	if err := dec.Decode(&v); err != nil {
+		return MemberView{}, fmt.Errorf("serve: decoding member view: %w", err)
+	}
+	if len(v.Nodes) == 0 {
+		return MemberView{}, fmt.Errorf("serve: member view has no nodes")
+	}
+	if len(v.Nodes) > memberViewMaxNodes {
+		return MemberView{}, fmt.Errorf("serve: member view has %d nodes (max %d)", len(v.Nodes), memberViewMaxNodes)
+	}
+	seen := make(map[string]bool, len(v.Nodes))
+	for _, n := range v.Nodes {
+		if err := validateNodeAddr(n); err != nil {
+			return MemberView{}, err
+		}
+		if seen[n] {
+			return MemberView{}, fmt.Errorf("serve: member view lists %s twice", n)
+		}
+		seen[n] = true
+	}
+	sort.Strings(v.Nodes)
+	return v, nil
+}
+
+// membership holds one node's current view and the ring derived from it.
+// The ring lives behind an atomic pointer so the request path reads it
+// with one load while joins and heartbeats swap in rebuilt rings.
+type membership struct {
+	mu       sync.Mutex
+	epoch    uint64
+	nodes    []string // sorted, always includes self
+	self     string
+	replicas int
+	ring     atomic.Pointer[Ring]
+	m        *Metrics
+}
+
+func newMembership(self string, seed []string, replicas int, m *Metrics) *membership {
+	mb := &membership{self: self, replicas: replicas, m: m}
+	nodes := append([]string{self}, seed...)
+	mb.apply(1, nodes)
+	return mb
+}
+
+// apply installs a new (epoch, nodes) pair and rebuilds the ring. Callers
+// hold mu or are the constructor.
+func (mb *membership) apply(epoch uint64, nodes []string) {
+	seen := make(map[string]bool, len(nodes)+1)
+	uniq := make([]string, 0, len(nodes)+1)
+	for _, n := range append([]string{mb.self}, nodes...) {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	mb.epoch = epoch
+	mb.nodes = uniq
+	mb.ring.Store(NewRing(uniq, mb.replicas))
+	mb.m.MemberEpoch.Store(int64(epoch))
+	mb.m.MemberNodes.Store(int64(len(uniq)))
+}
+
+// view snapshots the current membership.
+func (mb *membership) view() MemberView {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return MemberView{Epoch: mb.epoch, Nodes: append([]string(nil), mb.nodes...)}
+}
+
+// peers returns every node except self.
+func (mb *membership) peers() []string {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	out := make([]string, 0, len(mb.nodes))
+	for _, n := range mb.nodes {
+		if n != mb.self {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// merge folds a received view into the local one and returns the merged
+// view plus whether anything changed. Higher epoch wins; equal epochs
+// union (set union is commutative and idempotent, so any exchange order
+// converges); lower epochs teach the sender via the returned view.
+func (mb *membership) merge(v MemberView) (MemberView, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	changed := false
+	switch {
+	case v.Epoch > mb.epoch:
+		mb.apply(v.Epoch, v.Nodes)
+		changed = true
+	case v.Epoch == mb.epoch:
+		union := append(append([]string(nil), mb.nodes...), v.Nodes...)
+		if merged := dedupeSorted(union); len(merged) != len(mb.nodes) {
+			mb.apply(mb.epoch, merged)
+			changed = true
+		}
+	}
+	if changed {
+		mb.m.MemberMerges.Add(1)
+	}
+	return MemberView{Epoch: mb.epoch, Nodes: append([]string(nil), mb.nodes...)}, changed
+}
+
+// addNode admits a new member (the seed side of /v1/cluster/join): a node
+// already present is idempotent, a new one bumps the epoch. Returns the
+// resulting view.
+func (mb *membership) addNode(node string) (MemberView, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for _, n := range mb.nodes {
+		if n == node {
+			return MemberView{Epoch: mb.epoch, Nodes: append([]string(nil), mb.nodes...)}, false
+		}
+	}
+	mb.apply(mb.epoch+1, append(append([]string(nil), mb.nodes...), node))
+	mb.m.MemberJoins.Add(1)
+	return MemberView{Epoch: mb.epoch, Nodes: append([]string(nil), mb.nodes...)}, true
+}
+
+func dedupeSorted(nodes []string) []string {
+	sort.Strings(nodes)
+	out := nodes[:0]
+	for i, n := range nodes {
+		if n != "" && (i == 0 || n != nodes[i-1]) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// heartbeat pushes this node's view to every peer once and merges whatever
+// each answers. A transport failure counts against the peer's breaker
+// health; a success resets it. Runs on the heartbeat interval and after
+// membership changes (so a join propagates in one push, not one period).
+func (s *Server) heartbeat(ctx context.Context) {
+	for _, peer := range s.member.peers() {
+		v := s.member.view()
+		body, err := json.Marshal(v)
+		if err != nil {
+			continue
+		}
+		s.m.MemberHeartbeats.Add(1)
+		got, err := s.postView(ctx, peer, "/v1/cluster/heartbeat", body)
+		if err != nil {
+			s.m.MemberHeartbeatMisses.Add(1)
+			s.breakers.failure(peer)
+			continue
+		}
+		s.breakers.success(peer)
+		s.member.merge(got)
+	}
+}
+
+// postView POSTs a membership message and decodes the peer's view reply.
+func (s *Server) postView(ctx context.Context, peer, path string, body []byte) (MemberView, error) {
+	if faultinject.Fire(faultinject.SiteHeartbeatDrop) {
+		return MemberView{}, fmt.Errorf("serve: injected heartbeat drop to %s", peer)
+	}
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+peer+path, bytes.NewReader(body))
+	if err != nil {
+		return MemberView{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.fwd.client.Do(req)
+	if err != nil {
+		return MemberView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return MemberView{}, fmt.Errorf("serve: %s%s: status %d (%.200s)", peer, path, resp.StatusCode, b)
+	}
+	return DecodeMemberView(resp.Body)
+}
+
+// heartbeatLoop runs heartbeat rounds until ctx ends. kick is poked after
+// local membership changes to propagate them immediately.
+func (s *Server) heartbeatLoop(ctx context.Context, interval time.Duration, kick <-chan struct{}) {
+	defer s.clusterWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		case <-kick:
+		}
+		s.heartbeat(ctx)
+	}
+}
+
+// kickHeartbeat requests an immediate heartbeat round (non-blocking; a
+// pending kick already covers it).
+func (s *Server) kickHeartbeat() {
+	if s.hbKick == nil {
+		return
+	}
+	select {
+	case s.hbKick <- struct{}{}:
+	default:
+	}
+}
+
+// join boots a node into an existing cluster: POST self to each seed until
+// one admits it, adopt the answered view, pull the owed hash share from
+// every other member via handoff, then flip joinDone (which gates
+// /healthz readiness — a joining node is not ready until it can serve its
+// share without recomputing).
+func (s *Server) join(ctx context.Context, seeds []string) {
+	defer s.clusterWG.Done()
+	defer s.joinDone.Store(true)
+	body, _ := json.Marshal(MemberView{Epoch: 0, Nodes: []string{s.self}})
+	for ctx.Err() == nil {
+		for _, seed := range seeds {
+			if seed == s.self {
+				continue
+			}
+			v, err := s.postView(ctx, seed, "/v1/cluster/join", body)
+			if err != nil {
+				s.m.MemberHeartbeatMisses.Add(1)
+				continue
+			}
+			s.member.merge(v)
+			s.kickHeartbeat()
+			s.pullHandoff(ctx)
+			return
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+// handleJoin admits the posted node into the membership and answers with
+// the (possibly bumped) view. Idempotent: re-joins of a present node
+// return the current view unchanged.
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	v, err := DecodeMemberView(io.LimitReader(r.Body, 64<<10))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(v.Nodes) != 1 {
+		http.Error(w, "serve: join must post exactly one node", http.StatusBadRequest)
+		return
+	}
+	view, changed := s.member.addNode(v.Nodes[0])
+	if changed {
+		s.kickHeartbeat()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(view)
+}
+
+// handleHeartbeat merges the posted view and answers with the local one,
+// so every exchange moves both sides toward the lattice supremum.
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	v, err := DecodeMemberView(io.LimitReader(r.Body, 64<<10))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	merged, changed := s.member.merge(v)
+	if changed {
+		s.kickHeartbeat()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(merged)
+}
+
+// PeerSource is one parsed -peers entry: either a literal advertised
+// address or an @file reference to be polled for one.
+type PeerSource struct {
+	Addr string // literal host:port (when File is empty)
+	File string // path whose contents hold the address
+}
+
+// ParsePeerList parses a -peers specification: comma-separated host:port
+// or @file entries. Validation is all-or-nothing — any bad entry rejects
+// the whole spec before anything is applied, and no input panics (the
+// fuzz target's contract). Empty entries (stray commas) are skipped; an
+// entirely empty spec parses to nil.
+func ParsePeerList(spec string) ([]PeerSource, error) {
+	if len(spec) > 64<<10 {
+		return nil, fmt.Errorf("serve: peer list longer than 64 KiB")
+	}
+	var out []PeerSource
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		if path, isFile := strings.CutPrefix(entry, "@"); isFile {
+			if path == "" {
+				return nil, fmt.Errorf("serve: @ peer entry names no file")
+			}
+			for _, r := range path {
+				if r < ' ' || r == 0x7f {
+					return nil, fmt.Errorf("serve: peer file path contains control characters")
+				}
+			}
+			out = append(out, PeerSource{File: path})
+			continue
+		}
+		if err := validateNodeAddr(entry); err != nil {
+			return nil, err
+		}
+		out = append(out, PeerSource{Addr: entry})
+	}
+	return out, nil
+}

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// Replication: every fresh solve is written through to all R owners of its
+// hash, so any single node death loses zero cached bytes — the surviving
+// owner serves the replica from its own tiers with no recompute. Pushes
+// are asynchronous through a bounded queue (a solve never waits on a slow
+// replica) drained by one worker, whose per-target sends retry with the
+// same capped jittered backoff the forwarder uses. A full queue drops the
+// push and counts it (repl_queue_full): replication is an availability
+// optimization layered over a content-addressed cache, so a dropped push
+// degrades to a future forward, never to wrong bytes.
+
+// replHashHeader carries the content hash of a replicated body.
+const replHashHeader = "X-Wampde-Hash"
+
+// replCRCHeader carries the CRC32-C of the replicated body; the receiver
+// verifies it before persisting, so a corrupted transfer is rejected
+// rather than stored.
+const replCRCHeader = "X-Wampde-Crc32c"
+
+// replAttempts bounds the per-target send tries.
+const replAttempts = 3
+
+// replJob is one pending push: a solved body bound for one replica owner.
+type replJob struct {
+	hash   string
+	body   []byte
+	target string
+}
+
+// replicator is the bounded async replication queue and its worker.
+type replicator struct {
+	s    *Server
+	ch   chan replJob
+	bo   *backoff
+	done chan struct{}
+}
+
+func newReplicator(s *Server, queueCap int, bo *backoff) *replicator {
+	if queueCap <= 0 {
+		queueCap = 256
+	}
+	r := &replicator{s: s, ch: make(chan replJob, queueCap), bo: bo, done: make(chan struct{})}
+	go r.run()
+	return r
+}
+
+// enqueue schedules body for delivery to every target. Non-blocking: a
+// full queue counts drops instead of stalling the solve path.
+func (r *replicator) enqueue(hash string, body []byte, targets []string) {
+	for _, t := range targets {
+		select {
+		case r.ch <- replJob{hash: hash, body: body, target: t}:
+			r.s.m.ReplEnqueued.Add(1)
+			r.s.m.ReplQueueDepth.Add(1)
+		default:
+			r.s.m.ReplQueueFull.Add(1)
+		}
+	}
+}
+
+// close stops the worker after the queued jobs drain.
+func (r *replicator) close() {
+	close(r.ch)
+	<-r.done
+}
+
+// run is the single worker: one job at a time, in enqueue order, so the
+// delivery sequence is deterministic for a deterministic solve order.
+func (r *replicator) run() {
+	defer close(r.done)
+	for job := range r.ch {
+		r.send(job)
+		r.s.m.ReplQueueDepth.Add(-1)
+	}
+}
+
+// send delivers one job with bounded backoff retries. The peer breaker is
+// consulted (an open breaker fails fast) and fed by the outcome.
+func (r *replicator) send(job replJob) {
+	for attempt := 0; attempt < replAttempts; attempt++ {
+		if attempt > 0 {
+			r.s.m.ReplRetries.Add(1)
+			time.Sleep(r.bo.delay(attempt - 1))
+		}
+		if !r.s.breakers.allow(job.target) {
+			continue
+		}
+		err := r.post(job)
+		if err == nil {
+			r.s.breakers.success(job.target)
+			r.s.m.ReplSent.Add(1)
+			r.s.m.ReplBytes.Add(int64(len(job.body)))
+			return
+		}
+		r.s.breakers.failure(job.target)
+	}
+	r.s.m.ReplFailed.Add(1)
+}
+
+func (r *replicator) post(job replJob) error {
+	if faultinject.Fire(faultinject.SiteReplicateTransport) {
+		return fmt.Errorf("serve: injected replication transport failure to %s", job.target)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+job.target+"/v1/cluster/replicate", strings.NewReader(string(job.body)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(replHashHeader, job.hash)
+	req.Header.Set(replCRCHeader, strconv.FormatUint(uint64(crc32.Checksum(job.body, storeCRC)), 16))
+	resp, err := r.s.fwd.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		// The peer answered but refused the record (bad CRC on its side,
+		// bounds). Not a transport failure; retrying the same bytes cannot
+		// help.
+		r.s.m.ReplRejected.Add(1)
+		return nil
+	}
+	return nil
+}
+
+// handleReplicate receives one replicated body, verifies its CRC against
+// the header, and persists it into the local cache tiers. Verification
+// precedes any state change: a corrupt or oversized transfer is rejected
+// with 400 and counted, and nothing is stored.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	hash := r.Header.Get(replHashHeader)
+	if hash == "" || len(hash) > storeMaxKeyLen {
+		s.m.ReplRejected.Add(1)
+		http.Error(w, "serve: missing or oversized replication hash", http.StatusBadRequest)
+		return
+	}
+	wantCRC, err := strconv.ParseUint(r.Header.Get(replCRCHeader), 16, 32)
+	if err != nil {
+		s.m.ReplRejected.Add(1)
+		http.Error(w, "serve: missing or malformed replication checksum", http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, storeMaxBodyLen+1))
+	if err != nil || len(body) == 0 || len(body) > storeMaxBodyLen {
+		s.m.ReplRejected.Add(1)
+		http.Error(w, "serve: replication body unreadable or out of bounds", http.StatusBadRequest)
+		return
+	}
+	if crc32.Checksum(body, storeCRC) != uint32(wantCRC) {
+		s.m.ReplRejected.Add(1)
+		http.Error(w, "serve: replication checksum mismatch", http.StatusBadRequest)
+		return
+	}
+	s.persist(hash, body)
+	s.m.ReplReceived.Add(1)
+	w.WriteHeader(http.StatusOK)
+}

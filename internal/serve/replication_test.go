@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// fastBackoffCluster is the cluster config the replication tests share:
+// R=2 write-through with millisecond backoff so retry paths run fast.
+func fastBackoffCluster() *ClusterConfig {
+	return &ClusterConfig{BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond}
+}
+
+// distinctReq renders the i-th of a family of requests with distinct
+// canonical hashes (tstop varies).
+func distinctReq(i int) string {
+	return fmt.Sprintf(`{"circuit":"paper-vco","analysis":"transient","options":{"tstop":%g,"h":1e-8}}`, float64(i+1)*1e-6)
+}
+
+// TestClusterReplicationWriteThrough: a fresh solve on the primary owner
+// must land on the secondary owner's cache tiers via the async write-through
+// — exactly one enqueue, one send, one receive, and the secondary then
+// serves the identical bytes from its own tiers without solving or
+// forwarding.
+func TestClusterReplicationWriteThrough(t *testing.T) {
+	tc := newTestCluster(t, 3, func(i int) Config {
+		return Config{Workers: 2, QueueCap: 8, Engine: &fakeEngine{}, StoreDir: t.TempDir(),
+			Cluster: fastBackoffCluster()}
+	})
+	hash := hashOf(t, transientReq)
+	owners := tc.servers[0].ring().Owners(hash, 2)
+	if len(owners) != 2 {
+		t.Fatalf("Owners returned %d nodes, want 2", len(owners))
+	}
+	primary, secondary := tc.idx(t, owners[0]), tc.idx(t, owners[1])
+
+	resp, body := post(t, "http://"+tc.addrs[primary], transientReq)
+	if resp.StatusCode != 200 || resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("primary solve: status %d X-Cache %q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	tc.waitReplDrained(t)
+
+	p, sec := tc.servers[primary], tc.servers[secondary]
+	if got := p.m.ReplEnqueued.Load(); got != 1 {
+		t.Fatalf("primary ReplEnqueued = %d, want 1 (one non-self owner)", got)
+	}
+	if got := p.m.ReplSent.Load(); got != 1 {
+		t.Fatalf("primary ReplSent = %d, want 1", got)
+	}
+	if got := p.m.ReplFailed.Load() + p.m.ReplQueueFull.Load(); got != 0 {
+		t.Fatalf("primary replication failed/dropped %d pushes, want 0", got)
+	}
+	if got := sec.m.ReplReceived.Load(); got != 1 {
+		t.Fatalf("secondary ReplReceived = %d, want 1", got)
+	}
+	if got := sec.m.ReplRejected.Load(); got != 0 {
+		t.Fatalf("secondary ReplRejected = %d, want 0", got)
+	}
+
+	// The secondary answers from its own tiers: no forward, no solve.
+	resp, body2 := post(t, "http://"+tc.addrs[secondary], transientReq)
+	if resp.StatusCode != 200 || !bytes.Equal(body, body2) {
+		t.Fatalf("secondary read: status %d, identical=%v", resp.StatusCode, bytes.Equal(body, body2))
+	}
+	if xc := resp.Header.Get("X-Cache"); xc != "hit" && xc != "hit-disk" {
+		t.Fatalf("secondary read: X-Cache %q, want a local tier hit", xc)
+	}
+	if got := sec.m.ForwardAttempts.Load(); got != 0 {
+		t.Fatalf("secondary forwarded %d times for a replicated hash, want 0", got)
+	}
+	if got := tc.totalSolves(); got != 1 {
+		t.Fatalf("cluster solved %d times, want 1", got)
+	}
+	// The replica reached the secondary's disk tier too, not just memory.
+	if got := sec.store.Get(hash); !bytes.Equal(got, body) {
+		t.Fatalf("secondary disk tier holds %d bytes for the replica, want %d", len(got), len(body))
+	}
+}
+
+// TestClusterReplicaServesAfterPrimaryDeath is the zero-lost-bytes
+// contract: after the write-through lands, killing the primary owner loses
+// neither the cached bytes nor availability — a non-owner's forward fails
+// over to the surviving replica, which serves the identical bytes with zero
+// re-solves and zero fallbacks.
+func TestClusterReplicaServesAfterPrimaryDeath(t *testing.T) {
+	tc := newTestCluster(t, 3, func(i int) Config {
+		return Config{Workers: 2, QueueCap: 8, Engine: &fakeEngine{}, StoreDir: t.TempDir(),
+			Cluster: fastBackoffCluster()}
+	})
+	hash := hashOf(t, transientReq)
+	owners := tc.servers[0].ring().Owners(hash, 2)
+	primary, secondary := tc.idx(t, owners[0]), tc.idx(t, owners[1])
+	outsider := 3 - primary - secondary // the one node of three owning nothing here
+
+	_, body := post(t, "http://"+tc.addrs[primary], transientReq)
+	tc.waitReplDrained(t)
+	tc.kill(primary)
+
+	resp, got := post(t, "http://"+tc.addrs[outsider], transientReq)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d with primary dead (%s)", resp.StatusCode, got)
+	}
+	if !bytes.Equal(body, got) {
+		t.Fatal("replica served different bytes than the original solve")
+	}
+	if origin := resp.Header.Get(originHeader); origin != tc.addrs[secondary] {
+		t.Fatalf("X-Wampde-Origin %q, want surviving replica %s", origin, tc.addrs[secondary])
+	}
+	if xc := resp.Header.Get("X-Cache"); xc != "hit" && xc != "hit-disk" {
+		t.Fatalf("X-Cache %q, want a replica tier hit (no recompute)", xc)
+	}
+	out := tc.servers[outsider]
+	if got := out.m.ForwardFallbacks.Load(); got != 0 {
+		t.Fatalf("ForwardFallbacks = %d, want 0 (the replica answered)", got)
+	}
+	if got := out.m.ForwardRetries.Load(); got != 1 {
+		t.Fatalf("ForwardRetries = %d, want 1 (one retry against the dead primary)", got)
+	}
+	if got := tc.totalSolves(); got != 1 {
+		t.Fatalf("cluster solved %d times after the death, want 1 (zero re-solves)", got)
+	}
+	// The secondary serves its own traffic from local tiers too.
+	resp, got = post(t, "http://"+tc.addrs[secondary], transientReq)
+	if resp.StatusCode != 200 || !bytes.Equal(body, got) {
+		t.Fatalf("secondary direct read after death: status %d", resp.StatusCode)
+	}
+	if got := tc.totalSolves(); got != 1 {
+		t.Fatalf("cluster re-solved after death: %d total solves, want 1", got)
+	}
+}
+
+// TestFaultReplicationRetry: an injected transport failure on the first
+// push must be retried with backoff and succeed — exactly one retry, one
+// delivery, nothing failed.
+func TestFaultReplicationRetry(t *testing.T) {
+	disarm := faultinject.Arm(faultinject.NewPlan().
+		Fail(faultinject.SiteReplicateTransport, faultinject.Times(1)))
+	defer disarm()
+	tc := newTestCluster(t, 2, func(i int) Config {
+		return Config{Workers: 2, QueueCap: 8, Engine: &fakeEngine{}, StoreDir: t.TempDir(),
+			Cluster: fastBackoffCluster()}
+	})
+	hash := hashOf(t, transientReq)
+	primary := tc.idx(t, tc.servers[0].ring().Owners(hash, 2)[0])
+	if resp, body := post(t, "http://"+tc.addrs[primary], transientReq); resp.StatusCode != 200 {
+		t.Fatalf("status %d (%s)", resp.StatusCode, body)
+	}
+	tc.waitReplDrained(t)
+	p := tc.servers[primary]
+	if got := p.m.ReplRetries.Load(); got != 1 {
+		t.Fatalf("ReplRetries = %d, want 1", got)
+	}
+	if got := p.m.ReplSent.Load(); got != 1 {
+		t.Fatalf("ReplSent = %d, want 1", got)
+	}
+	if got := p.m.ReplFailed.Load(); got != 0 {
+		t.Fatalf("ReplFailed = %d, want 0", got)
+	}
+	if got := tc.servers[1-primary].m.ReplReceived.Load(); got != 1 {
+		t.Fatalf("replica ReplReceived = %d, want 1", got)
+	}
+}
+
+// TestReplicateHandlerRejects: the receiver must verify before it stores —
+// missing hash, malformed or wrong checksum, and oversized bodies are all
+// 400s that leave the cache tiers untouched.
+func TestReplicateHandlerRejects(t *testing.T) {
+	tc := newTestCluster(t, 2, func(i int) Config {
+		return Config{Workers: 1, Engine: &fakeEngine{}, StoreDir: t.TempDir(),
+			Cluster: fastBackoffCluster()}
+	})
+	url := "http://" + tc.addrs[0] + "/v1/cluster/replicate"
+	body := []byte(`{"hash":"x"}`)
+	goodCRC := strconv.FormatUint(uint64(crc32.Checksum(body, storeCRC)), 16)
+
+	send := func(hash, crc string, payload []byte) int {
+		req, err := http.NewRequest("POST", url, bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hash != "" {
+			req.Header.Set(replHashHeader, hash)
+		}
+		if crc != "" {
+			req.Header.Set(replCRCHeader, crc)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	cases := []struct {
+		name       string
+		hash, crc  string
+		payload    []byte
+		wantStatus int
+	}{
+		{"missing hash", "", goodCRC, body, 400},
+		{"oversized hash", strings.Repeat("a", storeMaxKeyLen+1), goodCRC, body, 400},
+		{"missing crc", "deadbeef", "", body, 400},
+		{"malformed crc", "deadbeef", "zzzz", body, 400},
+		{"wrong crc", "deadbeef", "0", body, 400},
+		{"empty body", "deadbeef", goodCRC, nil, 400},
+	}
+	for _, c := range cases {
+		if got := send(c.hash, c.crc, c.payload); got != c.wantStatus {
+			t.Errorf("%s: status %d, want %d", c.name, got, c.wantStatus)
+		}
+	}
+	s := tc.servers[0]
+	if got := s.m.ReplRejected.Load(); got != int64(len(cases)) {
+		t.Fatalf("ReplRejected = %d, want %d", got, len(cases))
+	}
+	if got := s.m.ReplReceived.Load(); got != 0 {
+		t.Fatalf("ReplReceived = %d after rejects, want 0", got)
+	}
+	if s.store.Len() != 0 {
+		t.Fatalf("store holds %d records after rejected pushes, want 0", s.store.Len())
+	}
+	// A well-formed push is accepted and persisted.
+	if got := send("deadbeef", goodCRC, body); got != 200 {
+		t.Fatalf("valid push: status %d, want 200", got)
+	}
+	if got := s.store.Get("deadbeef"); !bytes.Equal(got, body) {
+		t.Fatalf("valid push not persisted: %q", got)
+	}
+}
+
+// TestHandoffRecordRoundtrip: the handoff framing is the store framing —
+// records encode and decode byte-exactly, streams decode in order, and EOF
+// lands only on a clean boundary.
+func TestHandoffRecordRoundtrip(t *testing.T) {
+	var stream bytes.Buffer
+	want := map[string][]byte{}
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("%064d", i)
+		body := bytes.Repeat([]byte{byte(i + 1)}, 50+i*31)
+		want[key] = body
+		stream.Write(encodeRecord(key, body))
+	}
+	br := bufio.NewReader(&stream)
+	got := 0
+	for {
+		key, body, err := decodeHandoffRecord(br)
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatalf("decode: %v", err)
+		}
+		if !bytes.Equal(want[key], body) {
+			t.Fatalf("record %s did not round-trip", key[:8])
+		}
+		got++
+	}
+	if got != len(want) {
+		t.Fatalf("decoded %d records, want %d", got, len(want))
+	}
+
+	// A truncated tail is an error, not an EOF.
+	rec := encodeRecord("key-a", []byte("body-a"))
+	_, _, err := decodeHandoffRecord(bufio.NewReader(bytes.NewReader(rec[:len(rec)-2])))
+	if err == nil || err == io.EOF {
+		t.Fatalf("truncated record: err %v, want a truncation error", err)
+	}
+	// A flipped body bit is a checksum error.
+	bad := encodeRecord("key-a", []byte("body-a"))
+	bad[storeHeaderLen+len("key-a")] ^= 0x40
+	if _, _, err := decodeHandoffRecord(bufio.NewReader(bytes.NewReader(bad))); err == nil {
+		t.Fatal("corrupt record decoded")
+	}
+}
+
+// FuzzHandoffRecord: arbitrary bytes through the stream decoder must never
+// panic, and any record it accepts must be within the store bounds.
+func FuzzHandoffRecord(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeRecord("key-a", []byte("body-a")))
+	f.Add(append(encodeRecord("key-a", []byte("body-a")), encodeRecord("key-b", []byte("body-b"))...))
+	f.Add(encodeRecord("key-a", []byte("body-a"))[:7])
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 1, 'x'})
+	f.Add([]byte{0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF, 'k'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 1000; i++ {
+			key, body, err := decodeHandoffRecord(br)
+			if err != nil {
+				return // EOF or rejection both end the stream safely
+			}
+			if len(key) < 1 || len(key) > storeMaxKeyLen || len(body) < 1 || len(body) > storeMaxBodyLen {
+				t.Fatalf("accepted out-of-bounds record: key %d body %d", len(key), len(body))
+			}
+		}
+	})
+}

@@ -34,19 +34,40 @@
 //     admissions/rejections, cache hits, in-flight, per-stage solve
 //     latencies), net/http/pprof behind a debug flag, and the HTTP surface
 //     itself.
+//   - sweepreq.go + sweep.go + checkpoint.go: the /v1/sweep batch surface —
+//     a whole parameter sweep as one streaming NDJSON job, each point
+//     sharing the single-solve content-addressed cache byte for byte, with
+//     server-side checkpoints so an interrupted sweep resumes instead of
+//     re-solving.
 //   - store.go: the disk-backed second cache tier — an append-only segment
 //     store of checksummed, length-prefixed records keyed by content hash,
 //     reloaded into an index on boot with torn-tail detection, so solved
-//     results survive restarts.
-//   - shard.go + cluster.go: cluster mode — consistent-hash ownership of
-//     content hashes over a static peer list (order-independent, virtual
-//     nodes), bounded HTTP forwarding to the hash owner so single-flight
-//     dedup is cluster-wide (retry-once on transport failure, local-solve
-//     fallback when the owner is down), and the boot-time prewarm pass
-//     that solves the named paper circuits when absent (and, via /healthz
-//     readiness, self-checks the disk tier after a restart).
+//     results survive restarts; a byte cap GCs whole cold segments when
+//     the tier outgrows its budget.
+//   - shard.go + cluster.go: cluster routing — consistent-hash ownership
+//     of content hashes (order-independent, virtual nodes, R owners per
+//     hash), bounded HTTP forwarding to the owners in ring order so
+//     single-flight dedup is cluster-wide (bounded transport retries,
+//     failover across replica owners, local-solve fallback when all are
+//     down), and the boot-time prewarm pass that solves the named paper
+//     circuits when absent (and, via /healthz readiness, self-checks the
+//     disk tier after a restart).
+//   - replicate.go: R-way write-through — every fresh solve is queued to
+//     the hash's other owners over a bounded async queue and verified
+//     (hash + CRC) before the receiver persists it, so any single node can
+//     die without losing cached bytes.
+//   - membership.go: dynamic membership — epoch-stamped views merged as a
+//     semilattice, heartbeat gossip, and the -join path that admits a new
+//     node through a seed without a coordinator.
+//   - handoff.go: join-time rebalancing — the joiner streams exactly its
+//     consistent-hash share out of the existing owners' disk stores as
+//     CRC-framed records, verified per record before persisting.
+//   - breaker.go: failure detection — a per-peer circuit breaker
+//     (threshold/cooldown/half-open probe) plus capped, deterministically
+//     jittered exponential backoff shared by the forwarding and
+//     replication retry paths.
 //
 // cmd/wampde-server serves this package; cmd/wampde-load is the
 // deterministic closed-loop load generator that benchmarks it (and, with
-// -cluster, drives the 3-node gates behind ./ci.sh cluster).
+// -cluster, drives the self-healing cluster gates behind ./ci.sh cluster).
 package serve

@@ -41,6 +41,10 @@ type Config struct {
 	StoreDir string
 	// StoreSegmentBytes is the segment roll threshold (default 64 MiB).
 	StoreSegmentBytes int64
+	// StoreMaxBytes caps the disk tier's total segment bytes (0 =
+	// unbounded). When an append pushes past the cap, whole cold segments
+	// are garbage-collected least-recently-accessed first (see store.go).
+	StoreMaxBytes int64
 	// Prewarm solves the named paper circuits (prewarmSet) in the
 	// background on startup when absent from the cache tiers; /healthz
 	// reports ready:false until the pass completes.
@@ -95,21 +99,40 @@ type Response struct {
 // each content hash to its consistent-hash owner, and with a store
 // configured it persists every solved body to the disk tier.
 type Server struct {
-	cfg     Config
-	sched   *Scheduler
-	cache   *Cache
-	store   *Store // nil without StoreDir
-	ring    *Ring  // nil outside cluster mode
-	self    string
-	fwd     *forwarder
-	flights *flightGroup
-	checks  *sweepCheckpoints
-	m       *Metrics
-	mux     *http.ServeMux
+	cfg         Config
+	sched       *Scheduler
+	cache       *Cache
+	store       *Store      // nil without StoreDir
+	member      *membership // nil outside cluster mode
+	self        string
+	replication int // R, owners per hash (cluster mode)
+	fwd         *forwarder
+	repl        *replicator // nil unless replication > 1
+	breakers    *breakerSet
+	flights     *flightGroup
+	checks      *sweepCheckpoints
+	m           *Metrics
+	mux         *http.ServeMux
+
+	hbKick        chan struct{} // heartbeat wake-up (nil without a loop)
+	joinDone      atomic.Bool
+	clusterCancel context.CancelFunc
+	clusterWG     sync.WaitGroup
+	closed        atomic.Bool
 
 	prewarmDone   atomic.Bool
 	prewarmCancel context.CancelFunc
 	prewarmWG     sync.WaitGroup
+}
+
+// ring returns the current hash ring (nil outside cluster mode). The ring
+// is rebuilt atomically on membership change; one request observes one
+// consistent ring.
+func (s *Server) ring() *Ring {
+	if s.member == nil {
+		return nil
+	}
+	return s.member.ring.Load()
 }
 
 // NewServer builds a Server and starts its worker pool (and, when
@@ -125,23 +148,58 @@ func NewServer(cfg Config) (*Server, error) {
 		checks:  newSweepCheckpoints(8),
 	}
 	if cfg.StoreDir != "" {
-		store, err := OpenStore(cfg.StoreDir, cfg.StoreSegmentBytes, cfg.Metrics)
+		store, err := OpenStore(cfg.StoreDir, cfg.StoreSegmentBytes, cfg.StoreMaxBytes, cfg.Metrics)
 		if err != nil {
 			return nil, err
 		}
 		s.store = store
 	}
+	s.joinDone.Store(true)
 	if cc := cfg.Cluster; cc != nil {
 		if cc.Self == "" {
 			return nil, fmt.Errorf("serve: cluster config needs Self")
 		}
+		if err := validateNodeAddr(cc.Self); err != nil {
+			return nil, err
+		}
 		s.self = cc.Self
-		s.ring = NewRing(append([]string{cc.Self}, cc.Peers...), cc.Replicas)
+		s.replication = cc.Replication
+		if s.replication <= 0 {
+			s.replication = 2
+		}
+		s.breakers = newBreakerSet(cc.BreakerThreshold, cc.BreakerCooldown, cfg.Metrics)
+		seed := cc.BackoffSeed
+		if seed == 0 {
+			seed = 1
+		}
+		bo := newBackoff(cc.BackoffBase, cc.BackoffMax, seed)
 		timeout := cc.ForwardTimeout
 		if timeout <= 0 {
 			timeout = cfg.DefaultDeadline + 15*time.Second
 		}
-		s.fwd = newForwarder(timeout, cfg.Metrics)
+		s.fwd = newForwarder(timeout, cc.ForwardAttempts, bo, s.breakers, cfg.Metrics)
+		// Join mode starts from a self-only view and asks the seeds to
+		// admit it; static mode boots epoch 1 directly from the peer list.
+		boot := cc.Peers
+		if cc.Join {
+			boot = nil
+		}
+		s.member = newMembership(cc.Self, boot, cc.Replicas, cfg.Metrics)
+		if s.replication > 1 {
+			s.repl = newReplicator(s, cc.ReplQueueCap, bo)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		s.clusterCancel = cancel
+		if cc.HeartbeatInterval > 0 {
+			s.hbKick = make(chan struct{}, 1)
+			s.clusterWG.Add(1)
+			go s.heartbeatLoop(ctx, cc.HeartbeatInterval, s.hbKick)
+		}
+		if cc.Join {
+			s.joinDone.Store(false)
+			s.clusterWG.Add(1)
+			go s.join(ctx, cc.Peers)
+		}
 	}
 	s.sched = NewScheduler(cfg.Workers, cfg.QueueCap, cfg.Metrics)
 	s.prewarmDone.Store(true)
@@ -157,6 +215,12 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.member != nil {
+		s.mux.HandleFunc("POST /v1/cluster/join", s.handleJoin)
+		s.mux.HandleFunc("POST /v1/cluster/heartbeat", s.handleHeartbeat)
+		s.mux.HandleFunc("GET /v1/cluster/handoff", s.handleHandoff)
+		s.mux.HandleFunc("POST /v1/cluster/replicate", s.handleReplicate)
+	}
 	if cfg.Debug {
 		s.mux.Handle("GET /debug/vars", expvar.Handler())
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -174,13 +238,25 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Metrics returns the server's counter set.
 func (s *Server) Metrics() *Metrics { return s.m }
 
-// Close stops the prewarm pass, drains the scheduler (running jobs finish;
-// admission stops), and closes the disk store.
+// Close stops the prewarm pass and the cluster loops (heartbeat, join,
+// replication — queued replication pushes drain first), drains the
+// scheduler (running jobs finish; admission stops), and closes the disk
+// store. Idempotent: a second Close is a no-op.
 func (s *Server) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
 	if s.prewarmCancel != nil {
 		s.prewarmCancel()
 	}
 	s.prewarmWG.Wait()
+	if s.clusterCancel != nil {
+		s.clusterCancel()
+	}
+	s.clusterWG.Wait()
+	if s.repl != nil {
+		s.repl.close()
+	}
 	s.sched.Close()
 	if s.store != nil {
 		s.store.Close()
@@ -188,14 +264,17 @@ func (s *Server) Close() {
 }
 
 // handleHealthz reports liveness plus boot readiness: ready flips to true
-// once the prewarm pass (when configured) has completed, which is what CI
-// harnesses wait on before measuring solve accounting.
+// once the prewarm pass (when configured) has completed and — for a
+// joining node — once the join handshake and handoff pull have finished,
+// which is what CI harnesses wait on before measuring solve accounting.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	body := map[string]any{"ok": true, "ready": s.prewarmDone.Load()}
-	if s.ring != nil {
+	body := map[string]any{"ok": true, "ready": s.prewarmDone.Load() && s.joinDone.Load()}
+	if s.member != nil {
+		v := s.member.view()
 		body["node"] = s.self
-		body["cluster_nodes"] = len(s.ring.Nodes())
+		body["cluster_nodes"] = len(v.Nodes)
+		body["cluster_epoch"] = v.Epoch
 	}
 	json.NewEncoder(w).Encode(body)
 }
@@ -227,6 +306,27 @@ func (s *Server) persist(hash string, body []byte) {
 		if err := s.store.Put(hash, body); err != nil {
 			s.m.DiskErrors.Add(1)
 		}
+	}
+}
+
+// persistAndReplicate persists locally and enqueues the body to the other
+// owners of its hash, so a fresh solve lands on all R owners no matter
+// which node computed it (the primary in the common case; a fallback or
+// forwarded-in solver otherwise).
+func (s *Server) persistAndReplicate(hash string, body []byte) {
+	s.persist(hash, body)
+	if s.repl == nil {
+		return
+	}
+	owners := s.ring().Owners(hash, s.replication)
+	targets := make([]string, 0, len(owners))
+	for _, o := range owners {
+		if o != s.self {
+			targets = append(targets, o)
+		}
+	}
+	if len(targets) > 0 {
+		s.repl.enqueue(hash, body, targets)
 	}
 }
 
@@ -271,28 +371,41 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Cluster routing: a hash this node does not own goes to its owner (the
-	// raw body is relayed verbatim, so the owner canonicalizes to the same
-	// hash). A request that arrived forwarded is solved here no matter what
-	// the local ring says — the sender made the routing decision, and never
-	// re-forwarding is what makes routing loops impossible.
-	if s.ring != nil && !forwarded {
-		if owner := s.ring.Owner(hash); owner != s.self {
-			status, xcache, body, ferr := s.fwd.simulate(r.Context(), owner, raw)
+	// Cluster routing: a hash whose primary owner is another node goes to
+	// its owners, in ring order (the raw body is relayed verbatim, so the
+	// receiver canonicalizes to the same hash). Only the primary solves
+	// un-forwarded traffic — a secondary owner that misses its cache
+	// forwards to the primary like any other node, so the primary's
+	// single-flight group stays the one dedup point while the replicas
+	// serve reads the moment the write-through lands. A request that
+	// arrived forwarded is solved here no matter what the local ring says —
+	// the sender made the routing decision, and never re-forwarding is what
+	// makes routing loops impossible.
+	if ring := s.ring(); ring != nil && !forwarded {
+		if owners := ring.Owners(hash, s.replication); len(owners) > 0 && owners[0] != s.self {
+			// Forward to the owners other than this node (a secondary that
+			// reaches here already missed its local tiers).
+			targets := make([]string, 0, len(owners))
+			for _, o := range owners {
+				if o != s.self {
+					targets = append(targets, o)
+				}
+			}
+			status, xcache, body, origin, ferr := s.fwd.simulate(r.Context(), targets, raw)
 			if ferr == nil {
 				if status == http.StatusOK {
-					// Edge-cache the owner's exact bytes so repeats served by
-					// this node hit memory without another hop.
+					// Edge-cache the answering owner's exact bytes so repeats
+					// served by this node hit memory without another hop.
 					s.cache.Put(hash, body)
 				}
 				s.countStatus(status)
-				w.Header().Set(originHeader, owner)
+				w.Header().Set(originHeader, origin)
 				writeResult(w, status, body, xcache)
 				return
 			}
-			// Owner unreachable after the retry: degrade to a local solve
-			// rather than failing the request. Dedup is per-node until the
-			// owner comes back, which is the documented trade.
+			// Every owner unreachable after retries: degrade to a local
+			// solve rather than failing the request. Dedup is per-node until
+			// an owner comes back, which is the documented trade.
 			s.m.ForwardFallbacks.Add(1)
 		}
 	}
@@ -326,8 +439,9 @@ func (s *Server) launch(hash string, f *flight, req *Request, c *Canonical) {
 		if status == http.StatusOK {
 			// Insert before completing the flight so a request arriving
 			// after retirement cannot slip between flight and cache; the
-			// disk append in persist makes the result survive restarts.
-			s.persist(hash, body)
+			// disk append in persist makes the result survive restarts, and
+			// the write-through replicates it to the other hash owners.
+			s.persistAndReplicate(hash, body)
 		}
 		s.flights.complete(hash, f, flightResult{status: status, body: body})
 	})

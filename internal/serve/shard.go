@@ -89,6 +89,43 @@ func (r *Ring) Owner(key string) string {
 	return r.points[i].node
 }
 
+// Owners returns the count distinct nodes owning key, in ring-successor
+// order: the first element is the primary (identical to Owner), each later
+// element is the next distinct node clockwise. count is clamped to the
+// membership size, so a 2-node ring answers Owners(k, 3) with 2 nodes.
+// Successor-distinctness is what makes the replica set survive any single
+// node death: the R owners are R different machines, and removing one
+// promotes the next distinct node without disturbing unrelated keys.
+func (r *Ring) Owners(key string, count int) []string {
+	if r == nil || len(r.points) == 0 || count <= 0 {
+		return nil
+	}
+	if count > len(r.nodes) {
+		count = len(r.nodes)
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].point >= h })
+	owners := make([]string, 0, count)
+	seen := make(map[string]bool, count)
+	for scanned := 0; scanned < len(r.points) && len(owners) < count; scanned++ {
+		p := r.points[(i+scanned)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			owners = append(owners, p.node)
+		}
+	}
+	return owners
+}
+
+// Contains reports whether node is part of the ring's membership.
+func (r *Ring) Contains(node string) bool {
+	if r == nil {
+		return false
+	}
+	i := sort.SearchStrings(r.nodes, node)
+	return i < len(r.nodes) && r.nodes[i] == node
+}
+
 // Nodes returns the deduped, sorted membership.
 func (r *Ring) Nodes() []string {
 	if r == nil {

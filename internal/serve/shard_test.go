@@ -114,3 +114,93 @@ func TestRingEdgeCases(t *testing.T) {
 		}
 	}
 }
+
+// TestRingOwners pins the replica-set contract: Owners returns count
+// distinct nodes in ring-successor order, its head is exactly Owner, the
+// count clamps to the membership size, and — the property replication
+// leans on — removing the primary from the membership promotes the listed
+// successor, so the replica holds exactly the keys that would fail over to
+// it.
+func TestRingOwners(t *testing.T) {
+	nodes := []string{"10.0.0.1:7101", "10.0.0.2:7101", "10.0.0.3:7101", "10.0.0.4:7101"}
+	r := NewRing(nodes, 0)
+	for _, k := range ringKeys(2000) {
+		owners := r.Owners(k, 2)
+		if len(owners) != 2 {
+			t.Fatalf("Owners(%s, 2) returned %d nodes", k, len(owners))
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("Owners(%s, 2) repeated node %s", k, owners[0])
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("Owners(%s)[0] = %s, want the primary %s", k, owners[0], r.Owner(k))
+		}
+		// Successor semantics: with the primary gone, the secondary owns it.
+		var survivors []string
+		for _, n := range nodes {
+			if n != owners[0] {
+				survivors = append(survivors, n)
+			}
+		}
+		if got := NewRing(survivors, 0).Owner(k); got != owners[1] {
+			t.Fatalf("key %s: primary removal promoted %s, but Owners listed %s as successor", k, got, owners[1])
+		}
+	}
+	// Clamp: more owners than members answers the whole membership.
+	if got := r.Owners("some-key", 9); len(got) != len(nodes) {
+		t.Fatalf("Owners(k, 9) over 4 nodes returned %d", len(got))
+	}
+	if got := NewRing(nil, 0).Owners("k", 2); got != nil {
+		t.Fatalf("empty ring Owners = %v, want nil", got)
+	}
+	if got := r.Owners("k", 0); got != nil {
+		t.Fatalf("Owners(k, 0) = %v, want nil", got)
+	}
+}
+
+// TestRingOwnersJoinRebalanceBound pins what a join may move under R-way
+// ownership: a key's owner set changes only if the new node displaced
+// someone (the new node appears in the changed set), every key the new node
+// does not own keeps its owner set verbatim, and the moved share stays near
+// the fair R/N fraction — the bound the CI join gate enforces end to end.
+func TestRingOwnersJoinRebalanceBound(t *testing.T) {
+	nodes := []string{"10.0.0.1:7101", "10.0.0.2:7101", "10.0.0.3:7101", "10.0.0.4:7101"}
+	const joiner = "10.0.0.5:7101"
+	const replication = 2
+	before := NewRing(nodes, 0)
+	after := NewRing(append(append([]string(nil), nodes...), joiner), 0)
+	keys := ringKeys(6000)
+	changed := 0
+	for _, k := range keys {
+		b := before.Owners(k, replication)
+		a := after.Owners(k, replication)
+		same := len(a) == len(b)
+		for i := 0; same && i < len(a); i++ {
+			same = a[i] == b[i]
+		}
+		if same {
+			continue
+		}
+		changed++
+		hasJoiner := false
+		for _, n := range a {
+			if n == joiner {
+				hasJoiner = true
+			}
+		}
+		if !hasJoiner {
+			t.Fatalf("key %s changed owners %v -> %v without the joiner — unrelated churn", k, b, a)
+		}
+	}
+	// The joiner's fair share of owner slots is R/N'. Vnode variance keeps
+	// the real figure near it; 2x is far below the churn a broken ring
+	// (rehash-everything) would show, which moves ~every key.
+	fair := float64(replication) / float64(len(nodes)+1)
+	if frac := float64(changed) / float64(len(keys)); frac > 2*fair {
+		t.Fatalf("join moved %.1f%% of owner sets, fair share %.1f%% — rebalance bound broken", 100*frac, 100*fair)
+	}
+	if changed == 0 {
+		t.Fatal("join moved nothing — the joiner owns no keys")
+	}
+	t.Logf("join moved %d/%d owner sets (fair share %.1f%%)", changed, len(keys), 100*fair)
+}

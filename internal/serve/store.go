@@ -56,16 +56,32 @@ type storeLoc struct {
 	n   int64 // full record length (header + key + body + crc)
 }
 
+// segMeta is the per-segment accounting that drives GC: how much the
+// segment holds and when it last served a read. lastAccess is a
+// deterministic logical tick (not wall clock), so eviction order is a pure
+// function of the access sequence — the same traffic always GCs the same
+// segments.
+type segMeta struct {
+	records    int64 // indexed records in this segment
+	bodyBytes  int64 // their body bytes
+	size       int64 // file size on disk
+	lastAccess int64 // logical tick of the last Get hit (or the creating Put)
+}
+
 // Store is the persistent content-addressed cache tier. All methods are safe
 // for concurrent use.
 type Store struct {
 	mu       sync.Mutex
 	dir      string
 	segBytes int64
+	maxBytes int64 // total on-disk cap across segments (0 = unbounded)
 	index    map[string]storeLoc
 	files    map[int]*os.File // open segments, by number
+	segs     map[int]*segMeta // per-segment accounting, by number
 	active   int              // number of the append segment
 	size     int64            // current size of the append segment
+	diskSize int64            // total bytes across all segment files
+	tick     int64            // logical access clock (monotonic per store)
 	records  int64
 	bytes    int64
 	dropped  int64 // corrupt/truncated records dropped (load + read)
@@ -97,10 +113,12 @@ func parseSegmentName(name string) (int, bool) {
 }
 
 // OpenStore opens (creating if needed) the segment store in dir. segBytes is
-// the roll threshold for the active segment (≤0 uses 64 MiB). The whole
-// directory is scanned and indexed; corrupt tails are dropped and, on the
-// active segment, truncated away.
-func OpenStore(dir string, segBytes int64, m *Metrics) (*Store, error) {
+// the roll threshold for the active segment (≤0 uses 64 MiB); maxBytes caps
+// the total on-disk size across segments (≤0 means unbounded), enforced by
+// evicting whole cold segments (see gc). The whole directory is scanned and
+// indexed; corrupt tails are dropped and, on the active segment, truncated
+// away.
+func OpenStore(dir string, segBytes, maxBytes int64, m *Metrics) (*Store, error) {
 	if segBytes <= 0 {
 		segBytes = 64 << 20
 	}
@@ -113,8 +131,10 @@ func OpenStore(dir string, segBytes int64, m *Metrics) (*Store, error) {
 	s := &Store{
 		dir:      dir,
 		segBytes: segBytes,
+		maxBytes: maxBytes,
 		index:    make(map[string]storeLoc),
 		files:    make(map[int]*os.File),
+		segs:     make(map[int]*segMeta),
 		m:        m,
 	}
 	entries, err := os.ReadDir(dir)
@@ -148,6 +168,7 @@ func OpenStore(dir string, segBytes int64, m *Metrics) (*Store, error) {
 		}
 		s.size = st.Size()
 	}
+	s.gc()
 	s.m.DiskRecords.Store(s.records)
 	s.m.DiskBytes.Store(s.bytes)
 	s.m.DiskDropped.Add(s.dropped)
@@ -163,6 +184,8 @@ func (s *Store) openActive(n int) error {
 	s.files[n] = f
 	s.active = n
 	s.size = 0
+	s.tick++
+	s.segs[n] = &segMeta{lastAccess: s.tick}
 	return nil
 }
 
@@ -181,6 +204,9 @@ func (s *Store) loadSegment(n int, truncate bool) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	size := st.Size()
+	s.tick++
+	meta := &segMeta{size: size, lastAccess: s.tick}
+	s.segs[n] = meta
 	var off int64
 	var hdr [storeHeaderLen]byte
 	for off < size {
@@ -202,11 +228,18 @@ func (s *Store) loadSegment(n int, truncate bool) error {
 					want := binary.BigEndian.Uint32(rec[total-storeTrailerLen:])
 					if crc32.Checksum(payload, storeCRC) == want {
 						key := string(rec[storeHeaderLen : storeHeaderLen+keyLen])
-						if _, dup := s.index[key]; !dup {
+						if prev, dup := s.index[key]; dup {
+							if pm := s.segs[prev.seg]; pm != nil {
+								pm.records--
+								pm.bodyBytes -= recordBodyLen(key, prev)
+							}
+						} else {
 							s.records++
 							s.bytes += bodyLen
 						}
 						s.index[key] = storeLoc{seg: n, off: off, n: total}
+						meta.records++
+						meta.bodyBytes += bodyLen
 						off += total
 						good = true
 					}
@@ -220,11 +253,18 @@ func (s *Store) loadSegment(n int, truncate bool) error {
 				if err := f.Truncate(off); err != nil {
 					return fmt.Errorf("store: %w", err)
 				}
+				meta.size = off
 			}
 			break
 		}
 	}
+	s.diskSize += meta.size
 	return nil
+}
+
+// recordBodyLen recovers a record's body length from its location.
+func recordBodyLen(key string, loc storeLoc) int64 {
+	return loc.n - storeHeaderLen - int64(len(key)) - storeTrailerLen
 }
 
 // encodeRecord renders one record.
@@ -253,6 +293,10 @@ func (s *Store) Get(key string) []byte {
 	if !ok {
 		return nil
 	}
+	if meta := s.segs[loc.seg]; meta != nil {
+		s.tick++
+		meta.lastAccess = s.tick
+	}
 	rec := make([]byte, loc.n)
 	if _, err := s.files[loc.seg].ReadAt(rec, loc.off); err != nil {
 		s.dropRecord(key, loc)
@@ -271,7 +315,11 @@ func (s *Store) Get(key string) []byte {
 func (s *Store) dropRecord(key string, loc storeLoc) {
 	delete(s.index, key)
 	s.records--
-	s.bytes -= loc.n - storeHeaderLen - int64(len(key)) - storeTrailerLen
+	s.bytes -= recordBodyLen(key, loc)
+	if meta := s.segs[loc.seg]; meta != nil {
+		meta.records--
+		meta.bodyBytes -= recordBodyLen(key, loc)
+	}
 	s.dropped++
 	s.m.DiskDropped.Add(1)
 	s.m.DiskRecords.Store(s.records)
@@ -310,10 +358,94 @@ func (s *Store) Put(key string, body []byte) error {
 	s.index[key] = storeLoc{seg: s.active, off: off, n: int64(len(rec))}
 	s.records++
 	s.bytes += int64(len(body))
+	s.diskSize += int64(len(rec))
+	if meta := s.segs[s.active]; meta != nil {
+		meta.records++
+		meta.bodyBytes += int64(len(body))
+		meta.size = s.size
+		s.tick++
+		meta.lastAccess = s.tick
+	}
 	s.m.DiskPuts.Add(1)
 	s.m.DiskRecords.Store(s.records)
 	s.m.DiskBytes.Store(s.bytes)
+	s.gc()
 	return nil
+}
+
+// gc enforces the byte cap by evicting whole cold segments: while the
+// total on-disk size exceeds maxBytes, the non-active segment with the
+// oldest lastAccess tick is deleted outright (its index entries removed,
+// its file closed and unlinked). The active segment is never evicted — it
+// would corrupt the append tail — so the cap can be transiently exceeded
+// by one active segment's worth. Content addressing makes this safe: an
+// evicted key that matters again is simply re-solved and re-appended, and
+// bytes are never rewritten in place.
+func (s *Store) gc() {
+	if s.maxBytes <= 0 || s.diskSize <= s.maxBytes {
+		return
+	}
+	evicted := false
+	for s.diskSize > s.maxBytes {
+		victim, oldest := -1, int64(0)
+		for n, meta := range s.segs {
+			if n == s.active {
+				continue
+			}
+			// Older tick wins; segment number breaks ties deterministically.
+			if victim < 0 || meta.lastAccess < oldest || (meta.lastAccess == oldest && n < victim) {
+				victim, oldest = n, meta.lastAccess
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		s.evictSegment(victim)
+		evicted = true
+	}
+	if evicted {
+		s.m.DiskGCRuns.Add(1)
+		s.m.DiskRecords.Store(s.records)
+		s.m.DiskBytes.Store(s.bytes)
+	}
+}
+
+// evictSegment removes segment n and every index entry pointing into it.
+func (s *Store) evictSegment(n int) {
+	meta := s.segs[n]
+	for key, loc := range s.index {
+		if loc.seg == n {
+			delete(s.index, key)
+		}
+	}
+	if f := s.files[n]; f != nil {
+		f.Close()
+		os.Remove(filepath.Join(s.dir, segmentName(n)))
+	}
+	delete(s.files, n)
+	delete(s.segs, n)
+	if meta != nil {
+		s.records -= meta.records
+		s.bytes -= meta.bodyBytes
+		s.diskSize -= meta.size
+		s.m.DiskGCSegments.Add(1)
+		s.m.DiskGCRecords.Add(meta.records)
+		s.m.DiskGCBytes.Add(meta.size)
+	}
+}
+
+// Keys returns a sorted snapshot of every indexed key (the handoff
+// endpoint's iteration set; sorted so a handoff stream is deterministic
+// for a given store state).
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.index))
+	for key := range s.index {
+		keys = append(keys, key)
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	return keys
 }
 
 // Len returns the number of indexed records.

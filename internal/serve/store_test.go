@@ -10,7 +10,7 @@ import (
 
 func openTestStore(t *testing.T, dir string, segBytes int64) *Store {
 	t.Helper()
-	s, err := OpenStore(dir, segBytes, nil)
+	s, err := OpenStore(dir, segBytes, 0, nil)
 	if err != nil {
 		t.Fatalf("OpenStore: %v", err)
 	}
@@ -240,6 +240,179 @@ func TestStorePutBounds(t *testing.T) {
 	}
 }
 
+// gcBody renders the fixed 100-byte body the GC tests use; with the 6-byte
+// "key-NN" keys every record is exactly 118 bytes on disk, which makes the
+// eviction arithmetic below exact.
+func gcBody(i int) []byte { return bytes.Repeat([]byte{byte(i + 1)}, 100) }
+
+// TestStoreGCByteCap: with one record per segment (segBytes 100 < the
+// 118-byte record) and a 480-byte cap, the store must evict exactly the
+// oldest cold segment on each overflowing append — deterministic counts,
+// oldest keys gone, newest keys served.
+func TestStoreGCByteCap(t *testing.T) {
+	m := NewMetrics()
+	s, err := OpenStore(t.TempDir(), 100, 480, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("key-%02d", i), gcBody(i)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	// Puts 0–3 fit (472 ≤ 480); each of puts 4–9 rolls a segment and evicts
+	// the oldest: six GC passes, one segment and one record each.
+	if got := s.Len(); got != 4 {
+		t.Fatalf("Len = %d after churn, want 4", got)
+	}
+	for i := 0; i < 6; i++ {
+		if got := s.Get(fmt.Sprintf("key-%02d", i)); got != nil {
+			t.Fatalf("evicted key-%02d still served", i)
+		}
+	}
+	for i := 6; i < 10; i++ {
+		if got := s.Get(fmt.Sprintf("key-%02d", i)); !bytes.Equal(got, gcBody(i)) {
+			t.Fatalf("surviving key-%02d lost", i)
+		}
+	}
+	if runs, segs, recs, gcb := m.DiskGCRuns.Load(), m.DiskGCSegments.Load(),
+		m.DiskGCRecords.Load(), m.DiskGCBytes.Load(); runs != 6 || segs != 6 || recs != 6 || gcb != 6*118 {
+		t.Fatalf("GC counters runs=%d segments=%d records=%d bytes=%d, want 6/6/6/%d", runs, segs, recs, gcb, 6*118)
+	}
+	if got := m.DiskRecords.Load(); got != 4 {
+		t.Fatalf("DiskRecords gauge = %d, want 4", got)
+	}
+	// The store stays under cap on disk, not just in bookkeeping.
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	if total > 480 {
+		t.Fatalf("%d bytes on disk, cap 480", total)
+	}
+}
+
+// TestStoreGCRespectsAccess: eviction is least-recently-accessed by the
+// deterministic logical tick — a Get on a cold segment saves it and
+// sacrifices the next-oldest instead.
+func TestStoreGCRespectsAccess(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 100, 480, NewMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 4; i++ {
+		if err := s.Put(fmt.Sprintf("key-%02d", i), gcBody(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch the oldest segment, then overflow the cap.
+	if got := s.Get("key-00"); !bytes.Equal(got, gcBody(0)) {
+		t.Fatal("warm-up read failed")
+	}
+	if err := s.Put("key-04", gcBody(4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Get("key-00"); got == nil {
+		t.Fatal("recently-read key-00 evicted — LRU order ignored")
+	}
+	if got := s.Get("key-01"); got != nil {
+		t.Fatal("cold key-01 survived though it was the eviction candidate")
+	}
+}
+
+// TestStoreGCActiveNeverEvicted: a cap smaller than one record still leaves
+// the active segment alone — the tail must stay appendable even while the
+// cap is transiently exceeded.
+func TestStoreGCActiveNeverEvicted(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), 100, 50, NewMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("key-%02d", i)
+		if err := s.Put(key, gcBody(i)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+		if got := s.Get(key); !bytes.Equal(got, gcBody(i)) {
+			t.Fatalf("freshly-appended %s not served — active segment evicted", key)
+		}
+	}
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len = %d under a sub-record cap, want 1 (the active record)", got)
+	}
+}
+
+// TestStoreGCReload: a store reopened over a GC'd directory indexes exactly
+// the survivors with nothing dropped; reopening under a smaller cap GCs at
+// load time, oldest segments first.
+func TestStoreGCReload(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, 100, 480, NewMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("key-%02d", i), gcBody(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Same cap: the four survivors reload intact, nothing dropped, no GC.
+	m := NewMetrics()
+	r, err := OpenStore(dir, 100, 480, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 4 || r.Dropped() != 0 {
+		t.Fatalf("reload: Len %d Dropped %d, want 4 and 0", r.Len(), r.Dropped())
+	}
+	for i := 6; i < 10; i++ {
+		if got := r.Get(fmt.Sprintf("key-%02d", i)); !bytes.Equal(got, gcBody(i)) {
+			t.Fatalf("key-%02d lost across the reload", i)
+		}
+	}
+	if got := m.DiskGCRuns.Load(); got != 0 {
+		t.Fatalf("reload under the same cap ran GC %d times, want 0", got)
+	}
+	// The reloaded store keeps enforcing the cap on new appends.
+	if err := r.Put("key-10", gcBody(10)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.DiskGCRuns.Load(); got != 1 {
+		t.Fatalf("post-reload append ran GC %d times, want 1", got)
+	}
+	r.Close()
+
+	// Smaller cap: load-time GC trims oldest-first down to the cap.
+	m2 := NewMetrics()
+	r2, err := OpenStore(dir, 100, 200, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := r2.Len(); got != 1 {
+		t.Fatalf("reload under a 200-byte cap indexed %d records, want 1", got)
+	}
+	if got := r2.Get("key-10"); !bytes.Equal(got, gcBody(10)) {
+		t.Fatal("newest record did not survive the load-time GC")
+	}
+	if got := m2.DiskGCRuns.Load(); got != 1 {
+		t.Fatalf("load-time GC runs = %d, want 1", got)
+	}
+}
+
 // FuzzSegmentStore feeds arbitrary bytes to the segment loader as an
 // on-disk segment: whatever the file holds, opening the store must not
 // panic, every indexed record must round-trip through Get, and the store
@@ -260,7 +433,7 @@ func FuzzSegmentStore(f *testing.F) {
 		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		s, err := OpenStore(dir, 0, nil)
+		s, err := OpenStore(dir, 0, 0, nil)
 		if err != nil {
 			// I/O errors are legal outcomes; panics and corruption are not.
 			return

@@ -245,7 +245,7 @@ func (s *Server) sweepSolver(job *SweepJob) sweep.Solver {
 		}
 		status, body := s.runJob(ctx, hash, c)
 		if status == http.StatusOK {
-			s.persist(hash, body)
+			s.persistAndReplicate(hash, body)
 		}
 		s.flights.complete(hash, f, flightResult{status: status, body: body})
 		if status != http.StatusOK {

@@ -5,9 +5,12 @@ package wampde_test
 // bordered Jacobian versus core.LinearMatrixFree, as the circuit grows. Each
 // step's bordered system has N1·(3·stages)+1 unknowns, so the dense path's
 // O(total³) factorizations fall behind the matrix-free path's O(total·log N1)
-// matvecs as stages grows; `ci.sh ring-bench` snapshots the curve into
-// BENCH_pr7.json and `ci.sh ring-bench-check` gates that matrix-free wins
-// from 15 stages up (see cmd/benchjson -ring-gate).
+// matvecs as stages grows. BenchmarkQPRingScaling makes the same comparison
+// for the quasiperiodic solver, whose dense Jacobian couples the whole
+// N1×N2 bivariate grid at once and hits the cubic wall much sooner.
+// `ci.sh ring-bench` snapshots both curves into BENCH_pr9.json and
+// `ci.sh ring-bench-check` gates that matrix-free wins from 15 stages up in
+// each family (see cmd/benchjson -ring-gate).
 //
 // The envelope starts from the true limit cycle: the standard settle+shoot
 // preamble (core.InitialCondition), seeded with the analytic dominant-mode
@@ -98,14 +101,16 @@ func ringWaveGuess(sys *circuit.System, stages int) []float64 {
 	return x
 }
 
-// ringICCache memoizes the settle+shoot initial condition per stage count,
-// exactly like vcoICCache does for the paper VCO, so -cpu reruns and the
-// dense/matfree pair share one preamble.
-var ringICCache sync.Map // stages -> *vcoICEntry
+// ringICCache memoizes the settle+shoot initial condition per (stages, N1)
+// configuration, exactly like vcoICCache does for the paper VCO, so -cpu
+// reruns and the dense/matfree pair share one preamble. N1 is part of the key
+// because the envelope sweep collocates at 32 points while the quasiperiodic
+// sweep uses 16 — the shot initial condition is an N1-point waveform.
+var ringICCache sync.Map // [2]int{stages, n1} -> *vcoICEntry
 
 func prepRingIC(b *testing.B, sys *circuit.System, stages, n1 int) ([]float64, float64) {
 	b.Helper()
-	v, _ := ringICCache.LoadOrStore(stages, &vcoICEntry{})
+	v, _ := ringICCache.LoadOrStore([2]int{stages, n1}, &vcoICEntry{})
 	e := v.(*vcoICEntry)
 	e.once.Do(func() {
 		fNom := netlist.RingVCONominalFreq(stages, netlist.VctlDefault)
@@ -116,6 +121,53 @@ func prepRingIC(b *testing.B, sys *circuit.System, stages, n1 int) ([]float64, f
 		b.Fatal(e.err)
 	}
 	return e.ic, e.w0
+}
+
+// ringQPStages is the quasiperiodic scaling sweep. It stops at 15 stages:
+// the dense path's global bordered Jacobian there is already
+// (16·8·45 + 8)² ≈ 3.3e7 entries, and its LU is the very O(total³) wall the
+// matrix-free operator exists to avoid — larger dense points measure nothing
+// new, they just burn CI minutes.
+var ringQPStages = []int{3, 7, 15}
+
+// ringQPEntry caches one stage count's envelope-derived quasiperiodic guess
+// under the same once-with-stored-error discipline as vcoICEntry.
+type ringQPEntry struct {
+	once  sync.Once
+	guess *core.QPGuess
+	err   error
+}
+
+var ringQPCache sync.Map // stages -> *ringQPEntry
+
+// prepRingQPGuess builds the quasiperiodic initial iterate for one ring: the
+// memoized settle+shoot initial condition feeds a two-slow-period envelope
+// run (the first period settles the MEMS transient, the trailing one is the
+// steady quasiperiodic orbit), and core.GuessFromEnvelope samples that
+// trailing window onto the N1×N2 grid. All of it runs outside the timer and
+// is cached per stage count, so the dense/matfree pair iterate from the
+// identical guess. It returns the guess and the slow period T2.
+func prepRingQPGuess(b *testing.B, sys *circuit.System, stages, n1, n2 int) (*core.QPGuess, float64) {
+	b.Helper()
+	fNom := netlist.RingVCONominalFreq(stages, netlist.VctlDefault)
+	t2 := netlist.CtlDivDefault / fNom
+	xhat0, w0 := prepRingIC(b, sys, stages, n1)
+	v, _ := ringQPCache.LoadOrStore(stages, &ringQPEntry{})
+	e := v.(*ringQPEntry)
+	e.once.Do(func() {
+		env, err := core.Envelope(sys, xhat0, w0, 2*t2, core.EnvelopeOptions{
+			N1: n1, H2: t2 / 16, Trap: true, ChordNewton: true,
+		})
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.guess, e.err = core.GuessFromEnvelope(env, t2, n1, n2)
+	})
+	if e.err != nil {
+		b.Fatal(e.err)
+	}
+	return e.guess, t2
 }
 
 func BenchmarkRingScaling(b *testing.B) {
@@ -144,6 +196,42 @@ func BenchmarkRingScaling(b *testing.B) {
 						b.Fatal(err)
 					}
 					sinkF = res.Omega[len(res.Omega)-1]
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkQPRingScaling is BenchmarkRingScaling's claim for the other §4.1
+// solver: one global quasiperiodic solve of the N-stage ring under its
+// default slow control sweep, dense bordered Jacobian versus
+// core.LinearMatrixFree. The dense path factorizes the full
+// (N1·N2·n + N2)-unknown bivariate system, so it falls off the O(total³)
+// cliff far sooner than the envelope (whose dense steps are only
+// N1·n+1-sized) — the quasiperiodic solver is where the matrix-free operator
+// pays first. `ci.sh ring-bench` snapshots both families and cmd/benchjson
+// -ring-gate enforces each family's crossover independently.
+func BenchmarkQPRingScaling(b *testing.B) {
+	// N1=16 keeps the fast-axis differentiation on the radix-2 FFT path
+	// (see BenchmarkRingScaling's n1 note); N2=8 resolves the sinusoidal
+	// control modulation, which is spectrally almost pure on the slow axis.
+	const n1, n2 = 16, 8
+	for _, stages := range ringQPStages {
+		for _, mode := range []string{"dense", "matfree"} {
+			b.Run(fmt.Sprintf("stages=%d/%s", stages, mode), func(b *testing.B) {
+				sys := ringBenchSystem(b, stages)
+				guess, t2 := prepRingQPGuess(b, sys, stages, n1, n2)
+				opt := core.QPOptions{N1: n1, N2: n2, ChordNewton: true}
+				if mode == "matfree" {
+					opt.Linear = core.LinearMatrixFree
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					qp, err := core.Quasiperiodic(sys, t2, guess, opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sinkF = qp.OmegaMean()
 				}
 			})
 		}
