@@ -92,6 +92,20 @@
 #               cmd/benchjson. Not part of "all" — refresh deliberately.
 #   cluster-bench-check rerun the cluster mix and compare against the
 #               committed baseline with cmd/benchjson -check.
+#   converter   switch-mode converter workload tier: the converter goldens
+#               (PWM/switch/diode device tests, generator tests, the
+#               transient-vs-MPDE ripple agreement gate, the serve catalog
+#               and cached-replay tests) plus the end-to-end duty-sweep
+#               smoke over HTTP, then one pass of BenchmarkConverterRipple
+#               (MPDE ripple envelope vs brute-force transient under slow
+#               duty modulation) gated with cmd/benchjson -converter-gate —
+#               the mpde mode must not be slower than the transient. A
+#               within-run ratio like ring-bench-check, so it holds on any
+#               machine.
+#   converter-bench rerun BenchmarkConverterRipple, snapshot the pair to a
+#               baseline file (second argument, default BENCH_pr10.json)
+#               via cmd/benchjson, and apply the same -converter-gate. Like
+#               bench, not part of "all" — refresh deliberately.
 #
 # Run ./ci.sh for everything, ./ci.sh 1 / ./ci.sh 2 for one tier,
 # ./ci.sh bench [FILE] to refresh a baseline, or ./ci.sh bench-check [FILE]
@@ -356,6 +370,41 @@ if [ "$tier" = cluster-bench-check ]; then
 fi
 
 rm -f "$loadout"
+
+# One pass of BenchmarkConverterRipple into $convout: the MPDE ripple
+# envelope and the brute-force transient over the identical duty-modulated
+# buck scenario. A temp file rather than a pipe so set -e sees go test's
+# exit status, and so one run can feed both the JSON snapshot and the
+# wall-clock gate.
+run_converter_bench() {
+	convout="$(mktemp)"
+	if ! go test -run '^$' -bench 'BenchmarkConverterRipple' \
+		-benchtime 1x -timeout 30m . >"$convout"; then
+		cat "$convout"
+		echo "ci: converter benchmark failed" >&2
+		exit 1
+	fi
+	cat "$convout"
+}
+
+if [ "$tier" = converter ] || [ "$tier" = all ]; then
+	echo "== converter: workload goldens + duty-sweep smoke"
+	go test -run 'Converter|RippleEnvelope|PWM|PWLDiode|SwitchConductance|DutySweep' ./...
+	echo "== converter: MPDE-vs-transient wall-clock gate"
+	run_converter_bench
+	go run ./cmd/benchjson -converter-gate <"$convout"
+	rm -f "$convout"
+fi
+
+if [ "$tier" = converter-bench ]; then
+	benchfile="${2:-BENCH_pr10.json}"
+	echo "== converter-bench: snapshotting converter ripple numbers to $benchfile"
+	run_converter_bench
+	go run ./cmd/benchjson <"$convout" >"$benchfile"
+	cat "$benchfile"
+	go run ./cmd/benchjson -converter-gate <"$convout"
+	rm -f "$convout"
+fi
 
 if [ "$tier" = bench ]; then
 	echo "== bench: snapshotting hot-loop benchmarks to $benchfile"

@@ -24,6 +24,13 @@
 // win by at least -ring-min-speedup. This is a ratio gate — both numbers
 // come from the same run on the same machine — so it holds across hardware,
 // unlike the absolute ns/op baselines.
+//
+// With -converter-gate it reads a converter workload run from stdin and
+// enforces the MPDE-vs-transient wall-clock claim: any benchmark shaped
+// Benchmark*/<circuit>/{mpde,transient} — BenchmarkConverterRipple today —
+// must show the mpde mode at least -converter-min-speedup times faster than
+// the transient for the same circuit. Another within-run ratio gate, so it
+// too holds across hardware.
 package main
 
 import (
@@ -188,6 +195,88 @@ func parseRingName(name string) (family string, stages int, mode string, ok bool
 	return parts[0], stages, mode, true
 }
 
+// parseConverterName extracts (family, circuit, mode) from a converter
+// benchmark name like "BenchmarkConverterRipple/buck/mpde-8". Any top-level
+// benchmark with a <circuit>/{mpde,transient} sub-benchmark shape
+// participates; the trailing -cpu suffix goos appends is stripped from the
+// mode segment.
+func parseConverterName(name string) (family, circuit, mode string, ok bool) {
+	parts := strings.Split(name, "/")
+	if len(parts) != 3 || !strings.HasPrefix(parts[0], "Benchmark") {
+		return "", "", "", false
+	}
+	mode = parts[2]
+	if i := strings.LastIndexByte(mode, '-'); i >= 0 {
+		if _, err := strconv.Atoi(mode[i+1:]); err == nil {
+			mode = mode[:i]
+		}
+	}
+	if mode != "mpde" && mode != "transient" {
+		return "", "", "", false
+	}
+	return parts[0], parts[1], mode, true
+}
+
+// converterGate enforces the converter workload's wall-clock claim on one
+// run: for every (family, circuit) measured in both modes, the MPDE ripple
+// envelope must beat the brute-force transient by at least minSpeedup. Like
+// -ring-gate this is a within-run ratio — both numbers come from the same
+// machine — so it holds across hardware, unlike the ns/op baselines.
+func converterGate(run []Benchmark, minSpeedup float64, w *os.File) bool {
+	type convKey struct{ family, circuit string }
+	type convResult struct{ mpde, transient float64 }
+	byKey := map[convKey]*convResult{}
+	var keys []convKey
+	for _, b := range run {
+		family, circuit, mode, ok := parseConverterName(b.Name)
+		if !ok {
+			continue
+		}
+		k := convKey{family, circuit}
+		r := byKey[k]
+		if r == nil {
+			r = &convResult{}
+			byKey[k] = r
+			keys = append(keys, k)
+		}
+		if mode == "mpde" {
+			r.mpde = b.NsPerOp
+		} else {
+			r.transient = b.NsPerOp
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].family != keys[j].family {
+			return keys[i].family < keys[j].family
+		}
+		return keys[i].circuit < keys[j].circuit
+	})
+	pass := true
+	for _, k := range keys {
+		r := byKey[k]
+		if r.mpde == 0 || r.transient == 0 {
+			fmt.Fprintf(w, "FAIL %s/%s: need both modes (mpde %.3g ns/op, transient %.3g ns/op)\n",
+				k.family, k.circuit, r.mpde, r.transient)
+			pass = false
+			continue
+		}
+		ratio := r.transient / r.mpde
+		if ratio < minSpeedup {
+			fmt.Fprintf(w, "FAIL %s/%s: mpde speedup %.2fx < required %.2fx (mpde %.3g ns/op, transient %.3g ns/op)\n",
+				k.family, k.circuit, ratio, minSpeedup, r.mpde, r.transient)
+			pass = false
+		} else {
+			fmt.Fprintf(w, "ok   %s/%s: mpde %.2fx transient (mpde %.3g ns/op, transient %.3g ns/op)\n",
+				k.family, k.circuit, ratio, r.mpde, r.transient)
+		}
+	}
+	if len(keys) == 0 {
+		fmt.Fprintf(w, "FAIL no <circuit>/{mpde,transient} benchmarks on stdin; converter claim unverified\n")
+		pass = false
+	}
+	return pass
+}
+
 // ringGate enforces the crossover claim on one scaling run, independently per
 // benchmark family: wherever both modes were measured at stages >= from,
 // matrix-free must be at least as fast as dense, and at each family's
@@ -277,6 +366,8 @@ func main() {
 	ringGateMode := flag.Bool("ring-gate", false, "gate a ring scaling run on stdin: matrix-free must beat dense from -ring-gate-stages up, per benchmark family")
 	ringFrom := flag.Int("ring-gate-stages", 15, "smallest stage count the -ring-gate crossover claim covers")
 	ringMin := flag.Float64("ring-min-speedup", 3.0, "required matfree-over-dense speedup at each family's -ring-gate crossover point")
+	convGateMode := flag.Bool("converter-gate", false, "gate a converter run on stdin: the mpde mode must beat the transient per <circuit>, by -converter-min-speedup")
+	convMin := flag.Float64("converter-min-speedup", 1.0, "required mpde-over-transient speedup in -converter-gate mode")
 	flag.Parse()
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -289,6 +380,13 @@ func main() {
 
 	if *ringGateMode {
 		if !ringGate(benches, *ringFrom, *ringMin, os.Stdout) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *convGateMode {
+		if !converterGate(benches, *convMin, os.Stdout) {
 			os.Exit(1)
 		}
 		return

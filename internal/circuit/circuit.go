@@ -210,6 +210,20 @@ func (s *System) Input(t float64, u []float64) {
 	}
 }
 
+// Input2 evaluates inputs on the bivariate (t1, t2) grid: devices that
+// implement Input2Device see both scales, all others are slow-only and get
+// their univariate Inputs at t2. Input2(t, t) == Input(t) by construction,
+// the mpde.System consistency rule.
+func (s *System) Input2(t1, t2 float64, u []float64) {
+	for _, d := range s.devices {
+		if d2, ok := d.(Input2Device); ok {
+			d2.Inputs2(t1, t2, u)
+		} else {
+			d.Inputs(t2, u)
+		}
+	}
+}
+
 // JQ implements dae.System. The clipped stamping callback is cached on the
 // target matrix, so repeated assembly into long-lived Jacobian slots does
 // not allocate.

@@ -119,6 +119,19 @@ type EnvelopeOptions struct {
 	// bit-inexact relative to cold runs; nil Warm (the default) is the
 	// historical path the golden suite pins bitwise.
 	Warm *WarmStart
+
+	// omegaPin (> 0) switches the solver into forced (unwarped-MPDE) mode:
+	// ω is pinned to this value instead of being solved for, and the phase
+	// row becomes the trivial equation ω − omegaPin = 0 — the driven-system
+	// corner of the MPDE where the fast period is set by the source (a PWM
+	// switching clock), not by an autonomous oscillation. Set only through
+	// ForcedEnvelope; zero (the default) is the autonomous WaMPDE path.
+	omegaPin float64
+	// input2, when non-nil, evaluates the inputs per collocation point:
+	// input2(tau, t2, u) fills u at normalized fast phase tau = j/N1 and
+	// slow time t2. nil (the default) keeps the historical slow-only
+	// Input(t2) evaluation shared by all collocation points.
+	input2 func(tau, t2 float64, u []float64)
 }
 
 func (o EnvelopeOptions) withDefaults() EnvelopeOptions {
@@ -185,17 +198,28 @@ func Envelope(sys dae.Autonomous, xhat0 []float64, omega0, t2End float64, opt En
 	if err := solverr.CheckFinite("core.envelope", xhat0); err != nil {
 		return nil, err
 	}
-	k := sys.OscVar()
-	if k < 0 || k >= n {
-		return nil, ErrNeedOscillation
-	}
-	w, c, err := phaseRow(opt.Phase, n1, opt.Anchor)
-	if err != nil {
-		return nil, err
-	}
-	if opt.Phase == PhaseFixValue {
-		// Anchor must be consistent with the IC to avoid a phase jump.
-		c = xhat0[0*n+k]
+	var k int
+	var w []float64
+	var c float64
+	if opt.omegaPin > 0 {
+		// Forced mode: ω is pinned, so there is no phase condition on the
+		// waveform — the weights are all zero and k is an unused placeholder.
+		k = 0
+		w = make([]float64, n1)
+	} else {
+		k = sys.OscVar()
+		if k < 0 || k >= n {
+			return nil, ErrNeedOscillation
+		}
+		var err error
+		w, c, err = phaseRow(opt.Phase, n1, opt.Anchor)
+		if err != nil {
+			return nil, err
+		}
+		if opt.Phase == PhaseFixValue {
+			// Anchor must be consistent with the IC to avoid a phase jump.
+			c = xhat0[0*n+k]
+		}
 	}
 
 	asm := newEnvAssembler(sys, n1, n, k, w, c, opt)
@@ -407,6 +431,12 @@ type envAssembler struct {
 	opt    EnvelopeOptions
 	d      []float64 // spectral differentiation matrix (period 1)
 	u      []float64
+	// Per-collocation-point inputs (opt.input2 mode): us holds n1 slots of
+	// NumInputs values each, filled at the point's fast phase; usStart/usEnd
+	// are the continuation-rung blending scratch mirroring uStart/uEnd.
+	// usAtFactor snapshots us at the last Jacobian factorization — the
+	// input-drift gate for cross-step chord reuse (see step).
+	us, usStart, usEnd, usAtFactor []float64
 	qPrev  []float64 // q at the previous time level
 	rhsOld []float64 // ω·D·q + f at the previous level (Trap)
 	scale  []float64 // per-row residual scales
@@ -543,6 +573,12 @@ func newEnvAssembler(sys dae.Autonomous, n1, n, k int, w []float64, c float64, o
 	a.lad = newLinearLadder(opt.GMRESTol, a.rec, &a.linStats)
 	a.uStart = make([]float64, sys.NumInputs())
 	a.uEnd = make([]float64, sys.NumInputs())
+	if opt.input2 != nil {
+		a.us = make([]float64, n1*sys.NumInputs())
+		a.usStart = make([]float64, n1*sys.NumInputs())
+		a.usEnd = make([]float64, n1*sys.NumInputs())
+		a.usAtFactor = make([]float64, n1*sys.NumInputs())
+	}
 	for j := 0; j < n1; j++ {
 		a.jqs[j] = la.NewDense(n, n)
 		a.jfs[j] = la.NewDense(n, n)
@@ -591,7 +627,7 @@ func newEnvAssembler(sys dae.Autonomous, n1, n, k int, w []float64, c float64, o
 					dst[i] += wgt * qm[i]
 				}
 			}
-			a.sys.F(z[j*n:(j+1)*n], a.u, f)
+			a.sys.F(z[j*n:(j+1)*n], a.uAt(j), f)
 			for i := 0; i < n; i++ {
 				dst[i] = omega*dst[i] + f[i]
 			}
@@ -602,7 +638,7 @@ func newEnvAssembler(sys dae.Autonomous, n1, n, k int, w []float64, c float64, o
 		for m := lo; m < hi; m++ {
 			xm := z[m*n : (m+1)*n]
 			a.sys.JQ(xm, a.jqs[m])
-			a.sys.JF(xm, a.u, a.jfs[m])
+			a.sys.JF(xm, a.uAt(m), a.jfs[m])
 		}
 	}
 	a.rowFn = func(lo, hi int) {
@@ -651,6 +687,64 @@ func newEnvAssembler(sys dae.Autonomous, n1, n, k int, w []float64, c float64, o
 	return a
 }
 
+// uAt returns the input vector seen by collocation point j: the shared
+// slow-only vector a.u, or point j's slot of the per-point grid in
+// opt.input2 mode.
+func (a *envAssembler) uAt(j int) []float64 {
+	if a.opt.input2 == nil {
+		return a.u
+	}
+	nIn := len(a.u)
+	return a.us[j*nIn : (j+1)*nIn]
+}
+
+// fillInputsInto evaluates the inputs at slow time t2 into u (slow-only
+// mode) or the per-point grid us (input2 mode, one evaluation per
+// collocation point at its normalized fast phase j/N1).
+func (a *envAssembler) fillInputsInto(t2 float64, u, us []float64) {
+	if a.opt.input2 == nil {
+		a.sys.Input(t2, u)
+		return
+	}
+	nIn := len(a.u)
+	for j := 0; j < a.n1; j++ {
+		a.opt.input2(float64(j)/float64(a.n1), t2, us[j*nIn:(j+1)*nIn])
+	}
+}
+
+// fillInputs evaluates the inputs at t2 into the assembler's live slots.
+func (a *envAssembler) fillInputs(t2 float64) { a.fillInputsInto(t2, a.u, a.us) }
+
+// inputDriftTol is the per-point input change that retires cross-step
+// chord factors. Inputs are O(1) control levels (e.g. PWM values in
+// [0, 1]) multiplying O(Gon) conductances, so a 1% shift already moves a
+// switching device's Jacobian entries by ~Gon/100 — past that, stale
+// factors stop contracting and the failed chord attempt costs more than
+// the refactorization it tried to save.
+const inputDriftTol = 1e-2
+
+// snapInputs records the per-point inputs the Jacobian was factored at.
+func (a *envAssembler) snapInputs() {
+	if a.opt.input2 != nil {
+		copy(a.usAtFactor, a.us)
+	}
+}
+
+// inputsDrifted reports whether the per-point inputs have moved past
+// inputDriftTol since the last factorization. Slow-only runs (no input2)
+// have constant per-step inputs and never drift.
+func (a *envAssembler) inputsDrifted() bool {
+	if a.opt.input2 == nil {
+		return false
+	}
+	for i, u := range a.us {
+		if abs(u-a.usAtFactor[i]) > inputDriftTol {
+			return true
+		}
+	}
+	return false
+}
+
 // sampleQ evaluates q at all collocation points into out, in parallel
 // chunks of points (each point writes only its own n-slot).
 func (a *envAssembler) sampleQ(z, out []float64) {
@@ -682,14 +776,14 @@ func (a *envAssembler) rhs(z []float64, omega float64, out []float64) {
 func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNew []float64, omegaNew *float64, useTrap bool) (newton.Result, error) {
 	n1, n := a.n1, a.n
 	total := n1*n + 1
-	a.sys.Input(t2, a.u)
+	a.fillInputs(t2)
 	a.sampleQ(xOld, a.qPrev)
 	theta := 1.0 // BE
 	if useTrap {
 		theta = 0.5
 		a.rhs(xOld, omegaOld, a.rhsOld)
 	}
-	a.sys.Input(t2+h, a.u)
+	a.fillInputs(t2 + h)
 
 	// Residual scales from the previous level, so the Newton tolerance is
 	// effectively relative per row.
@@ -716,8 +810,14 @@ func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNe
 		}
 	}
 	sPhase := 0.0
-	for j := 0; j < n1; j++ {
-		sPhase += abs(a.w[j]) * (1 + abs(xOld[j*n+a.k]))
+	if a.opt.omegaPin > 0 {
+		// Pinned ω: the phase row is ω − ωPin, so its natural scale is ωPin
+		// itself (the residual becomes relative frequency error).
+		sPhase = a.opt.omegaPin
+	} else {
+		for j := 0; j < n1; j++ {
+			sPhase += abs(a.w[j]) * (1 + abs(xOld[j*n+a.k]))
+		}
 	}
 	if sPhase == 0 {
 		sPhase = 1
@@ -741,6 +841,10 @@ func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNe
 			}
 			r[j] = v / a.scale[j]
 		}
+		if a.opt.omegaPin > 0 {
+			r[n1*n] = (omega - a.opt.omegaPin) / a.scale[n1*n]
+			return nil
+		}
 		ph := -a.c
 		for j := 0; j < n1; j++ {
 			ph += a.w[j] * z[j*n+a.k]
@@ -757,6 +861,7 @@ func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNe
 			// assembles sparsely from the same slots.
 			op := a.matFreeOpFor(z, h, theta)
 			a.omegaAtFactor = z[n1*n]
+			a.snapInputs()
 			if a.adoptedRec {
 				a.adoptedRec = false
 			} else {
@@ -771,6 +876,7 @@ func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNe
 		}
 		jj := a.assembleJacobian(z, h, theta)
 		a.omegaAtFactor = z[n1*n]
+		a.snapInputs()
 		// A fresh linearization invalidates the Krylov recycler: its carried
 		// space is exact only for the operator it was harvested from, and the
 		// deflation directions amplify like 1/θ_min, so even a small Jacobian
@@ -818,7 +924,7 @@ func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNe
 		chordOpts.ReuseContraction = a.opt.ChordContraction
 		if a.reuse.Cached() {
 			drift := abs(omegaOld-a.omegaAtFactor) > a.opt.OmegaDriftTol*abs(a.omegaAtFactor)
-			if h != a.lastH || theta != a.lastTheta || drift {
+			if h != a.lastH || theta != a.lastTheta || drift || a.inputsDrifted() {
 				a.reuse.Invalidate()
 			}
 		}
@@ -881,7 +987,8 @@ func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNe
 		a.reuse.Invalidate()
 		a.rec.Invalidate()
 		copy(a.uEnd, a.u)
-		a.sys.Input(t2, a.uStart)
+		copy(a.usEnd, a.us)
+		a.fillInputsInto(t2, a.uStart, a.usStart)
 		copy(z, xNew)
 		z[n1*n] = *omegaNew
 		contOpts := a.opt.Newton
@@ -892,12 +999,17 @@ func (a *envAssembler) step(t2, h float64, xOld []float64, omegaOld float64, xNe
 				for i := range a.u {
 					a.u[i] = (1-lambda)*a.uStart[i] + lambda*a.uEnd[i]
 				}
+				for i := range a.us {
+					a.us[i] = (1-lambda)*a.usStart[i] + lambda*a.usEnd[i]
+				}
 				return eval(zz, r)
 			}
 			return newton.Problem{N: total, Eval: blend, Jacobian: jac}
 		}, z, contOpts)
 		acc(resC)
-		copy(a.u, a.uEnd) // restore the true t2+h input exactly
+		// Restore the true t2+h inputs exactly.
+		copy(a.u, a.uEnd)
+		copy(a.us, a.usEnd)
 	}
 	if err != nil {
 		if solverr.IsKind(err, solverr.KindCanceled) {
@@ -951,14 +1063,19 @@ func (a *envAssembler) assembleJacobian(z []float64, h, theta float64) *la.Dense
 	// Row blocks: point j owns rows j·n..j·n+n-1 of the bordered system.
 	par.For(n1, ptGrain, a.rowFn)
 
-	// Phase row.
+	// Phase row: ω-identity in pinned mode, the wᵀ waveform condition
+	// otherwise.
 	{
 		row := jj.Row(n1 * n)
 		for cc := range row {
 			row[cc] = 0
 		}
-		for j := 0; j < n1; j++ {
-			row[j*n+a.k] = a.w[j]
+		if a.opt.omegaPin > 0 {
+			row[n1*n] = 1
+		} else {
+			for j := 0; j < n1; j++ {
+				row[j*n+a.k] = a.w[j]
+			}
 		}
 		s := a.scale[n1*n]
 		for cc := range row {

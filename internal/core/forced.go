@@ -1,0 +1,48 @@
+package core
+
+import (
+	"repro/internal/dae"
+	"repro/internal/solverr"
+)
+
+// This file is the forced (unwarped-MPDE) entry to the envelope solver:
+// the ripple-envelope mode for driven switching circuits. For a switch-mode
+// power converter the fast periodicity is set by the PWM clock, not by an
+// autonomous oscillation, so there is nothing to warp — ω is pinned to the
+// switching frequency and the phase condition degenerates to ω − ωPin = 0.
+// Everything else (envelope assembly, BE/trapezoidal t2 integration, the
+// chord-Newton + escalation ladder, the matrix-free operator, warm starts)
+// is the same machinery the autonomous WaMPDE path runs.
+
+// forcedSys adapts a plain driven dae.System to the dae.Autonomous shape
+// Envelope expects. The reported OscVar is a placeholder: in pinned-ω mode
+// the phase row never reads it.
+type forcedSys struct{ dae.System }
+
+func (forcedSys) OscVar() int { return 0 }
+
+// ForcedEnvelope integrates the unwarped MPDE
+//
+//	ωPin·∂q(x̂)/∂t1 + ∂q(x̂)/∂t2 + f(x̂, u(t1, t2)) = 0
+//
+// in t2 from the initial bivariate waveform xhat0 (N1·n samples) over
+// t2 ∈ [0, t2End], with the fast frequency pinned at omegaPin (Hz — the
+// fast variable is normalized phase, one unit per fast period, matching
+// Envelope's ω convention). input2, when non-nil, supplies the bivariate
+// inputs: input2(tau, t2, u) fills the input vector at normalized fast
+// phase tau ∈ [0,1) and slow time t2 — this is how a PWM source's
+// switching edges land on the t1 grid while its duty ratio tracks t2. A
+// nil input2 evaluates sys.Input(t2) as slow-only, shared by every
+// collocation point.
+//
+// The result's Omega track is constant at omegaPin and Phi integrates to
+// omegaPin·t2; they are kept so EnvelopeResult consumers (resampling,
+// serving) work unchanged.
+func ForcedEnvelope(sys dae.System, input2 func(tau, t2 float64, u []float64), xhat0 []float64, omegaPin, t2End float64, opt EnvelopeOptions) (*EnvelopeResult, error) {
+	if omegaPin <= 0 {
+		return nil, solverr.New(solverr.KindBadInput, "core.forced", "omegaPin must be positive")
+	}
+	opt.omegaPin = omegaPin
+	opt.input2 = input2
+	return Envelope(forcedSys{sys}, xhat0, omegaPin, t2End, opt)
+}

@@ -36,6 +36,7 @@ import (
 type SpectralOp struct {
 	n1, n, k        int
 	h, theta, omega float64
+	pin             bool // pinned-ω (forced) mode: phase row is the ω identity
 	d               []float64 // dense D, for the sparse-rescue assembly only
 	w               []float64 // phase-row weights (immutable)
 	scale           []float64 // row scales, snapshot at build
@@ -114,6 +115,10 @@ func (op *SpectralOp) Apply(x, y []float64) {
 	spectralDiffRows(op.spec, n1)
 	fourier.IFFTRows(op.spec)
 	par.For(n1, ptGrain, op.combineFn)
+	if op.pin {
+		y[n1*n] = x[n1*n] / op.scale[n1*n]
+		return
+	}
 	acc := 0.0
 	for j := 0; j < n1; j++ {
 		acc += op.w[j] * x[j*n+op.k]
@@ -161,7 +166,12 @@ func (op *SpectralOp) assembleSparse(tr *sparse.Triplet) {
 		for r := 0; r < n; r++ {
 			tr.Add(j*n+r, n1*n, theta*op.dq[j*n+r]/op.scale[j*n+r])
 		}
-		tr.Add(n1*n, j*n+op.k, op.w[j]/op.scale[n1*n])
+		if !op.pin {
+			tr.Add(n1*n, j*n+op.k, op.w[j]/op.scale[n1*n])
+		}
+	}
+	if op.pin {
+		tr.Add(n1*n, n1*n, 1/op.scale[n1*n])
 	}
 }
 
@@ -203,6 +213,7 @@ func (a *envAssembler) matFreeOpFor(z []float64, h, theta float64) *SpectralOp {
 	par.For(n1, ptGrain, a.devJacFn)
 	copy(op.scale, a.scale)
 	op.h, op.theta, op.omega = h, theta, z[n1*n]
+	op.pin = a.opt.omegaPin > 0
 	return op
 }
 

@@ -95,7 +95,7 @@ func (a *envAssembler) buildHarmonicPrec(z []float64, omega, h, theta float64) e
 		for j := lo; j < hi; j++ {
 			x := z[j*n : (j+1)*n]
 			a.sys.JQ(x, a.jqs[j])
-			a.sys.JF(x, a.u, a.jfs[j])
+			a.sys.JF(x, a.uAt(j), a.jfs[j])
 		}
 	})
 	a.jqAvg.Zero()

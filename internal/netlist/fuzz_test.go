@@ -19,6 +19,21 @@ func FuzzParse(f *testing.F) {
 		"L1 tank 0 10u esr=5\nN1 tank 0 g1=-10m g3=3.3m\nM1 tank 0 c0=8.37n d0=1 m=4.05e-13 b=1.27e-7 k=1 gamma=0.382 ctl=SIN(1.5 3.3 25k)\n.oscvar tank\n",
 		"VDD vdd 0 DC(2.5)\nT1 d g 0 type=n k=2m vt=0.7 lambda=0.01\nT2 d g vdd type=p k=1m vt=0.6\nR1 d 0 10k\nR2 g 0 10k\n",
 		"V1 a 0 PWL(0 0 1m 5)\nI1 a 0 PULSE(0 1m 0 1u 1u 0.5m 1m)\n",
+		// Converter elements: the switch with PWM and plain-waveform
+		// controls, and the piecewise-linear diode mode.
+		"V1 in 0 DC(12)\nS1 in sw gon=100 goff=1u ctl=PWM(DC(0.5) 100k 0.05)\nD1 0 sw mode=pwl vf=0.4 gon=20 goff=1u\nL1 sw out 100u esr=10m\nC1 out 0 100u\nR1 out 0 5\n",
+		"S1 a 0 gon=1 goff=1u ctl=SIN(0.5 0.4 1k)\nR1 a 0 1k\nV1 a 0 DC(1)\n",
+		"S1 a 0 ctl=PWM(SIN(0.45 0.1 100) 1e5)\nV1 a 0 DC(1)\n",
+		// Bad converter element shapes: missing control, malformed PWM args,
+		// bad pwl parameters.
+		"S1 a 0 gon=1 goff=1u\n",
+		"S1 a 0 ctl=PWM(DC(0.5))\n",
+		"S1 a 0 ctl=PWM(DC(0.5) -1e5)\n",
+		"S1 a 0 ctl=PWM(DC(0.5) 1e5 2 3)\n",
+		"S1 a 0 ctl=PWM(BOGUS(1) 1e5)\n",
+		"S1 a 0 gon=x ctl=DC(1)\n",
+		"D1 a 0 mode=pwl vf=x\n",
+		"D1 a 0 mode=bogus\n",
 		// Subcircuits: definition + instances, nesting, and scoped .oscvar.
 		".subckt div top bot\nR1 top mid 1k\nR2 mid bot 1k\n.ends\nV1 in 0 DC(10)\nXa in 0 div\nXb in 0 div\n",
 		".subckt half top bot\nR1 top bot 1k\n.ends\n.subckt div top bot\nXu top mid half\nXl mid bot half\n.ends\nV1 in 0 DC(8)\nXd in 0 div\n.oscvar in\n",

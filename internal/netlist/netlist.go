@@ -7,10 +7,12 @@
 //	R<name> n1 n2 <value>
 //	C<name> n1 n2 <value>
 //	L<name> n1 n2 <value> [esr=<value>]
-//	D<name> n1 n2 [is=<value>] [vt=<value>]
+//	D<name> n1 n2 [is=<value>] [vt=<value>]                    (exponential)
+//	D<name> n1 n2 mode=pwl [vf=<value>] [gon=<value>] [goff=<value>]
 //	V<name> n+ n- <source>
 //	I<name> n+ n- <source>
 //	G<name> out+ out- ctrl+ ctrl- <gm>         (VCCS)
+//	S<name> n1 n2 ctl=<source> [gon=<value>] [goff=<value>]  (ideal switch)
 //	T<name> d g s [type=n|p] [k=<value>] [vt=<value>] [lambda=<value>]
 //	N<name> n1 n2 g1=<value> g3=<value>        (cubic negative conductor)
 //	M<name> n1 n2 c0= d0= m= b= k= gamma= ctl=<source>  (MEMS varactor)
@@ -20,7 +22,10 @@
 //
 // Sources: DC(<v>) | SIN(<offset> <amp> <freq> [phase]) |
 // PULSE(<v1> <v2> <delay> <rise> <width> <fall> <period>) |
-// PWL(<t1> <v1> <t2> <v2> ...). A bare number means DC.
+// PWL(<t1> <v1> <t2> <v2> ...). A bare number means DC. A switch ctl=
+// additionally accepts PWM(<duty-source> <fsw> [edge]) — a pulse train at
+// switching frequency fsw whose duty ratio follows the nested slow source
+// (the converter analogue of the VCO's vctl; see circuit.PWMControl).
 package netlist
 
 import (
@@ -123,18 +128,45 @@ func parseLine(ckt *circuit.Circuit, line string) error {
 		if err != nil {
 			return err
 		}
-		kv, err := keyValues(rest)
+		mode := "exp"
+		var kvFields []string
+		for _, f := range rest {
+			if strings.HasPrefix(strings.ToLower(f), "mode=") {
+				mode = strings.ToLower(f[5:])
+			} else {
+				kvFields = append(kvFields, f)
+			}
+		}
+		kv, err := keyValues(kvFields)
 		if err != nil {
 			return err
 		}
-		is, vt := kv["is"], kv["vt"]
-		if is == 0 {
-			is = 1e-14
+		switch mode {
+		case "exp":
+			is, vt := kv["is"], kv["vt"]
+			if is == 0 {
+				is = 1e-14
+			}
+			if vt == 0 {
+				vt = 0.02585
+			}
+			return ckt.Add(circuit.NewDiode(name, n1, n2, is, vt))
+		case "pwl":
+			vf, ok := kv["vf"]
+			if !ok {
+				vf = 0.7
+			}
+			gon, goff, err := onOffConductances(name, kv)
+			if err != nil {
+				return err
+			}
+			if vf < 0 {
+				return fmt.Errorf("diode %s: vf must be non-negative", name)
+			}
+			return ckt.Add(circuit.NewPWLDiode(name, n1, n2, vf, gon, goff))
+		default:
+			return fmt.Errorf("diode %s: unknown mode %q (want exp or pwl)", name, mode)
 		}
-		if vt == 0 {
-			vt = 0.02585
-		}
-		return ckt.Add(circuit.NewDiode(name, n1, n2, is, vt))
 	case "V", "I":
 		n1, n2, rest, err := twoNodes(fields)
 		if err != nil {
@@ -157,6 +189,39 @@ func parseLine(ckt *circuit.Circuit, line string) error {
 			return err
 		}
 		return ckt.Add(circuit.NewVCCS(name, fields[1], fields[2], fields[3], fields[4], gm))
+	case "S":
+		n1, n2, rest, err := twoNodes(fields)
+		if err != nil {
+			return err
+		}
+		var ctl circuit.Waveform
+		var ctl2 circuit.Waveform2
+		var kvFields []string
+		for _, f := range rest {
+			if strings.HasPrefix(strings.ToLower(f), "ctl=") {
+				w, w2, err := parseSwitchCtl(f[4:])
+				if err != nil {
+					return err
+				}
+				ctl, ctl2 = w, w2
+			} else {
+				kvFields = append(kvFields, f)
+			}
+		}
+		kv, err := keyValues(kvFields)
+		if err != nil {
+			return err
+		}
+		if ctl == nil {
+			return fmt.Errorf("switch %s wants ctl=<source>", name)
+		}
+		gon, goff, err := onOffConductances(name, kv)
+		if err != nil {
+			return err
+		}
+		sw := circuit.NewSwitch(name, n1, n2, gon, goff, ctl)
+		sw.Ctl2 = ctl2
+		return ckt.Add(sw)
 	case "T":
 		if len(fields) < 4 {
 			return fmt.Errorf("MOSFET %s wants d g s", name)
@@ -327,6 +392,84 @@ func ParseValue(s string) (float64, error) {
 		return 0, fmt.Errorf("bad value %q", s)
 	}
 	return v * mult, nil
+}
+
+// Default switch/PWL-diode conductances: 10 mΩ on, 1 MΩ off. The on/off
+// ratio is kept at 8 decades — ideal enough for converter behavior, mild
+// enough that the row-scaled Jacobians stay well conditioned.
+const (
+	DefaultGon  = 100.0
+	DefaultGoff = 1e-6
+)
+
+// onOffConductances reads gon=/goff= with defaults and validates ordering.
+func onOffConductances(name string, kv map[string]float64) (gon, goff float64, err error) {
+	gon, goff = DefaultGon, DefaultGoff
+	if v, ok := kv["gon"]; ok {
+		gon = v
+	}
+	if v, ok := kv["goff"]; ok {
+		goff = v
+	}
+	if gon <= 0 || goff <= 0 || goff >= gon {
+		return 0, 0, fmt.Errorf("%s: want 0 < goff < gon, got gon=%g goff=%g", name, gon, goff)
+	}
+	return gon, goff, nil
+}
+
+// parseSwitchCtl parses a switch control: PWM(<duty-source> <fsw> [edge])
+// yields both the univariate (transient) and bivariate (MPDE) views; any
+// other source expression is univariate-only.
+func parseSwitchCtl(s string) (circuit.Waveform, circuit.Waveform2, error) {
+	if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(s)), "PWM") {
+		p, err := parsePWM(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p.Waveform(), p.Waveform2(), nil
+	}
+	w, err := ParseSource(s)
+	return w, nil, err
+}
+
+// parsePWM parses PWM(<duty-source> <fsw> [edge]). The duty source is a
+// full nested source expression (DC/SIN/PULSE/PWL), evaluated on the slow
+// scale; fsw is the switching frequency in Hz; edge, optional, is the
+// transition width as a fraction of the period (default
+// circuit.DefaultPWMEdge).
+func parsePWM(s string) (circuit.PWMControl, error) {
+	t := strings.TrimSpace(s)
+	open := strings.IndexByte(t, '(')
+	closeIdx := strings.LastIndexByte(t, ')')
+	if open < 0 || closeIdx <= open {
+		return circuit.PWMControl{}, fmt.Errorf("bad PWM source %q", s)
+	}
+	toks := tokenize(t[open+1 : closeIdx])
+	if len(toks) < 2 || len(toks) > 3 {
+		return circuit.PWMControl{}, fmt.Errorf("PWM wants <duty-source> <fsw> [edge], got %d args", len(toks))
+	}
+	duty, err := ParseSource(toks[0])
+	if err != nil {
+		return circuit.PWMControl{}, fmt.Errorf("PWM duty source: %w", err)
+	}
+	fsw, err := ParseValue(toks[1])
+	if err != nil {
+		return circuit.PWMControl{}, err
+	}
+	if fsw <= 0 {
+		return circuit.PWMControl{}, fmt.Errorf("PWM switching frequency must be positive, got %g", fsw)
+	}
+	edge := 0.0
+	if len(toks) == 3 {
+		edge, err = ParseValue(toks[2])
+		if err != nil {
+			return circuit.PWMControl{}, err
+		}
+		if edge <= 0 || edge >= 0.5 {
+			return circuit.PWMControl{}, fmt.Errorf("PWM edge must be in (0, 0.5), got %g", edge)
+		}
+	}
+	return circuit.NewPWMControl(duty, fsw, edge), nil
 }
 
 // ParseSource parses a source expression (see the package comment).

@@ -193,6 +193,10 @@ func prewarmSet() []*Canonical {
 		{Circuit: CircuitPaperVCOAir, Analysis: AnalysisTransient, Options: RequestOptions{TStop: 2e-6, H: 1e-8}},
 		{Circuit: CircuitRingVCO + "?stages=3", Analysis: AnalysisTransient, Options: RequestOptions{TStop: 2e-6, H: 1e-8}},
 		{Circuit: CircuitRingVCO + "?stages=5", Analysis: AnalysisTransient, Options: RequestOptions{TStop: 2e-6, H: 1e-8}},
+		// One converter start-up slice keeps the switched-circuit solve path
+		// (BDF2 + relaxed Newton, zero-state start) exercised by every boot
+		// and its bytes flowing through replication and handoff.
+		{Circuit: CircuitBuckConverter + "?duty=0.5&fsw=1e5", Analysis: AnalysisTransient, Options: RequestOptions{TStop: 2e-4, H: 5e-8}},
 	}
 	out := make([]*Canonical, 0, len(reqs))
 	for i := range reqs {

@@ -1,0 +1,311 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// TestCanonicalizeConverterCircuits: equivalent duty/fsw spellings must
+// canonicalize to the same content address, catalog defaults must come from
+// the measured per-circuit resolutions, and malformed or out-of-range
+// parameter strings must be rejected at decode time.
+func TestCanonicalizeConverterCircuits(t *testing.T) {
+	opts := RequestOptions{TStop: 2e-4, H: 5e-8}
+	a := Request{Circuit: "buck-converter?duty=0.5&fsw=100000", Analysis: AnalysisTransient, Options: opts}
+	b := Request{Circuit: "buck-converter?duty=0.50&fsw=100e3", Analysis: AnalysisTransient, Options: opts}
+	ca, err := a.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.Circuit != "buck-converter?duty=0.5&fsw=100000" {
+		t.Fatalf("canonical circuit %q, want normalized spelling", ca.Circuit)
+	}
+	if ca.Hash() != cb.Hash() {
+		t.Fatal("equivalent duty/fsw spellings canonicalize to different hashes")
+	}
+
+	// Ripple-envelope defaults: the per-circuit catalog N1 (measured — see
+	// netlist.BuckN1/BoostN1) and one t2 step per switching period.
+	env := Request{Circuit: "boost-converter?duty=0.4&fsw=1e5", Analysis: AnalysisEnvelope,
+		Options: RequestOptions{TStop: 2e-3}}
+	ce, err := env.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce.N1 != netlist.BoostN1 {
+		t.Fatalf("boost envelope default n1 = %d, want catalog %d", ce.N1, netlist.BoostN1)
+	}
+	if ce.Steps != 200 {
+		t.Fatalf("default steps = %d, want one per switching period (200)", ce.Steps)
+	}
+	if ce.F0 != 0 {
+		t.Fatalf("converter envelope encoded f0 = %v, want none (pinned to fsw)", ce.F0)
+	}
+	benv := Request{Circuit: "buck-converter?duty=0.5&fsw=1e5", Analysis: AnalysisEnvelope,
+		Options: RequestOptions{TStop: 2e-3}}
+	cbe, err := benv.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cbe.N1 != netlist.BuckN1 {
+		t.Fatalf("buck envelope default n1 = %d, want catalog %d", cbe.N1, netlist.BuckN1)
+	}
+
+	bad := []string{
+		"buck-converter",                      // missing parameters
+		"buck-converter?duty=0.5",             // missing fsw
+		"buck-converter?fsw=1e5",              // missing duty (sweep-base spelling)
+		"buck-converter?fsw=1e5&duty=0.5",     // wrong parameter order
+		"buck-converter?duty=x&fsw=1e5",       // non-numeric duty
+		"buck-converter?duty=0.5&fsw=x",       // non-numeric fsw
+		"buck-converter?duty=0.95&fsw=1e5",    // duty above the cap
+		"buck-converter?duty=0.01&fsw=1e5",    // duty below the floor
+		"boost-converter?duty=0.5&fsw=100",    // fsw below the floor
+		"boost-converter?duty=0.5&fsw=1e8",    // fsw above the cap
+		"boost-converter?duty=NaN&fsw=1e5",    // non-finite duty
+		"buck-converter?duty=0.5&fsw=1e5&x=1", // trailing parameter
+		"buck-converter-xl?duty=0.5&fsw=1e5",  // unknown base
+		"buck-converter?duty=0.5&fsw=1e5 ",    // trailing garbage
+	}
+	for _, name := range bad {
+		req := Request{Circuit: name, Analysis: AnalysisTransient, Options: opts}
+		if _, err := req.Canonicalize(); err == nil {
+			t.Fatalf("circuit %q canonicalized", name)
+		}
+	}
+
+	// Converters run the forced analyses only, take no control override, and
+	// their envelope has no frequency knob.
+	for _, analysis := range []string{AnalysisQuasiperiodic, AnalysisShooting, AnalysisHB} {
+		req := Request{Circuit: "buck-converter?duty=0.5&fsw=1e5", Analysis: analysis,
+			Options: RequestOptions{Period: 1e-5}}
+		if _, err := req.Canonicalize(); err == nil || !strings.Contains(err.Error(), "converter") {
+			t.Fatalf("analysis %q on a converter: err = %v, want converter rejection", analysis, err)
+		}
+	}
+	vctl := Request{Circuit: "buck-converter?duty=0.5&fsw=1e5", VCtlDC: 1.5,
+		Analysis: AnalysisTransient, Options: opts}
+	if _, err := vctl.Canonicalize(); err == nil || !strings.Contains(err.Error(), "vctl_dc") {
+		t.Fatalf("vctl_dc on a converter: err = %v, want rejection", err)
+	}
+	f0 := Request{Circuit: "buck-converter?duty=0.5&fsw=1e5", Analysis: AnalysisEnvelope,
+		Options: RequestOptions{TStop: 2e-3, F0: 1e5}}
+	if _, err := f0.Canonicalize(); err == nil || !strings.Contains(err.Error(), "f0") {
+		t.Fatalf("f0 on a converter envelope: err = %v, want rejection", err)
+	}
+}
+
+// TestEngineSolvesConverterTransient drives the converter transient path
+// (zero-state start, BDF2, relaxed Newton) through the real engine and
+// checks the output charges toward the nominal conversion ratio.
+func TestEngineSolvesConverterTransient(t *testing.T) {
+	req := Request{Circuit: "buck-converter?duty=0.5&fsw=1e5", Analysis: AnalysisTransient,
+		Options: RequestOptions{TStop: 2e-3, H: 5e-8}}
+	c, err := req.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := CircuitEngine{}.Solve(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := out.Transient
+	if tr == nil {
+		t.Fatal("no transient outcome")
+	}
+	src, err := netlist.BuckConverter(0.5, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, err := netlist.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := ckt.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Final) != sys.Dim() {
+		t.Fatalf("final state dim = %d, want %d", len(tr.Final), sys.Dim())
+	}
+	iout, err := sys.NodeIndex("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominal := netlist.BuckNominalOut(0.5)
+	if got := tr.Final[iout]; math.Abs(got-nominal) > 0.1*nominal+0.5 {
+		t.Fatalf("settled output %.4g V, want near nominal %.4g V", got, nominal)
+	}
+}
+
+// TestEngineSolvesConverterRippleEnvelope drives the ripple-envelope path
+// through the real engine: the pinned frequency must come back exactly, and
+// the run must cover the requested horizon.
+func TestEngineSolvesConverterRippleEnvelope(t *testing.T) {
+	const fsw = 1e5
+	req := Request{Circuit: "buck-converter?duty=0.5&fsw=1e5", Analysis: AnalysisEnvelope,
+		Options: RequestOptions{TStop: 20 / fsw}}
+	c, err := req.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := CircuitEngine{}.Solve(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo := out.Envelope
+	if eo == nil {
+		t.Fatal("no envelope outcome")
+	}
+	if math.Abs(eo.FinalOmega-fsw) > 1e-9*fsw {
+		t.Fatalf("final omega %g, want pinned fsw %g", eo.FinalOmega, fsw)
+	}
+	for _, w := range eo.Omega {
+		if math.Abs(w-fsw) > 1e-9*fsw {
+			t.Fatalf("omega sample %g drifted off the pin %g", w, fsw)
+		}
+	}
+	if got := eo.T2[len(eo.T2)-1]; math.Abs(got-20/fsw) > 1e-12 {
+		t.Fatalf("envelope ended at t2 = %g, want %g", got, 20/fsw)
+	}
+}
+
+// TestServeConverterCachedReplay is the acceptance gate for converter
+// serving: a converter request served by name must hit the content cache on
+// replay with a bitwise-identical body.
+func TestServeConverterCachedReplay(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueCap: 8, Engine: CircuitEngine{}})
+	req := `{"circuit":"buck-converter?duty=0.5&fsw=1e5","analysis":"envelope","options":{"tstop":1e-4}}`
+	resp1, body1 := post(t, ts.URL, req)
+	if resp1.StatusCode != 200 || resp1.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first solve: status %d X-Cache %q", resp1.StatusCode, resp1.Header.Get("X-Cache"))
+	}
+	// A differently-elided spelling of the same solve must replay the cached
+	// bytes exactly.
+	req2 := `{"circuit":"buck-converter?duty=0.50&fsw=100e3","analysis":"envelope","options":{"tstop":1e-4}}`
+	resp2, body2 := post(t, ts.URL, req2)
+	if resp2.StatusCode != 200 || resp2.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("replay: status %d X-Cache %q, want cache hit", resp2.StatusCode, resp2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("cached replay body differs from the original solve")
+	}
+}
+
+// TestCanonicalizeDutySweep: the duty sweep must materialize each point as
+// the exact canonical single request (same hashes, same circuit spelling),
+// and malformed bases or out-of-range points must fail admission.
+func TestCanonicalizeDutySweep(t *testing.T) {
+	sr := SweepRequest{
+		Request: Request{Circuit: "buck-converter?fsw=1e5", Analysis: AnalysisEnvelope,
+			Options: RequestOptions{TStop: 1e-4}},
+		Sweep: SweepSpec{Param: SweepParamDuty, From: 0.3, To: 0.6, Points: 4},
+	}
+	job, err := sr.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Plan.N() != 4 {
+		t.Fatalf("plan has %d points, want 4", job.Plan.N())
+	}
+	for _, pt := range job.Plan.Points {
+		single := Request{Circuit: job.Points[pt.Seq].Circuit, Analysis: AnalysisEnvelope,
+			Options: RequestOptions{TStop: 1e-4}}
+		cs, err := single.Canonicalize()
+		if err != nil {
+			t.Fatalf("point %d as single request: %v", pt.Seq, err)
+		}
+		if cs.Hash() != job.Hashes[pt.Seq] {
+			t.Fatalf("point %d hash differs from the equivalent single request", pt.Seq)
+		}
+		if !strings.HasPrefix(job.Points[pt.Seq].Circuit, "buck-converter?duty=") {
+			t.Fatalf("point %d circuit %q not substituted", pt.Seq, job.Points[pt.Seq].Circuit)
+		}
+	}
+
+	bad := []SweepRequest{
+		// A netlist cannot anchor a duty sweep.
+		{Request: Request{Netlist: "R1 a 0 1k", Analysis: AnalysisTransient,
+			Options: RequestOptions{TStop: 1e-5, H: 1e-8}},
+			Sweep: SweepSpec{Param: SweepParamDuty, Values: []float64{0.4, 0.5}}},
+		// The base must omit the duty.
+		{Request: Request{Circuit: "buck-converter?duty=0.5&fsw=1e5", Analysis: AnalysisEnvelope,
+			Options: RequestOptions{TStop: 1e-4}},
+			Sweep: SweepSpec{Param: SweepParamDuty, Values: []float64{0.4, 0.5}}},
+		// A non-converter circuit cannot be duty-swept.
+		{Request: Request{Circuit: "paper-vco", Analysis: AnalysisEnvelope,
+			Options: RequestOptions{TStop: 1e-4}},
+			Sweep: SweepSpec{Param: SweepParamDuty, Values: []float64{0.4, 0.5}}},
+		// An out-of-range duty point fails the whole sweep at admission.
+		{Request: Request{Circuit: "buck-converter?fsw=1e5", Analysis: AnalysisEnvelope,
+			Options: RequestOptions{TStop: 1e-4}},
+			Sweep: SweepSpec{Param: SweepParamDuty, Values: []float64{0.5, 0.95}}},
+		// Corners do not apply to a scalar sweep.
+		{Request: Request{Circuit: "buck-converter?fsw=1e5", Analysis: AnalysisEnvelope,
+			Options: RequestOptions{TStop: 1e-4}},
+			Sweep: SweepSpec{Param: SweepParamDuty, Corners: []string{"a"}}},
+	}
+	for i, b := range bad {
+		if _, err := b.Canonicalize(); err == nil {
+			t.Fatalf("bad sweep %d canonicalized", i)
+		}
+	}
+}
+
+// TestServeDutySweepStream is the end-to-end duty-sweep smoke (the `ci.sh
+// converter` tier runs it by name): a real-engine /v1/sweep over the buck
+// catalog circuit streams one record per duty in plan order, each record
+// carrying the fully-substituted circuit name, and each body deduplicates
+// byte-identically against the equivalent single /v1/simulate request.
+func TestServeDutySweepStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueCap: 8, Engine: CircuitEngine{}})
+	resp, raw := postSweep(t, ts.URL,
+		`{"circuit":"buck-converter?fsw=1e5","analysis":"transient",`+
+			`"options":{"tstop":1e-4,"h":5e-8},`+
+			`"sweep":{"param":"duty","values":[0.5,0.4,0.6]},"lanes":1}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, raw)
+	}
+	hdr, recs, done := parseSweep(t, raw)
+	if hdr.Param != SweepParamDuty || hdr.Points != 3 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	if done == nil || done.Emitted != 3 || done.Errors != 0 {
+		t.Fatalf("trailer = %+v", done)
+	}
+	wantDuty := []float64{0.4, 0.5, 0.6} // continuation (ascending) order
+	for i, r := range recs {
+		if r.Duty != wantDuty[i] {
+			t.Fatalf("record %d duty = %g, want %g", i, r.Duty, wantDuty[i])
+		}
+		want := fmt.Sprintf("buck-converter?duty=%g&fsw=100000", wantDuty[i])
+		if r.Circuit != want {
+			t.Fatalf("record %d circuit = %q, want %q", i, r.Circuit, want)
+		}
+		if len(r.Body) == 0 || r.Error != nil {
+			t.Fatalf("record %d malformed: %+v", i, r)
+		}
+	}
+	// A sweep point replayed as a single request must hit the cache with the
+	// record's exact bytes — the sweep and single paths share one address.
+	resp1, body := post(t, ts.URL,
+		`{"circuit":"buck-converter?duty=0.5&fsw=1e5","analysis":"transient",`+
+			`"options":{"tstop":1e-4,"h":5e-8}}`)
+	if resp1.StatusCode != 200 || resp1.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("single replay: status %d X-Cache %q, want cache hit",
+			resp1.StatusCode, resp1.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(bytes.TrimSpace([]byte(recs[1].Body)), bytes.TrimSpace(body)) {
+		t.Fatal("sweep record body differs from the single-request bytes")
+	}
+}

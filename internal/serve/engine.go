@@ -9,6 +9,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/hb"
+	"repro/internal/mpde"
 	"repro/internal/netlist"
 	"repro/internal/shooting"
 	"repro/internal/solverr"
@@ -126,6 +127,21 @@ func (CircuitEngine) buildSystem(c *Canonical) (*circuit.System, error) {
 		}
 		return sys, nil
 	}
+	if base, duty, fsw, _ := parseConverterCircuit(c.Circuit); base != "" {
+		src, err := converterGeneratorFor(base)(duty, fsw)
+		if err != nil {
+			return nil, solverr.Wrap(solverr.KindBadInput, "serve.engine", err)
+		}
+		ckt, err := netlist.Parse(src)
+		if err != nil {
+			return nil, solverr.Wrap(solverr.KindUnknown, "serve.engine", err)
+		}
+		sys, err := ckt.Build()
+		if err != nil {
+			return nil, solverr.Wrap(solverr.KindUnknown, "serve.engine", err)
+		}
+		return sys, nil
+	}
 	if c.Circuit != "" {
 		p := circuit.DefaultVCOParams()
 		if c.Circuit == CircuitPaperVCOAir {
@@ -156,6 +172,11 @@ func (CircuitEngine) buildSystem(c *Canonical) (*circuit.System, error) {
 // needsOscVar reports whether the canonical request runs an analysis that
 // requires an oscillation variable (autonomous phase condition).
 func (c *Canonical) needsOscVar() bool {
+	if base, _, _, _ := parseConverterCircuit(c.Circuit); base != "" {
+		// Converters run forced analyses only: the ripple envelope pins ω to
+		// the PWM frequency, so there is no phase condition to anchor.
+		return false
+	}
 	switch c.Analysis {
 	case AnalysisEnvelope, AnalysisQuasiperiodic:
 		return true
@@ -215,12 +236,22 @@ func observedVar(sys *circuit.System) int {
 
 func (CircuitEngine) transient(ctx context.Context, sys *circuit.System, c *Canonical, out *Outcome) error {
 	x := make([]float64, sys.Dim())
-	if err := transient.DCOperatingPoint(sys, 0, x, transient.DCOptions{}); err != nil {
+	opt := transient.Options{Method: transient.Trap, H: c.H, Ctx: ctx}
+	if base, _, _, _ := parseConverterCircuit(c.Circuit); base != "" {
+		// Converter transients integrate the start-up from the zero state —
+		// the catalog workload — with BDF2: the trapezoidal rule has no
+		// damping on algebraic constraint rows, so from an inconsistent zero
+		// start the source-node rows ring undamped for the whole run, while
+		// BDF2 bootstraps with one L-stable BE step and kills the
+		// inconsistency immediately. The relaxed Newton tolerance matches
+		// the attainable residual floor of a zero-state switched start (see
+		// transient.ConverterNewton).
+		opt.Method = transient.BDF2
+		opt.Newton = transient.ConverterNewton
+	} else if err := transient.DCOperatingPoint(sys, 0, x, transient.DCOptions{}); err != nil {
 		return err
 	}
-	res, err := transient.Simulate(sys, x, 0, c.TStop, transient.Options{
-		Method: transient.Trap, H: c.H, Ctx: ctx,
-	})
+	res, err := transient.Simulate(sys, x, 0, c.TStop, opt)
 	if res == nil || len(res.T) == 0 {
 		return err
 	}
@@ -257,7 +288,44 @@ func (CircuitEngine) initialCondition(ctx context.Context, sys *circuit.System, 
 	})
 }
 
+// rippleEnvelope is the converter envelope path: the forced (unwarped) MPDE
+// with ω pinned to the PWM switching frequency, integrated from the zero
+// state — the start-up ripple envelope. There is no initial-condition
+// preamble (the PWM input pins the fast phase; there is no limit cycle to
+// land on) and no matrix-free cutover: the t1-averaged harmonic
+// preconditioner that makes GMRES effective on smooth VCO waveforms is a
+// poor match for a switched circuit's seven-decade conductance swings, so
+// converters always take the dense path (their bordered systems are small).
+func (CircuitEngine) rippleEnvelope(ctx context.Context, sys *circuit.System, c *Canonical, fsw float64, out *Outcome) error {
+	opt := mpde.RippleOptions(c.N1, fsw, 1)
+	opt.H2 = c.TStop / float64(c.Steps)
+	opt.Ctx = ctx
+	res, err := mpde.RippleEnvelope(sys, make([]float64, c.N1*sys.Dim()), fsw, c.TStop, opt)
+	if res == nil || len(res.T2) == 0 {
+		return err
+	}
+	idx := decimate(len(res.T2))
+	eo := &EnvelopeOut{
+		Steps:      len(res.T2) - 1,
+		T2:         make([]float64, len(idx)),
+		Omega:      make([]float64, len(idx)),
+		Phi:        make([]float64, len(idx)),
+		FinalOmega: res.Omega[len(res.Omega)-1],
+	}
+	for i, j := range idx {
+		eo.T2[i] = res.T2[j]
+		eo.Omega[i] = res.Omega[j]
+		eo.Phi[i] = res.Phi[j]
+	}
+	out.Envelope = eo
+	out.Supervision = envelopeSupervision(res)
+	return err
+}
+
 func (e CircuitEngine) envelope(ctx context.Context, sys *circuit.System, c *Canonical, out *Outcome, st *Stats) error {
+	if base, _, fsw, _ := parseConverterCircuit(c.Circuit); base != "" {
+		return e.rippleEnvelope(ctx, sys, c, fsw, out)
+	}
 	t0 := time.Now()
 	xhat0, omega0, err := e.initialCondition(ctx, sys, c.N1, c.F0)
 	st.ICNS = time.Since(t0).Nanoseconds()

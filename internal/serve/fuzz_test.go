@@ -29,6 +29,21 @@ func FuzzDecodeRequest(f *testing.F) {
 		`{"circuit":"ring-vco?stages=4","analysis":"transient","options":{"tstop":1e-6,"h":1e-8}}`,
 		`{"circuit":"ring-vco?stages=","analysis":"transient","options":{"tstop":1e-6,"h":1e-8}}`,
 		`{"circuit":"pseudodiff-vco","analysis":"transient","options":{"tstop":1e-6,"h":1e-8}}`,
+		// Converter circuits: valid spellings, then parameter strings the
+		// decoder must reject cleanly (out-of-range duty/fsw, malformed
+		// numbers, missing or reordered parameters).
+		`{"circuit":"buck-converter?duty=0.5&fsw=1e5","analysis":"envelope","options":{"tstop":2e-3}}`,
+		`{"circuit":"boost-converter?duty=0.4&fsw=100e3","analysis":"transient","options":{"tstop":2e-4,"h":5e-8}}`,
+		`{"circuit":"buck-converter?duty=0.99&fsw=1e5","analysis":"transient","options":{"tstop":2e-4,"h":5e-8}}`,
+		`{"circuit":"buck-converter?duty=0.5&fsw=1e12","analysis":"transient","options":{"tstop":2e-4,"h":5e-8}}`,
+		`{"circuit":"boost-converter?duty=-0.5&fsw=1e5","analysis":"transient","options":{"tstop":2e-4,"h":5e-8}}`,
+		`{"circuit":"buck-converter?duty=NaN&fsw=1e5","analysis":"transient","options":{"tstop":2e-4,"h":5e-8}}`,
+		`{"circuit":"buck-converter?fsw=1e5&duty=0.5","analysis":"transient","options":{"tstop":2e-4,"h":5e-8}}`,
+		`{"circuit":"boost-converter?duty=0.4","analysis":"transient","options":{"tstop":2e-4,"h":5e-8}}`,
+		`{"circuit":"buck-converter","analysis":"envelope","options":{"tstop":2e-3}}`,
+		`{"circuit":"buck-converter?duty=0.5&fsw=1e5","analysis":"shooting","options":{"period":1e-5}}`,
+		`{"circuit":"buck-converter?duty=0.5&fsw=1e5","vctl_dc":1.5,"analysis":"transient","options":{"tstop":2e-4,"h":5e-8}}`,
+		`{"circuit":"buck-converter?duty=0.5&fsw=1e5","analysis":"envelope","options":{"tstop":2e-3,"f0":1e5}}`,
 		// Known-bad shapes the decoder must reject cleanly.
 		`{"circuit":"paper-vco","netlist":"R1 a 0 1k","analysis":"transient"}`,
 		`{"analysis":"transient","options":{"tstop":1e300,"h":1e-300}}`,
@@ -96,6 +111,14 @@ func FuzzDecodeSweepRequest(f *testing.F) {
 		`{"circuit":"paper-vco","analysis":"transient","options":{"tstop":1e-5,"h":1e-8},"vctl_dc":1.5,"sweep":{"param":"vctl_dc","values":[1,2]}}`,
 		`{"circuit":"paper-vco","analysis":"transient","options":{"tstop":1e-5,"h":1e-8},"sweep":{"param":"vctl_dc","values":[1,2]},"lanes":-3,"have":99}`,
 		`{"circuit":"paper-vco","analysis":"transient","options":{"tstop":1e-5,"h":1e-8},"sweep":{"param":"frequency","values":[1,2]}}`,
+		// Duty sweeps: a valid grid and values form, then bad bases and
+		// out-of-range points that must fail admission.
+		`{"circuit":"buck-converter?fsw=1e5","analysis":"envelope","options":{"tstop":1e-4},"sweep":{"param":"duty","from":0.3,"to":0.6,"points":4}}`,
+		`{"circuit":"boost-converter?fsw=2e5","analysis":"transient","options":{"tstop":1e-4,"h":5e-8},"sweep":{"param":"duty","values":[0.4,0.5,0.6]},"lanes":2}`,
+		`{"circuit":"buck-converter?duty=0.5&fsw=1e5","analysis":"envelope","options":{"tstop":1e-4},"sweep":{"param":"duty","values":[0.4,0.5]}}`,
+		`{"circuit":"paper-vco","analysis":"envelope","options":{"tstop":1e-4},"sweep":{"param":"duty","values":[0.4,0.5]}}`,
+		`{"circuit":"buck-converter?fsw=1e5","analysis":"envelope","options":{"tstop":1e-4},"sweep":{"param":"duty","values":[0.5,0.95]}}`,
+		`{"circuit":"buck-converter?fsw=1e5","analysis":"envelope","options":{"tstop":1e-4},"sweep":{"param":"duty","corners":["a"]}}`,
 		`{"circuit":"paper-vco","analysis":"transient","options":{"tstop":1e-5,"h":1e-8},"sweep":{"param":"vctl_dc","values":[1,2]}}trailing`,
 	}
 	for _, s := range seeds {

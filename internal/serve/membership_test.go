@@ -303,6 +303,127 @@ func TestClusterJoinHandoff(t *testing.T) {
 	}
 }
 
+// TestClusterMultiJoinRace: two nodes join through *different* seeds inside
+// the same heartbeat window. The membership views are a join-semilattice
+// (merge = set union, epoch sup), so the racing admissions must converge to
+// one five-node view on every node without coordination. Handoff share
+// arithmetic under the race: a sender computes a joiner's share against its
+// own view with the joiner unioned in, and consistent hashing only ever
+// *shrinks* a node's share when another node is added — so a sender that has
+// not yet heard of the other joiner streams a superset of the final-ring
+// share, never a subset. Hence each joiner must end up holding every key of
+// its final five-ring share (over-copy is tolerated, loss is not), with no
+// rejected records and no recomputed solves.
+func TestClusterMultiJoinRace(t *testing.T) {
+	hb := 20 * time.Millisecond
+	tc := newTestCluster(t, 3, func(i int) Config {
+		cc := fastBackoffCluster()
+		cc.HeartbeatInterval = hb
+		return Config{Workers: 2, QueueCap: 8, Engine: &fakeEngine{}, StoreDir: t.TempDir(), Cluster: cc}
+	})
+	const keys = 16
+	hashes := make([]string, keys)
+	for i := 0; i < keys; i++ {
+		req := distinctReq(i)
+		hashes[i] = hashOf(t, req)
+		if resp, body := post(t, "http://"+tc.addrs[0], req); resp.StatusCode != 200 {
+			t.Fatalf("seed solve %d: status %d (%s)", i, resp.StatusCode, body)
+		}
+	}
+	tc.waitReplDrained(t)
+	solvesBefore := tc.totalSolves()
+
+	// Boot both joiners back-to-back — different seeds, no wait between
+	// them, so their admissions and handoff pulls overlap.
+	joinerCfg := func(seed string) Config {
+		cc := fastBackoffCluster()
+		cc.HeartbeatInterval = hb
+		cc.Join = true
+		cc.Peers = []string{seed}
+		return Config{Workers: 2, QueueCap: 8, Engine: &fakeEngine{}, StoreDir: t.TempDir(), Cluster: cc}
+	}
+	ja := tc.add(t, joinerCfg(tc.addrs[0]))
+	jb := tc.add(t, joinerCfg(tc.addrs[1]))
+	waitFor(t, "both joins complete", func() bool {
+		return tc.servers[ja].joinDone.Load() && tc.servers[jb].joinDone.Load()
+	})
+
+	// Semilattice convergence: every node — originals and both joiners —
+	// reaches the same five-node view, even though the two admissions were
+	// granted by different seeds concurrently.
+	waitFor(t, "five-node view on every node", func() bool {
+		for _, s := range tc.servers {
+			if len(s.member.view().Nodes) != 5 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Share arithmetic over the final membership ring.
+	ring := NewRing(tc.addrs, 0)
+	shareOf := func(addr string) []string {
+		var share []string
+		for _, h := range hashes {
+			for _, o := range ring.Owners(h, 2) {
+				if o == addr {
+					share = append(share, h)
+					break
+				}
+			}
+		}
+		return share
+	}
+	shareA, shareB := shareOf(tc.addrs[ja]), shareOf(tc.addrs[jb])
+	if len(shareA)+len(shareB) == 0 {
+		t.Fatal("neither joiner owns any key — distribution is broken")
+	}
+	for _, j := range []struct {
+		idx   int
+		share []string
+	}{{ja, shareA}, {jb, shareB}} {
+		s := tc.servers[j.idx]
+		// No loss: every owed key is in the local tiers.
+		for _, h := range j.share {
+			if s.store.Get(h) == nil {
+				t.Fatalf("joiner %d missing its key %s", j.idx, h[:8])
+			}
+		}
+		// Received at least the final share, never more than everything; a
+		// racing sender may over-stream keys the *other* joiner finally owns,
+		// but each record persists at most once.
+		got := s.m.HandoffKeysReceived.Load()
+		if got < int64(len(j.share)) || got > keys {
+			t.Fatalf("joiner %d HandoffKeysReceived = %d, want in [%d, %d]",
+				j.idx, got, len(j.share), keys)
+		}
+		if rej := s.m.HandoffRejected.Load(); rej != 0 {
+			t.Fatalf("joiner %d HandoffRejected = %d, want 0", j.idx, rej)
+		}
+		if n := s.store.Len(); int64(n) != got {
+			t.Fatalf("joiner %d store holds %d records but received %d", j.idx, n, got)
+		}
+	}
+	// Handoff never recomputes: no joiner solved anything, and the cluster
+	// total is unchanged from the seeding pass.
+	if got := tc.engines[ja].Solves() + tc.engines[jb].Solves(); got != 0 {
+		t.Fatalf("joiners solved %d times during handoff, want 0", got)
+	}
+	if got := tc.totalSolves(); got != solvesBefore {
+		t.Fatalf("cluster solves went %d -> %d across the join race", solvesBefore, got)
+	}
+	// The grown cluster serves every seeded key from cache through either
+	// joiner's front door (forwarded or local — but never re-solved).
+	for _, i := range []int{ja, jb} {
+		if resp, body := post(t, "http://"+tc.addrs[i], distinctReq(0)); resp.StatusCode != 200 {
+			t.Fatalf("post-join serve via node %d: status %d (%s)", i, resp.StatusCode, body)
+		}
+	}
+	if got := tc.totalSolves(); got != solvesBefore {
+		t.Fatalf("post-join reads re-solved: %d -> %d", solvesBefore, got)
+	}
+}
+
 // TestFaultClusterPartition: injected heartbeat drops partition the
 // membership exchange; misses are counted and the views stop converging.
 // Healing the partition (disarm) lets the next rounds converge.

@@ -30,6 +30,14 @@ const (
 	// CircuitPseudoDiffVCO is the generated pseudodifferential ring,
 	// "pseudodiff-vco?stages=N" (N even, netlist.PDStagesMin..Max).
 	CircuitPseudoDiffVCO = "pseudodiff-vco"
+	// CircuitBuckConverter is the generated PWM buck converter, spelled
+	// "buck-converter?duty=D&fsw=F" (netlist.ConverterDutyMin..Max,
+	// ConverterFswMin..Max). Converters run the forced analyses only:
+	// transient, and the ripple envelope with ω pinned to fsw.
+	CircuitBuckConverter = "buck-converter"
+	// CircuitBoostConverter is the generated PWM boost converter,
+	// "boost-converter?duty=D&fsw=F".
+	CircuitBoostConverter = "boost-converter"
 )
 
 // Analysis kinds.
@@ -170,6 +178,98 @@ func generatorFor(base string) func(int, float64) (string, error) {
 	return netlist.RingVCO
 }
 
+// parseConverterCircuit recognizes the generated converter circuits
+// ("buck-converter?duty=D&fsw=F", "boost-converter?duty=D&fsw=F"). base is
+// "" when s does not name a converter at all; a recognized base with
+// malformed or missing parameters is an error. Parameter bounds are left to
+// the generator itself.
+func parseConverterCircuit(s string) (base string, duty, fsw float64, err error) {
+	for _, b := range []string{CircuitBuckConverter, CircuitBoostConverter} {
+		if s == b || strings.HasPrefix(s, b+"?") {
+			base = b
+			break
+		}
+	}
+	if base == "" {
+		return "", 0, 0, nil
+	}
+	shapeErr := func() error {
+		return badInput("circuit %s takes exactly two parameters: %s?duty=D&fsw=F", base, base)
+	}
+	rest, ok := strings.CutPrefix(strings.TrimPrefix(s, base), "?duty=")
+	if !ok {
+		return "", 0, 0, shapeErr()
+	}
+	dstr, fstr, ok := strings.Cut(rest, "&fsw=")
+	if !ok {
+		return "", 0, 0, shapeErr()
+	}
+	if duty, err = strconv.ParseFloat(dstr, 64); err != nil {
+		return "", 0, 0, badInput("circuit %s: duty %q is not a number", base, dstr)
+	}
+	if fsw, err = strconv.ParseFloat(fstr, 64); err != nil {
+		return "", 0, 0, badInput("circuit %s: fsw %q is not a number", base, fstr)
+	}
+	return base, duty, fsw, nil
+}
+
+// parseConverterSweepBase recognizes a duty-sweep base circuit: a converter
+// name carrying only the fsw parameter ("buck-converter?fsw=1e5"), the duty
+// being supplied per sweep point.
+func parseConverterSweepBase(s string) (base string, fsw float64, err error) {
+	for _, b := range []string{CircuitBuckConverter, CircuitBoostConverter} {
+		if s == b || strings.HasPrefix(s, b+"?") {
+			base = b
+			break
+		}
+	}
+	if base == "" {
+		return "", 0, badInput("duty sweep needs a converter base circuit, %s?fsw=F or %s?fsw=F",
+			CircuitBuckConverter, CircuitBoostConverter)
+	}
+	val, ok := strings.CutPrefix(strings.TrimPrefix(s, base), "?fsw=")
+	if !ok {
+		return "", 0, badInput("duty sweep base circuit takes exactly one parameter, %s?fsw=F (the duty comes from the sweep)", base)
+	}
+	fsw, aerr := strconv.ParseFloat(val, 64)
+	if aerr != nil {
+		return "", 0, badInput("circuit %s: fsw %q is not a number", base, val)
+	}
+	return base, fsw, nil
+}
+
+// converterGeneratorFor maps a converter base name to its netlist generator.
+func converterGeneratorFor(base string) func(duty, fsw float64) (string, error) {
+	if base == CircuitBoostConverter {
+		return netlist.BoostConverter
+	}
+	return netlist.BuckConverter
+}
+
+// converterN1 is the catalog t1 resolution for a converter's ripple
+// envelope — per-circuit, set by measurement against brute-force transients
+// (see netlist.BuckN1/BoostN1 for the record).
+func converterN1(base string) int {
+	if base == CircuitBoostConverter {
+		return netlist.BoostN1
+	}
+	return netlist.BuckN1
+}
+
+// defaultConverterSteps is the converter envelope's default t2 step count:
+// one step per switching period (the mpde.RippleOptions preset), clamped
+// into the admission bounds.
+func defaultConverterSteps(tstop, fsw float64) int {
+	p := tstop * fsw
+	if p >= MaxSteps {
+		return MaxSteps
+	}
+	if p < 1 {
+		return 1
+	}
+	return int(math.Round(p))
+}
+
 // DecodeRequest parses one JSON request from r. It is strict — unknown
 // fields and trailing garbage are rejected — so a typoed option name
 // cannot silently canonicalize to a different solve than the caller meant.
@@ -210,6 +310,10 @@ func (r *Request) Canonicalize() (*Canonical, error) {
 		if err != nil {
 			return nil, err
 		}
+		cbase, duty, fsw, cerr := parseConverterCircuit(r.Circuit)
+		if cerr != nil {
+			return nil, cerr
+		}
 		switch {
 		case base != "":
 			// Validate stages by generating (the generator owns the bounds
@@ -219,13 +323,25 @@ func (r *Request) Canonicalize() (*Canonical, error) {
 				return nil, badInput("%v", gerr)
 			}
 			c.Circuit = fmt.Sprintf("%s?stages=%d", base, stages)
+		case cbase != "":
+			// Validate duty/fsw by generating (the generator owns the bounds)
+			// and normalize the spelling so "duty=0.50&fsw=100e3"
+			// canonicalizes identically to "duty=0.5&fsw=100000".
+			if _, gerr := converterGeneratorFor(cbase)(duty, fsw); gerr != nil {
+				return nil, badInput("%v", gerr)
+			}
+			c.Circuit = fmt.Sprintf("%s?duty=%g&fsw=%g", cbase, duty, fsw)
 		case r.Circuit == CircuitPaperVCO || r.Circuit == CircuitPaperVCOAir:
 			c.Circuit = r.Circuit
 		default:
-			return nil, badInput("unknown circuit %q (want %s, %s, %s?stages=N or %s?stages=N)",
-				r.Circuit, CircuitPaperVCO, CircuitPaperVCOAir, CircuitRingVCO, CircuitPseudoDiffVCO)
+			return nil, badInput("unknown circuit %q (want %s, %s, %s?stages=N, %s?stages=N, %s?duty=D&fsw=F or %s?duty=D&fsw=F)",
+				r.Circuit, CircuitPaperVCO, CircuitPaperVCOAir, CircuitRingVCO, CircuitPseudoDiffVCO,
+				CircuitBuckConverter, CircuitBoostConverter)
 		}
 		if r.VCtlDC != 0 {
+			if cbase != "" {
+				return nil, badInput("vctl_dc does not apply to converter circuits (the duty ratio is the sweep knob)")
+			}
 			if !finitePos(r.VCtlDC) || r.VCtlDC > MaxVCtl {
 				return nil, badInput("vctl_dc must be in (0, %g], got %v", MaxVCtl, r.VCtlDC)
 			}
@@ -264,6 +380,17 @@ func (r *Request) Canonicalize() (*Canonical, error) {
 		f0def = netlist.RingVCONominalFreq(stages, vc)
 	}
 
+	// Converter circuits run the forced analyses only: the ripple envelope
+	// (ω pinned to the PWM frequency from the circuit name — no phase
+	// condition, no frequency unknown) and the brute-force transient. The
+	// autonomous analyses need an oscillation variable and a free frequency,
+	// which a driven converter does not have.
+	convBase, _, convFsw, _ := parseConverterCircuit(c.Circuit)
+	if convBase != "" && r.Analysis != AnalysisEnvelope && r.Analysis != AnalysisTransient {
+		return nil, badInput("analysis %q does not apply to converter circuits (want %s or %s)",
+			r.Analysis, AnalysisEnvelope, AnalysisTransient)
+	}
+
 	o := r.Options
 	switch r.Analysis {
 	case AnalysisEnvelope:
@@ -271,17 +398,28 @@ func (r *Request) Canonicalize() (*Canonical, error) {
 			return nil, badInput("envelope needs options.tstop > 0")
 		}
 		c.TStop = o.TStop
-		c.N1 = defaultInt(o.N1, 25)
-		c.Steps = defaultInt(o.Steps, 400)
-		c.F0 = defaultFloat(o.F0, f0def)
+		if convBase != "" {
+			// Converter ripple envelope: the catalog per-circuit t1
+			// resolution and one t2 step per switching period by default,
+			// and no frequency guess — the fast scale is pinned to fsw.
+			c.N1 = defaultInt(o.N1, converterN1(convBase))
+			c.Steps = defaultInt(o.Steps, defaultConverterSteps(c.TStop, convFsw))
+			if o.F0 != 0 {
+				return nil, badInput("options.f0 does not apply to converter circuits (the ripple envelope is pinned to fsw)")
+			}
+		} else {
+			c.N1 = defaultInt(o.N1, 25)
+			c.Steps = defaultInt(o.Steps, 400)
+			c.F0 = defaultFloat(o.F0, f0def)
+			if !finitePos(c.F0) {
+				return nil, badInput("options.f0 must be positive and finite")
+			}
+		}
 		if c.N1 > MaxN1 || c.N1 < 5 {
 			return nil, badInput("options.n1 must be in [5, %d], got %d", MaxN1, c.N1)
 		}
 		if c.Steps > MaxSteps || c.Steps < 1 {
 			return nil, badInput("options.steps must be in [1, %d], got %d", MaxSteps, c.Steps)
-		}
-		if !finitePos(c.F0) {
-			return nil, badInput("options.f0 must be positive and finite")
 		}
 	case AnalysisQuasiperiodic:
 		if !finitePos(o.Period) {

@@ -33,6 +33,7 @@ type sweepRecord struct {
 	Seq     int             `json:"seq"`
 	Index   int             `json:"index"`
 	VCtlDC  float64         `json:"vctl_dc,omitempty"`
+	Duty    float64         `json:"duty,omitempty"`
 	Circuit string          `json:"circuit,omitempty"`
 	Hash    string          `json:"hash"`
 	Cache   string          `json:"cache,omitempty"`
@@ -109,6 +110,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		switch job.Param {
 		case SweepParamVCtl:
 			rec.VCtlDC = res.Value
+		case SweepParamDuty:
+			// The swept value plus the fully substituted circuit name, so a
+			// stream line is replayable as a single request verbatim.
+			rec.Duty = res.Value
+			rec.Circuit = job.Points[res.Seq].Circuit
 		case SweepParamCircuit:
 			rec.Circuit = res.Label
 		}

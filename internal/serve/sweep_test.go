@@ -73,6 +73,7 @@ type sweepLine struct {
 	Seq     *int            `json:"seq"`
 	Index   int             `json:"index"`
 	VCtlDC  float64         `json:"vctl_dc"`
+	Duty    float64         `json:"duty"`
 	Circuit string          `json:"circuit"`
 	Hash    string          `json:"hash"`
 	Cache   string          `json:"cache"`

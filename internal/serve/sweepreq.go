@@ -4,8 +4,11 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 
+	"repro/internal/solverr"
 	"repro/internal/sweep"
 )
 
@@ -29,6 +32,12 @@ const (
 	SweepParamVCtl = "vctl_dc"
 	// SweepParamCircuit sweeps a corner set of named circuits.
 	SweepParamCircuit = "circuit"
+	// SweepParamDuty sweeps a converter circuit's PWM duty ratio: the base
+	// request names the converter without a duty ("buck-converter?fsw=1e5")
+	// and each point becomes the full canonical circuit name. Grid sweeps
+	// run in continuation order, so neighboring duty points keep warm-start
+	// locality in offline drivers.
+	SweepParamDuty = "duty"
 )
 
 // SweepSpec is the swept-parameter clause of a sweep request: which
@@ -113,30 +122,27 @@ func (r *SweepRequest) Canonicalize() (*SweepJob, error) {
 	}
 
 	var err error
+	var dutyBase string
+	var dutyFsw float64
 	switch r.Sweep.Param {
 	case SweepParamVCtl:
 		if r.VCtlDC != 0 {
 			return nil, badInput("base request must not set vctl_dc when sweeping it")
 		}
-		hasGrid := r.Sweep.Points != 0 || r.Sweep.From != 0 || r.Sweep.To != 0
-		hasValues := len(r.Sweep.Values) > 0
-		if len(r.Sweep.Corners) > 0 {
-			return nil, badInput("sweep.corners does not apply to param %q", SweepParamVCtl)
+		job.Plan, err = scalarPlan(r.Sweep)
+	case SweepParamDuty:
+		// The swept coordinate lives inside the circuit name: the base names
+		// the converter with only its fsw, and each point substitutes the
+		// full canonical "base?duty=D&fsw=F" spelling — so a point's solve,
+		// cache entry and body are exactly those of the single request.
+		if r.Netlist != "" {
+			return nil, badInput("duty sweep takes a converter base circuit, not a netlist")
 		}
-		switch {
-		case hasGrid == hasValues:
-			return nil, badInput("vctl_dc sweep needs exactly one of from/to/points and values")
-		case hasGrid:
-			if r.Sweep.Points < 2 || r.Sweep.Points > MaxSweepPoints {
-				return nil, badInput("sweep.points must be in [2, %d], got %d", MaxSweepPoints, r.Sweep.Points)
-			}
-			job.Plan, err = sweep.Grid(r.Sweep.From, r.Sweep.To, r.Sweep.Points)
-		default:
-			if len(r.Sweep.Values) > MaxSweepPoints {
-				return nil, badInput("sweep.values has %d entries (cap %d)", len(r.Sweep.Values), MaxSweepPoints)
-			}
-			job.Plan, err = sweep.Values(r.Sweep.Values)
+		dutyBase, dutyFsw, err = parseConverterSweepBase(r.Circuit)
+		if err != nil {
+			return nil, err
 		}
+		job.Plan, err = scalarPlan(r.Sweep)
 	case SweepParamCircuit:
 		if r.Circuit != "" || r.Netlist != "" {
 			return nil, badInput("base request must not name a circuit when sweeping corners")
@@ -151,9 +157,14 @@ func (r *SweepRequest) Canonicalize() (*SweepJob, error) {
 	case "":
 		return nil, badInput("sweep.param is required")
 	default:
-		return nil, badInput("unknown sweep.param %q (want %s or %s)", r.Sweep.Param, SweepParamVCtl, SweepParamCircuit)
+		return nil, badInput("unknown sweep.param %q (want %s, %s or %s)",
+			r.Sweep.Param, SweepParamVCtl, SweepParamDuty, SweepParamCircuit)
 	}
 	if err != nil {
+		var se *solverr.Error
+		if errors.As(err, &se) {
+			return nil, err // already a classified admission failure
+		}
 		return nil, badInput("%v", err)
 	}
 
@@ -167,6 +178,8 @@ func (r *SweepRequest) Canonicalize() (*SweepJob, error) {
 		switch r.Sweep.Param {
 		case SweepParamVCtl:
 			pr.VCtlDC = pt.Value
+		case SweepParamDuty:
+			pr.Circuit = fmt.Sprintf("%s?duty=%g&fsw=%g", dutyBase, pt.Value, dutyFsw)
 		case SweepParamCircuit:
 			pr.Circuit = pt.Label
 		}
@@ -205,6 +218,31 @@ func (r *SweepRequest) Canonicalize() (*SweepJob, error) {
 	sum := sha256.Sum256(mustJSON(id))
 	job.hash = hex.EncodeToString(sum[:])
 	return job, nil
+}
+
+// scalarPlan builds the continuation plan of a scalar-valued sweep clause:
+// exactly one of a uniform grid (from/to/points) or an explicit value list,
+// never corners. Shared by the vctl_dc and duty params.
+func scalarPlan(s SweepSpec) (*sweep.Plan, error) {
+	hasGrid := s.Points != 0 || s.From != 0 || s.To != 0
+	hasValues := len(s.Values) > 0
+	if len(s.Corners) > 0 {
+		return nil, badInput("sweep.corners does not apply to param %q", s.Param)
+	}
+	switch {
+	case hasGrid == hasValues:
+		return nil, badInput("%s sweep needs exactly one of from/to/points and values", s.Param)
+	case hasGrid:
+		if s.Points < 2 || s.Points > MaxSweepPoints {
+			return nil, badInput("sweep.points must be in [2, %d], got %d", MaxSweepPoints, s.Points)
+		}
+		return sweep.Grid(s.From, s.To, s.Points)
+	default:
+		if len(s.Values) > MaxSweepPoints {
+			return nil, badInput("sweep.values has %d entries (cap %d)", len(s.Values), MaxSweepPoints)
+		}
+		return sweep.Values(s.Values)
+	}
 }
 
 // pointName renders a point's swept coordinate for diagnostics.
